@@ -1,0 +1,87 @@
+// BASE — Consensus baselines and the paper's motivating composition.
+//
+// Rows:
+//   * diamond_s — rotating-coordinator ◇S consensus (Chandra-Toueg
+//     style): latency / rounds / messages vs crashes and detector lag;
+//   * omega — Ω-based consensus (Fig 3 with k = z = 1): same workloads;
+//   * stacked — consensus built end-to-end from the paper's weak parts:
+//     ◇S_t + ◇φ_1 → Ω_1 → consensus, all in one run. The shape to see:
+//     it pays the wheels' synchronization time up front, then decides —
+//     the price of using strictly weaker detectors.
+#include <benchmark/benchmark.h>
+
+#include "core/consensus.h"
+#include "core/stacked.h"
+
+namespace {
+
+using namespace saf;
+
+void BM_DiamondS(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const Time stab = state.range(1);
+  core::ConsensusRunConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.fd_stab = stab;
+  cfg.seed = 60 + static_cast<std::uint64_t>(f);
+  for (int i = 0; i < f; ++i) cfg.crashes.crash_at(2 * i, 70 * (i + 1));
+  core::ConsensusRunResult res;
+  for (auto _ : state) res = core::run_diamond_s_consensus(cfg);
+  state.counters["ok"] =
+      (res.all_correct_decided && res.agreement && res.validity) ? 1 : 0;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+  state.counters["rounds"] = res.max_round;
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+void BM_Omega(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const Time stab = state.range(1);
+  core::ConsensusRunConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.fd_stab = stab;
+  cfg.seed = 61 + static_cast<std::uint64_t>(f);
+  for (int i = 0; i < f; ++i) cfg.crashes.crash_at(2 * i, 70 * (i + 1));
+  core::ConsensusRunResult res;
+  for (auto _ : state) res = core::run_omega_consensus(cfg);
+  state.counters["ok"] =
+      (res.all_correct_decided && res.agreement && res.validity) ? 1 : 0;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+  state.counters["rounds"] = res.max_round;
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+void BM_Stacked(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  core::StackedRunConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.x = 4;  // ◇S_t
+  cfg.y = 1;  // ◇φ_1
+  cfg.seed = 62 + static_cast<std::uint64_t>(f);
+  for (int i = 0; i < f; ++i) cfg.crashes.crash_at(2 * i + 1, 90 * (i + 1));
+  core::StackedRunResult res;
+  for (auto _ : state) res = core::run_stacked_kset(cfg);
+  state.counters["ok"] =
+      (res.all_correct_decided && res.validity && res.distinct_decided == 1)
+          ? 1
+          : 0;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DiamondS)->Name("base/diamond_s_consensus")
+    ->Args({0, 200})->Args({2, 200})->Args({4, 200})->Args({2, 2000})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Omega)->Name("base/omega_consensus")
+    ->Args({0, 200})->Args({2, 200})->Args({4, 200})->Args({2, 2000})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Stacked)->Name("base/stacked_weak_parts_consensus")
+    ->Args({0})->Args({2})->Args({4})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

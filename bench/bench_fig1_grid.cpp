@@ -1,0 +1,154 @@
+// FIG1 — The grid of failure detector classes (paper Fig 1).
+//
+// Every bold (reducibility) arrow of the grid that the paper realizes by
+// algorithm is executed and verified here, one benchmark row per arrow:
+//
+//   row "sx_to_omega"    : ◇S_x → Ω_{t+2-x}        (Corollary 7; wheels, y=0)
+//   row "phi_to_omega"   : ◇φ_y → Ω_{t+1-y}        (Corollary 6; wheels, x=1)
+//   row "add_to_omega"   : ◇S_x + ◇φ_y → Ω_z       (Theorem 8; two wheels)
+//   row "phibar_to_omega": φ̄_y → Ω_z, y+z = t+1    (Appendix A; local scan)
+//   row "add_to_s"       : S_x + φ_y → S, x+y > t  (Appendix B; registers)
+//
+// Each row reports ok (class check passed) and the stabilization witness.
+#include <benchmark/benchmark.h>
+
+#include "core/add_sx_phiy.h"
+#include "core/phibar_to_omega.h"
+#include "core/two_wheels.h"
+#include "fd/query_oracles.h"
+
+namespace {
+
+using namespace saf;
+
+void BM_SxToOmega(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const int x = static_cast<int>(state.range(2));
+  core::TwoWheelsConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.x = x;
+  cfg.y = 0;
+  cfg.seed = 11 + static_cast<std::uint64_t>(x);
+  cfg.crashes.crash_at(0, 100);
+  core::TwoWheelsResult res;
+  for (auto _ : state) res = core::run_two_wheels(cfg);
+  state.counters["z"] = res.z;
+  state.counters["ok"] = res.omega_check.pass ? 1 : 0;
+  state.counters["witness"] = static_cast<double>(res.omega_check.witness);
+}
+
+void BM_PhiToOmega(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const int y = static_cast<int>(state.range(2));
+  core::TwoWheelsConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.x = 1;
+  cfg.y = y;
+  cfg.seed = 23 + static_cast<std::uint64_t>(y);
+  cfg.crashes.crash_at(2, 150);
+  core::TwoWheelsResult res;
+  for (auto _ : state) res = core::run_two_wheels(cfg);
+  state.counters["z"] = res.z;
+  state.counters["ok"] = res.omega_check.pass ? 1 : 0;
+  state.counters["witness"] = static_cast<double>(res.omega_check.witness);
+}
+
+void BM_AddToOmega(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const int x = static_cast<int>(state.range(2));
+  const int y = static_cast<int>(state.range(3));
+  core::TwoWheelsConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.x = x;
+  cfg.y = y;
+  cfg.seed = 37 + static_cast<std::uint64_t>(x * 10 + y);
+  cfg.crashes.crash_at(1, 100);
+  core::TwoWheelsResult res;
+  for (auto _ : state) res = core::run_two_wheels(cfg);
+  state.counters["z"] = res.z;
+  state.counters["ok"] = res.omega_check.pass ? 1 : 0;
+  state.counters["witness"] = static_cast<double>(res.omega_check.witness);
+}
+
+void BM_PhiBarToOmega(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const int y = static_cast<int>(state.range(2));
+  const int z = t + 1 - y;
+  const Time horizon = 4000;
+  sim::CrashPlan plan;
+  plan.crash_at(0, 80);
+  sim::FailurePattern fp(n, t, plan);
+  fp.record_crash(0, 80);
+  fd::QueryOracleParams qp;
+  qp.stab_time = 200;
+  qp.detect_delay = 10;
+  fd::PhiOracle phi(fp, y, qp);
+  fd::CheckResult check;
+  for (auto _ : state) {
+    fd::PhiBarOracle bar(phi);
+    core::PhiBarToOmega omega(bar, n, t, y, z);
+    const auto h = fd::sample_leaders(omega, n, horizon, 5);
+    check = fd::check_eventual_leadership(h, fp, z, horizon);
+  }
+  state.counters["z"] = z;
+  state.counters["ok"] = check.pass ? 1 : 0;
+  state.counters["witness"] = static_cast<double>(check.witness);
+}
+
+void BM_AddToS(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const int x = static_cast<int>(state.range(2));
+  const int y = static_cast<int>(state.range(3));
+  core::AdditionConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.x = x;
+  cfg.y = y;
+  cfg.perpetual = true;
+  cfg.seed = 53 + static_cast<std::uint64_t>(x * 10 + y);
+  cfg.crashes.crash_at(n - 1, 150);
+  core::AdditionResult res;
+  for (auto _ : state) res = core::run_addition(cfg);
+  state.counters["ok"] =
+      (res.completeness.pass && res.accuracy.pass) ? 1 : 0;
+  state.counters["witness"] =
+      static_cast<double>(res.completeness.witness);
+}
+
+void register_all() {
+  for (int x = 2; x <= 4; ++x) {
+    benchmark::RegisterBenchmark("fig1/sx_to_omega", BM_SxToOmega)
+        ->Args({7, 3, x})->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  for (int y = 1; y <= 3; ++y) {
+    benchmark::RegisterBenchmark("fig1/phi_to_omega", BM_PhiToOmega)
+        ->Args({7, 3, y})->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("fig1/add_to_omega", BM_AddToOmega)
+      ->Args({7, 3, 2, 1})->Args({7, 3, 3, 1})->Args({7, 3, 2, 2})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  for (int y = 1; y <= 3; ++y) {
+    benchmark::RegisterBenchmark("fig1/phibar_to_omega", BM_PhiBarToOmega)
+        ->Args({8, 3, y})->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("fig1/add_to_s", BM_AddToS)
+      ->Args({6, 3, 2, 2})->Args({6, 3, 3, 1})->Args({7, 3, 1, 3})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

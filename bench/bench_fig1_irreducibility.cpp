@@ -1,0 +1,119 @@
+// FIG1-IRR — The dotted (irreducibility) arrows of the grid (paper §5,
+// Theorems 9-12) plus the additivity lower bound (Theorem 8 necessity).
+//
+// Irreducibility cannot be proven by running code; what these rows show
+// is the proofs' *witnesses* executed: the source detector history is
+// legal for its class (src_ok = 1) while the natural candidate
+// transformation fails the target class axioms (tgt_fails = 1), and the
+// two-wheels machinery run below the x+y+z >= t+2 boundary fails its Ω_z
+// check (below_fails = 1) while the boundary configuration passes
+// (at_bound_ok = 1).
+#include <benchmark/benchmark.h>
+
+#include "core/irreducibility.h"
+#include "core/two_wheels.h"
+
+namespace {
+
+using namespace saf;
+
+constexpr Time kHorizon = 4000;
+
+void BM_SxToPhi(benchmark::State& state) {
+  const int x = static_cast<int>(state.range(0));
+  const int y = static_cast<int>(state.range(1));
+  core::IrreducibilityDemo demo;
+  for (auto _ : state) {
+    demo = core::demo_sx_to_phi(7, 3, x, y, 5, kHorizon);
+  }
+  state.counters["src_ok"] =
+      (demo.source_legal.pass && demo.source_legal2.pass) ? 1 : 0;
+  state.counters["tgt_fails"] = demo.target_check.pass ? 0 : 1;
+}
+
+void BM_PhiToSx(benchmark::State& state) {
+  const int x = static_cast<int>(state.range(0));
+  const int y = static_cast<int>(state.range(1));
+  core::IrreducibilityDemo demo;
+  for (auto _ : state) {
+    demo = core::demo_phi_to_sx(9, 3, x, y, 7, kHorizon);
+  }
+  state.counters["src_ok"] = demo.source_legal.pass ? 1 : 0;
+  state.counters["tgt_fails"] = demo.target_check.pass ? 0 : 1;
+}
+
+void BM_OmegaToSx(benchmark::State& state) {
+  const int x = static_cast<int>(state.range(0));
+  const int z = static_cast<int>(state.range(1));
+  core::IrreducibilityDemo demo;
+  for (auto _ : state) {
+    demo = core::demo_omega_to_sx(7, 3, x, z, 9, kHorizon);
+  }
+  state.counters["src_ok"] = demo.source_legal.pass ? 1 : 0;
+  state.counters["tgt_fails"] = demo.target_check.pass ? 0 : 1;
+}
+
+void BM_OmegaToPhi(benchmark::State& state) {
+  const int y = static_cast<int>(state.range(0));
+  const int z = static_cast<int>(state.range(1));
+  core::OmegaToPhiDemo demo;
+  for (auto _ : state) {
+    demo = core::demo_omega_to_phi(8, 3, y, z, 11, kHorizon);
+  }
+  state.counters["src_ok"] = demo.source_legal.pass ? 1 : 0;
+  state.counters["eager_fails"] = demo.eager_check.pass ? 0 : 1;
+  state.counters["conservative_fails"] =
+      demo.conservative_check.pass ? 0 : 1;
+}
+
+void BM_AdditivityBound(benchmark::State& state) {
+  // Information-free detectors (x=1, y=0): Ω_z needs z >= t+1.
+  const int t = static_cast<int>(state.range(0));
+  core::TwoWheelsConfig below;
+  below.n = 2 * t + 1;
+  below.t = t;
+  below.x = 1;
+  below.y = 0;
+  below.z = t;  // one below the boundary
+  below.seed = 21;
+  below.horizon = 20'000;
+  core::TwoWheelsConfig at = below;
+  at.z = t + 1;
+  core::TwoWheelsResult rb, ra;
+  for (auto _ : state) {
+    rb = core::run_two_wheels(below);
+    ra = core::run_two_wheels(at);
+  }
+  state.counters["below_fails"] = rb.omega_check.pass ? 0 : 1;
+  state.counters["at_bound_ok"] = ra.omega_check.pass ? 1 : 0;
+  state.counters["below_lmoves"] = static_cast<double>(rb.l_move_count);
+  state.counters["at_lmoves"] = static_cast<double>(ra.l_move_count);
+}
+
+void register_all() {
+  benchmark::RegisterBenchmark("fig1irr/sx_to_phi_thm9", BM_SxToPhi)
+      ->Args({2, 1})->Args({3, 1})->Args({3, 2})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig1irr/phi_to_sx_thm10", BM_PhiToSx)
+      ->Args({2, 1})->Args({3, 1})->Args({3, 2})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig1irr/omega_to_sx_thm12", BM_OmegaToSx)
+      ->Args({2, 2})->Args({3, 3})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig1irr/omega_to_phi_thm11", BM_OmegaToPhi)
+      ->Args({1, 1})->Args({2, 2})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig1irr/additivity_bound_thm8",
+                               BM_AdditivityBound)
+      ->Args({2})->Args({3})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

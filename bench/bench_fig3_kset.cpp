@@ -1,0 +1,99 @@
+// FIG3 — The Ω_k-based k-set agreement algorithm (paper Fig 3, §3).
+//
+// Reports, per configuration (n, k, crashes, oracle stabilization):
+//   decided   — 1 iff every correct process decided,
+//   distinct  — number of distinct decided values (claim: <= k),
+//   rounds    — largest round in which a process decided,
+//   latency   — virtual time of the last decision,
+//   msgs      — total messages.
+//
+// Expected shapes: latency tracks oracle stabilization (the protocol is
+// indulgent — wrong oracles cost time, never safety); rounds collapse to
+// 1 once the oracle behaves; message count grows as n^2 per round.
+#include <benchmark/benchmark.h>
+
+#include "core/kset_agreement.h"
+
+namespace {
+
+using namespace saf;
+
+void report(benchmark::State& state, const core::KSetRunResult& res) {
+  state.counters["decided"] = res.all_correct_decided ? 1 : 0;
+  state.counters["distinct"] = res.distinct_decided;
+  state.counters["rounds"] = res.max_round;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+  state.counters["valid"] = res.validity ? 1 : 0;
+}
+
+void BM_VaryN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::KSetRunConfig cfg;
+  cfg.n = n;
+  cfg.t = (n - 1) / 2;
+  cfg.k = cfg.z = std::max(1, cfg.t / 2);
+  cfg.seed = 100 + static_cast<std::uint64_t>(n);
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+void BM_VaryK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  core::KSetRunConfig cfg;
+  cfg.n = 11;
+  cfg.t = 5;
+  cfg.k = cfg.z = k;
+  cfg.seed = 200 + static_cast<std::uint64_t>(k);
+  cfg.crashes.crash_at(1, 50).crash_at(5, 220);
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+void BM_VaryCrashes(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  core::KSetRunConfig cfg;
+  cfg.n = 11;
+  cfg.t = 5;
+  cfg.k = cfg.z = 2;
+  cfg.seed = 300 + static_cast<std::uint64_t>(f);
+  for (int i = 0; i < f; ++i) {
+    cfg.crashes.crash_at(2 * i + 1, 60 * (i + 1));
+  }
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+void BM_VaryStabilization(benchmark::State& state) {
+  const Time stab = state.range(0);
+  core::KSetRunConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.k = cfg.z = 2;
+  cfg.omega_stab = stab;
+  cfg.seed = 400 + static_cast<std::uint64_t>(stab);
+  cfg.crashes.crash_at(3, 100);
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+}  // namespace
+
+BENCHMARK(BM_VaryN)->Name("fig3/vary_n")
+    ->Arg(5)->Arg(7)->Arg(9)->Arg(11)->Arg(15)->Arg(21)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VaryK)->Name("fig3/vary_k")
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VaryCrashes)->Name("fig3/vary_crashes")
+    ->Arg(0)->Arg(1)->Arg(3)->Arg(5)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VaryStabilization)->Name("fig3/vary_omega_stab")
+    ->Arg(0)->Arg(100)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// FIG3-OE — Oracle-efficiency and zero-degradation of the Fig 3
+// algorithm (paper §3.2).
+//
+// Claims reproduced:
+//   * oracle-efficiency — with a perfect Ω_k and no crash, every process
+//     decides in round 1 (two communication steps);
+//   * zero-degradation — with a perfect Ω_k and only *initial* crashes,
+//     still round 1: past failures do not tax future runs;
+//   * contrast rows — a non-perfect oracle (late stabilization) or
+//     mid-run crashes cost extra rounds.
+//
+// Counter `rounds` is the claim: 1 for the first two rows.
+#include <benchmark/benchmark.h>
+
+#include "core/kset_agreement.h"
+
+namespace {
+
+using namespace saf;
+
+core::KSetRunConfig base(int n, int t, int k) {
+  core::KSetRunConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.k = cfg.z = k;
+  cfg.delay_min = cfg.delay_max = 5;  // lockstep: rounds are visible
+  cfg.seed = 77;
+  return cfg;
+}
+
+void report(benchmark::State& state, const core::KSetRunResult& res) {
+  state.counters["rounds"] = res.max_round;
+  state.counters["decided"] = res.all_correct_decided ? 1 : 0;
+  state.counters["distinct"] = res.distinct_decided;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+}
+
+void BM_OracleEfficient(benchmark::State& state) {
+  auto cfg = base(static_cast<int>(state.range(0)),
+                  (static_cast<int>(state.range(0)) - 1) / 2, 2);
+  cfg.perfect_oracle = true;
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+void BM_ZeroDegradation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  auto cfg = base(n, (n - 1) / 2, 2);
+  cfg.perfect_oracle = true;
+  for (int i = 0; i < f; ++i) {
+    cfg.crashes.crash_at(2 * i + 1, 0);  // initial crashes only
+  }
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+void BM_ContrastLateOracle(benchmark::State& state) {
+  auto cfg = base(9, 4, 2);
+  cfg.perfect_oracle = false;
+  cfg.omega_stab = state.range(0);
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+void BM_ContrastMidRunCrash(benchmark::State& state) {
+  auto cfg = base(9, 4, 2);
+  cfg.perfect_oracle = true;
+  // A crash *during* the first round (not initial): the n-t waits must
+  // re-form around the survivors.
+  cfg.crashes.crash_after_sends(0, 12).crash_after_sends(2, 15);
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  report(state, res);
+}
+
+}  // namespace
+
+BENCHMARK(BM_OracleEfficient)->Name("fig3oe/oracle_efficient")
+    ->Arg(5)->Arg(9)->Arg(15)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ZeroDegradation)->Name("fig3oe/zero_degradation")
+    ->Args({9, 1})->Args({9, 2})->Args({9, 4})->Args({15, 5})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ContrastLateOracle)->Name("fig3oe/contrast_late_oracle")
+    ->Arg(500)->Arg(2000)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ContrastMidRunCrash)->Name("fig3oe/contrast_midrun_crash")
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// FIG5 — The lower wheel in isolation (paper Fig 5, §4.1).
+//
+// Reports per (n, x, f, stabilization):
+//   ok       — Theorem 3 property of the repr_i outputs,
+//   witness  — time from which the representatives were stable,
+//   x_moves  — total X_MOVE traffic (including RB relays),
+//   quiesce  — time of the last X_MOVE (Corollary 1: the component is
+//              quiescent),
+//   ring     — ring length x·C(n,x) (scan-space the wheel may traverse).
+#include <benchmark/benchmark.h>
+
+#include "core/lower_wheel.h"
+#include "fd/checkers.h"
+#include "fd/suspect_oracles.h"
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace saf;
+
+struct LowerWheelOutcome {
+  fd::CheckResult check;
+  std::uint64_t x_moves = 0;
+  Time quiesce = kNeverTime;
+  std::size_t ring = 0;
+};
+
+LowerWheelOutcome run_lower_wheel(int n, int t, int x, int f, Time stab,
+                                  std::uint64_t seed) {
+  sim::SimConfig sc;
+  sc.n = n;
+  sc.t = t;
+  sc.seed = seed;
+  sc.horizon = 30'000;
+  sim::CrashPlan plan;
+  for (int i = 0; i < f; ++i) plan.crash_at(2 * i + 1, 70 * (i + 1));
+  sim::Simulator sim(sc, plan, std::make_unique<sim::UniformDelay>(1, 10));
+  fd::SuspectOracleParams sp;
+  sp.stab_time = stab;
+  sp.noise_prob = 0.05;
+  sp.seed = util::derive_seed(seed, "sx");
+  fd::LimitedScopeSuspectOracle sx(sim.pattern(), x, sp);
+  util::MemberRing ring(n, x);
+  fd::EmulatedReprStore store(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    sim.add_process(
+        std::make_unique<core::LowerWheelProcess>(i, n, t, ring, sx, store));
+  }
+  sim.run();
+  LowerWheelOutcome out;
+  out.check = fd::check_lower_wheel_property(store.traces(), sim.pattern(), x,
+                                             sc.horizon);
+  out.x_moves = sim.network().sent_with_tag("x_move");
+  out.quiesce = sim.network().last_send_time("x_move");
+  out.ring = ring.size();
+  return out;
+}
+
+void BM_LowerWheel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int x = static_cast<int>(state.range(1));
+  const int f = static_cast<int>(state.range(2));
+  const Time stab = state.range(3);
+  const int t = (n - 1) / 2;
+  LowerWheelOutcome out;
+  for (auto _ : state) {
+    out = run_lower_wheel(n, t, x, f, stab, 900 + static_cast<std::uint64_t>(
+                                                     n * 100 + x * 10 + f));
+  }
+  state.counters["ok"] = out.check.pass ? 1 : 0;
+  state.counters["witness"] = static_cast<double>(out.check.witness);
+  state.counters["x_moves"] = static_cast<double>(out.x_moves);
+  state.counters["quiesce"] = static_cast<double>(out.quiesce);
+  state.counters["ring"] = static_cast<double>(out.ring);
+}
+
+void register_all() {
+  // (n, x, f, stab)
+  const long rows[][4] = {
+      {5, 2, 0, 300}, {5, 2, 2, 300}, {7, 2, 1, 300}, {7, 3, 1, 300},
+      {7, 3, 3, 300}, {9, 3, 2, 300}, {9, 4, 2, 300}, {9, 3, 2, 2000},
+  };
+  for (const auto& r : rows) {
+    benchmark::RegisterBenchmark("fig5/lower_wheel", BM_LowerWheel)
+        ->Args({r[0], r[1], r[2], r[3]})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// FIG6 — The upper wheel (paper Fig 6, §4.2), measured through the full
+// two-wheels stack (the upper wheel consumes live repr values).
+//
+// Rows:
+//   * case B (generic): Y keeps alive members; trusted converges to the
+//     candidate set L at the synchronized position — reports l_move
+//     traffic and the convergence witness;
+//   * case A (all of Y[stable] crashed is impossible to force directly,
+//     but crashing t-y+1 processes makes fully-crashed Y positions
+//     common during the scan): reports that the wheel still stabilizes;
+//   * inquiry-period ablation (DESIGN.md §4): the steady-state cost of
+//     the non-quiescent inquiry loop vs its effect on convergence.
+#include <benchmark/benchmark.h>
+
+#include "core/two_wheels.h"
+
+namespace {
+
+using namespace saf;
+
+void report(benchmark::State& state, const core::TwoWheelsResult& res) {
+  state.counters["ok"] = res.omega_check.pass ? 1 : 0;
+  state.counters["witness"] = static_cast<double>(res.omega_check.witness);
+  state.counters["l_moves"] = static_cast<double>(res.l_move_count);
+  state.counters["inquiries"] = static_cast<double>(res.inquiry_count);
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+void BM_CaseB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const int y = static_cast<int>(state.range(2));
+  core::TwoWheelsConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.x = 2;
+  cfg.y = y;
+  cfg.seed = 600 + static_cast<std::uint64_t>(n * 10 + y);
+  cfg.crashes.crash_at(0, 120);
+  core::TwoWheelsResult res;
+  for (auto _ : state) res = core::run_two_wheels(cfg);
+  report(state, res);
+}
+
+void BM_CaseA_HeavyCrashes(benchmark::State& state) {
+  // Crash t processes: many query regions of size t-y+1 are then fully
+  // dead, exercising the query(Y)=true escape (upper wheel Case A).
+  const int y = static_cast<int>(state.range(0));
+  core::TwoWheelsConfig cfg;
+  cfg.n = 7;
+  cfg.t = 3;
+  cfg.x = 2;
+  cfg.y = y;
+  cfg.seed = 700 + static_cast<std::uint64_t>(y);
+  cfg.crashes.crash_at(0, 60).crash_at(1, 130).crash_at(2, 200);
+  core::TwoWheelsResult res;
+  for (auto _ : state) res = core::run_two_wheels(cfg);
+  report(state, res);
+}
+
+void BM_InquiryPeriodAblation(benchmark::State& state) {
+  const Time period = state.range(0);
+  core::TwoWheelsConfig cfg;
+  cfg.n = 6;
+  cfg.t = 3;
+  cfg.x = 2;
+  cfg.y = 1;
+  cfg.inquiry_period = period;
+  cfg.seed = 800;
+  cfg.crashes.crash_at(3, 100);
+  core::TwoWheelsResult res;
+  for (auto _ : state) res = core::run_two_wheels(cfg);
+  report(state, res);
+}
+
+void register_all() {
+  benchmark::RegisterBenchmark("fig6/case_b", BM_CaseB)
+      ->Args({6, 3, 1})->Args({7, 3, 1})->Args({7, 3, 2})->Args({9, 4, 2})
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig6/case_a_heavy_crashes",
+                               BM_CaseA_HeavyCrashes)
+      ->Arg(1)->Arg(2)->Arg(3)
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig6/inquiry_period_ablation",
+                               BM_InquiryPeriodAblation)
+      ->Arg(2)->Arg(8)->Arg(32)->Arg(128)
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

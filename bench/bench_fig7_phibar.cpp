@@ -1,0 +1,79 @@
+// FIG7 — The φ̄_y → Ω_z local construction (paper Appendix A).
+//
+// Reports per (n, t, y, f): ok (Ω_z axioms), witness (convergence time —
+// tracks the φ detector's detect/stabilization lag, since the adaptor is
+// purely local), queries (distinct nested sets touched — bounded by the
+// chain length n - z + 2), out_size (the eventual trusted set's size: z
+// when Y[1] holds a correct process, 1 otherwise).
+#include <benchmark/benchmark.h>
+
+#include "core/phibar_to_omega.h"
+#include "fd/checkers.h"
+#include "fd/query_oracles.h"
+
+namespace {
+
+using namespace saf;
+
+constexpr Time kHorizon = 6000;
+
+void BM_PhiBar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const int y = static_cast<int>(state.range(2));
+  const int f = static_cast<int>(state.range(3));
+  const int z = t + 1 - y;
+  sim::CrashPlan plan;
+  // Crash the low ids first: this kills Y[1] when f >= z, exercising the
+  // singleton-output branch.
+  for (int i = 0; i < f; ++i) plan.crash_at(i, 80 * (i + 1));
+  sim::FailurePattern fp(n, t, plan);
+  for (int i = 0; i < f; ++i) fp.record_crash(i, 80 * (i + 1));
+
+  fd::QueryOracleParams qp;
+  qp.stab_time = 200;
+  qp.detect_delay = 12;
+  qp.seed = 42;
+  fd::PhiOracle phi(fp, y, qp);
+
+  fd::CheckResult check;
+  std::size_t queries = 0;
+  int out_size = 0;
+  for (auto _ : state) {
+    fd::PhiBarOracle bar(phi);
+    core::PhiBarToOmega omega(bar, n, t, y, z);
+    const auto h = fd::sample_leaders(omega, n, kHorizon, 5);
+    check = fd::check_eventual_leadership(h, fp, z, kHorizon);
+    queries = bar.distinct_query_sets();
+    out_size = omega.trusted(n - 1, kHorizon).size();
+  }
+  state.counters["z"] = z;
+  state.counters["ok"] = check.pass ? 1 : 0;
+  state.counters["witness"] = static_cast<double>(check.witness);
+  state.counters["queries"] = static_cast<double>(queries);
+  state.counters["out_size"] = out_size;
+}
+
+void register_all() {
+  const long rows[][4] = {
+      // n, t, y, f
+      {8, 3, 1, 0}, {8, 3, 2, 0}, {8, 3, 3, 0},
+      {8, 3, 1, 3}, {8, 3, 2, 2}, {8, 3, 3, 3},
+      {12, 5, 2, 4}, {12, 5, 4, 5},
+  };
+  for (const auto& r : rows) {
+    benchmark::RegisterBenchmark("fig7/phibar_to_omega", BM_PhiBar)
+        ->Args({r[0], r[1], r[2], r[3]})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// ROUTES — three routes to k-set agreement, same workload, head to head:
+//
+//   native   — Fig 3 over a native Ω_k oracle,
+//   diamond_s— the ◇S-based k-coordinator baseline (observation O2's
+//              algorithm family),
+//   stacked  — the paper's reduction route: ◇S_x + ◇φ_y → Ω_k → Fig 3,
+//              all layered in-process.
+//
+// The shape the paper implies: all three are safe and live; the reduction
+// route pays a large message premium (the wheels run forever underneath)
+// while the native-oracle route is the cheapest — detector strength is
+// traded against protocol complexity, never against safety.
+#include <benchmark/benchmark.h>
+
+#include "core/kset_agreement.h"
+#include "core/kset_diamond_s.h"
+#include "core/stacked.h"
+
+namespace {
+
+using namespace saf;
+
+void BM_Native(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  core::KSetRunConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.k = cfg.z = 2;
+  cfg.seed = 71;
+  cfg.omega_stab = 200;
+  for (int i = 0; i < f; ++i) cfg.crashes.crash_at(2 * i, 60 * (i + 1));
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  state.counters["ok"] =
+      (res.all_correct_decided && res.agreement_k && res.validity) ? 1 : 0;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+void BM_DiamondS(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  core::DiamondSKSetConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.k = 2;
+  cfg.seed = 72;
+  cfg.fd_stab = 200;
+  for (int i = 0; i < f; ++i) cfg.crashes.crash_at(2 * i, 60 * (i + 1));
+  core::DiamondSKSetResult res;
+  for (auto _ : state) res = core::run_diamond_s_kset(cfg);
+  state.counters["ok"] = (res.all_correct_decided && res.validity &&
+                          res.distinct_decided <= 2)
+                             ? 1
+                             : 0;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+void BM_Stacked(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  core::StackedRunConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.x = 3;  // ◇S_3 + ◇φ_1 -> Ω_2
+  cfg.y = 1;
+  cfg.seed = 73;
+  for (int i = 0; i < f; ++i) cfg.crashes.crash_at(2 * i + 1, 60 * (i + 1));
+  core::StackedRunResult res;
+  for (auto _ : state) res = core::run_stacked_kset(cfg);
+  state.counters["ok"] = (res.all_correct_decided && res.validity &&
+                          res.distinct_decided <= res.z)
+                             ? 1
+                             : 0;
+  state.counters["latency"] = static_cast<double>(res.finish_time);
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Native)->Name("routes/native_omega_k")
+    ->Arg(0)->Arg(2)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DiamondS)->Name("routes/diamond_s_coordinators")
+    ->Arg(0)->Arg(2)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Stacked)->Name("routes/stacked_reduction")
+    ->Arg(0)->Arg(2)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

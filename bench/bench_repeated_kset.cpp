@@ -1,0 +1,70 @@
+// REPEAT — repeated k-set agreement (§3.2's motivation): M sequential
+// instances over one shared Ω_z detector.
+//
+// Rows report per-run:
+//   decided        — 1 iff every instance decided at every correct process,
+//   r0 / r_last    — rounds of the first and last instance,
+//   late_one_round — 1 iff every instance after the first ran in exactly
+//                    one round (the zero-degradation claim: crashes that
+//                    hit instance 0 do not tax instances 1..M-1),
+//   msgs           — total messages across all instances.
+#include <benchmark/benchmark.h>
+
+#include "core/repeated_kset.h"
+
+namespace {
+
+using namespace saf;
+
+void BM_Repeated(benchmark::State& state) {
+  const int instances = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  const bool perfect = state.range(2) != 0;
+  core::RepeatedKSetConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.k = cfg.z = 2;
+  cfg.instances = instances;
+  cfg.seed = 33 + static_cast<std::uint64_t>(instances * 10 + f);
+  cfg.perfect_oracle = perfect;
+  cfg.omega_stab = 300;
+  cfg.delay_min = cfg.delay_max = 5;
+  for (int i = 0; i < f; ++i) {
+    // All crashes land during instance 0.
+    cfg.crashes.crash_at(2 * i + 1, 3 + 4 * i);
+  }
+  core::RepeatedKSetResult res;
+  for (auto _ : state) res = core::run_repeated_kset(cfg);
+  state.counters["decided"] = res.all_instances_decided ? 1 : 0;
+  state.counters["r0"] = res.rounds.empty() ? 0 : res.rounds.front();
+  state.counters["r_last"] = res.rounds.empty() ? 0 : res.rounds.back();
+  bool late_one_round = true;
+  for (std::size_t m = 1; m < res.rounds.size(); ++m) {
+    late_one_round &= (res.rounds[m] == 1);
+  }
+  state.counters["late_one_round"] = late_one_round ? 1 : 0;
+  state.counters["msgs"] = static_cast<double>(res.total_messages);
+}
+
+void register_all() {
+  // (instances, crashes-in-instance-0, perfect-oracle)
+  const long rows[][3] = {
+      {5, 0, 1}, {5, 2, 1}, {5, 4, 1}, {10, 4, 1},
+      {5, 2, 0},  // contrast: late-stabilizing oracle degrades instance 0+
+  };
+  for (const auto& r : rows) {
+    benchmark::RegisterBenchmark("repeat/zero_degradation", BM_Repeated)
+        ->Args({r[0], r[1], r[2]})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// THM5 — Tightness of t < n/2 and z <= k for Ω_z-based k-set agreement
+// (paper Theorem 5).
+//
+// Rows:
+//   * z_gt_k — run the Fig 3 machinery with an Ω_z oracle whose eventual
+//     set has exactly z members carrying distinct estimates, z > k: over
+//     a seed batch the maximum number of distinct decided values exceeds
+//     k (safety breaks exactly as the bound predicts, while z <= k rows
+//     never exceed k);
+//   * majority — with t >= n/2 and t initial crashes, no majority leader
+//     set can ever form: the protocol (correctly) never terminates —
+//     termination rate 0 at the horizon; the control row with t < n/2
+//     terminates.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/kset_agreement.h"
+#include "fd/omega_oracle.h"
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace saf;
+
+/// Runs Fig 3 with a perfect Ω whose eventual set is exactly
+/// {0, 1, ..., z-1} (distinct proposals), returning distinct decisions.
+int run_with_wide_leader_set(int n, int t, int z, std::uint64_t seed) {
+  sim::SimConfig sc;
+  sc.n = n;
+  sc.t = t;
+  sc.seed = seed;
+  sc.horizon = 50'000;
+  sim::Simulator sim(sc, {}, std::make_unique<sim::UniformDelay>(1, 10));
+  fd::OmegaOracleParams op;
+  op.stab_time = 0;
+  op.anarchy_before_stab = false;
+  ProcSet wide;
+  for (ProcessId i = 0; i < z; ++i) wide.insert(i);
+  op.forced_final_set = wide;
+  fd::OmegaZOracle omega(sim.pattern(), z, op);
+  std::vector<const core::KSetProcess*> procs;
+  for (ProcessId i = 0; i < n; ++i) {
+    auto p = std::make_unique<core::KSetProcess>(i, n, t, omega, 100 + i);
+    procs.push_back(p.get());
+    sim.add_process(std::move(p));
+  }
+  sim.run_until([&] {
+    return std::all_of(procs.begin(), procs.end(), [&](const auto* p) {
+      return p->core().decided();
+    });
+  });
+  std::set<std::int64_t> values;
+  for (const auto* p : procs) {
+    if (p->core().decided()) values.insert(p->core().decision());
+  }
+  return static_cast<int>(values.size());
+}
+
+void BM_ZBound(benchmark::State& state) {
+  const int z = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  int max_distinct = 0;
+  for (auto _ : state) {
+    max_distinct = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      max_distinct =
+          std::max(max_distinct, run_with_wide_leader_set(9, 4, z, seed));
+    }
+  }
+  state.counters["z"] = z;
+  state.counters["k"] = k;
+  state.counters["max_distinct"] = max_distinct;
+  state.counters["k_violated"] = max_distinct > k ? 1 : 0;
+}
+
+void BM_MajorityBound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  core::KSetRunConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.k = cfg.z = 2;
+  cfg.seed = 99;
+  cfg.horizon = 30'000;
+  for (int i = 0; i < t; ++i) cfg.crashes.crash_at(n - 1 - i, 0);
+  core::KSetRunResult res;
+  for (auto _ : state) res = core::run_kset_agreement(cfg);
+  state.counters["terminated"] = res.all_correct_decided ? 1 : 0;
+  state.counters["distinct"] = res.distinct_decided;
+}
+
+void register_all() {
+  // z <= k rows never violate; z > k rows do.
+  benchmark::RegisterBenchmark("thm5/z_bound", BM_ZBound)
+      ->Args({2, 2})   // z == k: safe
+      ->Args({3, 2})   // z > k: violated
+      ->Args({4, 2})   // z >> k: violated harder
+      ->Args({4, 4})   // z == k again: safe
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("thm5/majority_bound", BM_MajorityBound)
+      ->Args({7, 3})   // t < n/2: terminates
+      ->Args({6, 3})   // t = n/2: stuck forever (terminated = 0)
+      ->Args({8, 4})   // t = n/2: stuck forever
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,25 @@
+# Benchmark binaries — one per paper artifact (see DESIGN.md §3).
+# Targets are defined at top level so ${CMAKE_BINARY_DIR}/bench contains
+# only the executables ("for b in build/bench/*; do $b; done" runs clean).
+
+function(saf_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    saf_core saf_fd saf_shm saf_sim saf_util benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+saf_add_bench(bench_fig1_grid)
+saf_add_bench(bench_fig1_irreducibility)
+saf_add_bench(bench_fig2_additivity)
+saf_add_bench(bench_fig3_kset)
+saf_add_bench(bench_fig3_zerodeg)
+saf_add_bench(bench_fig5_lower_wheel)
+saf_add_bench(bench_fig6_upper_wheel)
+saf_add_bench(bench_fig7_phibar)
+saf_add_bench(bench_fig8_addition)
+saf_add_bench(bench_thm5_bounds)
+saf_add_bench(bench_baseline_consensus)
+saf_add_bench(bench_repeated_kset)
+saf_add_bench(bench_kset_routes)

@@ -1,0 +1,130 @@
+#include "core/add_sx_phiy.h"
+
+#include <algorithm>
+
+#include "fd/query_oracles.h"
+#include "fd/suspect_oracles.h"
+#include "sim/delay_policy.h"
+#include "util/check.h"
+
+namespace saf::core {
+
+AdditionProcess::AdditionProcess(ProcessId id, int n, int t,
+                                 AdditionShared& shared,
+                                 const fd::SuspectOracle& sx,
+                                 const fd::QueryOracle& phi,
+                                 fd::EmulatedSuspectStore& out,
+                                 Time write_period, Time read_delay)
+    : Process(id, n, t),
+      shared_(shared),
+      sx_(sx),
+      phi_(phi),
+      out_(out),
+      write_period_(write_period),
+      read_delay_(read_delay),
+      prev_(static_cast<std::size_t>(n), 0) {
+  util::require(write_period >= 1 && read_delay >= 1,
+                "AdditionProcess: periods must be >= 1");
+}
+
+sim::ProtocolTask AdditionProcess::heartbeat_task() {
+  while (true) {
+    shared_.alive.write(id(), ++counter_);
+    shared_.suspect.write(id(), sx_.suspected(id(), now()));
+    co_await sleep_for(write_period_);
+  }
+}
+
+sim::ProtocolTask AdditionProcess::scanner_task() {
+  std::vector<std::uint64_t> fresh(static_cast<std::size_t>(n()), 0);
+  while (true) {
+    // Inner loop (lines 3-6): scan until the no-progress set X answers
+    // query(X) true. The scan is deliberately non-atomic: one virtual
+    // step per register read.
+    ProcSet live;
+    while (true) {
+      for (int j = 0; j < n(); ++j) {
+        fresh[static_cast<std::size_t>(j)] = shared_.alive.read(j);
+        co_await sleep_for(read_delay_);
+      }
+      live = ProcSet{};
+      for (int j = 0; j < n(); ++j) {
+        if (fresh[static_cast<std::size_t>(j)] >
+            prev_[static_cast<std::size_t>(j)]) {
+          live.insert(j);
+        }
+      }
+      const ProcSet x = ProcSet::full(n()) - live;
+      if (phi_.query(id(), x, now())) break;
+    }
+    // Lines 7-8: adopt, then intersect the suspicions of live processes.
+    prev_ = fresh;
+    ProcSet suspected = ProcSet::full(n());
+    for (ProcessId j : live) {
+      suspected &= shared_.suspect.read(j);
+    }
+    suspected = suspected - live;
+    out_.set(id(), now(), suspected);
+    ++scans_;
+  }
+}
+
+AdditionResult run_addition(const AdditionConfig& cfg) {
+  util::require(cfg.n >= 2 && cfg.n <= kMaxProcs, "addition: n range");
+  util::require(cfg.t >= 1 && cfg.t < cfg.n, "addition: need 1 <= t < n");
+  util::require(cfg.x >= 1 && cfg.x <= cfg.n, "addition: x range");
+  util::require(cfg.y >= 0 && cfg.y <= cfg.t, "addition: y range");
+
+  sim::SimConfig sc;
+  sc.seed = cfg.seed;
+  sc.n = cfg.n;
+  sc.t = cfg.t;
+  sc.tick_period = cfg.tick_period;
+  sc.horizon = cfg.horizon;
+  // The shared-memory algorithm exchanges no messages; the delay policy
+  // is irrelevant but the engine requires one.
+  sim::Simulator sim(sc, cfg.crashes, std::make_unique<sim::FixedDelay>(1));
+
+  fd::SuspectOracleParams sp;
+  sp.stab_time = cfg.perpetual ? 0 : cfg.stab;
+  sp.detect_delay = cfg.detect_delay;
+  sp.noise_prob = cfg.sx_noise;
+  sp.seed = util::derive_seed(cfg.seed, "sx");
+  fd::LimitedScopeSuspectOracle sx(sim.pattern(), cfg.x, sp);
+
+  fd::QueryOracleParams qp;
+  qp.stab_time = cfg.perpetual ? 0 : cfg.stab;
+  qp.detect_delay = cfg.detect_delay;
+  qp.seed = util::derive_seed(cfg.seed, "phi");
+  fd::PhiOracle phi(sim.pattern(), cfg.y, qp);
+
+  AdditionShared shared(cfg.n);
+  fd::EmulatedSuspectStore out(cfg.n);
+  std::vector<const AdditionProcess*> procs;
+  for (ProcessId i = 0; i < cfg.n; ++i) {
+    auto p = std::make_unique<AdditionProcess>(i, cfg.n, cfg.t, shared, sx,
+                                               phi, out, cfg.write_period,
+                                               cfg.read_delay);
+    procs.push_back(p.get());
+    sim.add_process(std::move(p));
+  }
+  sim.run();
+
+  AdditionResult res;
+  res.completeness =
+      fd::check_strong_completeness(out.traces(), sim.pattern(), cfg.horizon);
+  res.accuracy = fd::check_limited_scope_accuracy(
+      out.traces(), sim.pattern(), cfg.n, cfg.horizon, cfg.perpetual);
+  res.register_reads = shared.ops.reads;
+  res.register_writes = shared.ops.writes;
+  res.min_scans = UINT64_MAX;
+  for (const AdditionProcess* p : procs) {
+    if (sim.pattern().crash_time(p->id()) == kNeverTime) {
+      res.min_scans = std::min(res.min_scans, p->scans_completed());
+    }
+  }
+  if (res.min_scans == UINT64_MAX) res.min_scans = 0;
+  return res;
+}
+
+}  // namespace saf::core

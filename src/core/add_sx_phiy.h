@@ -1,0 +1,100 @@
+// Appendix B: the simple addition  S_x + φ_y → S  (and its eventual twin
+// ◇S_x + ◇φ_y → ◇S), possible iff x + y > t.
+//
+// Written, like the paper's Fig 8, in the shared-memory model (two SWMR
+// register arrays):
+//   alive[i]   — heartbeat counter, bumped forever by p_i's task T1;
+//   suspect[i] — p_i's current suspicion set from its underlying S_x.
+// Task T2 repeatedly scans alive[] until the set X of processes that made
+// no progress since the previous scan answers query(X) = true (all of X
+// crashed, or X is small enough to be trivially dead-or-irrelevant); the
+// complement `live` then drives
+//   SUSPECTED_i = (∩_{j ∈ live} suspect[j]) \ live.
+// Intersecting over live processes launders the limited scope away: with
+// x + y > t, at least one member of the accuracy scope is in `live`, so
+// the safe process is removed from the intersection — full-scope (weak)
+// accuracy. Completeness survives the intersection because every live
+// process eventually suspects every crashed one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fd/checkers.h"
+#include "fd/emulated.h"
+#include "fd/oracle.h"
+#include "shm/registers.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace saf::core {
+
+/// Shared state of one addition run (the two register arrays).
+struct AdditionShared {
+  AdditionShared(int n)
+      : alive(n, 0, &ops), suspect(n, ProcSet{}, &ops) {}
+  shm::OpCounter ops;
+  shm::SwmrArray<std::uint64_t> alive;
+  shm::SwmrArray<ProcSet> suspect;
+};
+
+class AdditionProcess final : public sim::Process {
+ public:
+  AdditionProcess(ProcessId id, int n, int t, AdditionShared& shared,
+                  const fd::SuspectOracle& sx, const fd::QueryOracle& phi,
+                  fd::EmulatedSuspectStore& out, Time write_period,
+                  Time read_delay);
+
+  void boot() override {
+    spawn(heartbeat_task());
+    spawn(scanner_task());
+  }
+
+  std::uint64_t scans_completed() const { return scans_; }
+
+ private:
+  sim::ProtocolTask heartbeat_task();  // task T1
+  sim::ProtocolTask scanner_task();    // task T2
+
+  AdditionShared& shared_;
+  const fd::SuspectOracle& sx_;
+  const fd::QueryOracle& phi_;
+  fd::EmulatedSuspectStore& out_;
+  Time write_period_;
+  Time read_delay_;
+  std::vector<std::uint64_t> prev_;
+  std::uint64_t counter_ = 0;
+  std::uint64_t scans_ = 0;
+};
+
+struct AdditionConfig {
+  int n = 7;
+  int t = 3;
+  int x = 2;
+  int y = 2;  ///< needs x + y > t for the S property to emerge
+  bool perpetual = false;  ///< true: S_x + φ_y; false: ◇S_x + ◇φ_y
+  std::uint64_t seed = 1;
+  Time stab = 300;          ///< oracle stabilization (eventual variant)
+  Time detect_delay = 15;
+  double sx_noise = 0.05;
+  Time horizon = 30'000;
+  Time tick_period = 5;
+  Time write_period = 4;    ///< heartbeat cadence
+  Time read_delay = 2;      ///< per-register-read step delay (non-atomic scan)
+  sim::CrashPlan crashes;
+};
+
+struct AdditionResult {
+  fd::CheckResult completeness;
+  /// Full-scope (x = n) accuracy of the constructed SUSPECTED sets;
+  /// perpetual iff the config was perpetual.
+  fd::CheckResult accuracy;
+  std::uint64_t register_reads = 0;
+  std::uint64_t register_writes = 0;
+  std::uint64_t min_scans = 0;  ///< slowest correct process's scan count
+};
+
+AdditionResult run_addition(const AdditionConfig& cfg);
+
+}  // namespace saf::core

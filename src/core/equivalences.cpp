@@ -1,0 +1,28 @@
+#include "core/equivalences.h"
+
+#include "util/check.h"
+
+namespace saf::core {
+
+PerfectFromPhiT::PerfectFromPhiT(const fd::QueryOracle& phi_t, int n, int t)
+    : phi_(phi_t), n_(n) {
+  util::require(t >= 1, "PerfectFromPhiT: requires t >= 1");
+}
+
+ProcSet PerfectFromPhiT::suspected(ProcessId i, Time now) const {
+  ProcSet out;
+  for (ProcessId j = 0; j < n_; ++j) {
+    if (j == i) continue;
+    if (phi_.query(i, ProcSet{j}, now)) out.insert(j);
+  }
+  return out;
+}
+
+bool SuspicionBackedPhi::query(ProcessId i, ProcSet x, Time now) const {
+  const int size = x.size();
+  if (size <= t_ - y_) return true;
+  if (size > t_) return false;
+  return x.subset_of(suspects_.suspected(i, now));
+}
+
+}  // namespace saf::core

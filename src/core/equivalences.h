@@ -1,0 +1,52 @@
+// Class equivalences at the top of the grid (paper §2.2):
+//
+//   φ_t  ≡  P      and      ◇φ_t  ≡  ◇P
+//
+// in any system with at most t crashes. Both directions are local oracle
+// adaptors:
+//
+//   * PerfectFromPhiT — with y = t every non-empty set of size <= t is an
+//     informative query, in particular singletons: suspect j exactly when
+//     query({j}) answers true. φ safety gives strong accuracy, φ liveness
+//     gives strong completeness.
+//
+//   * SuspicionBackedPhi — answer query(X) for informative sizes by
+//     X ⊆ suspected_i (trivial sizes by the class rule). When the backing
+//     suspicion lists are (eventually) perfect this satisfies (◇)φ_y for
+//     every y; when they are merely ◇S_x it is exactly the natural doomed
+//     candidate of Theorem 9 (see core/irreducibility.h) — the same code
+//     is a reduction or a counterexample depending only on the strength
+//     of its source, which is the paper's point.
+#pragma once
+
+#include "fd/oracle.h"
+
+namespace saf::core {
+
+class PerfectFromPhiT : public fd::SuspectOracle {
+ public:
+  /// `phi_t` must belong to (◇)φ_t — i.e. singleton queries must be
+  /// informative, which requires y = t and t >= 1.
+  PerfectFromPhiT(const fd::QueryOracle& phi_t, int n, int t);
+
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+ private:
+  const fd::QueryOracle& phi_;
+  int n_;
+};
+
+class SuspicionBackedPhi : public fd::QueryOracle {
+ public:
+  SuspicionBackedPhi(const fd::SuspectOracle& suspects, int t, int y)
+      : suspects_(suspects), t_(t), y_(y) {}
+
+  bool query(ProcessId i, ProcSet x, Time now) const override;
+
+ private:
+  const fd::SuspectOracle& suspects_;
+  int t_;
+  int y_;
+};
+
+}  // namespace saf::core

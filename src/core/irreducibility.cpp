@@ -1,0 +1,190 @@
+#include "core/irreducibility.h"
+
+#include "fd/omega_oracle.h"
+#include "fd/query_oracles.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace saf::core {
+
+namespace {
+
+/// A pattern with the given crashes already stamped (these demos are
+/// oracle-level: no event simulation is needed, only histories).
+sim::FailurePattern stamped_pattern(
+    int n, int t, const std::vector<std::pair<ProcessId, Time>>& crashes) {
+  sim::CrashPlan plan;
+  for (auto [pid, at] : crashes) plan.crash_at(pid, at);
+  sim::FailurePattern fp(n, t, plan);
+  for (auto [pid, at] : crashes) fp.record_crash(pid, at);
+  return fp;
+}
+
+constexpr Time kSampleStep = 5;
+
+}  // namespace
+
+AdversarialSx::AdversarialSx(const sim::FailurePattern& pattern, int x,
+                             Time stab_time, std::uint64_t seed)
+    : pattern_(pattern), stab_time_(stab_time) {
+  util::require(x >= 1 && x <= pattern.n(), "AdversarialSx: x range");
+  const ProcSet correct = pattern.planned_correct();
+  util::require(!correct.empty(), "AdversarialSx: no correct process");
+  util::Rng rng(util::derive_seed(seed, "adv_sx"));
+  const auto ids = correct.to_vector();
+  safe_leader_ = ids[rng.index(ids.size())];
+  ProcSet others = ProcSet::full(pattern.n());
+  others.erase(safe_leader_);
+  scope_ = rng.subset(others, x - 1);
+  scope_.insert(safe_leader_);
+}
+
+ProcSet AdversarialSx::suspected(ProcessId i, Time now) const {
+  if (pattern_.crashed_by(i, now)) return {};
+  ProcSet out = ProcSet::full(pattern_.n());
+  out.erase(i);
+  if (now >= stab_time_ && scope_.contains(i)) {
+    out.erase(safe_leader_);
+  }
+  return out;
+}
+
+NaiveSuspectsFromPhi::NaiveSuspectsFromPhi(const fd::QueryOracle& phi, int n,
+                                           int t, int y)
+    : phi_(phi) {
+  const int region_size = t - y + 1;
+  util::require(region_size >= 1 && region_size <= n,
+                "NaiveSuspectsFromPhi: bad region size");
+  // Cover the universe with informative-size regions, padding the last
+  // with the first processes.
+  for (int start = 0; start < n; start += region_size) {
+    ProcSet region;
+    for (int k = 0; k < region_size; ++k) {
+      region.insert((start + k) % n);
+    }
+    regions_.push_back(region);
+  }
+}
+
+ProcSet NaiveSuspectsFromPhi::suspected(ProcessId i, Time now) const {
+  ProcSet out;
+  for (const ProcSet& region : regions_) {
+    if (phi_.query(i, region, now)) out |= region;
+  }
+  return out;
+}
+
+IrreducibilityDemo demo_sx_to_phi(int n, int t, int x, int y,
+                                  std::uint64_t seed, Time horizon) {
+  util::require(y >= 1 && y <= t - 1, "demo_sx_to_phi: need 1 <= y <= t-1");
+  // No crashes at all: the adversarial S_x history is then exactly the
+  // proofs' run R' — a region looks dead to the suspicion lists although
+  // every process is alive.
+  auto fp = stamped_pattern(n, t, {});
+  AdversarialSx sx(fp, x, /*stab_time=*/0, seed);
+  IrreducibilityDemo demo;
+  const auto h = fd::sample_suspects(sx, n, horizon, kSampleStep);
+  demo.source_legal = fd::check_strong_completeness(h, fp, horizon);
+  demo.source_legal2 =
+      fd::check_limited_scope_accuracy(h, fp, x, horizon, /*perpetual=*/true);
+  NaivePhiFromSuspects naive(sx, t, y);
+  demo.target_check = fd::check_phi_properties(
+      naive, fp, y, horizon, kSampleStep, /*perpetual=*/false, seed);
+  demo.description =
+      "S_x -> phi_y via 'region crashed iff fully suspected': eventual "
+      "safety fails on alive regions that stay suspected forever";
+  return demo;
+}
+
+IrreducibilityDemo demo_phi_to_sx(int n, int t, int x, int y,
+                                  std::uint64_t seed, Time horizon) {
+  util::require(x >= 2, "demo_phi_to_sx: completeness trivially holds at x=1? "
+                        "use x >= 2");
+  util::require(y <= t - 1, "demo_phi_to_sx: need region size >= 2");
+  // Crash a single process inside a region that keeps an alive member:
+  // region queries never flip to true, so the crash stays invisible.
+  auto fp = stamped_pattern(n, t, {{1, horizon / 10}});
+  fd::QueryOracleParams qp;
+  qp.detect_delay = 10;
+  qp.seed = seed;
+  fd::PhiOracle phi(fp, y, qp);
+  IrreducibilityDemo demo;
+  demo.source_legal = fd::check_phi_properties(
+      phi, fp, y, horizon, kSampleStep, /*perpetual=*/true, seed);
+  demo.source_legal2 = demo.source_legal;
+  NaiveSuspectsFromPhi naive(phi, n, t, y);
+  const auto h = fd::sample_suspects(naive, n, horizon, kSampleStep);
+  demo.target_check = fd::check_strong_completeness(h, fp, horizon);
+  demo.description =
+      "phi_y -> S_x via region blame: an individual crash inside a live "
+      "region is invisible, so Strong Completeness fails";
+  return demo;
+}
+
+bool NaivePhiFromOmega::query(ProcessId i, ProcSet x, Time now) const {
+  const int size = x.size();
+  if (size <= t_ - y_) return true;
+  if (size > t_) return false;
+  if (mode_ == Mode::kConservative) return false;
+  return !x.intersects(omega_.trusted(i, now));
+}
+
+OmegaToPhiDemo demo_omega_to_phi(int n, int t, int y, int z,
+                                 std::uint64_t seed, Time horizon) {
+  util::require(y >= 1 && y <= t - 1, "demo_omega_to_phi: need 1 <= y <= t-1");
+  // Crash a full informative-size region (t-y+1 processes, the smallest
+  // size the liveness axiom speaks about) so the conservative emulation
+  // has a dead region it must — and will not — report; alive processes
+  // outside the leader set expose the eager emulation's safety failure.
+  const int region = t - y + 1;
+  util::require(region + 1 < n, "demo_omega_to_phi: n too small");
+  std::vector<std::pair<ProcessId, Time>> crashes;
+  for (int i = 0; i < region; ++i) {
+    crashes.push_back({n - 1 - i, horizon / 10 + 20 * i});
+  }
+  auto fp = stamped_pattern(n, t, crashes);
+  fd::OmegaOracleParams op;
+  op.stab_time = 0;
+  op.seed = seed;
+  op.forced_final_set = ProcSet{0};
+  fd::OmegaZOracle omega(fp, z, op);
+  OmegaToPhiDemo demo;
+  const auto lh = fd::sample_leaders(omega, n, horizon, kSampleStep);
+  demo.source_legal = fd::check_eventual_leadership(lh, fp, z, horizon);
+  NaivePhiFromOmega eager(omega, t, y, NaivePhiFromOmega::Mode::kEager);
+  demo.eager_check = fd::check_phi_properties(eager, fp, y, horizon,
+                                              kSampleStep, false, seed);
+  NaivePhiFromOmega conservative(omega, t, y,
+                                 NaivePhiFromOmega::Mode::kConservative);
+  demo.conservative_check = fd::check_phi_properties(
+      conservative, fp, y, horizon, kSampleStep, false, seed);
+  return demo;
+}
+
+IrreducibilityDemo demo_omega_to_sx(int n, int t, int /*x*/, int z,
+                                    std::uint64_t seed, Time horizon) {
+  util::require(z >= 2, "demo_omega_to_sx: need z >= 2 to mix in a faulty "
+                        "member");
+  // A faulty process that the (legal) Ω_z keeps in its eventual set.
+  const ProcessId faulty = n - 1;
+  auto fp = stamped_pattern(n, t, {{faulty, horizon / 10}});
+  fd::OmegaOracleParams op;
+  op.stab_time = 0;
+  op.seed = seed;
+  op.forced_final_set = ProcSet{0, faulty};  // p0 is correct
+  fd::OmegaZOracle omega(fp, z, op);
+  IrreducibilityDemo demo;
+  const auto lh = fd::sample_leaders(omega, n, horizon, kSampleStep);
+  demo.source_legal = fd::check_eventual_leadership(lh, fp, z, horizon);
+  demo.source_legal2 = demo.source_legal;
+  NaiveSuspectsFromOmega naive(omega, n);
+  const auto sh = fd::sample_suspects(naive, n, horizon, kSampleStep);
+  demo.target_check = fd::check_strong_completeness(sh, fp, horizon);
+  demo.description =
+      "Omega_z -> S_x via 'suspect the untrusted': a faulty member of the "
+      "eventual leader set is never suspected, so Strong Completeness "
+      "fails";
+  return demo;
+}
+
+}  // namespace saf::core

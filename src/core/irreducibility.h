@@ -1,0 +1,164 @@
+// Executable demonstrations of the grid's dotted (irreducibility) arrows
+// (paper §5, Theorems 9-12) and of the additivity lower bound
+// x + y + z >= t + 2 (Theorem 8).
+//
+// Irreducibility theorems assert that NO transformation algorithm exists;
+// that cannot be "run". What can be run, faithfully to the proofs, is:
+//
+//  1. The *witness detector histories* the proofs build: a legal S_x
+//     detector that maximally suspects (the proofs' run R'), a legal Ω_z
+//     whose eventual set mixes in faulty processes, a legal φ_y driven
+//     only by region sizes (observation O1).
+//
+//  2. The *natural candidate transformations* a practitioner would try —
+//     each checked against its target class axioms and observed to fail
+//     on those witnesses:
+//        ◇S_x → ◇φ_y : query(X) := X ⊆ suspected_i     (Theorem 9)
+//        φ_y → ◇S_x  : suspect j when j's region dies   (Theorem 10)
+//        Ω_z → ◇S_x  : suspected := Π \ trusted          (Theorem 12)
+//
+//  3. The additivity boundary: the two-wheels machinery run with
+//     z < t + 2 - x - y fails the Ω_z check (Theorem 8 necessity /
+//     Corollary 4 optimality).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/equivalences.h"
+#include "fd/checkers.h"
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+
+namespace saf::core {
+
+/// A maximally-suspecting yet *legal* S_x / ◇S_x detector: every process
+/// suspects every other alive-or-dead process at all times, except that
+/// scope members never suspect the safe leader (from stab_time on). This
+/// is the adversarial history at the heart of the proofs' runs R / R'.
+class AdversarialSx : public fd::SuspectOracle {
+ public:
+  AdversarialSx(const sim::FailurePattern& pattern, int x, Time stab_time,
+                std::uint64_t seed);
+
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+  ProcessId safe_leader() const { return safe_leader_; }
+  ProcSet scope() const { return scope_; }
+
+ private:
+  const sim::FailurePattern& pattern_;
+  Time stab_time_;
+  ProcessId safe_leader_;
+  ProcSet scope_;
+};
+
+/// The natural (and doomed) candidate ◇S_x → ◇φ_y transformation:
+/// answer region queries from the suspicion list (trivial sizes by the
+/// class rule, informative sizes by X ⊆ suspected_i). This is the very
+/// same adaptor that is a *correct* reduction when its source is
+/// (eventually) perfect — core/equivalences.h — and it fails precisely
+/// because ◇S_x suspicion lists may stay wrong forever.
+using NaivePhiFromSuspects = SuspicionBackedPhi;
+
+/// The natural (and doomed) candidate φ_y → ◇S_x transformation:
+/// partition the universe into regions of size t-y+1 (padding the last
+/// with the first processes) and suspect every member of a region whose
+/// query answers true. Observation O1: φ only speaks about whole
+/// regions, so an individual crash inside a live region stays invisible
+/// and Strong Completeness fails.
+class NaiveSuspectsFromPhi : public fd::SuspectOracle {
+ public:
+  NaiveSuspectsFromPhi(const fd::QueryOracle& phi, int n, int t, int y);
+
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+  const std::vector<ProcSet>& regions() const { return regions_; }
+
+ private:
+  const fd::QueryOracle& phi_;
+  std::vector<ProcSet> regions_;
+};
+
+/// The natural (and doomed) candidate Ω_z → ◇φ_y transformations
+/// (Theorem 11). Ω carries no completeness information at all, so an
+/// emulation must guess on informative-size regions; both defensible
+/// guesses violate an axiom:
+///   * eager       — query(X) := X ∩ trusted_i = ∅ ("everything outside
+///     my leaders is dead"): violates eventual safety on alive regions
+///     disjoint from the leader set;
+///   * conservative — query(X) := false for every informative X:
+///     violates liveness once a region actually dies.
+class NaivePhiFromOmega : public fd::QueryOracle {
+ public:
+  enum class Mode { kEager, kConservative };
+
+  NaivePhiFromOmega(const fd::LeaderOracle& omega, int t, int y, Mode mode)
+      : omega_(omega), t_(t), y_(y), mode_(mode) {}
+
+  bool query(ProcessId i, ProcSet x, Time now) const override;
+
+ private:
+  const fd::LeaderOracle& omega_;
+  int t_;
+  int y_;
+  Mode mode_;
+};
+
+/// The natural (and doomed) candidate Ω_z → ◇S_x transformation:
+/// suspected_i := Π \ trusted_i. When the eventual leader set mixes in a
+/// faulty process (legal for Ω_z), that process is never suspected and
+/// Strong Completeness fails.
+class NaiveSuspectsFromOmega : public fd::SuspectOracle {
+ public:
+  NaiveSuspectsFromOmega(const fd::LeaderOracle& omega, int n)
+      : omega_(omega), n_(n) {}
+
+  ProcSet suspected(ProcessId i, Time now) const override {
+    return ProcSet::full(n_) - omega_.trusted(i, now);
+  }
+
+ private:
+  const fd::LeaderOracle& omega_;
+  int n_;
+};
+
+// ---------------------------------------------------------------------
+// Packaged demonstrations (used by tests and bench_fig1_irreducibility).
+// ---------------------------------------------------------------------
+
+struct IrreducibilityDemo {
+  /// The source detector verified to satisfy its own class axioms
+  /// (the witness history is legal)...
+  fd::CheckResult source_legal;
+  fd::CheckResult source_legal2;  ///< second axiom where applicable
+  /// ...while the naive target emulation violates the target class.
+  fd::CheckResult target_check;   ///< expected: pass == false
+  std::string description;
+};
+
+/// Theorem 9 witness: S_x cannot yield ◇φ_y (1 <= x <= n, 1 <= y < t).
+IrreducibilityDemo demo_sx_to_phi(int n, int t, int x, int y,
+                                  std::uint64_t seed, Time horizon);
+
+/// Theorem 10 witness: φ_y cannot yield ◇S_x (x >= 2).
+IrreducibilityDemo demo_phi_to_sx(int n, int t, int x, int y,
+                                  std::uint64_t seed, Time horizon);
+
+/// Theorem 12 witness: Ω_z cannot yield ◇S_x.
+IrreducibilityDemo demo_omega_to_sx(int n, int t, int x, int z,
+                                    std::uint64_t seed, Time horizon);
+
+/// Theorem 11 witness: Ω_z cannot yield ◇φ_y. Runs BOTH naive candidates
+/// against the same legal Ω_z history; target_check is the eager mode's
+/// (fails eventual safety), target_check2 the conservative mode's (fails
+/// liveness).
+struct OmegaToPhiDemo {
+  fd::CheckResult source_legal;
+  fd::CheckResult eager_check;         ///< expected: pass == false
+  fd::CheckResult conservative_check;  ///< expected: pass == false
+};
+OmegaToPhiDemo demo_omega_to_phi(int n, int t, int y, int z,
+                                 std::uint64_t seed, Time horizon);
+
+}  // namespace saf::core

@@ -1,0 +1,201 @@
+#include "core/kset_agreement.h"
+
+#include "sim/network.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fd/omega_oracle.h"
+#include "sim/delay_policy.h"
+#include "util/check.h"
+
+namespace saf::core {
+
+KSetCore::KSetCore(sim::Process& host, const fd::LeaderOracle& omega,
+                   std::int64_t proposal, int instance)
+    : host_(host), omega_(omega), est_(proposal), instance_(instance) {
+  util::require(proposal != kNoValue, "KSetCore: proposal must not be bottom");
+}
+
+int KSetCore::count_phase1(int r) const {
+  auto it = phase1_.find(r);
+  return it == phase1_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+bool KSetCore::phase1_from(int r, ProcSet l) const {
+  auto it = phase1_.find(r);
+  if (it == phase1_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [l](const Phase1Msg& m) { return l.contains(m.sender); });
+}
+
+std::optional<ProcSet> KSetCore::majority_leader_set(int r) const {
+  auto it = phase1_.find(r);
+  if (it == phase1_.end()) return std::nullopt;
+  std::map<std::uint64_t, int> counts;
+  for (const Phase1Msg& m : it->second) ++counts[m.leaders.mask()];
+  for (const auto& [mask, count] : counts) {
+    if (2 * count > host_.n()) return ProcSet(mask);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> KSetCore::estimate_from(int r, ProcSet l) const {
+  auto it = phase1_.find(r);
+  if (it == phase1_.end()) return std::nullopt;
+  for (const Phase1Msg& m : it->second) {
+    if (l.contains(m.sender)) return m.est;
+  }
+  return std::nullopt;
+}
+
+sim::ProtocolTask KSetCore::main() {
+  const int n = host_.n();
+  const int t = host_.t();
+  while (!decided_) {
+    ++round_;
+    const int r = round_;
+    // ----- Phase 1 (lines 3-8): anchor at most |L| estimates.
+    const ProcSet leaders = omega_.trusted(host_.id(), host_.now());
+    host_.broadcast_msg(Phase1Msg{r, leaders, est_, instance_});
+    co_await host_.until([this, r, leaders, n, t] {
+      if (decided_) return true;
+      if (count_phase1(r) < n - t) return false;
+      if (phase1_from(r, leaders)) return true;
+      return omega_.trusted(host_.id(), host_.now()) != leaders;
+    });
+    if (decided_) break;
+    std::int64_t aux = kNoValue;
+    if (auto maj = majority_leader_set(r)) {
+      if (auto v = estimate_from(r, *maj)) aux = *v;
+    }
+    // ----- Phase 2 (lines 9-14): commit / adopt.
+    host_.broadcast_msg(Phase2Msg{r, aux, instance_});
+    co_await host_.until([this, r, n, t] {
+      auto it = phase2_.find(r);
+      return decided_ ||
+             (it != phase2_.end() &&
+              static_cast<int>(it->second.size()) >= n - t);
+    });
+    if (decided_) break;
+    bool saw_bottom = false;
+    std::int64_t adopt = kNoValue;
+    for (const Phase2Msg& m : phase2_[r]) {
+      if (m.aux == kNoValue) {
+        saw_bottom = true;
+      } else {
+        adopt = m.aux;
+      }
+    }
+    if (adopt != kNoValue) est_ = adopt;
+    if (!saw_bottom) {
+      // Decide: task T2 completes the decision on R-delivery.
+      host_.rbroadcast_msg(DecisionMsg{est_, instance_});
+      co_await host_.until([this] { return decided_; });
+      break;
+    }
+  }
+}
+
+bool KSetCore::on_message(const sim::Message& m) {
+  if (const auto* p1 = dynamic_cast<const Phase1Msg*>(&m)) {
+    if (p1->instance != instance_) return false;
+    phase1_[p1->round].push_back(*p1);
+    return true;
+  }
+  if (const auto* p2 = dynamic_cast<const Phase2Msg*>(&m)) {
+    if (p2->instance != instance_) return false;
+    phase2_[p2->round].push_back(*p2);
+    return true;
+  }
+  return false;
+}
+
+bool KSetCore::on_rdeliver(const sim::Message& m) {
+  const auto* d = dynamic_cast<const DecisionMsg*>(&m);
+  if (d == nullptr || d->instance != instance_) return false;
+  if (!decided_) {
+    decided_ = true;
+    decision_ = d->value;
+    decision_time_ = host_.now();
+    decision_round_ = round_;
+  }
+  return true;
+}
+
+KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
+  util::require(cfg.n >= 2 && cfg.n <= kMaxProcs, "run_kset: n out of range");
+  util::require(cfg.t >= 1 && cfg.t < cfg.n, "run_kset: need 1 <= t < n");
+  util::require(cfg.z >= 1 && cfg.z <= cfg.n, "run_kset: need 1 <= z <= n");
+  std::vector<std::int64_t> proposals = cfg.proposals;
+  if (proposals.empty()) {
+    for (int i = 0; i < cfg.n; ++i) proposals.push_back(100 + i);
+  }
+  util::require(static_cast<int>(proposals.size()) == cfg.n,
+                "run_kset: proposals size mismatch");
+
+  sim::SimConfig sc;
+  sc.seed = cfg.seed;
+  sc.n = cfg.n;
+  sc.t = cfg.t;
+  sc.tick_period = cfg.tick_period;
+  sc.horizon = cfg.horizon;
+  std::unique_ptr<sim::DelayPolicy> delays;
+  if (cfg.delay_min == cfg.delay_max) {
+    delays = std::make_unique<sim::FixedDelay>(cfg.delay_min);
+  } else {
+    delays = std::make_unique<sim::UniformDelay>(cfg.delay_min, cfg.delay_max);
+  }
+  sim::Simulator sim(sc, cfg.crashes, std::move(delays));
+
+  fd::OmegaOracleParams op;
+  op.stab_time = cfg.perfect_oracle ? 0 : cfg.omega_stab;
+  op.anarchy_before_stab = !cfg.perfect_oracle;
+  op.seed = util::derive_seed(cfg.seed, "omega");
+  fd::OmegaZOracle omega(sim.pattern(), cfg.z, op);
+
+  std::vector<const KSetProcess*> procs;
+  for (ProcessId i = 0; i < cfg.n; ++i) {
+    auto p = std::make_unique<KSetProcess>(i, cfg.n, cfg.t, omega,
+                                           proposals[static_cast<std::size_t>(i)]);
+    procs.push_back(p.get());
+    sim.add_process(std::move(p));
+  }
+
+  sim.run_until([&] {
+    for (const KSetProcess* p : procs) {
+      if (!sim.is_crashed(p->id()) && !p->core().decided()) return false;
+    }
+    return true;
+  });
+
+  KSetRunResult res;
+  res.decisions.assign(static_cast<std::size_t>(cfg.n), kNoValue);
+  res.decision_times.assign(static_cast<std::size_t>(cfg.n), kNeverTime);
+  res.decision_rounds.assign(static_cast<std::size_t>(cfg.n), 0);
+  std::set<std::int64_t> values;
+  res.all_correct_decided = true;
+  res.validity = true;
+  const std::set<std::int64_t> proposed(proposals.begin(), proposals.end());
+  for (const KSetProcess* p : procs) {
+    const auto i = static_cast<std::size_t>(p->id());
+    const bool correct = sim.pattern().crash_time(p->id()) == kNeverTime;
+    if (p->core().decided()) {
+      res.decisions[i] = p->core().decision();
+      res.decision_times[i] = p->core().decision_time();
+      res.decision_rounds[i] = p->core().decision_round();
+      res.max_round = std::max(res.max_round, p->core().decision_round());
+      res.finish_time = std::max(res.finish_time, p->core().decision_time());
+      values.insert(p->core().decision());
+      if (proposed.count(p->core().decision()) == 0) res.validity = false;
+    } else if (correct) {
+      res.all_correct_decided = false;
+    }
+  }
+  res.distinct_decided = static_cast<int>(values.size());
+  res.agreement_k = res.distinct_decided <= cfg.k;
+  res.total_messages = sim.network().total_sent();
+  return res;
+}
+
+}  // namespace saf::core

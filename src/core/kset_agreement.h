@@ -1,0 +1,162 @@
+// Ω_k-based k-set agreement (paper Fig 3, §3).
+//
+// Each process proposes a value; every correct process decides such that
+//   Validity    — decided values were proposed,
+//   Agreement   — at most k distinct values are decided,
+//   Termination — every correct process decides,
+// assuming t < n/2 and an underlying failure detector of class Ω_z with
+// z <= k (both bounds are tight — Theorem 5; bench_thm5_bounds exercises
+// the violations).
+//
+// The protocol proceeds in asynchronous rounds of two phases. Phase 1
+// anchors at most |L| <= k non-bottom estimates per round via a majority
+// leader set; phase 2 is a commit/adopt exchange: decide when no bottom
+// is seen among n-t phase-2 values, adopt any non-bottom value otherwise.
+// Decisions are disseminated by reliable broadcast (task T2), so one
+// decision implies all correct processes decide.
+//
+// The algorithm is oracle-efficient and zero-degrading (§3.2): with a
+// perfect Ω_k (same output from time 0) and only initial crashes, every
+// correct process decides in the first round.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fd/oracle.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace saf::core {
+
+/// The paper's bottom value.
+inline constexpr std::int64_t kNoValue = INT64_MIN;
+
+struct Phase1Msg final : sim::Message {
+  Phase1Msg(int r, ProcSet l, std::int64_t e, int inst = 0)
+      : round(r), leaders(l), est(e), instance(inst) {}
+  std::string_view tag() const override { return "phase1"; }
+  int round;
+  ProcSet leaders;  ///< L_i — the sender's leader set this round
+  std::int64_t est;
+  int instance;  ///< repeated-agreement instance (0 for one-shot use)
+};
+
+struct Phase2Msg final : sim::Message {
+  Phase2Msg(int r, std::int64_t a, int inst = 0)
+      : round(r), aux(a), instance(inst) {}
+  std::string_view tag() const override { return "phase2"; }
+  int round;
+  std::int64_t aux;  ///< kNoValue encodes bottom
+  int instance;
+};
+
+struct DecisionMsg final : sim::Message {
+  explicit DecisionMsg(std::int64_t v, int inst = 0)
+      : value(v), instance(inst) {}
+  std::string_view tag() const override { return "decision"; }
+  std::int64_t value;
+  int instance;
+};
+
+/// The protocol logic, embeddable in any Process (so it can be stacked on
+/// top of a transformation emulating its Ω_z oracle — the paper's
+/// reduction methodology).
+class KSetCore {
+ public:
+  /// `instance` tags this core's messages so several sequential (or even
+  /// concurrent) agreement instances can share one process; each core
+  /// only consumes traffic carrying its own instance id.
+  KSetCore(sim::Process& host, const fd::LeaderOracle& omega,
+           std::int64_t proposal, int instance = 0);
+
+  /// The main task (paper task T1). Spawn from the host's boot().
+  sim::ProtocolTask main();
+
+  /// Returns true if the message was consumed (phase1/phase2 traffic).
+  bool on_message(const sim::Message& m);
+  /// Returns true if the message was consumed (decision dissemination).
+  bool on_rdeliver(const sim::Message& m);
+
+  bool decided() const { return decided_; }
+  std::int64_t decision() const { return decision_; }
+  Time decision_time() const { return decision_time_; }
+  /// Round the host was in when it decided (1-based).
+  int decision_round() const { return decision_round_; }
+  int rounds_started() const { return round_; }
+
+ private:
+  int count_phase1(int r) const;
+  bool phase1_from(int r, ProcSet l) const;
+  std::optional<ProcSet> majority_leader_set(int r) const;
+  std::optional<std::int64_t> estimate_from(int r, ProcSet l) const;
+
+  sim::Process& host_;
+  const fd::LeaderOracle& omega_;
+  std::int64_t est_;
+  int instance_;
+  int round_ = 0;
+  std::map<int, std::vector<Phase1Msg>> phase1_;
+  std::map<int, std::vector<Phase2Msg>> phase2_;
+  bool decided_ = false;
+  std::int64_t decision_ = kNoValue;
+  Time decision_time_ = kNeverTime;
+  int decision_round_ = 0;
+};
+
+/// A self-contained process running only the k-set agreement protocol.
+class KSetProcess final : public sim::Process {
+ public:
+  KSetProcess(ProcessId id, int n, int t, const fd::LeaderOracle& omega,
+              std::int64_t proposal)
+      : Process(id, n, t), core_(*this, omega, proposal) {}
+
+  void boot() override { spawn(core_.main()); }
+  void on_message(const sim::Message& m) override { core_.on_message(m); }
+  void on_rdeliver(const sim::Message& m) override { core_.on_rdeliver(m); }
+
+  const KSetCore& core() const { return core_; }
+
+ private:
+  KSetCore core_;
+};
+
+// ---------------------------------------------------------------------
+// Run harness
+// ---------------------------------------------------------------------
+
+struct KSetRunConfig {
+  int n = 7;
+  int t = 3;
+  int k = 2;  ///< agreement bound to check against
+  int z = 2;  ///< Ω_z class index of the oracle (z <= k for correctness)
+  std::uint64_t seed = 1;
+  Time omega_stab = 200;   ///< oracle stabilization time
+  bool perfect_oracle = false;  ///< Ω output fixed from time 0 (§3.2)
+  Time horizon = 100'000;
+  Time tick_period = 5;
+  Time delay_min = 1;
+  Time delay_max = 10;
+  /// Value proposed by process i; defaults to 100 + i when empty.
+  std::vector<std::int64_t> proposals;
+  sim::CrashPlan crashes;
+};
+
+struct KSetRunResult {
+  bool all_correct_decided = false;
+  std::vector<std::int64_t> decisions;   ///< kNoValue if undecided
+  std::vector<Time> decision_times;      ///< kNeverTime if undecided
+  std::vector<int> decision_rounds;      ///< 0 if undecided
+  int distinct_decided = 0;
+  int max_round = 0;          ///< max round started by any decided process
+  Time finish_time = kNeverTime;  ///< when the last correct process decided
+  std::uint64_t total_messages = 0;
+  bool validity = false;      ///< every decision was proposed
+  bool agreement_k = false;   ///< distinct_decided <= k
+};
+
+KSetRunResult run_kset_agreement(const KSetRunConfig& cfg);
+
+}  // namespace saf::core

@@ -1,0 +1,42 @@
+#include "core/phibar_to_omega.h"
+
+#include "util/check.h"
+
+namespace saf::core {
+
+PhiBarToOmega::PhiBarToOmega(const fd::QueryOracle& phi_bar, int n, int t,
+                             int y, int z, ProcSet first_set)
+    : phi_(phi_bar), n_(n), z_(z) {
+  util::require(n >= 1 && n <= kMaxProcs, "PhiBarToOmega: n range");
+  util::require(z >= 1 && z <= n, "PhiBarToOmega: need 1 <= z <= n");
+  util::require(y + z >= t + 1, "PhiBarToOmega: requires y + z >= t + 1");
+  if (first_set.empty()) {
+    for (ProcessId p = 0; p < z; ++p) first_set.insert(p);
+  }
+  util::require(first_set.size() == z,
+                "PhiBarToOmega: |Y[1]| must equal z");
+  chain_.push_back(ProcSet{});  // Y[0] = ∅
+  chain_.push_back(first_set);
+  ProcSet cur = first_set;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!cur.contains(p)) {
+      cur.insert(p);
+      chain_.push_back(cur);
+    }
+  }
+  SAF_CHECK(chain_.back() == ProcSet::full(n));
+}
+
+ProcSet PhiBarToOmega::trusted(ProcessId i, Time now) const {
+  for (std::size_t j = 1; j < chain_.size(); ++j) {
+    if (!phi_.query(i, chain_[j], now)) {
+      return chain_[j] - chain_[j - 1];
+    }
+  }
+  // query(Π) answers false by triviality (|Π| = n > t), so we cannot get
+  // here with a law-abiding oracle.
+  SAF_CHECK_MSG(false, "PhiBarToOmega: query(full set) returned true");
+  return {};
+}
+
+}  // namespace saf::core

@@ -1,0 +1,47 @@
+// Appendix A: a simple construction from φ̄_y to Ω_z when y + z >= t + 1.
+//
+// A chain of nested sets, known to all processes, is fixed up front:
+//   Y[0] = ∅,  |Y[1]| = z,  Y[j+1] = Y[j] ∪ {one more process},
+//   Y[n-z+1] = Π.
+// All queried sets are nested, so the φ̄ containment obligation is met.
+// trusted_i = Y[k] \ Y[k-1] where k = min{ j : ¬query(Y[j]) }:
+//   * every set before the first one containing a correct process is
+//     entirely crashed, so its query settles to true (liveness);
+//   * the first set Y[m] with a correct member settles to false (safety
+//     when |Y[m]| <= t, triviality when |Y[m]| > t);
+// hence trusted converges to Y[1] (if it holds a correct process) or to
+// the singleton process whose addition introduced correctness —
+// eventually common, of size <= z, containing a correct process: Ω_z.
+//
+// The construction is purely local (no messages): it is an oracle
+// adaptor, not a protocol.
+#pragma once
+
+#include <vector>
+
+#include "fd/oracle.h"
+
+namespace saf::core {
+
+class PhiBarToOmega : public fd::LeaderOracle {
+ public:
+  /// Requires y + z >= t + 1 (so |Y[1]| = z is an informative query size)
+  /// and 1 <= z <= n. `first_set` is Y[1]; pass an empty set for the
+  /// default {0, ..., z-1}.
+  PhiBarToOmega(const fd::QueryOracle& phi_bar, int n, int t, int y, int z,
+                ProcSet first_set = {});
+
+  ProcSet trusted(ProcessId i, Time now) const override;
+
+  /// The nested query chain Y[0..n-z+1].
+  const std::vector<ProcSet>& chain() const { return chain_; }
+  int z() const { return z_; }
+
+ private:
+  const fd::QueryOracle& phi_;
+  int n_;
+  int z_;
+  std::vector<ProcSet> chain_;
+};
+
+}  // namespace saf::core

@@ -1,0 +1,123 @@
+#include "core/repeated_kset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fd/omega_oracle.h"
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace saf::core {
+
+RepeatedKSetProcess::RepeatedKSetProcess(ProcessId id, int n, int t,
+                                         const fd::LeaderOracle& omega,
+                                         int instances,
+                                         std::int64_t proposal_base)
+    : Process(id, n, t) {
+  util::require(instances >= 1, "RepeatedKSet: need at least one instance");
+  cores_.reserve(static_cast<std::size_t>(instances));
+  for (int m = 0; m < instances; ++m) {
+    // Distinct per-(instance, process) proposals make cross-instance
+    // value leaks detectable by the validity check.
+    cores_.push_back(std::make_unique<KSetCore>(
+        *this, omega, proposal_base + m * 1000 + id, /*instance=*/m));
+  }
+}
+
+sim::ProtocolTask RepeatedKSetProcess::driver() {
+  for (auto& core : cores_) {
+    spawn(core->main());
+    KSetCore* c = core.get();
+    co_await until([c] { return c->decided(); });
+  }
+}
+
+void RepeatedKSetProcess::on_message(const sim::Message& m) {
+  for (auto& core : cores_) {
+    if (core->on_message(m)) return;
+  }
+}
+
+void RepeatedKSetProcess::on_rdeliver(const sim::Message& m) {
+  for (auto& core : cores_) {
+    if (core->on_rdeliver(m)) return;
+  }
+}
+
+int RepeatedKSetProcess::decided_instances() const {
+  int count = 0;
+  for (const auto& core : cores_) {
+    if (core->decided()) ++count;
+  }
+  return count;
+}
+
+RepeatedKSetResult run_repeated_kset(const RepeatedKSetConfig& cfg) {
+  util::require(cfg.n >= 2 && cfg.n <= kMaxProcs, "repeated: n range");
+  util::require(cfg.t >= 1 && 2 * cfg.t < cfg.n, "repeated: requires t < n/2");
+  util::require(cfg.z >= 1 && cfg.z <= cfg.k, "repeated: need 1 <= z <= k");
+  util::require(cfg.instances >= 1, "repeated: instances >= 1");
+
+  sim::SimConfig sc;
+  sc.seed = cfg.seed;
+  sc.n = cfg.n;
+  sc.t = cfg.t;
+  sc.horizon = cfg.horizon;
+  std::unique_ptr<sim::DelayPolicy> delays;
+  if (cfg.delay_min == cfg.delay_max) {
+    delays = std::make_unique<sim::FixedDelay>(cfg.delay_min);
+  } else {
+    delays = std::make_unique<sim::UniformDelay>(cfg.delay_min, cfg.delay_max);
+  }
+  sim::Simulator sim(sc, cfg.crashes, std::move(delays));
+
+  fd::OmegaOracleParams op;
+  op.stab_time = cfg.perfect_oracle ? 0 : cfg.omega_stab;
+  op.anarchy_before_stab = !cfg.perfect_oracle;
+  op.seed = util::derive_seed(cfg.seed, "omega");
+  fd::OmegaZOracle omega(sim.pattern(), cfg.z, op);
+
+  std::vector<const RepeatedKSetProcess*> procs;
+  for (ProcessId i = 0; i < cfg.n; ++i) {
+    auto p = std::make_unique<RepeatedKSetProcess>(
+        i, cfg.n, cfg.t, omega, cfg.instances, /*proposal_base=*/100);
+    procs.push_back(p.get());
+    sim.add_process(std::move(p));
+  }
+  sim.run_until([&] {
+    return std::all_of(procs.begin(), procs.end(), [&](const auto* p) {
+      return sim.is_crashed(p->id()) ||
+             p->decided_instances() == cfg.instances;
+    });
+  });
+
+  RepeatedKSetResult res;
+  res.rounds.assign(static_cast<std::size_t>(cfg.instances), 0);
+  res.distinct.assign(static_cast<std::size_t>(cfg.instances), 0);
+  res.finish_times.assign(static_cast<std::size_t>(cfg.instances),
+                          kNeverTime);
+  res.all_instances_decided = true;
+  for (int m = 0; m < cfg.instances; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    std::set<std::int64_t> values;
+    for (const auto* p : procs) {
+      const bool correct = sim.pattern().crash_time(p->id()) == kNeverTime;
+      const KSetCore& core = p->core(m);
+      if (core.decided()) {
+        values.insert(core.decision());
+        res.rounds[mi] = std::max(res.rounds[mi], core.decision_round());
+        res.finish_times[mi] =
+            std::max(res.finish_times[mi], core.decision_time());
+      } else if (correct) {
+        res.all_instances_decided = false;
+      }
+    }
+    res.distinct[mi] = static_cast<int>(values.size());
+  }
+  res.total_messages = sim.network().total_sent();
+  return res;
+}
+
+}  // namespace saf::core

@@ -1,0 +1,75 @@
+// Repeated k-set agreement: M sequential instances of the Fig 3
+// protocol sharing one process and one Ω_z failure detector.
+//
+// This is the workload §3.2 motivates zero-degradation with: "it means
+// that future executions do not suffer from past process failures as
+// soon as the failure detector behaves perfectly". With a perfect Ω_k,
+// an instance started after every crash has occurred decides in one
+// round regardless of how many processes died in earlier instances —
+// the per-instance round counts returned here make that measurable.
+//
+// Instances are pipelined by decision: a process starts instance m as
+// soon as it decides instance m-1; messages carry the instance id, so
+// processes in different instances never confuse traffic (early-arriving
+// messages buffer inside the target instance's core).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/kset_agreement.h"
+
+namespace saf::core {
+
+class RepeatedKSetProcess final : public sim::Process {
+ public:
+  RepeatedKSetProcess(ProcessId id, int n, int t,
+                      const fd::LeaderOracle& omega, int instances,
+                      std::int64_t proposal_base);
+
+  void boot() override { spawn(driver()); }
+  void on_message(const sim::Message& m) override;
+  void on_rdeliver(const sim::Message& m) override;
+
+  /// Number of instances this process has decided so far.
+  int decided_instances() const;
+  const KSetCore& core(int instance) const {
+    return *cores_[static_cast<std::size_t>(instance)];
+  }
+  int instances() const { return static_cast<int>(cores_.size()); }
+
+ private:
+  sim::ProtocolTask driver();
+
+  std::vector<std::unique_ptr<KSetCore>> cores_;
+};
+
+struct RepeatedKSetConfig {
+  int n = 7;
+  int t = 3;
+  int k = 2;
+  int z = 2;
+  int instances = 5;
+  std::uint64_t seed = 1;
+  bool perfect_oracle = true;
+  Time omega_stab = 0;
+  Time horizon = 200'000;
+  Time delay_min = 1;
+  Time delay_max = 10;
+  sim::CrashPlan crashes;
+};
+
+struct RepeatedKSetResult {
+  bool all_instances_decided = false;
+  /// Per instance: max round among deciders, distinct decided values,
+  /// time of the last decision.
+  std::vector<int> rounds;
+  std::vector<int> distinct;
+  std::vector<Time> finish_times;
+  std::uint64_t total_messages = 0;
+};
+
+RepeatedKSetResult run_repeated_kset(const RepeatedKSetConfig& cfg);
+
+}  // namespace saf::core

@@ -1,0 +1,108 @@
+#include "core/stacked.h"
+
+#include <set>
+
+#include "fd/query_oracles.h"
+#include "fd/suspect_oracles.h"
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+#include "util/check.h"
+
+namespace saf::core {
+
+StackedRunResult run_stacked_kset(const StackedRunConfig& cfg) {
+  util::require(cfg.n >= 2 && cfg.n <= kMaxProcs, "stacked: n range");
+  util::require(cfg.t >= 1 && 2 * cfg.t < cfg.n, "stacked: requires t < n/2");
+  util::require(cfg.x >= 1 && cfg.x <= cfg.n, "stacked: x range");
+  util::require(cfg.y >= 0 && cfg.y <= cfg.t, "stacked: y range");
+  const int z = cfg.t + 2 - cfg.x - cfg.y;
+  util::require(z >= 1, "stacked: need x + y <= t + 1");
+  const int outer = cfg.t - cfg.y + 1;
+  util::require(z <= outer && outer <= cfg.n, "stacked: query-set sizing");
+
+  std::vector<std::int64_t> proposals = cfg.proposals;
+  if (proposals.empty()) {
+    for (int i = 0; i < cfg.n; ++i) proposals.push_back(100 + i);
+  }
+  util::require(static_cast<int>(proposals.size()) == cfg.n,
+                "stacked: proposals size mismatch");
+
+  sim::SimConfig sc;
+  sc.seed = cfg.seed;
+  sc.n = cfg.n;
+  sc.t = cfg.t;
+  sc.tick_period = cfg.tick_period;
+  sc.horizon = cfg.horizon;
+  std::unique_ptr<sim::DelayPolicy> delays;
+  if (cfg.delay_min == cfg.delay_max) {
+    delays = std::make_unique<sim::FixedDelay>(cfg.delay_min);
+  } else {
+    delays = std::make_unique<sim::UniformDelay>(cfg.delay_min, cfg.delay_max);
+  }
+  sim::Simulator sim(sc, cfg.crashes, std::move(delays));
+
+  fd::SuspectOracleParams sp;
+  sp.stab_time = cfg.sx_stab;
+  sp.detect_delay = cfg.detect_delay;
+  sp.noise_prob = cfg.sx_noise;
+  sp.seed = util::derive_seed(cfg.seed, "sx");
+  fd::LimitedScopeSuspectOracle sx(sim.pattern(), cfg.x, sp);
+
+  std::unique_ptr<fd::QueryOracle> phi;
+  if (cfg.y == 0) {
+    phi = std::make_unique<fd::TrivialPhi0>(cfg.t);
+  } else {
+    fd::QueryOracleParams qp;
+    qp.stab_time = cfg.phi_stab;
+    qp.detect_delay = cfg.detect_delay;
+    qp.seed = util::derive_seed(cfg.seed, "phi");
+    phi = std::make_unique<fd::PhiOracle>(sim.pattern(), cfg.y, qp);
+  }
+
+  util::MemberRing xring(cfg.n, cfg.x);
+  util::SubsetPairRing lring(cfg.n, outer, z);
+  fd::EmulatedReprStore repr_store(cfg.n);
+  fd::EmulatedLeaderStore leader_store(cfg.n);
+
+  std::vector<const StackedProcess*> procs;
+  for (ProcessId i = 0; i < cfg.n; ++i) {
+    auto p = std::make_unique<StackedProcess>(
+        i, cfg.n, cfg.t, xring, lring, sx, *phi, repr_store, leader_store,
+        proposals[static_cast<std::size_t>(i)], cfg.inquiry_period);
+    procs.push_back(p.get());
+    sim.add_process(std::move(p));
+  }
+  sim.run_until([&] {
+    for (const auto* p : procs) {
+      if (!sim.is_crashed(p->id()) && !p->kset().decided()) return false;
+    }
+    return true;
+  });
+  // The agreement layer has decided; keep the wheels running to the
+  // horizon so the emulated-Ω axioms can be checked over a full history.
+  sim.run();
+
+  StackedRunResult res;
+  res.z = z;
+  res.all_correct_decided = true;
+  res.validity = true;
+  std::set<std::int64_t> values;
+  const std::set<std::int64_t> proposed(proposals.begin(), proposals.end());
+  for (const auto* p : procs) {
+    const bool correct = sim.pattern().crash_time(p->id()) == kNeverTime;
+    if (p->kset().decided()) {
+      values.insert(p->kset().decision());
+      res.finish_time = std::max(res.finish_time, p->kset().decision_time());
+      if (proposed.count(p->kset().decision()) == 0) res.validity = false;
+    } else if (correct) {
+      res.all_correct_decided = false;
+    }
+  }
+  res.distinct_decided = static_cast<int>(values.size());
+  res.total_messages = sim.network().total_sent();
+  res.omega_check = fd::check_eventual_leadership(leader_store.traces(),
+                                                  sim.pattern(), z, sim.now());
+  return res;
+}
+
+}  // namespace saf::core

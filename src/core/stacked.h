@@ -1,0 +1,80 @@
+// End-to-end composition: ◇S_x + ◇φ_y → Ω_z → z-set agreement, all
+// layered inside the same processes and the same run.
+//
+// This executes the paper's motivating example (§1): with t = x, y = 1,
+// the class ◇S_t solves only 2-set agreement and ◇φ_1 only t-set
+// agreement, yet their addition yields Ω_1 — consensus. Each process
+// runs three concurrent tasks: the lower wheel (tick-driven), the upper
+// wheel (coroutine), and the Fig 3 agreement protocol whose Ω oracle is
+// the *live output* of the upper wheel (the emulated leader store).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kset_agreement.h"
+#include "core/two_wheels.h"
+
+namespace saf::core {
+
+class StackedProcess final : public TwoWheelsProcess {
+ public:
+  StackedProcess(ProcessId id, int n, int t, const util::MemberRing& xring,
+                 const util::SubsetPairRing& lring,
+                 const fd::SuspectOracle& sx, const fd::QueryOracle& phi,
+                 fd::EmulatedReprStore& repr_store,
+                 fd::EmulatedLeaderStore& leader_store, std::int64_t proposal,
+                 Time inquiry_period = 8)
+      : TwoWheelsProcess(id, n, t, xring, lring, sx, phi, repr_store,
+                         leader_store, inquiry_period),
+        kset_(*this, leader_store, proposal) {}
+
+  void boot() override {
+    TwoWheelsProcess::boot();
+    spawn(kset_.main());
+  }
+  void on_message(const sim::Message& m) override {
+    if (!kset_.on_message(m)) TwoWheelsProcess::on_message(m);
+  }
+  void on_rdeliver(const sim::Message& m) override {
+    if (!kset_.on_rdeliver(m)) TwoWheelsProcess::on_rdeliver(m);
+  }
+
+  const KSetCore& kset() const { return kset_; }
+
+ private:
+  KSetCore kset_;
+};
+
+struct StackedRunConfig {
+  int n = 6;
+  int t = 3;
+  int x = 3;  ///< ◇S_x scope
+  int y = 1;  ///< ◇φ_y index
+  std::uint64_t seed = 1;
+  Time sx_stab = 300;
+  Time phi_stab = 300;
+  Time detect_delay = 15;
+  double sx_noise = 0.05;
+  Time horizon = 60'000;
+  Time tick_period = 5;
+  Time delay_min = 1;
+  Time delay_max = 10;
+  Time inquiry_period = 8;
+  std::vector<std::int64_t> proposals;  ///< default 100 + i
+  sim::CrashPlan crashes;
+};
+
+struct StackedRunResult {
+  int z = 0;  ///< the agreement degree achieved: z = t + 2 - x - y
+  bool all_correct_decided = false;
+  bool validity = false;
+  int distinct_decided = 0;
+  Time finish_time = kNeverTime;
+  std::uint64_t total_messages = 0;
+  fd::CheckResult omega_check;  ///< the emulated Ω_z axioms, post-run
+};
+
+StackedRunResult run_stacked_kset(const StackedRunConfig& cfg);
+
+}  // namespace saf::core

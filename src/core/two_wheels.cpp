@@ -1,0 +1,89 @@
+#include "core/two_wheels.h"
+
+#include "sim/network.h"
+
+#include "fd/query_oracles.h"
+#include "fd/suspect_oracles.h"
+#include "sim/delay_policy.h"
+#include "util/check.h"
+
+namespace saf::core {
+
+TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
+  util::require(cfg.n >= 2 && cfg.n <= kMaxProcs, "two_wheels: n range");
+  util::require(cfg.t >= 1 && cfg.t < cfg.n, "two_wheels: need 1 <= t < n");
+  util::require(cfg.x >= 1 && cfg.x <= cfg.n, "two_wheels: need 1 <= x <= n");
+  util::require(cfg.y >= 0 && cfg.y <= cfg.t, "two_wheels: need 0 <= y <= t");
+  const int z = cfg.z.value_or(cfg.t + 2 - cfg.x - cfg.y);
+  util::require(z >= 1, "two_wheels: z must be >= 1");
+  const int outer = cfg.t - cfg.y + 1;
+  util::require(outer >= 1 && outer <= cfg.n,
+                "two_wheels: query sets Y need 1 <= t-y+1 <= n");
+  util::require(z <= outer, "two_wheels: need z <= |Y| = t-y+1");
+
+  sim::SimConfig sc;
+  sc.seed = cfg.seed;
+  sc.n = cfg.n;
+  sc.t = cfg.t;
+  sc.tick_period = cfg.tick_period;
+  sc.horizon = cfg.horizon;
+  std::unique_ptr<sim::DelayPolicy> delays;
+  if (cfg.delay_min == cfg.delay_max) {
+    delays = std::make_unique<sim::FixedDelay>(cfg.delay_min);
+  } else {
+    delays = std::make_unique<sim::UniformDelay>(cfg.delay_min, cfg.delay_max);
+  }
+  sim::Simulator sim(sc, cfg.crashes, std::move(delays));
+
+  fd::SuspectOracleParams sp;
+  sp.stab_time = cfg.sx_stab;
+  sp.detect_delay = cfg.detect_delay;
+  sp.noise_prob = cfg.sx_noise;
+  sp.seed = util::derive_seed(cfg.seed, "sx");
+  fd::LimitedScopeSuspectOracle sx(sim.pattern(), cfg.x, sp);
+
+  std::unique_ptr<fd::QueryOracle> phi;
+  if (cfg.y == 0) {
+    phi = std::make_unique<fd::TrivialPhi0>(cfg.t);
+  } else {
+    fd::QueryOracleParams qp;
+    qp.stab_time = cfg.phi_stab;
+    qp.detect_delay = cfg.detect_delay;
+    qp.seed = util::derive_seed(cfg.seed, "phi");
+    phi = std::make_unique<fd::PhiOracle>(sim.pattern(), cfg.y, qp);
+  }
+
+  util::MemberRing xring(cfg.n, cfg.x);
+  util::SubsetPairRing lring(cfg.n, outer, z);
+  fd::EmulatedReprStore repr_store(cfg.n);
+  fd::EmulatedLeaderStore leader_store(cfg.n);
+
+  for (ProcessId i = 0; i < cfg.n; ++i) {
+    sim.add_process(std::make_unique<TwoWheelsProcess>(
+        i, cfg.n, cfg.t, xring, lring, sx, *phi, repr_store, leader_store,
+        cfg.inquiry_period));
+  }
+  sim.run();
+
+  TwoWheelsResult res;
+  res.z = z;
+  res.repr_check = fd::check_lower_wheel_property(
+      repr_store.traces(), sim.pattern(), cfg.x, cfg.horizon);
+  res.omega_check = fd::check_eventual_leadership(
+      leader_store.traces(), sim.pattern(), z, cfg.horizon);
+  res.x_move_count = sim.network().sent_with_tag("x_move");
+  res.last_x_move = sim.network().last_send_time("x_move");
+  res.l_move_count = sim.network().sent_with_tag("l_move");
+  res.last_l_move = sim.network().last_send_time("l_move");
+  res.inquiry_count = sim.network().sent_with_tag("inquiry");
+  res.total_messages = sim.network().total_sent();
+  const ProcSet correct = sim.pattern().correct_at_end(cfg.horizon);
+  if (!correct.empty()) {
+    res.final_trusted = leader_store.get(correct.min());
+  }
+  res.repr_history = repr_store.traces();
+  res.trusted_history = leader_store.traces();
+  return res;
+}
+
+}  // namespace saf::core

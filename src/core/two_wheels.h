@@ -1,0 +1,106 @@
+// The two-wheels addition algorithm (paper §4):  ◇S_x + ◇φ_y  →  Ω_z,
+// possible iff x + y + z >= t + 2 (Theorem 8; the construction realizes
+// the boundary z = t + 2 - x - y).
+//
+// Each process stacks the lower wheel (Fig 5, driven by ◇S_x, producing
+// repr_i) under the upper wheel (Fig 6, driven by ◇φ_y + responses that
+// carry repr values, producing trusted_i). The emitted trusted_i sets
+// constitute a detector of class Ω_z, verified post-run by
+// fd::check_eventual_leadership.
+//
+// With y = 0 the φ oracle is the information-free TrivialPhi0 and the
+// construction degenerates to the pure reduction ◇S_x → Ω_{t+2-x}
+// (Corollary 7, and §4.3's simplification); with x = 1 the ◇S oracle is
+// information-free and it degenerates to ◇φ_y → Ω_{t+1-y} (Corollary 6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/lower_wheel.h"
+#include "core/upper_wheel.h"
+#include "fd/checkers.h"
+#include "fd/emulated.h"
+#include "sim/simulator.h"
+
+namespace saf::core {
+
+/// A process running both wheels. The emulated Ω_z output lands in the
+/// shared EmulatedLeaderStore; consumer tasks may be stacked on top by
+/// subclassing and extending boot().
+class TwoWheelsProcess : public sim::Process {
+ public:
+  TwoWheelsProcess(ProcessId id, int n, int t, const util::MemberRing& xring,
+                   const util::SubsetPairRing& lring,
+                   const fd::SuspectOracle& sx, const fd::QueryOracle& phi,
+                   fd::EmulatedReprStore& repr_store,
+                   fd::EmulatedLeaderStore& leader_store,
+                   Time inquiry_period = 8)
+      : Process(id, n, t),
+        lower_(*this, xring, sx, repr_store),
+        upper_(*this, lring, phi, [this] { return lower_.repr(); },
+               leader_store, inquiry_period) {}
+
+  void boot() override { spawn(upper_.main()); }
+  void on_tick() override {
+    lower_.tick();
+    upper_.tick();
+  }
+  void on_message(const sim::Message& m) override { upper_.on_message(m); }
+  void on_rdeliver(const sim::Message& m) override {
+    if (!lower_.on_rdeliver(m)) upper_.on_rdeliver(m);
+  }
+
+  const LowerWheelComponent& lower() const { return lower_; }
+  const UpperWheelComponent& upper() const { return upper_; }
+
+ protected:
+  LowerWheelComponent lower_;
+  UpperWheelComponent upper_;
+};
+
+struct TwoWheelsConfig {
+  int n = 7;
+  int t = 3;
+  int x = 2;  ///< ◇S_x scope
+  int y = 1;  ///< ◇φ_y class index (0 = information-free φ)
+  /// Ω class index to build and check; default (nullopt) is the optimal
+  /// z = t + 2 - x - y. Setting it lower runs the machinery beyond its
+  /// proven boundary (used by the irreducibility demonstrations).
+  std::optional<int> z;
+  std::uint64_t seed = 1;
+  Time sx_stab = 300;
+  Time phi_stab = 300;
+  Time detect_delay = 15;
+  double sx_noise = 0.05;
+  Time horizon = 30'000;
+  Time tick_period = 5;
+  Time delay_min = 1;
+  Time delay_max = 10;
+  Time inquiry_period = 8;
+  sim::CrashPlan crashes;
+};
+
+struct TwoWheelsResult {
+  int z = 0;  ///< the class index actually used
+  fd::CheckResult repr_check;   ///< Theorem 3 property of the lower wheel
+  fd::CheckResult omega_check;  ///< Ω_z property of the emitted trusted_i
+  std::uint64_t x_move_count = 0;
+  Time last_x_move = kNeverTime;  ///< quiescence witness (Cor 1)
+  std::uint64_t l_move_count = 0;
+  Time last_l_move = kNeverTime;
+  std::uint64_t inquiry_count = 0;
+  std::uint64_t total_messages = 0;
+  /// Final emulated Ω set of the lowest-id correct process.
+  ProcSet final_trusted;
+  /// Full histories of the run (repr_i and trusted_i step traces per
+  /// process), for export / custom analysis (fd/export.h).
+  fd::ReprHistory repr_history;
+  fd::SetHistory trusted_history;
+};
+
+/// Runs the construction to the horizon and checks both wheel guarantees.
+TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg);
+
+}  // namespace saf::core

@@ -1,0 +1,410 @@
+#include "fd/checkers.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+#include "util/rng.h"
+
+namespace saf::fd {
+
+namespace {
+
+CheckResult fail(std::string detail) {
+  return CheckResult{false, kNeverTime, std::move(detail)};
+}
+
+CheckResult pass(Time witness) { return CheckResult{true, witness, ""}; }
+
+/// Eventual properties must hold over a non-trivial suffix of the run:
+/// a witness in the last (1 - kStabilityFraction) of the horizon means
+/// the history was still churning when the run was cut off, and "holds
+/// from tau to horizon" is vacuous. (See DESIGN.md §4.)
+constexpr double kStabilityFraction = 0.9;
+
+CheckResult pass_if_stable(Time witness, Time horizon) {
+  const Time latest =
+      static_cast<Time>(kStabilityFraction * static_cast<double>(horizon));
+  if (witness > latest) {
+    std::ostringstream os;
+    os << "eventual property only held from " << witness
+       << ", too close to the horizon " << horizon
+       << " to count as stabilized";
+    return fail(os.str());
+  }
+  return pass(witness);
+}
+
+}  // namespace
+
+SetHistory sample_suspects(const SuspectOracle& oracle, int n, Time horizon,
+                           Time step) {
+  SAF_CHECK(step >= 1);
+  SetHistory h(static_cast<std::size_t>(n));
+  for (ProcessId i = 0; i < n; ++i) {
+    for (Time tau = 0; tau <= horizon; tau += step) {
+      h[static_cast<std::size_t>(i)].record(tau, oracle.suspected(i, tau));
+    }
+  }
+  return h;
+}
+
+SetHistory sample_leaders(const LeaderOracle& oracle, int n, Time horizon,
+                          Time step) {
+  SAF_CHECK(step >= 1);
+  SetHistory h(static_cast<std::size_t>(n));
+  for (ProcessId i = 0; i < n; ++i) {
+    for (Time tau = 0; tau <= horizon; tau += step) {
+      h[static_cast<std::size_t>(i)].record(tau, oracle.trusted(i, tau));
+    }
+  }
+  return h;
+}
+
+Time suspect_free_from(const util::StepTrace<ProcSet>& trace, ProcessId l,
+                       Time crash_time, Time horizon) {
+  const Time alive_end =
+      crash_time == kNeverTime ? horizon + 1 : std::min(crash_time, horizon + 1);
+  Time tau = 0;
+  auto consider = [&](Time start, Time end, const ProcSet& v) {
+    const Time e = std::min(end, alive_end);
+    if (start >= e) return;
+    if (v.contains(l)) tau = std::max(tau, e);
+  };
+  const auto& steps = trace.steps();
+  Time prev_start = 0;
+  const ProcSet* prev_val = &trace.initial();
+  for (const auto& s : steps) {
+    consider(prev_start, s.time, *prev_val);
+    prev_start = s.time;
+    prev_val = &s.value;
+  }
+  consider(prev_start, horizon + 1, *prev_val);
+  return tau > horizon ? kNeverTime : tau;
+}
+
+CheckResult check_strong_completeness(const SetHistory& suspected,
+                                      const sim::FailurePattern& pattern,
+                                      Time horizon) {
+  const int n = pattern.n();
+  SAF_CHECK(static_cast<int>(suspected.size()) == n);
+  Time witness = 0;
+  for (ProcessId q = 0; q < n; ++q) {
+    if (pattern.crash_time(q) == kNeverTime) continue;  // q is correct
+    for (ProcessId i = 0; i < n; ++i) {
+      if (pattern.crash_time(i) != kNeverTime) continue;  // only correct i
+      const Time tau = util::stable_since(
+          suspected[static_cast<std::size_t>(i)],
+          [q](const ProcSet& s) { return s.contains(q); });
+      if (tau == kNeverTime) {
+        std::ostringstream os;
+        os << "completeness: correct p" << i
+           << " does not permanently suspect crashed p" << q;
+        return fail(os.str());
+      }
+      witness = std::max(witness, tau);
+    }
+  }
+  return pass_if_stable(witness, horizon);
+}
+
+CheckResult check_limited_scope_accuracy(const SetHistory& suspected,
+                                         const sim::FailurePattern& pattern,
+                                         int x, Time horizon, bool perpetual) {
+  const int n = pattern.n();
+  SAF_CHECK(static_cast<int>(suspected.size()) == n);
+  util::require(x >= 1 && x <= n, "accuracy check: bad x");
+  const ProcSet correct = pattern.correct_at_end(horizon);
+  Time best = kNeverTime;
+  for (ProcessId l : correct) {
+    // tau_i: time from which process i no longer suspects l (or crashed).
+    const Time tau_l = suspect_free_from(suspected[static_cast<std::size_t>(l)],
+                                         l, pattern.crash_time(l), horizon);
+    if (tau_l == kNeverTime) continue;
+    std::vector<Time> taus;
+    for (ProcessId i = 0; i < n; ++i) {
+      if (i == l) continue;
+      const Time tau = suspect_free_from(
+          suspected[static_cast<std::size_t>(i)], l, pattern.crash_time(i),
+          horizon);
+      if (tau != kNeverTime) taus.push_back(tau);
+    }
+    if (static_cast<int>(taus.size()) + 1 < x) continue;
+    std::sort(taus.begin(), taus.end());
+    Time witness = tau_l;
+    for (int k = 0; k < x - 1; ++k) {
+      witness = std::max(witness, taus[static_cast<std::size_t>(k)]);
+    }
+    if (perpetual && witness != 0) continue;
+    if (best == kNeverTime || witness < best) best = witness;
+  }
+  if (best == kNeverTime) {
+    std::ostringstream os;
+    os << "accuracy: no correct process is "
+       << (perpetual ? "perpetually " : "eventually ")
+       << "unsuspected by a scope of " << x << " processes";
+    return fail(os.str());
+  }
+  return pass_if_stable(best, horizon);
+}
+
+CheckResult check_eventual_leadership(const SetHistory& trusted,
+                                      const sim::FailurePattern& pattern,
+                                      int z, Time horizon) {
+  const int n = pattern.n();
+  SAF_CHECK(static_cast<int>(trusted.size()) == n);
+  // Size bound: |trusted_i| <= z at every instant while alive.
+  for (ProcessId i = 0; i < n; ++i) {
+    const auto& tr = trusted[static_cast<std::size_t>(i)];
+    const Time crash = pattern.crash_time(i);
+    auto oversize = [&](Time at, const ProcSet& v) {
+      return (crash == kNeverTime || at < crash) && v.size() > z;
+    };
+    if (oversize(0, tr.initial())) {
+      return fail("leadership: initial trusted set larger than z");
+    }
+    for (const auto& s : tr.steps()) {
+      if (oversize(s.time, s.value)) {
+        std::ostringstream os;
+        os << "leadership: p" << i << " output " << s.value.to_string()
+           << " of size > z=" << z << " at time " << s.time;
+        return fail(os.str());
+      }
+    }
+  }
+  const ProcSet correct = pattern.correct_at_end(horizon);
+  if (correct.empty()) return fail("leadership: no correct process in run");
+  const ProcessId ref = correct.min();
+  const ProcSet final_set = trusted[static_cast<std::size_t>(ref)].final();
+  if (!final_set.intersects(correct)) {
+    return fail("leadership: eventual set " + final_set.to_string() +
+                " contains no correct process");
+  }
+  Time witness = 0;
+  for (ProcessId i : correct) {
+    const Time tau = util::stable_since(
+        trusted[static_cast<std::size_t>(i)],
+        [&](const ProcSet& s) { return s == final_set; });
+    if (tau == kNeverTime) {
+      std::ostringstream os;
+      os << "leadership: correct p" << i << " does not converge to "
+         << final_set.to_string() << " (final: "
+         << trusted[static_cast<std::size_t>(i)].final().to_string() << ")";
+      return fail(os.str());
+    }
+    witness = std::max(witness, tau);
+  }
+  return pass_if_stable(witness, horizon);
+}
+
+CheckResult check_lower_wheel_property(const ReprHistory& repr,
+                                       const sim::FailurePattern& pattern,
+                                       int x, Time horizon) {
+  const int n = pattern.n();
+  SAF_CHECK(static_cast<int>(repr.size()) == n);
+  const ProcSet correct = pattern.correct_at_end(horizon);
+  Time best = kNeverTime;
+  for (const ProcSet& X : util::combinations(n, x)) {
+    Time witness = 0;
+    bool ok = true;
+    // (i) processes outside X eventually output themselves.
+    for (ProcessId i : ProcSet::full(n) - X) {
+      if (!correct.contains(i)) continue;  // crashed: vacuous after crash
+      const Time tau = util::stable_since(
+          repr[static_cast<std::size_t>(i)],
+          [i](ProcessId r) { return r == i; });
+      if (tau == kNeverTime) { ok = false; break; }
+      witness = std::max(witness, tau);
+    }
+    if (!ok) continue;
+    // (ii) alive members of X share a correct representative in X, or X
+    // is entirely crashed (then alive members are vacuous... there are
+    // none) — when X is all-faulty, alive non-members were handled above
+    // and members themselves must output their own id once X's scan is
+    // abandoned; Theorem 3 only constrains processes *outside* X in that
+    // case plus requires nothing of crashed members.
+    const ProcSet alive_in_X = X & correct;
+    if (!alive_in_X.empty()) {
+      const ProcessId ref = alive_in_X.min();
+      const ProcessId leader =
+          repr[static_cast<std::size_t>(ref)].final();
+      if (!X.contains(leader) || !correct.contains(leader)) continue;
+      for (ProcessId i : alive_in_X) {
+        const Time tau = util::stable_since(
+            repr[static_cast<std::size_t>(i)],
+            [leader](ProcessId r) { return r == leader; });
+        if (tau == kNeverTime) { ok = false; break; }
+        witness = std::max(witness, tau);
+      }
+      if (!ok) continue;
+    }
+    if (best == kNeverTime || witness < best) best = witness;
+  }
+  if (best == kNeverTime) {
+    return fail("lower wheel: no set X of size " + std::to_string(x) +
+                " satisfies the representative property");
+  }
+  return pass_if_stable(best, horizon);
+}
+
+CheckResult check_strong_accuracy(const SetHistory& suspected,
+                                  const sim::FailurePattern& pattern,
+                                  Time horizon, bool perpetual) {
+  const int n = pattern.n();
+  SAF_CHECK(static_cast<int>(suspected.size()) == n);
+  Time witness = 0;
+  for (ProcessId i = 0; i < n; ++i) {
+    const Time i_crash = pattern.crash_time(i);
+    const Time i_alive_end =
+        i_crash == kNeverTime ? horizon + 1 : std::min(i_crash, horizon + 1);
+    // Walk the segments of p_i's suspicion trace while p_i is alive; a
+    // false suspicion is an instant where a not-yet-crashed process is
+    // in the set.
+    auto consider = [&](Time start, Time end,
+                        const ProcSet& v) -> CheckResult {
+      const Time e = std::min(end, i_alive_end);
+      if (start >= e) return pass(0);
+      for (ProcessId j : v) {
+        const Time j_crash = pattern.crash_time(j);
+        const Time false_end =
+            std::min(e, j_crash == kNeverTime ? horizon + 1 : j_crash);
+        if (start >= false_end) continue;  // j already crashed: fine
+        if (perpetual) {
+          std::ostringstream os;
+          os << "strong accuracy: p" << i << " suspected alive p" << j
+             << " at time " << start;
+          return fail(os.str());
+        }
+        if (false_end > horizon) {
+          std::ostringstream os;
+          os << "eventual strong accuracy: p" << i
+             << " suspects alive p" << j << " through the horizon";
+          return fail(os.str());
+        }
+        witness = std::max(witness, false_end);
+      }
+      return pass(0);
+    };
+    const auto& tr = suspected[static_cast<std::size_t>(i)];
+    Time prev_start = 0;
+    const ProcSet* prev_val = &tr.initial();
+    for (const auto& s : tr.steps()) {
+      if (auto r = consider(prev_start, s.time, *prev_val); !r.pass) return r;
+      prev_start = s.time;
+      prev_val = &s.value;
+    }
+    if (auto r = consider(prev_start, horizon + 1, *prev_val); !r.pass) {
+      return r;
+    }
+  }
+  return perpetual ? pass(0) : pass_if_stable(witness, horizon);
+}
+
+CheckResult check_phi_properties(const QueryOracle& oracle,
+                                 const sim::FailurePattern& pattern, int y,
+                                 Time horizon, Time step, bool perpetual,
+                                 std::uint64_t seed) {
+  const int n = pattern.n();
+  const int t = pattern.t();
+  util::Rng rng(util::derive_seed(seed, "phi_check"));
+  const ProcSet full = ProcSet::full(n);
+  const ProcSet correct = pattern.correct_at_end(horizon);
+  const ProcSet faulty = full - correct;
+
+  // Query-set corpus: one trivially-small and one trivially-large probe,
+  // plus — for every informative size — ALL subsets when they are few,
+  // or a targeted sample (all-faulty, mixed, random) otherwise.
+  std::vector<ProcSet> sets;
+  auto add = [&](ProcSet s) {
+    if (s.empty()) return;
+    if (std::find(sets.begin(), sets.end(), s) == sets.end()) sets.push_back(s);
+  };
+  if (t - y >= 1) add(rng.subset(full, t - y));
+  if (t + 1 <= n) add(rng.subset(full, t + 1));
+  constexpr std::uint64_t kEnumerateLimit = 128;
+  for (int s = t - y + 1; s <= t; ++s) {
+    if (s < 1 || s > n) continue;
+    if (util::binomial(n, s) <= kEnumerateLimit) {
+      for (const ProcSet& x : util::combinations(n, s)) add(x);
+      continue;
+    }
+    if (faulty.size() >= s) add(rng.subset(faulty, s));
+    if (!correct.empty()) {
+      ProcSet mixed;
+      mixed.insert(correct.min());
+      ProcSet rest = full;
+      rest.erase(correct.min());
+      mixed |= rng.subset(rest, s - 1);
+      add(mixed);
+    }
+    for (int extra = 0; extra < 6; ++extra) add(rng.subset(full, s));
+  }
+
+  // Per (set, querier) tracking: the eventual-safety and liveness axioms
+  // speak about *a process repeatedly invoking* query(X), so a single
+  // process stuck on the wrong answer forever is a violation even if
+  // other processes answer correctly.
+  Time witness = 0;
+  for (const ProcSet& X : sets) {
+    const int size = X.size();
+    std::vector<Time> last_true(static_cast<std::size_t>(n), kNeverTime);
+    std::vector<Time> last_false(static_cast<std::size_t>(n), kNeverTime);
+    std::vector<bool> final_ans(static_cast<std::size_t>(n), false);
+    std::vector<bool> ever_queried(static_cast<std::size_t>(n), false);
+    for (Time tau = 0; tau <= horizon; tau += step) {
+      const ProcSet alive = full - pattern.crashed_set(tau);
+      for (ProcessId querier : alive) {
+        const bool ans = oracle.query(querier, X, tau);
+        const auto q = static_cast<std::size_t>(querier);
+        final_ans[q] = ans;
+        ever_queried[q] = true;
+        (ans ? last_true[q] : last_false[q]) = tau;
+        // Triviality — perpetual for both classes.
+        if (size <= t - y && !ans) {
+          return fail("phi: triviality violated (small set answered false)");
+        }
+        if (size > t && ans) {
+          return fail("phi: triviality violated (large set answered true)");
+        }
+        if (size > t - y && size <= t && perpetual && ans) {
+          // Perpetual safety: true implies all of X crashed by tau.
+          for (ProcessId j : X) {
+            if (!pattern.crashed_by(j, tau)) {
+              return fail("phi: perpetual safety violated on " +
+                          X.to_string());
+            }
+          }
+        }
+      }
+    }
+    if (size <= t - y || size > t) continue;
+    const bool x_has_correct = X.intersects(correct);
+    for (ProcessId i : correct) {  // only correct processes query forever
+      const auto q = static_cast<std::size_t>(i);
+      if (!ever_queried[q]) continue;
+      if (x_has_correct) {
+        // Eventual safety: this process's answers must settle to false.
+        if (final_ans[q]) {
+          return fail("phi: eventual safety violated — query(" +
+                      X.to_string() + ") by p" + std::to_string(i) +
+                      " still true at horizon");
+        }
+        witness = std::max(
+            witness, last_true[q] == kNeverTime ? 0 : last_true[q] + 1);
+      } else {
+        // Liveness: X entirely crashed — answers must settle to true.
+        if (!final_ans[q]) {
+          return fail("phi: liveness violated — query(" + X.to_string() +
+                      ") by p" + std::to_string(i) +
+                      " still false at horizon although all of X crashed");
+        }
+        witness = std::max(
+            witness, last_false[q] == kNeverTime ? 0 : last_false[q] + 1);
+      }
+    }
+  }
+  return pass_if_stable(witness, horizon);
+}
+
+}  // namespace saf::fd

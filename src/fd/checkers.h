@@ -1,0 +1,98 @@
+// Property checkers: executable versions of the class axioms.
+//
+// Each checker takes the full history of a run (step traces of detector
+// outputs per process + the ground-truth failure pattern) and decides
+// whether the class axioms held, reporting a witness stabilization time
+// for the eventual properties. "Eventually P forever" is verified as
+// "P holds from some witness time to the run's horizon" — runs must be
+// long enough that stabilization happens well before the horizon, which
+// the test and bench harnesses arrange.
+//
+// For a crashed process, outputs after its crash time are ignored (by
+// definition a crashed process suspects/outputs nothing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+#include "util/trace.h"
+#include "util/types.h"
+
+namespace saf::fd {
+
+struct CheckResult {
+  bool pass = false;
+  /// For eventual properties: earliest time from which the property held
+  /// through the horizon. 0 for perpetual passes.
+  Time witness = kNeverTime;
+  std::string detail;
+
+  explicit operator bool() const { return pass; }
+};
+
+using SetHistory = std::vector<util::StepTrace<ProcSet>>;
+using ReprHistory = std::vector<util::StepTrace<ProcessId>>;
+
+/// Samples an oracle's full history at `step` granularity (oracles are
+/// pure functions of time, so sampling reconstructs the history exactly
+/// up to step resolution).
+SetHistory sample_suspects(const SuspectOracle& oracle, int n, Time horizon,
+                           Time step);
+SetHistory sample_leaders(const LeaderOracle& oracle, int n, Time horizon,
+                          Time step);
+
+/// Strong Completeness: eventually every crashed process is permanently
+/// suspected by every correct process.
+CheckResult check_strong_completeness(const SetHistory& suspected,
+                                      const sim::FailurePattern& pattern,
+                                      Time horizon);
+
+/// Limited Scope (Eventual/Perpetual) Weak Accuracy for scope x: there is
+/// a set Q, |Q| = x, containing a correct process that is (eventually)
+/// never suspected by Q's members. perpetual=true additionally requires
+/// the witness to be time 0.
+CheckResult check_limited_scope_accuracy(const SetHistory& suspected,
+                                         const sim::FailurePattern& pattern,
+                                         int x, Time horizon, bool perpetual);
+
+/// Eventual Multiple Leadership for bound z: outputs always have size
+/// <= z, and eventually all correct processes forever output the same
+/// set, which contains a correct process.
+CheckResult check_eventual_leadership(const SetHistory& trusted,
+                                      const sim::FailurePattern& pattern,
+                                      int z, Time horizon);
+
+/// The lower-wheel guarantee (Theorem 3): there is a set X, |X| = x, and
+/// a time from which (i) every process outside X has repr_i = i, and
+/// (ii) either all of X crashed, or the alive members of X share a
+/// representative that is a correct member of X.
+CheckResult check_lower_wheel_property(const ReprHistory& repr,
+                                       const sim::FailurePattern& pattern,
+                                       int x, Time horizon);
+
+/// φ_y / ◇φ_y axioms, validated by sampling queries over a mix of set
+/// sizes (trivially small, trivially large, informative crashed /
+/// informative mixed) across the run. perpetual=true also enforces the
+/// perpetual safety property on every sample.
+CheckResult check_phi_properties(const QueryOracle& oracle,
+                                 const sim::FailurePattern& pattern, int y,
+                                 Time horizon, Time step, bool perpetual,
+                                 std::uint64_t seed);
+
+/// Strong Accuracy of the perfect classes: no process is suspected
+/// before it crashed. perpetual=true checks class P (accuracy from time
+/// 0); perpetual=false checks ◇P (eventually, only crashed processes are
+/// suspected — i.e. every false suspicion stops for good at some point).
+CheckResult check_strong_accuracy(const SetHistory& suspected,
+                                  const sim::FailurePattern& pattern,
+                                  Time horizon, bool perpetual);
+
+/// Helper shared by accuracy-style checks: earliest tau such that for
+/// every instant in [tau, horizon], either the process has crashed or its
+/// suspected set does not contain `l`. kNeverTime if no such tau.
+Time suspect_free_from(const util::StepTrace<ProcSet>& trace, ProcessId l,
+                       Time crash_time, Time horizon);
+
+}  // namespace saf::fd

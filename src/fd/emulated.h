@@ -1,0 +1,77 @@
+// Emulated failure detectors.
+//
+// The paper's transformation algorithms *construct* detectors: every
+// process keeps refreshing an output variable (repr_i, trusted_i,
+// SUSPECTED_i). An EmulatedStore holds those live variables, records
+// their full histories as step traces for the property checkers, and
+// exposes the corresponding oracle interface so a constructed detector
+// can be consumed by another protocol in the same run (e.g. two-wheels
+// output Ω_z feeding the Fig 3 k-set agreement algorithm).
+#pragma once
+
+#include <vector>
+
+#include "fd/oracle.h"
+#include "util/check.h"
+#include "util/trace.h"
+#include "util/types.h"
+
+namespace saf::fd {
+
+template <typename V>
+class EmulatedStore {
+ public:
+  EmulatedStore(int n, V initial)
+      : current_(static_cast<std::size_t>(n), initial),
+        traces_(static_cast<std::size_t>(n),
+                util::StepTrace<V>(initial)) {}
+
+  void set(ProcessId i, Time t, const V& v) {
+    auto idx = static_cast<std::size_t>(i);
+    SAF_CHECK(idx < current_.size());
+    current_[idx] = v;
+    traces_[idx].record(t, v);
+  }
+
+  const V& get(ProcessId i) const {
+    return current_[static_cast<std::size_t>(i)];
+  }
+
+  const util::StepTrace<V>& trace(ProcessId i) const {
+    return traces_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<util::StepTrace<V>>& traces() const { return traces_; }
+
+  int n() const { return static_cast<int>(current_.size()); }
+
+ private:
+  std::vector<V> current_;
+  std::vector<util::StepTrace<V>> traces_;
+};
+
+/// trusted_i outputs of an Ω_z emulation.
+class EmulatedLeaderStore : public EmulatedStore<ProcSet>,
+                            public LeaderOracle {
+ public:
+  explicit EmulatedLeaderStore(int n) : EmulatedStore(n, ProcSet{}) {}
+  ProcSet trusted(ProcessId i, Time) const override { return get(i); }
+};
+
+/// SUSPECTED_i outputs of an S / ◇S emulation.
+class EmulatedSuspectStore : public EmulatedStore<ProcSet>,
+                             public SuspectOracle {
+ public:
+  explicit EmulatedSuspectStore(int n) : EmulatedStore(n, ProcSet{}) {}
+  ProcSet suspected(ProcessId i, Time) const override { return get(i); }
+};
+
+/// repr_i outputs of the lower-wheel component (each process starts as
+/// its own representative).
+class EmulatedReprStore : public EmulatedStore<ProcessId> {
+ public:
+  explicit EmulatedReprStore(int n) : EmulatedStore(n, ProcessId{-1}) {
+    for (ProcessId i = 0; i < n; ++i) set(i, 0, i);
+  }
+};
+
+}  // namespace saf::fd

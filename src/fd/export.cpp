@@ -1,0 +1,32 @@
+#include "fd/export.h"
+
+#include <ostream>
+
+namespace saf::fd {
+
+void write_set_history_csv(std::ostream& os, const SetHistory& history,
+                           const std::string& value_column) {
+  os << "time,process," << value_column << "\n";
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const auto& trace = history[i];
+    os << 0 << ',' << i << ',' << '"' << trace.initial().to_string() << '"'
+       << "\n";
+    for (const auto& step : trace.steps()) {
+      os << step.time << ',' << i << ',' << '"' << step.value.to_string()
+         << '"' << "\n";
+    }
+  }
+}
+
+void write_repr_history_csv(std::ostream& os, const ReprHistory& history) {
+  os << "time,process,repr\n";
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const auto& trace = history[i];
+    os << 0 << ',' << i << ',' << trace.initial() << "\n";
+    for (const auto& step : trace.steps()) {
+      os << step.time << ',' << i << ',' << step.value << "\n";
+    }
+  }
+}
+
+}  // namespace saf::fd

@@ -1,0 +1,26 @@
+// Trace export: detector histories as CSV, for offline inspection and
+// plotting (each bench/test run is deterministic, so a dumped trace is a
+// complete, replayable record of what a detector did).
+//
+// Format (one row per step):
+//   time,process,value
+// where value is the ProcSet (e.g. "{0,2,5}") or repr id. A header row
+// names the columns; crashed processes simply stop producing steps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fd/checkers.h"
+#include "util/trace.h"
+
+namespace saf::fd {
+
+/// Writes a set-valued history (suspected / trusted sets).
+void write_set_history_csv(std::ostream& os, const SetHistory& history,
+                           const std::string& value_column = "set");
+
+/// Writes a representative history (lower-wheel repr ids).
+void write_repr_history_csv(std::ostream& os, const ReprHistory& history);
+
+}  // namespace saf::fd

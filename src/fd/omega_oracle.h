@@ -1,0 +1,52 @@
+// Oracle for the Ω_z class (eventual multiple leadership).
+//
+// After stab_time every alive process is handed the same final set L* of
+// at most z processes, at least one of which is planned-correct. Before
+// stab_time the outputs are arbitrary per-(process, time) sets of size
+// <= z (the "anarchy period" protocols must tolerate).
+//
+// A *perfect* Ω_z detector (stab_time == 0, no anarchy) is what the
+// oracle-efficiency / zero-degradation experiments of §3.2 use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+
+namespace saf::fd {
+
+struct OmegaOracleParams {
+  Time stab_time = 0;
+  std::uint64_t seed = 7;
+  /// If true, pre-stabilization outputs vary chaotically across processes
+  /// and instants; if false they equal L* from the start even before
+  /// stab_time (useful to isolate other effects).
+  bool anarchy_before_stab = true;
+  /// Pin the eventual set L* instead of drawing it from the seed. Must
+  /// have size in [1, z] and contain at least one planned-correct
+  /// process; mixing in faulty members is legal and is how the
+  /// irreducibility demos exercise consumers' worst case.
+  std::optional<ProcSet> forced_final_set;
+};
+
+class OmegaZOracle : public LeaderOracle {
+ public:
+  OmegaZOracle(const sim::FailurePattern& pattern, int z,
+               OmegaOracleParams params);
+
+  ProcSet trusted(ProcessId i, Time now) const override;
+
+  /// The eventually-common leader set L*.
+  ProcSet final_set() const { return final_set_; }
+  int z() const { return z_; }
+
+ private:
+  const sim::FailurePattern& pattern_;
+  int z_;
+  OmegaOracleParams params_;
+  ProcSet final_set_;
+};
+
+}  // namespace saf::fd

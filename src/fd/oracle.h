@@ -1,0 +1,46 @@
+// Failure-detector oracle interfaces.
+//
+// A failure detector class is a set of *axioms* over detector histories.
+// An oracle here is one concrete detector: a pure function of
+// (querying process, virtual time) for a fixed run, parameterized by the
+// run's ground-truth FailurePattern plus "quality knobs" (stabilization
+// time, detection delay, noise). Purity matters: a wait-predicate that
+// reads the oracle twice at the same instant must see the same answer,
+// and the property checkers can re-sample the whole history after a run.
+//
+// The same interfaces are implemented by *emulated* detectors — the
+// outputs of the paper's transformation algorithms — so a constructed
+// detector can be consumed by any protocol expecting that class
+// (the paper's reduction methodology, §1 "striving not to reinvent the
+// wheel").
+#pragma once
+
+#include "util/types.h"
+
+namespace saf::fd {
+
+/// Suspicion-list detectors: the S_x / ◇S_x families.
+class SuspectOracle {
+ public:
+  virtual ~SuspectOracle() = default;
+  /// The set suspected_i at time now, as seen by process i.
+  virtual ProcSet suspected(ProcessId i, Time now) const = 0;
+};
+
+/// Leader-set detectors: the Ω_z family.
+class LeaderOracle {
+ public:
+  virtual ~LeaderOracle() = default;
+  /// The set trusted_i (|trusted_i| <= z) at time now.
+  virtual ProcSet trusted(ProcessId i, Time now) const = 0;
+};
+
+/// Region-query detectors: the φ_y / ◇φ_y / φ̄_y families.
+class QueryOracle {
+ public:
+  virtual ~QueryOracle() = default;
+  /// The invocation query(X) by process i at time now.
+  virtual bool query(ProcessId i, ProcSet x, Time now) const = 0;
+};
+
+}  // namespace saf::fd

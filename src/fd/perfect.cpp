@@ -1,0 +1,40 @@
+#include "fd/perfect.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace saf::fd {
+
+PerfectOracle::PerfectOracle(const sim::FailurePattern& pattern,
+                             PerfectOracleParams params)
+    : pattern_(pattern), params_(params) {
+  util::require(params.stab_time >= 0 && params.detect_delay >= 0,
+                "PerfectOracle: negative time parameter");
+}
+
+ProcSet PerfectOracle::suspected(ProcessId i, Time now) const {
+  if (pattern_.crashed_by(i, now)) return {};
+  ProcSet out;
+  const bool accurate = now >= params_.stab_time;
+  for (ProcessId j = 0; j < pattern_.n(); ++j) {
+    if (j == i) continue;
+    const Time ct = pattern_.crash_time(j);
+    if (ct != kNeverTime && now >= ct + params_.detect_delay) {
+      out.insert(j);
+      continue;
+    }
+    if (!accurate && !pattern_.crashed_by(j, now)) {
+      // ◇P anarchy: deterministic per-(i, j, now) spurious suspicion.
+      std::uint64_t h = util::derive_seed(params_.seed ^ 0xdeadULL,
+                                          static_cast<std::uint64_t>(now));
+      h = util::derive_seed(h, static_cast<std::uint64_t>(i) * 977 +
+                                   static_cast<std::uint64_t>(j));
+      const double u =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      if (u < params_.pre_stab_noise) out.insert(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace saf::fd

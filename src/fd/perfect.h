@@ -1,0 +1,42 @@
+// Oracles for the perfect (P) and eventually perfect (◇P) classes.
+//
+// P: Strong Completeness + Strong Accuracy — no process is suspected
+// before it crashes (the detector "never makes a mistake"). ◇P weakens
+// accuracy to hold only from stab_time on.
+//
+// The paper (§2.2) notes φ_t and P are equivalent, and ◇φ_t and ◇P are
+// equivalent, in any system with at most t crashes; core/equivalences.h
+// implements both directions as oracle adaptors.
+#pragma once
+
+#include <cstdint>
+
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+
+namespace saf::fd {
+
+struct PerfectOracleParams {
+  /// Time from which strong accuracy holds (0 for the class P).
+  Time stab_time = 0;
+  /// Lag between a crash and its permanent suspicion.
+  Time detect_delay = 10;
+  /// Spurious-suspicion probability before stab_time (◇P anarchy only;
+  /// ignored when stab_time == 0).
+  double pre_stab_noise = 0.2;
+  std::uint64_t seed = 7;
+};
+
+class PerfectOracle : public SuspectOracle {
+ public:
+  PerfectOracle(const sim::FailurePattern& pattern,
+                PerfectOracleParams params);
+
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+ private:
+  const sim::FailurePattern& pattern_;
+  PerfectOracleParams params_;
+};
+
+}  // namespace saf::fd

@@ -1,0 +1,62 @@
+#include "fd/query_oracles.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace saf::fd {
+
+PhiOracle::PhiOracle(const sim::FailurePattern& pattern, int y,
+                     QueryOracleParams params)
+    : pattern_(pattern), y_(y), params_(params) {
+  util::require(y >= 0 && y <= pattern.t(),
+                "PhiOracle: need 0 <= y <= t");
+  util::require(params.stab_time >= 0 && params.detect_delay >= 0,
+                "PhiOracle: negative time parameter");
+}
+
+bool PhiOracle::query(ProcessId i, ProcSet x, Time now) const {
+  const int t = pattern_.t();
+  const int size = x.size();
+  // Triviality (perpetual for both φ_y and ◇φ_y).
+  if (size <= t - y_) return true;
+  if (size > t) return false;
+  // Informative size. Before stabilization: arbitrary deterministic coin.
+  if (now < params_.stab_time) {
+    std::uint64_t h = util::derive_seed(params_.seed ^ 0x51f0ULL,
+                                        static_cast<std::uint64_t>(now));
+    h = util::derive_seed(h, x.mask() * 1315423911ULL +
+                                 static_cast<std::uint64_t>(i));
+    return (h & 1) != 0;
+  }
+  // Stable regime: true iff every member of X crashed detect_delay ago.
+  for (ProcessId j : x) {
+    const Time ct = pattern_.crash_time(j);
+    if (ct == kNeverTime || now < ct + params_.detect_delay) return false;
+  }
+  return true;
+}
+
+PhiBarOracle::PhiBarOracle(const QueryOracle& base) : base_(base) {}
+
+bool PhiBarOracle::query(ProcessId i, ProcSet x, Time now) const {
+  // Containment obligation: x must be comparable with every previously
+  // queried set. The chain is sorted by size; nesting of equal-size sets
+  // means equality, so one binary position check per query suffices —
+  // but sets are few, so we keep the obvious linear check.
+  auto it = std::find(chain_.begin(), chain_.end(), x);
+  if (it == chain_.end()) {
+    for (const ProcSet& prev : chain_) {
+      SAF_CHECK_MSG(x.subset_of(prev) || prev.subset_of(x),
+                    "PhiBarOracle: containment obligation violated: "
+                        << x.to_string() << " vs " << prev.to_string());
+    }
+    chain_.push_back(x);
+    std::sort(chain_.begin(), chain_.end(),
+              [](ProcSet a, ProcSet b) { return a.size() < b.size(); });
+  }
+  return base_.query(i, x, now);
+}
+
+}  // namespace saf::fd

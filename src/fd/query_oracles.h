@@ -1,0 +1,84 @@
+// Oracles for the φ_y / ◇φ_y / φ̄_y classes (region-query detectors).
+//
+// query(X) semantics (t is the model's crash bound, y the class index):
+//   * Triviality — |X| <= t-y: true;  |X| > t: false. (Perpetual in both
+//     the φ_y and ◇φ_y definitions.)
+//   * Informative sizes t-y < |X| <= t:
+//       - φ_y  (perpetual): true iff every member of X has been crashed
+//         for at least detect_delay (safety: a true answer implies all of
+//         X crashed; liveness: once all of X crashed, answers eventually
+//         lock to true).
+//       - ◇φ_y (eventual): before stab_time the answer may be an
+//         arbitrary deterministic coin; from stab_time on it behaves
+//         like φ_y (eventual safety + liveness).
+//
+// φ̄_y adds an *obligation on the caller*: all queried sets must form a
+// containment chain. PhiBarOracle wraps any φ oracle and enforces the
+// obligation with a hard check, as a library-level contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+
+namespace saf::fd {
+
+struct QueryOracleParams {
+  /// Time from which eventual safety holds (◇φ_y); 0 for perpetual φ_y.
+  Time stab_time = 0;
+  /// Lag after the last crash in X before queries return true.
+  Time detect_delay = 10;
+  std::uint64_t seed = 7;
+};
+
+class PhiOracle : public QueryOracle {
+ public:
+  /// A detector of class ◇φ_y (or φ_y when params.stab_time == 0).
+  PhiOracle(const sim::FailurePattern& pattern, int y,
+            QueryOracleParams params);
+
+  bool query(ProcessId i, ProcSet x, Time now) const override;
+
+  int y() const { return y_; }
+
+ private:
+  const sim::FailurePattern& pattern_;
+  int y_;
+  QueryOracleParams params_;
+};
+
+/// φ_0 provides no information on failures: every query is answered by
+/// the triviality rule alone (|X| <= t is "small"). It needs no oracle
+/// state at all — this is what makes the two-wheels construction with
+/// y = 0 a pure ◇S_x -> Ω_{t+2-x} reduction (Corollary 7).
+class TrivialPhi0 : public QueryOracle {
+ public:
+  explicit TrivialPhi0(int t) : t_(t) {}
+  bool query(ProcessId, ProcSet x, Time) const override {
+    return x.size() <= t_;
+  }
+
+ private:
+  int t_;
+};
+
+/// φ̄_y: wraps a φ oracle and enforces the containment obligation on the
+/// sets passed to query() across the whole run (any two queried sets of
+/// any process must be nested).
+class PhiBarOracle : public QueryOracle {
+ public:
+  explicit PhiBarOracle(const QueryOracle& base);
+
+  bool query(ProcessId i, ProcSet x, Time now) const override;
+
+  /// Number of distinct sets queried so far (diagnostics).
+  std::size_t distinct_query_sets() const { return chain_.size(); }
+
+ private:
+  const QueryOracle& base_;
+  mutable std::vector<ProcSet> chain_;  // kept sorted by size
+};
+
+}  // namespace saf::fd

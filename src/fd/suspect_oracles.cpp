@@ -1,0 +1,79 @@
+#include "fd/suspect_oracles.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace saf::fd {
+
+namespace {
+
+// Deterministic per-(i, j, now) coin for spurious suspicions.
+bool noise_coin(std::uint64_t seed, ProcessId i, ProcessId j, Time now,
+                double p) {
+  if (p <= 0.0) return false;
+  std::uint64_t h = util::derive_seed(seed, static_cast<std::uint64_t>(now));
+  h = util::derive_seed(
+      h, static_cast<std::uint64_t>(i) * 131 + static_cast<std::uint64_t>(j));
+  // Map to [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < p;
+}
+
+}  // namespace
+
+LimitedScopeSuspectOracle::LimitedScopeSuspectOracle(
+    const sim::FailurePattern& pattern, int x, SuspectOracleParams params)
+    : pattern_(pattern), x_(x), params_(params) {
+  util::require(x >= 1 && x <= pattern.n(),
+                "LimitedScopeSuspectOracle: need 1 <= x <= n");
+  util::require(params.stab_time >= 0 && params.detect_delay >= 0,
+                "LimitedScopeSuspectOracle: negative time parameter");
+  const ProcSet correct = pattern.planned_correct();
+  util::require(!correct.empty(),
+                "LimitedScopeSuspectOracle: no planned-correct process");
+  util::Rng rng(util::derive_seed(params.seed, "diamond_sx"));
+  // Pick the safe leader among planned-correct processes, then fill the
+  // scope with x-1 arbitrary other processes (faulty members are fine:
+  // the axiom only asks that Q's members do not suspect the leader).
+  const auto correct_ids = correct.to_vector();
+  safe_leader_ = correct_ids[rng.index(correct_ids.size())];
+  ProcSet others = ProcSet::full(pattern.n());
+  others.erase(safe_leader_);
+  scope_ = rng.subset(others, x - 1);
+  scope_.insert(safe_leader_);
+  SAF_CHECK(scope_.size() == x);
+}
+
+ProcSet LimitedScopeSuspectOracle::suspected(ProcessId i, Time now) const {
+  // A crashed process suspects no one (by definition in the model).
+  if (pattern_.crashed_by(i, now)) return {};
+  ProcSet out;
+  const bool accuracy_on = now >= params_.stab_time;
+  for (ProcessId j = 0; j < pattern_.n(); ++j) {
+    if (j == i) continue;
+    const Time ct = pattern_.crash_time(j);
+    const bool crashed_detected =
+        ct != kNeverTime && now >= ct + params_.detect_delay;
+    bool suspect = crashed_detected;
+    if (!suspect && !pattern_.crashed_by(j, now)) {
+      suspect = noise_coin(params_.seed, i, j, now, params_.noise_prob);
+    }
+    // Accuracy override: scope members never suspect the safe leader
+    // once accuracy is on (and the safe leader is planned-correct, so
+    // crashed_detected can never be true for it).
+    if (accuracy_on && j == safe_leader_ && scope_.contains(i)) {
+      suspect = false;
+    }
+    // Before stabilization, ◇S_x may freely suspect anyone alive; we
+    // additionally suspect the safe leader to exercise protocols'
+    // tolerance of the anarchy period.
+    if (!accuracy_on && j == safe_leader_ && scope_.contains(i)) {
+      suspect = true;
+    }
+    if (suspect) out.insert(j);
+  }
+  return out;
+}
+
+}  // namespace saf::fd

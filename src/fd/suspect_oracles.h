@@ -1,0 +1,61 @@
+// Oracles for the S_x and ◇S_x classes (limited-scope accuracy).
+//
+// Both satisfy Strong Completeness: a crashed process is suspected by
+// everyone `detect_delay` after its crash, forever.
+//
+// Accuracy: the oracle picks a planned-correct "safe" process ℓ and a
+// scope set Q ∋ ℓ with |Q| = x. Members of Q never suspect ℓ — from time
+// 0 for S_x (perpetual), from `stab_time` on for ◇S_x (eventual; before
+// stab_time everything may be suspected by everyone).
+//
+// Noise: with probability noise_prob per (observer, observed, time) an
+// alive process is falsely suspected — except where accuracy forbids it.
+// Noise is a deterministic hash of its inputs, keeping the oracle a pure
+// function of time.
+#pragma once
+
+#include <cstdint>
+
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+
+namespace saf::fd {
+
+struct SuspectOracleParams {
+  /// Time from which the limited-scope accuracy holds (◇S_x); must be 0
+  /// for the perpetual class S_x.
+  Time stab_time = 0;
+  /// Lag between a crash and its permanent suspicion by everyone.
+  Time detect_delay = 10;
+  /// Probability of a spurious suspicion of an alive process.
+  double noise_prob = 0.0;
+  std::uint64_t seed = 7;
+};
+
+class LimitedScopeSuspectOracle : public SuspectOracle {
+ public:
+  /// A detector of class ◇S_x (or S_x when params.stab_time == 0).
+  /// `x` is the accuracy scope, 1 <= x <= n.
+  LimitedScopeSuspectOracle(const sim::FailurePattern& pattern, int x,
+                            SuspectOracleParams params);
+
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+  /// The process that is eventually (or always) safe within the scope.
+  ProcessId safe_leader() const { return safe_leader_; }
+  /// The scope set Q (contains safe_leader()).
+  ProcSet scope() const { return scope_; }
+  int x() const { return x_; }
+
+ private:
+  const sim::FailurePattern& pattern_;
+  int x_;
+  SuspectOracleParams params_;
+  ProcessId safe_leader_;
+  ProcSet scope_;
+};
+
+/// Convenience aliases matching the paper's names.
+using DiamondSx = LimitedScopeSuspectOracle;
+
+}  // namespace saf::fd

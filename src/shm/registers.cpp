@@ -1,0 +1,10 @@
+#include "shm/registers.h"
+
+// SwmrArray is a header-only template; this translation unit pins the
+// library target and provides a home for future non-template helpers.
+
+namespace saf::shm {
+
+static_assert(sizeof(OpCounter) > 0);
+
+}  // namespace saf::shm

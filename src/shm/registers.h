@@ -1,0 +1,58 @@
+// Shared-memory substrate: single-writer / multi-reader atomic registers.
+//
+// Appendix B's addition algorithm (S_x + φ_y -> S_n) is written for the
+// shared-memory model: arrays alive[1..n] and suspect[1..n] of SWMR
+// atomic registers. The simulator is a single-threaded discrete-event
+// loop, so atomicity is by construction — each read or write happens at
+// one virtual instant; asynchrony between processes comes from the
+// varying virtual delays between their steps (Process::sleep_for).
+//
+// The writer restriction (slot i writable only by process i) is enforced,
+// and op counts are kept for the step-complexity benches.
+#pragma once
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace saf::shm {
+
+/// Operation counters shared by all register arrays of one run.
+struct OpCounter {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+template <typename V>
+class SwmrArray {
+ public:
+  SwmrArray(int n, V init, OpCounter* counter = nullptr)
+      : slots_(static_cast<std::size_t>(n), std::move(init)),
+        counter_(counter) {
+    util::require(n >= 1 && n <= kMaxProcs, "SwmrArray: n out of range");
+  }
+
+  /// Atomic read of slot idx by any process.
+  const V& read(int idx) const {
+    SAF_CHECK(idx >= 0 && idx < static_cast<int>(slots_.size()));
+    if (counter_ != nullptr) ++counter_->reads;
+    return slots_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Atomic write: process `writer` may only write its own slot.
+  void write(ProcessId writer, const V& v) {
+    SAF_CHECK_MSG(writer >= 0 && writer < static_cast<int>(slots_.size()),
+                  "SwmrArray: writer out of range");
+    if (counter_ != nullptr) ++counter_->writes;
+    slots_[static_cast<std::size_t>(writer)] = v;
+  }
+
+  int n() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::vector<V> slots_;
+  OpCounter* counter_;
+};
+
+}  // namespace saf::shm

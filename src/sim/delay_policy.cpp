@@ -1,0 +1,52 @@
+#include "sim/delay_policy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace saf::sim {
+
+FixedDelay::FixedDelay(Time d) : d_(d) {
+  util::require(d >= 1, "FixedDelay: delay must be >= 1");
+}
+
+UniformDelay::UniformDelay(Time lo, Time hi) : lo_(lo), hi_(hi) {
+  util::require(lo >= 1 && lo <= hi, "UniformDelay: need 1 <= lo <= hi");
+}
+
+Time UniformDelay::delay(ProcessId, ProcessId, Time, util::Rng& rng) {
+  return rng.uniform(lo_, hi_);
+}
+
+MuffleRegionDelay::MuffleRegionDelay(std::unique_ptr<DelayPolicy> base,
+                                     ProcSet muffled, Time from_time,
+                                     Time until_time, Time release_time)
+    : base_(std::move(base)),
+      muffled_(muffled),
+      from_time_(from_time),
+      until_time_(until_time),
+      release_time_(release_time) {
+  SAF_CHECK(base_ != nullptr);
+  util::require(from_time <= until_time,
+                "MuffleRegionDelay: empty muffle window");
+}
+
+Time MuffleRegionDelay::delay(ProcessId from, ProcessId to, Time now,
+                              util::Rng& rng) {
+  Time d = base_->delay(from, to, now, rng);
+  if (muffled_.contains(from) && now >= from_time_ && now < until_time_) {
+    d = std::max(d, release_time_ - now);
+  }
+  return std::max<Time>(d, 1);
+}
+
+ScriptedDelay::ScriptedDelay(Fn fn) : fn_(std::move(fn)) {
+  SAF_CHECK(fn_ != nullptr);
+}
+
+Time ScriptedDelay::delay(ProcessId from, ProcessId to, Time now,
+                          util::Rng& rng) {
+  return std::max<Time>(fn_(from, to, now, rng), 1);
+}
+
+}  // namespace saf::sim

@@ -1,0 +1,78 @@
+// Message-delay policies.
+//
+// The model is asynchronous: a protocol must be correct for *every*
+// assignment of finite per-message delays. The simulator explores that
+// space with pluggable policies: uniform random (the workload default),
+// fixed (for step-counting experiments such as zero-degradation), and a
+// scripted policy used by the irreducibility benches to replay the
+// indistinguishability constructions of the paper's proofs (delaying all
+// messages out of a region E until a chosen time).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace saf::sim {
+
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Delay (>= 1) applied to a message sent from `from` to `to` at
+  /// virtual time `now`. `rng` is the network's deterministic stream.
+  virtual Time delay(ProcessId from, ProcessId to, Time now,
+                     util::Rng& rng) = 0;
+};
+
+/// Every message takes exactly d time units.
+class FixedDelay final : public DelayPolicy {
+ public:
+  explicit FixedDelay(Time d);
+  Time delay(ProcessId, ProcessId, Time, util::Rng&) override { return d_; }
+
+ private:
+  Time d_;
+};
+
+/// Delay drawn uniformly from [lo, hi].
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(Time lo, Time hi);
+  Time delay(ProcessId, ProcessId, Time, util::Rng& rng) override;
+
+ private:
+  Time lo_, hi_;
+};
+
+/// Wraps a base policy; messages sent *from* a member of `muffled` in the
+/// window [from_time, until_time) are delayed so that they arrive no
+/// earlier than `release_time`. Used to build the proofs' runs R' where a
+/// region appears crashed although its processes are alive.
+class MuffleRegionDelay final : public DelayPolicy {
+ public:
+  MuffleRegionDelay(std::unique_ptr<DelayPolicy> base, ProcSet muffled,
+                    Time from_time, Time until_time, Time release_time);
+  Time delay(ProcessId from, ProcessId to, Time now, util::Rng& rng) override;
+
+ private:
+  std::unique_ptr<DelayPolicy> base_;
+  ProcSet muffled_;
+  Time from_time_, until_time_, release_time_;
+};
+
+/// Fully scripted policy for bespoke adversaries.
+class ScriptedDelay final : public DelayPolicy {
+ public:
+  using Fn = std::function<Time(ProcessId from, ProcessId to, Time now,
+                                util::Rng& rng)>;
+  explicit ScriptedDelay(Fn fn);
+  Time delay(ProcessId from, ProcessId to, Time now, util::Rng& rng) override;
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace saf::sim

@@ -1,0 +1,61 @@
+#include "sim/failure_pattern.h"
+
+#include "util/check.h"
+
+namespace saf::sim {
+
+CrashPlan& CrashPlan::crash_at(ProcessId pid, Time t) {
+  util::require(t >= 0, "CrashPlan: crash time must be >= 0");
+  entries_.push_back(CrashEntry{pid, t, std::nullopt});
+  return *this;
+}
+
+CrashPlan& CrashPlan::crash_after_sends(ProcessId pid, std::uint64_t sends) {
+  entries_.push_back(CrashEntry{pid, kNeverTime, sends});
+  return *this;
+}
+
+ProcSet CrashPlan::planned_faulty() const {
+  ProcSet s;
+  for (const CrashEntry& e : entries_) s.insert(e.pid);
+  return s;
+}
+
+FailurePattern::FailurePattern(int n, int t, const CrashPlan& plan)
+    : n_(n), t_(t), crash_time_(static_cast<std::size_t>(n), kNeverTime) {
+  util::require(n >= 1 && n <= kMaxProcs, "FailurePattern: n out of range");
+  util::require(t >= 0 && t < n, "FailurePattern: need 0 <= t < n");
+  const ProcSet faulty = plan.planned_faulty();
+  util::require(faulty.size() <= t,
+                "FailurePattern: plan crashes more than t processes");
+  for (const CrashEntry& e : plan.entries()) {
+    util::require(e.pid >= 0 && e.pid < n, "FailurePattern: bad pid in plan");
+  }
+  planned_correct_ = ProcSet::full(n) - faulty;
+}
+
+void FailurePattern::record_crash(ProcessId pid, Time t) {
+  SAF_CHECK(pid >= 0 && pid < n_);
+  if (crash_time_[static_cast<std::size_t>(pid)] == kNeverTime) {
+    crash_time_[static_cast<std::size_t>(pid)] = t;
+  }
+}
+
+bool FailurePattern::crashed_by(ProcessId pid, Time now) const {
+  const Time ct = crash_time_[static_cast<std::size_t>(pid)];
+  return ct != kNeverTime && ct <= now;
+}
+
+ProcSet FailurePattern::crashed_set(Time now) const {
+  ProcSet s;
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (crashed_by(p, now)) s.insert(p);
+  }
+  return s;
+}
+
+ProcSet FailurePattern::correct_at_end(Time horizon) const {
+  return ProcSet::full(n_) - crashed_set(horizon);
+}
+
+}  // namespace saf::sim

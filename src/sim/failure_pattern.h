@@ -1,0 +1,86 @@
+// Crash plans and the ground-truth failure pattern of a run.
+//
+// A CrashPlan is an *input*: which processes will crash and when (either
+// at an absolute virtual time, or triggered when the process performs its
+// k-th message send — the latter models a crash in the middle of a
+// broadcast, the classic hard case for reliable broadcast).
+//
+// The FailurePattern is the *record*: as the simulator executes crashes
+// it stamps them here, and failure-detector oracles and property checkers
+// read it. Oracles only ever ask about the past ("has q crashed by now?")
+// plus the plan-level question "which processes are correct in this run"
+// that the class definitions quantify over.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::sim {
+
+struct CrashEntry {
+  ProcessId pid = -1;
+  /// Crash at this virtual time (used when send_trigger is nullopt).
+  Time at_time = kNeverTime;
+  /// If set, crash the instant the process has performed this many
+  /// message sends (counted across unicast and broadcast components).
+  std::optional<std::uint64_t> send_trigger;
+};
+
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+
+  CrashPlan& crash_at(ProcessId pid, Time t);
+  CrashPlan& crash_after_sends(ProcessId pid, std::uint64_t sends);
+
+  const std::vector<CrashEntry>& entries() const { return entries_; }
+
+  /// Processes with a crash entry. (A send-triggered crash that never
+  /// fires leaves the process correct in the actual run; the pattern
+  /// tracks that distinction.)
+  ProcSet planned_faulty() const;
+
+ private:
+  std::vector<CrashEntry> entries_;
+};
+
+class FailurePattern {
+ public:
+  FailurePattern(int n, int t, const CrashPlan& plan);
+
+  int n() const { return n_; }
+  /// Model bound on crashes (the paper's t).
+  int t() const { return t_; }
+
+  /// Called by the simulator when a crash actually takes effect.
+  void record_crash(ProcessId pid, Time t);
+
+  /// Has pid crashed at or before time `now`?
+  bool crashed_by(ProcessId pid, Time now) const;
+
+  /// Actual crash time; kNeverTime if pid has not crashed (yet).
+  Time crash_time(ProcessId pid) const { return crash_time_[static_cast<std::size_t>(pid)]; }
+
+  /// Set of processes crashed by `now`.
+  ProcSet crashed_set(Time now) const;
+
+  /// Processes with no planned crash. Guaranteed correct; oracles use
+  /// this to choose eventually-trusted leaders. (Send-triggered crashes
+  /// that never fire only *enlarge* the true correct set, which is safe
+  /// for every oracle in this library: they promise accuracy about
+  /// planned-correct processes only.)
+  ProcSet planned_correct() const { return planned_correct_; }
+
+  /// Processes that never crashed during the run (call after the run).
+  ProcSet correct_at_end(Time horizon) const;
+
+ private:
+  int n_;
+  int t_;
+  ProcSet planned_correct_;
+  std::vector<Time> crash_time_;
+};
+
+}  // namespace saf::sim

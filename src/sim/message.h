@@ -1,0 +1,35 @@
+// Message base type for protocol payloads.
+//
+// Protocols define their own message structs derived from Message.
+// Messages are immutable after sending and shared between the recipients
+// of a broadcast (shared_ptr<const Message>), so a broadcast costs one
+// allocation regardless of fan-out.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace saf::sim {
+
+struct Message {
+  virtual ~Message() = default;
+
+  /// Short stable tag used for per-kind accounting (quiescence measures,
+  /// message-count benches). E.g. "x_move", "phase1", "inquiry".
+  virtual std::string_view tag() const = 0;
+
+  /// Filled in by the network at send time.
+  ProcessId sender = -1;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Convenience: make_message<PhaseMsg>(...args)
+template <typename M, typename... Args>
+MessagePtr make_message(Args&&... args) {
+  return std::make_shared<const M>(M{{}, std::forward<Args>(args)...});
+}
+
+}  // namespace saf::sim

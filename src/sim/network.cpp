@@ -1,0 +1,54 @@
+#include "sim/network.h"
+
+#include "sim/delay_policy.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace saf::sim {
+
+Network::Network(Simulator& sim, std::unique_ptr<DelayPolicy> policy,
+                 util::Rng rng)
+    : sim_(sim), policy_(std::move(policy)), rng_(std::move(rng)) {
+  SAF_CHECK(policy_ != nullptr);
+}
+
+Network::~Network() = default;
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
+  SAF_CHECK(m != nullptr);
+  SAF_CHECK(to >= 0 && to < sim_.n());
+  if (sim_.is_crashed(from)) return;  // a crashed process sends nothing
+
+  const Time now = sim_.now();
+  ++total_sent_;
+  auto [it, inserted] = by_tag_.try_emplace(std::string(m->tag()));
+  ++it->second.count;
+  it->second.last_time = now;
+
+  const Time d = policy_->delay(from, to, now, rng_);
+  SAF_CHECK_MSG(d >= 1, "delay policies must return >= 1");
+  Simulator* sim = &sim_;
+  sim_.schedule(now + d, [sim, to, msg = std::move(m)] {
+    sim->deliver(to, msg);
+  });
+  sim_.note_send(from);
+}
+
+void Network::broadcast(ProcessId from, const MessagePtr& m) {
+  for (ProcessId to = 0; to < sim_.n(); ++to) {
+    if (sim_.is_crashed(from)) return;  // send-triggered crash mid-broadcast
+    send(from, to, m);
+  }
+}
+
+std::uint64_t Network::sent_with_tag(std::string_view tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? 0 : it->second.count;
+}
+
+Time Network::last_send_time(std::string_view tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? kNeverTime : it->second.last_time;
+}
+
+}  // namespace saf::sim

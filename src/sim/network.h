@@ -1,0 +1,54 @@
+// Reliable asynchronous point-to-point network.
+//
+// Channels are reliable (no creation, alteration or loss) and *not* FIFO:
+// each message gets an independent delay from the DelayPolicy. Messages
+// from or to crashed processes are dropped, matching the model ("unless
+// it fails"). The network also keeps per-tag accounting used by the
+// quiescence benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/message.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace saf::sim {
+
+class Simulator;
+class DelayPolicy;
+
+class Network {
+ public:
+  Network(Simulator& sim, std::unique_ptr<DelayPolicy> policy,
+          util::Rng rng);
+  ~Network();
+
+  /// Point-to-point send; no-op if `from` has crashed.
+  void send(ProcessId from, ProcessId to, MessagePtr m);
+
+  /// Send to every process, including the sender itself.
+  void broadcast(ProcessId from, const MessagePtr& m);
+
+  std::uint64_t total_sent() const { return total_sent_; }
+  std::uint64_t sent_with_tag(std::string_view tag) const;
+  /// Time of the most recent send carrying `tag`; kNeverTime if none.
+  Time last_send_time(std::string_view tag) const;
+
+ private:
+  struct TagStats {
+    std::uint64_t count = 0;
+    Time last_time = kNeverTime;
+  };
+
+  Simulator& sim_;
+  std::unique_ptr<DelayPolicy> policy_;
+  util::Rng rng_;
+  std::uint64_t total_sent_ = 0;
+  std::map<std::string, TagStats, std::less<>> by_tag_;
+};
+
+}  // namespace saf::sim

@@ -1,0 +1,131 @@
+#include "sim/process.h"
+
+#include <algorithm>
+
+#include "sim/network.h"
+#include "sim/reliable_broadcast.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace saf::sim {
+
+Process::Process(ProcessId id, int n, int t) : id_(id), n_(n), t_(t) {
+  SAF_CHECK(id >= 0 && id < n);
+  rb_ = std::make_unique<RbLayer>(*this);
+}
+
+Process::~Process() = default;
+
+ProtocolTask Process::run() {
+  SAF_CHECK_MSG(false, "Process subclasses must override run() or boot()");
+  return {};
+}
+
+bool Process::is_crashed() const {
+  SAF_CHECK(sim_ != nullptr);
+  return sim_->is_crashed(id_);
+}
+
+Time Process::now() const {
+  SAF_CHECK(sim_ != nullptr);
+  return sim_->now();
+}
+
+void Process::attach(Simulator* sim) {
+  SAF_CHECK(sim_ == nullptr);
+  sim_ = sim;
+}
+
+void Process::start() {
+  SAF_CHECK(!started_);
+  started_ = true;
+  boot();
+}
+
+void Process::spawn(ProtocolTask task) {
+  SAF_CHECK(task.valid());
+  // Keep the raw handle: the resumed task may itself spawn, reallocating
+  // tasks_, so no reference into the vector may live across resume().
+  const auto h = task.handle();
+  tasks_.push_back(std::move(task));
+  h.resume();
+  for (const ProtocolTask& t : tasks_) {
+    t.rethrow_if_failed();
+  }
+}
+
+void Process::handle_delivery(const MessagePtr& m) {
+  if (!rb_->intercept(*m)) {
+    on_message(*m);
+  }
+  maybe_wake();
+}
+
+void Process::maybe_wake() {
+  // Resume every predicate-waiter whose predicate holds. Resuming can add
+  // new waiters (and change other predicates), so loop to a fixed point.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i].pred && waiters_[i].pred()) {
+        auto h = waiters_[i].handle;
+        waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(i));
+        resume_handle(h);
+        progressed = true;
+        break;  // restart scan: waiters_ changed under us
+      }
+      if (is_crashed()) return;
+    }
+  }
+}
+
+void Process::resume_handle(std::coroutine_handle<> h) {
+  h.resume();
+  for (const ProtocolTask& t : tasks_) {
+    t.rethrow_if_failed();
+  }
+}
+
+void Process::wake_token(std::uint64_t token) {
+  auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                         [token](const Waiter& w) { return w.token == token; });
+  if (it == waiters_.end()) return;  // already resumed / superseded
+  auto h = it->handle;
+  waiters_.erase(it);
+  resume_handle(h);
+  // A timer wake can enable other predicates.
+  if (!is_crashed()) maybe_wake();
+}
+
+void Process::UntilAwaiter::await_suspend(std::coroutine_handle<> h) {
+  p->waiters_.push_back(Waiter{h, std::move(pred), 0});
+}
+
+void Process::SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Process* proc = p;
+  const std::uint64_t token = proc->next_token_++;
+  proc->waiters_.push_back(Waiter{h, nullptr, token});
+  proc->sim_->schedule(proc->now() + d, [proc, token] {
+    if (!proc->is_crashed()) proc->wake_token(token);
+  });
+}
+
+void Process::send_raw(ProcessId to, std::shared_ptr<Message> m) {
+  SAF_CHECK(sim_ != nullptr);
+  m->sender = id_;
+  sim_->network().send(id_, to, std::move(m));
+}
+
+void Process::broadcast_raw(std::shared_ptr<Message> m) {
+  SAF_CHECK(sim_ != nullptr);
+  m->sender = id_;
+  sim_->network().broadcast(id_, std::move(m));
+}
+
+void Process::rbroadcast_raw(std::shared_ptr<Message> m) {
+  m->sender = id_;
+  rb_->rbroadcast(std::move(m));
+}
+
+}  // namespace saf::sim

@@ -1,0 +1,141 @@
+// Base class for simulated processes.
+//
+// A protocol is written as a subclass: message state updates live in
+// on_message / on_rdeliver handlers (the paper's "when ... is received /
+// R_delivered" tasks), and control flow lives in coroutines (the paper's
+// numbered tasks) suspending on `co_await until(pred)`.
+//
+// A process may run SEVERAL tasks concurrently (boot() spawns them); this
+// is how a transformation algorithm (e.g. the two wheels building Ω_z)
+// and a protocol consuming its output (e.g. k-set agreement) share one
+// process, exactly as the paper's layered reductions intend.
+//
+// The simulator re-evaluates pending wait predicates after every delivery
+// to the process and on every global tick (so predicates over oracle
+// outputs, which change with time only, are noticed promptly).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/task.h"
+#include "util/types.h"
+
+namespace saf::sim {
+
+class Simulator;
+class RbLayer;
+
+class Process {
+ public:
+  Process(ProcessId id, int n, int t);
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return id_; }
+  int n() const { return n_; }
+  int t() const { return t_; }
+
+  /// Spawns the process's tasks at time 0. The default boots run().
+  virtual void boot() { spawn(run()); }
+
+  /// The protocol's main coroutine (single-task processes).
+  virtual ProtocolTask run();
+
+  /// Handler for plain (non reliable-broadcast) message deliveries.
+  virtual void on_message(const Message& m) { (void)m; }
+
+  /// Handler for reliable-broadcast deliveries.
+  virtual void on_rdeliver(const Message& m) { (void)m; }
+
+  /// Optional periodic hook, driven by the simulator's global tick.
+  virtual void on_tick() {}
+
+  bool is_crashed() const;
+  Time now() const;
+
+  /// Sends a protocol message point-to-point.
+  template <typename M>
+  void send_to(ProcessId to, M msg) {
+    send_raw(to, std::make_shared<M>(std::move(msg)));
+  }
+
+  /// The paper's Broadcast(m): send to every process including self.
+  template <typename M>
+  void broadcast_msg(M msg) {
+    broadcast_raw(std::make_shared<M>(std::move(msg)));
+  }
+
+  /// The paper's R_broadcast(m) (reliable broadcast via echo-forwarding,
+  /// see RbLayer).
+  template <typename M>
+  void rbroadcast_msg(M msg) {
+    rbroadcast_raw(std::make_shared<M>(std::move(msg)));
+  }
+
+  struct UntilAwaiter {
+    Process* p;
+    std::function<bool()> pred;
+    bool await_ready() const { return pred(); }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  struct SleepAwaiter {
+    Process* p;
+    Time d;
+    bool await_ready() const { return d <= 0; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await until(pred): suspends until pred() holds.
+  [[nodiscard]] UntilAwaiter until(std::function<bool()> pred) {
+    return UntilAwaiter{this, std::move(pred)};
+  }
+
+  /// co_await sleep_for(d): suspends for d time units.
+  [[nodiscard]] SleepAwaiter sleep_for(Time d) { return SleepAwaiter{this, d}; }
+
+ protected:
+  /// Starts an additional task (call from boot()).
+  void spawn(ProtocolTask task);
+
+ private:
+  friend class Simulator;
+  friend class RbLayer;
+
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::function<bool()> pred;  ///< null for sleep-based waiters
+    std::uint64_t token = 0;
+  };
+
+  void attach(Simulator* sim);
+  void start();
+  void handle_delivery(const MessagePtr& m);
+  void maybe_wake();
+  void resume_handle(std::coroutine_handle<> h);
+  void wake_token(std::uint64_t token);
+  void send_raw(ProcessId to, std::shared_ptr<Message> m);
+  void broadcast_raw(std::shared_ptr<Message> m);
+  void rbroadcast_raw(std::shared_ptr<Message> m);
+
+  ProcessId id_;
+  int n_;
+  int t_;
+  Simulator* sim_ = nullptr;
+  std::vector<ProtocolTask> tasks_;
+  std::vector<Waiter> waiters_;
+  std::uint64_t next_token_ = 1;
+  std::unique_ptr<RbLayer> rb_;
+  bool started_ = false;
+};
+
+}  // namespace saf::sim

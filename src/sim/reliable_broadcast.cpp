@@ -1,0 +1,39 @@
+#include "sim/reliable_broadcast.h"
+
+#include "sim/process.h"
+#include "util/check.h"
+
+namespace saf::sim {
+
+namespace {
+std::uint64_t key_of(ProcessId origin, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(origin) << 40) | seq;
+}
+}  // namespace
+
+void RbLayer::rbroadcast(MessagePtr m) {
+  auto env = std::make_shared<RbEnvelope>();
+  env->origin = owner_.id();
+  env->origin_seq = next_seq_++;
+  env->inner = std::move(m);
+  owner_.broadcast_raw(std::move(env));
+}
+
+bool RbLayer::intercept(const Message& m) {
+  const auto* env = dynamic_cast<const RbEnvelope*>(&m);
+  if (env == nullptr) return false;
+  const std::uint64_t key = key_of(env->origin, env->origin_seq);
+  if (!seen_.insert(key).second) {
+    return true;  // duplicate — Integrity
+  }
+  // Forward before delivering: once any correct process delivers, every
+  // correct process has the envelope in flight — Termination.
+  if (env->origin != owner_.id()) {
+    auto fwd = std::make_shared<RbEnvelope>(*env);
+    owner_.broadcast_raw(std::move(fwd));
+  }
+  owner_.on_rdeliver(*env->inner);
+  return true;
+}
+
+}  // namespace saf::sim

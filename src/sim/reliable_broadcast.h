@@ -1,0 +1,50 @@
+// Reliable broadcast (Hadzilacos-Toueg) by echo-forwarding.
+//
+// R_broadcast(m): wrap m in an envelope stamped (origin, origin_seq) and
+// send it to everyone (including self). On the first delivery of an
+// envelope, a process forwards it to everyone and only then R_delivers
+// the payload. Under reliable channels and crash failures this yields:
+//   * Validity  — envelopes originate from a real R_broadcast;
+//   * Integrity — the (origin, seq) dedup set delivers each m once;
+//   * Termination — a correct process that delivers has already forwarded
+//     to all, so every correct process eventually delivers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "sim/message.h"
+
+namespace saf::sim {
+
+class Process;
+
+struct RbEnvelope final : Message {
+  /// Accounting uses the payload's tag: an x_move relayed by the RB layer
+  /// still counts as x_move traffic (that is what the paper's quiescence
+  /// argument is about).
+  std::string_view tag() const override { return inner->tag(); }
+
+  ProcessId origin = -1;
+  std::uint64_t origin_seq = 0;
+  MessagePtr inner;
+};
+
+class RbLayer {
+ public:
+  explicit RbLayer(Process& owner) : owner_(owner) {}
+
+  /// Initiates R_broadcast of `m` from the owning process.
+  void rbroadcast(MessagePtr m);
+
+  /// Returns true if the message was an RB envelope (and was consumed:
+  /// either deduplicated, or forwarded + delivered via on_rdeliver).
+  bool intercept(const Message& m);
+
+ private:
+  Process& owner_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_set<std::uint64_t> seen_;  // key: origin << 40 | seq
+};
+
+}  // namespace saf::sim

@@ -1,0 +1,138 @@
+#include "sim/simulator.h"
+
+#include "sim/network.h"
+#include "sim/process.h"
+#include "util/check.h"
+
+namespace saf::sim {
+
+Simulator::Simulator(SimConfig cfg, CrashPlan plan,
+                     std::unique_ptr<DelayPolicy> delays)
+    : cfg_(cfg),
+      plan_(std::move(plan)),
+      pattern_(cfg.n, cfg.t, plan_),
+      rng_(util::derive_seed(cfg.seed, "simulator")),
+      crashed_(static_cast<std::size_t>(cfg.n), false),
+      sends_by_(static_cast<std::size_t>(cfg.n), 0) {
+  util::require(cfg.n >= 1 && cfg.n <= kMaxProcs, "SimConfig: n out of range");
+  util::require(cfg.tick_period >= 1, "SimConfig: tick_period must be >= 1");
+  util::require(cfg.horizon >= 1, "SimConfig: horizon must be >= 1");
+  network_ = std::make_unique<Network>(
+      *this, std::move(delays), util::Rng(util::derive_seed(cfg.seed, "network")));
+}
+
+Simulator::~Simulator() = default;
+
+const Network& Simulator::network() const { return *network_; }
+
+Process& Simulator::add_process(std::unique_ptr<Process> p) {
+  SAF_CHECK(p != nullptr);
+  SAF_CHECK_MSG(!started_, "cannot add processes after the run started");
+  SAF_CHECK_MSG(p->id() == static_cast<ProcessId>(processes_.size()),
+                "processes must be added in id order");
+  SAF_CHECK_MSG(static_cast<int>(processes_.size()) < cfg_.n,
+                "more processes than SimConfig.n");
+  p->attach(this);
+  processes_.push_back(std::move(p));
+  return *processes_.back();
+}
+
+bool Simulator::is_crashed(ProcessId pid) const {
+  SAF_CHECK(pid >= 0 && pid < cfg_.n);
+  return crashed_[static_cast<std::size_t>(pid)];
+}
+
+ProcSet Simulator::alive_set() const {
+  ProcSet s;
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (!crashed_[static_cast<std::size_t>(p)]) s.insert(p);
+  }
+  return s;
+}
+
+void Simulator::schedule(Time at, std::function<void()> fn) {
+  SAF_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::crash(ProcessId pid) {
+  if (crashed_[static_cast<std::size_t>(pid)]) return;
+  crashed_[static_cast<std::size_t>(pid)] = true;
+  pattern_.record_crash(pid, now_);
+}
+
+void Simulator::note_send(ProcessId sender) {
+  ++sends_by_[static_cast<std::size_t>(sender)];
+  for (const CrashEntry& e : plan_.entries()) {
+    if (e.pid == sender && e.send_trigger &&
+        sends_by_[static_cast<std::size_t>(sender)] >= *e.send_trigger) {
+      crash(sender);
+    }
+  }
+}
+
+void Simulator::deliver(ProcessId to, const MessagePtr& m) {
+  if (crashed_[static_cast<std::size_t>(to)]) return;
+  processes_[static_cast<std::size_t>(to)]->handle_delivery(m);
+}
+
+void Simulator::tick() {
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (crashed_[static_cast<std::size_t>(p)]) continue;
+    auto& proc = *processes_[static_cast<std::size_t>(p)];
+    proc.on_tick();
+    if (crashed_[static_cast<std::size_t>(p)]) continue;
+    proc.maybe_wake();
+  }
+  const Time next = now_ + cfg_.tick_period;
+  if (next <= cfg_.horizon) {
+    schedule(next, [this] { tick(); });
+  }
+}
+
+void Simulator::start_if_needed() {
+  if (started_) return;
+  started_ = true;
+  SAF_CHECK_MSG(static_cast<int>(processes_.size()) == cfg_.n,
+                "SimConfig.n does not match the number of processes added");
+  // Time-based crashes.
+  for (const CrashEntry& e : plan_.entries()) {
+    if (!e.send_trigger) {
+      schedule(e.at_time, [this, pid = e.pid] { crash(pid); });
+    }
+  }
+  // Start protocol coroutines at time 0. A process planned to crash at
+  // time 0 must not take a step.
+  for (auto& p : processes_) {
+    ProcessId pid = p->id();
+    schedule(0, [this, pid] {
+      if (!crashed_[static_cast<std::size_t>(pid)]) {
+        processes_[static_cast<std::size_t>(pid)]->start();
+      }
+    });
+  }
+  schedule(cfg_.tick_period, [this] { tick(); });
+}
+
+void Simulator::run() {
+  run_until({});
+}
+
+bool Simulator::run_until(const std::function<bool()>& stop) {
+  start_if_needed();
+  if (stop && stop()) return true;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > cfg_.horizon) break;
+    // Copy out before pop: fn may schedule.
+    auto fn = top.fn;
+    now_ = top.time;
+    queue_.pop();
+    ++events_processed_;
+    fn();
+    if (stop && stop()) return true;
+  }
+  return false;
+}
+
+}  // namespace saf::sim

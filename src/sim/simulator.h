@@ -1,0 +1,118 @@
+// The discrete-event engine.
+//
+// A Simulator owns the virtual clock, the event queue, the process table,
+// the network and the ground-truth failure pattern. Runs are fully
+// deterministic functions of (config seed, crash plan, delay policy,
+// protocol code): the event queue breaks time ties by insertion sequence
+// and all randomness flows from seeded streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/delay_policy.h"
+#include "sim/failure_pattern.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace saf::sim {
+
+class Process;
+class Network;
+struct Message;
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  int n = 0;  ///< number of processes (fixed by the processes added)
+  int t = 0;  ///< model bound on crashes
+  /// Period of the global tick event. Ticks re-evaluate wait predicates
+  /// that depend only on time (oracle outputs), and drive on_tick hooks.
+  Time tick_period = 5;
+  /// Hard stop: no event later than this is processed.
+  Time horizon = 200'000;
+};
+
+class Simulator {
+ public:
+  /// Processes must be added before run()/run_until(); their count must
+  /// equal cfg.n.
+  Simulator(SimConfig cfg, CrashPlan plan,
+            std::unique_ptr<DelayPolicy> delays);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a process; its id must equal the number of processes added
+  /// so far (processes are added in id order 0..n-1).
+  Process& add_process(std::unique_ptr<Process> p);
+
+  /// Runs until the horizon (or until no events remain).
+  void run();
+
+  /// Runs until stop() holds (checked after every event). Returns true
+  /// iff stop() became true before the horizon.
+  bool run_until(const std::function<bool()>& stop);
+
+  Time now() const { return now_; }
+  Time horizon() const { return cfg_.horizon; }
+  int n() const { return cfg_.n; }
+  int t() const { return cfg_.t; }
+
+  bool is_crashed(ProcessId pid) const;
+  ProcSet alive_set() const;
+
+  FailurePattern& pattern() { return pattern_; }
+  const FailurePattern& pattern() const { return pattern_; }
+  Network& network() { return *network_; }
+  const Network& network() const;
+
+  /// General-purpose deterministic stream (distinct from the network's).
+  util::Rng& rng() { return rng_; }
+
+  /// Schedules fn at absolute time `at` (>= now).
+  void schedule(Time at, std::function<void()> fn);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend class Network;
+  friend class Process;
+
+  void start_if_needed();
+  void crash(ProcessId pid);
+  /// Counts a completed send; fires send-triggered crashes.
+  void note_send(ProcessId sender);
+  void deliver(ProcessId to, const std::shared_ptr<const Message>& m);
+  void tick();
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimConfig cfg_;
+  CrashPlan plan_;
+  FailurePattern pattern_;
+  util::Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<bool> crashed_;
+  std::vector<std::uint64_t> sends_by_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace saf::sim

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace saf::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::fprintf(stderr, "SAF_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace saf::util

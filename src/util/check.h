@@ -1,0 +1,38 @@
+// Internal invariant checking.
+//
+// SAF_CHECK is always on (simulation correctness matters more than the
+// nanoseconds), aborts with a readable message. Use for programmer errors
+// and protocol invariants, never for user input validation (callers get
+// exceptions from public APIs instead, see saf::util::require).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace saf::util {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+/// Throws std::invalid_argument when a public-API precondition fails.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace saf::util
+
+#define SAF_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::saf::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SAF_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream saf_check_os_;                              \
+      saf_check_os_ << msg;                                          \
+      ::saf::util::check_failed(#expr, __FILE__, __LINE__,           \
+                                saf_check_os_.str());                \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,54 @@
+#include "util/combinatorics.h"
+
+#include "util/check.h"
+
+namespace saf::util {
+
+std::uint64_t binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<std::uint64_t>(n - k + i) /
+             static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+std::vector<ProcSet> combinations_of(ProcSet universe, int k) {
+  SAF_CHECK(k >= 0);
+  const std::vector<ProcessId> ids = universe.to_vector();
+  const int n = static_cast<int>(ids.size());
+  std::vector<ProcSet> out;
+  if (k > n) return out;
+  out.reserve(static_cast<std::size_t>(binomial(n, k)));
+  if (k == 0) {
+    out.emplace_back();
+    return out;
+  }
+  // Classic index-vector enumeration: idx holds the ranks of the chosen
+  // members, advanced in lexicographic order.
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    ProcSet s;
+    for (int i : idx) s.insert(ids[static_cast<std::size_t>(i)]);
+    out.push_back(s);
+    // Find rightmost index that can still advance.
+    int pos = k - 1;
+    while (pos >= 0 && idx[static_cast<std::size_t>(pos)] == n - k + pos) --pos;
+    if (pos < 0) break;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int i = pos + 1; i < k; ++i) {
+      idx[static_cast<std::size_t>(i)] = idx[static_cast<std::size_t>(i - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<ProcSet> combinations(int n, int k) {
+  SAF_CHECK(n >= 0 && n <= kMaxProcs);
+  return combinations_of(ProcSet::full(n), k);
+}
+
+}  // namespace saf::util

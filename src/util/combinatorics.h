@@ -1,0 +1,30 @@
+// Subset enumeration and binomial coefficients.
+//
+// The two-wheels construction (paper §4) scans *a priori known, ring
+// ordered* sequences of subsets of the process universe: the lower wheel
+// scans all x-subsets, the upper wheel scans all (t-y+1)-subsets together
+// with each of their z-subsets. These helpers build those sequences in
+// the canonical (lexicographic) order every process agrees on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::util {
+
+/// C(n, k); saturates at uint64 max is not needed for n <= 64 ... it can
+/// overflow for pathological inputs, so callers should keep n small; the
+/// library checks total ring sizes before materializing them.
+std::uint64_t binomial(int n, int k);
+
+/// All k-subsets of {0..n-1} in lexicographic order of their sorted
+/// member lists. For k == 0 returns the single empty set.
+std::vector<ProcSet> combinations(int n, int k);
+
+/// All k-subsets of an arbitrary universe set, in lexicographic order of
+/// the universe's member ranks.
+std::vector<ProcSet> combinations_of(ProcSet universe, int k);
+
+}  // namespace saf::util

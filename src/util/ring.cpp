@@ -1,0 +1,56 @@
+#include "util/ring.h"
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace saf::util {
+
+MemberRing::MemberRing(int n, int x, std::uint64_t max_positions) {
+  require(n >= 1 && n <= kMaxProcs, "MemberRing: n out of range");
+  require(x >= 1 && x <= n, "MemberRing: need 1 <= x <= n");
+  const std::uint64_t total =
+      binomial(n, x) * static_cast<std::uint64_t>(x);
+  require(total <= max_positions, "MemberRing: ring too large");
+  positions_.reserve(total);
+  for (const ProcSet& set : combinations(n, x)) {
+    for (ProcessId member : set) {
+      positions_.push_back(Position{member, set});
+    }
+  }
+  SAF_CHECK(positions_.size() == total);
+}
+
+std::size_t MemberRing::find(ProcessId leader, ProcSet set) const {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (positions_[i].leader == leader && positions_[i].set == set) return i;
+  }
+  return positions_.size();
+}
+
+SubsetPairRing::SubsetPairRing(int n, int outer_size, int inner_size,
+                               std::uint64_t max_positions) {
+  require(n >= 1 && n <= kMaxProcs, "SubsetPairRing: n out of range");
+  require(outer_size >= 1 && outer_size <= n,
+          "SubsetPairRing: outer_size out of range");
+  require(inner_size >= 1 && inner_size <= outer_size,
+          "SubsetPairRing: need 1 <= inner_size <= outer_size");
+  const std::uint64_t total =
+      binomial(n, outer_size) * binomial(outer_size, inner_size);
+  require(total <= max_positions, "SubsetPairRing: ring too large");
+  positions_.reserve(total);
+  for (const ProcSet& outer : combinations(n, outer_size)) {
+    for (const ProcSet& inner : combinations_of(outer, inner_size)) {
+      positions_.push_back(Position{inner, outer});
+    }
+  }
+  SAF_CHECK(positions_.size() == total);
+}
+
+std::size_t SubsetPairRing::find(ProcSet inner, ProcSet outer) const {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (positions_[i].inner == inner && positions_[i].outer == outer) return i;
+  }
+  return positions_.size();
+}
+
+}  // namespace saf::util

@@ -1,0 +1,84 @@
+// Ring-ordered scan sequences used by the wheel components (paper Fig 4).
+//
+// Both wheels of the ◇S_x + ◇φ_y → Ω_z construction rely on every process
+// knowing, ahead of time, the same circular sequence of "positions":
+//
+//  * Lower wheel — positions are pairs (ℓ, X): X ranges over all
+//    x-subsets of the n processes, and within each X, ℓ ranges over X's
+//    members in increasing id order. Next() advances ℓ within X and
+//    steps to the next X (wrapping) after X's last member.
+//
+//  * Upper wheel — positions are pairs (L, Y): Y ranges over all
+//    (t-y+1)-subsets, and within each Y, L ranges over all z-subsets of
+//    Y. Next() advances L within Y and steps to the next Y (wrapping)
+//    after Y's last subset.
+//
+// A Cursor is an index into the flattened sequence; positions are
+// materialized up-front (the rings are small for the n this library
+// targets, and construction validates the total size).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::util {
+
+/// Lower-wheel ring: the sequence (ℓ^1_1, X[1]), ..., (ℓ^1_x, X[1]),
+/// (ℓ^2_1, X[2]), ... over all x-subsets X[i] of {0..n-1}.
+class MemberRing {
+ public:
+  struct Position {
+    ProcessId leader;  ///< ℓ — the candidate representative
+    ProcSet set;       ///< X — the x-subset it belongs to
+    bool operator==(const Position&) const = default;
+  };
+
+  /// Builds the ring for x-subsets of n processes.
+  /// Throws std::invalid_argument unless 1 <= x <= n and the ring is of
+  /// tractable size (<= max_positions).
+  MemberRing(int n, int x, std::uint64_t max_positions = 1u << 22);
+
+  std::size_t size() const { return positions_.size(); }
+  const Position& at(std::size_t cursor) const { return positions_[cursor]; }
+
+  /// The paper's Next function: advance one position, wrapping.
+  std::size_t next(std::size_t cursor) const {
+    return (cursor + 1) % positions_.size();
+  }
+
+  /// Cursor of the first position whose pair equals (leader, set);
+  /// returns size() if the pair is not a ring position.
+  std::size_t find(ProcessId leader, ProcSet set) const;
+
+ private:
+  std::vector<Position> positions_;
+};
+
+/// Upper-wheel ring: the sequence (L^1_1, Y[1]), ..., (L^1_nbL, Y[1]),
+/// (L^2_1, Y[2]), ... where Y[i] ranges over all outer-subsets of size
+/// outer_size and L over all inner-subsets of Y[i] of size inner_size.
+class SubsetPairRing {
+ public:
+  struct Position {
+    ProcSet inner;  ///< L — candidate leader set, |L| = inner_size
+    ProcSet outer;  ///< Y — enclosing query set, |Y| = outer_size
+    bool operator==(const Position&) const = default;
+  };
+
+  SubsetPairRing(int n, int outer_size, int inner_size,
+                 std::uint64_t max_positions = 1u << 22);
+
+  std::size_t size() const { return positions_.size(); }
+  const Position& at(std::size_t cursor) const { return positions_[cursor]; }
+  std::size_t next(std::size_t cursor) const {
+    return (cursor + 1) % positions_.size();
+  }
+  std::size_t find(ProcSet inner, ProcSet outer) const;
+
+ private:
+  std::vector<Position> positions_;
+};
+
+}  // namespace saf::util

@@ -1,0 +1,66 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace saf::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view label) {
+  std::uint64_t h = parent;
+  for (char c : label) {
+    h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return splitmix64(h);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t salt) {
+  return splitmix64(splitmix64(parent) ^ salt);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  SAF_CHECK(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::flip(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t size) {
+  SAF_CHECK(size > 0);
+  return static_cast<std::size_t>(
+      uniform(0, static_cast<std::int64_t>(size) - 1));
+}
+
+ProcSet Rng::subset(ProcSet universe, int k) {
+  SAF_CHECK(k >= 0 && k <= universe.size());
+  std::vector<ProcessId> ids = universe.to_vector();
+  // Partial Fisher-Yates: pick k distinct positions.
+  ProcSet out;
+  for (int i = 0; i < k; ++i) {
+    std::size_t j = i + index(ids.size() - static_cast<std::size_t>(i));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    out.insert(ids[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Rng Rng::split(std::string_view label) {
+  return Rng(derive_seed(engine_(), label));
+}
+
+Rng Rng::split(std::uint64_t salt) { return Rng(derive_seed(engine_(), salt)); }
+
+}  // namespace saf::util

@@ -1,0 +1,59 @@
+// Deterministic, splittable randomness.
+//
+// Every run of the simulator is a pure function of its seed. Components
+// (network delays, oracle noise, crash schedules, ...) each get their own
+// stream derived from the run seed and a component label, so adding a
+// consumer of randomness in one component never perturbs another.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::util {
+
+/// Mixes a parent seed with a label into a child seed (splitmix64-style).
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view label);
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t salt);
+
+/// A seeded random stream. Thin wrapper over mt19937_64 with the sampling
+/// helpers the simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli with probability p of true.
+  bool flip(double p);
+
+  /// Uniformly chosen element index of a container of given size (> 0).
+  std::size_t index(std::size_t size);
+
+  /// A uniformly random subset of `universe` of exactly `k` elements.
+  ProcSet subset(ProcSet universe, int k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Child stream for a sub-component.
+  Rng split(std::string_view label);
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace saf::util

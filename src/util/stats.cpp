@@ -1,0 +1,68 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace saf::util {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Summary::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  SAF_CHECK(!samples_.empty());
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  SAF_CHECK(!samples_.empty());
+  sort();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  SAF_CHECK(!samples_.empty());
+  sort();
+  return samples_.back();
+}
+
+double Summary::stddev() const {
+  SAF_CHECK(!samples_.empty());
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Summary::percentile(double q) const {
+  SAF_CHECK(!samples_.empty());
+  SAF_CHECK(q >= 0.0 && q <= 1.0);
+  sort();
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  if (samples_.empty()) return "(no samples)";
+  os << "mean=" << mean() << " p50=" << percentile(0.5)
+     << " p99=" << percentile(0.99) << " min=" << min() << " max=" << max()
+     << " (n=" << samples_.size() << ")";
+  return os.str();
+}
+
+}  // namespace saf::util

@@ -1,0 +1,33 @@
+// Tiny descriptive-statistics helper for the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saf::util {
+
+/// Accumulates samples and reports summary statistics. Used by benches to
+/// print the per-configuration rows that EXPERIMENTS.md records.
+class Summary {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// q in [0,1]; nearest-rank percentile.
+  double percentile(double q) const;
+
+  /// "mean=12.3 p50=12 p99=40 min=2 max=44 (n=100)"
+  std::string to_string() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void sort() const;
+};
+
+}  // namespace saf::util

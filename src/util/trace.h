@@ -1,0 +1,95 @@
+// Timestamped step-function traces.
+//
+// Property checkers (fd/checkers.h) verify class axioms over the *whole
+// history* of a run: "eventually P holds forever" becomes "there exists a
+// time tau such that P holds on [tau, horizon]". To make that checkable,
+// every oracle output and every emulated-detector output is recorded as a
+// step function of virtual time.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace saf::util {
+
+/// A right-continuous step function of virtual time.
+/// record(t, v) appends a step; queries return the value of the latest
+/// step at or before t (or the initial value before the first step).
+template <typename V>
+class StepTrace {
+ public:
+  explicit StepTrace(V initial = V{}) : initial_(std::move(initial)) {}
+
+  struct Step {
+    Time time;
+    V value;
+    bool operator==(const Step&) const = default;
+  };
+
+  /// Appends a step. Times must be non-decreasing; an equal-time record
+  /// overwrites (last write at an instant wins). Steps that do not change
+  /// the value are dropped, so consecutive step values always differ.
+  void record(Time t, V value) {
+    SAF_CHECK_MSG(steps_.empty() || t >= steps_.back().time,
+                  "StepTrace: time went backwards");
+    if (!steps_.empty() && steps_.back().time == t) {
+      steps_.pop_back();  // overwrite the record at this instant
+    }
+    const V& prev = steps_.empty() ? initial_ : steps_.back().value;
+    if (value == prev) return;
+    steps_.push_back(Step{t, std::move(value)});
+  }
+
+  /// Value at time t.
+  const V& at(Time t) const {
+    auto it = std::upper_bound(
+        steps_.begin(), steps_.end(), t,
+        [](Time lhs, const Step& s) { return lhs < s.time; });
+    if (it == steps_.begin()) return initial_;
+    return std::prev(it)->value;
+  }
+
+  /// Value after all recorded steps.
+  const V& final() const {
+    return steps_.empty() ? initial_ : steps_.back().value;
+  }
+
+  /// Time of the last change, or kNeverTime if the trace never changed.
+  Time last_change() const {
+    return steps_.empty() ? kNeverTime : steps_.back().time;
+  }
+
+  const std::vector<Step>& steps() const { return steps_; }
+  const V& initial() const { return initial_; }
+
+ private:
+  V initial_;
+  std::vector<Step> steps_;
+};
+
+/// Earliest time tau such that pred(value) holds on [tau, end-of-trace].
+/// Returns kNeverTime if pred fails on the final value; 0 if pred holds
+/// over the entire trace including the initial value.
+template <typename V, typename Pred>
+Time stable_since(const StepTrace<V>& trace, Pred pred) {
+  if (!pred(trace.final())) return kNeverTime;
+  const auto& steps = trace.steps();
+  for (std::size_t i = steps.size(); i > 0; --i) {
+    if (!pred(steps[i - 1].value)) {
+      // pred fails at step i-1; since pred(final()) holds, i-1 is not the
+      // last step, and pred holds from the next step onwards.
+      SAF_CHECK(i < steps.size());
+      return steps[i].time;
+    }
+  }
+  if (!pred(trace.initial())) {
+    SAF_CHECK(!steps.empty());
+    return steps.front().time;
+  }
+  return 0;
+}
+
+}  // namespace saf::util

@@ -1,0 +1,25 @@
+#include "util/types.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace saf {
+
+std::string ProcSet::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, ProcSet s) {
+  os << '{';
+  bool first = true;
+  for (ProcessId id : s) {
+    if (!first) os << ',';
+    os << id;
+    first = false;
+  }
+  return os << '}';
+}
+
+}  // namespace saf

@@ -1,0 +1,116 @@
+// Core value types shared by every module: process identifiers, virtual
+// time, and a small bitset of processes (ProcSet).
+//
+// The whole library assumes n <= kMaxProcs processes, which lets a set of
+// processes live in a single 64-bit word. Set-agreement protocols and
+// failure-detector checkers manipulate such sets constantly, so this
+// representation is both the simplest and the fastest available.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace saf {
+
+/// Identity of a process. Processes are numbered 0..n-1.
+using ProcessId = int;
+
+/// Virtual (simulated) time. Strictly logical: one unit is one "delay
+/// quantum" of the discrete-event engine, not a wall-clock duration.
+using Time = std::int64_t;
+
+/// Sentinel for "no time" / "never".
+inline constexpr Time kNeverTime = -1;
+
+/// Upper bound on the number of simulated processes.
+inline constexpr int kMaxProcs = 64;
+
+/// A set of process identities, stored as a 64-bit mask.
+///
+/// ProcSet is a regular value type: cheap to copy, totally ordered (by
+/// mask value, which is also the containment-friendly order used by the
+/// phi-bar containment checker), hashable via mask().
+class ProcSet {
+ public:
+  constexpr ProcSet() = default;
+  constexpr explicit ProcSet(std::uint64_t mask) : mask_(mask) {}
+  constexpr ProcSet(std::initializer_list<ProcessId> ids) {
+    for (ProcessId id : ids) insert(id);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static constexpr ProcSet full(int n) {
+    return ProcSet(n >= kMaxProcs ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << n) - 1);
+  }
+
+  static ProcSet from_vector(const std::vector<ProcessId>& ids) {
+    ProcSet s;
+    for (ProcessId id : ids) s.insert(id);
+    return s;
+  }
+
+  constexpr bool contains(ProcessId id) const {
+    return (mask_ >> id) & 1u;
+  }
+  constexpr void insert(ProcessId id) { mask_ |= std::uint64_t{1} << id; }
+  constexpr void erase(ProcessId id) { mask_ &= ~(std::uint64_t{1} << id); }
+  constexpr int size() const { return std::popcount(mask_); }
+  constexpr bool empty() const { return mask_ == 0; }
+  constexpr std::uint64_t mask() const { return mask_; }
+
+  constexpr ProcSet operator|(ProcSet o) const { return ProcSet(mask_ | o.mask_); }
+  constexpr ProcSet operator&(ProcSet o) const { return ProcSet(mask_ & o.mask_); }
+  /// Set difference: elements of *this not in o.
+  constexpr ProcSet operator-(ProcSet o) const { return ProcSet(mask_ & ~o.mask_); }
+  constexpr ProcSet& operator|=(ProcSet o) { mask_ |= o.mask_; return *this; }
+  constexpr ProcSet& operator&=(ProcSet o) { mask_ &= o.mask_; return *this; }
+
+  constexpr bool operator==(const ProcSet&) const = default;
+  constexpr auto operator<=>(const ProcSet&) const = default;
+
+  /// True iff *this is a subset of o.
+  constexpr bool subset_of(ProcSet o) const { return (mask_ & ~o.mask_) == 0; }
+  constexpr bool intersects(ProcSet o) const { return (mask_ & o.mask_) != 0; }
+
+  /// Smallest id in the set; -1 if empty. (The paper's min{j | ...}.)
+  constexpr ProcessId min() const {
+    return mask_ == 0 ? -1 : std::countr_zero(mask_);
+  }
+
+  std::vector<ProcessId> to_vector() const {
+    std::vector<ProcessId> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    for (std::uint64_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(std::countr_zero(m));
+    }
+    return out;
+  }
+
+  /// Minimal forward iteration support (range-for over member ids).
+  class iterator {
+   public:
+    constexpr explicit iterator(std::uint64_t m) : m_(m) {}
+    constexpr ProcessId operator*() const { return std::countr_zero(m_); }
+    constexpr iterator& operator++() { m_ &= m_ - 1; return *this; }
+    constexpr bool operator!=(const iterator& o) const { return m_ != o.m_; }
+
+   private:
+    std::uint64_t m_;
+  };
+  constexpr iterator begin() const { return iterator(mask_); }
+  constexpr iterator end() const { return iterator(0); }
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, ProcSet s);
+
+}  // namespace saf

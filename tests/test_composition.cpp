@@ -1,0 +1,129 @@
+// End-to-end composition tests: ◇S_x + ◇φ_y → Ω_z → z-set agreement,
+// stacked inside the same processes (core/stacked.h). This is the paper's
+// motivating example run for real: ◇S_t + ◇φ_1 gives consensus although
+// neither class alone can.
+#include <gtest/gtest.h>
+
+#include "core/stacked.h"
+
+namespace saf::core {
+namespace {
+
+StackedRunConfig base(int n, int t, int x, int y, std::uint64_t seed) {
+  StackedRunConfig c;
+  c.n = n;
+  c.t = t;
+  c.x = x;
+  c.y = y;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Stacked, MotivatingExample_ConsensusFromStPlusPhi1) {
+  // n=7, t=3: ◇S_3 + ◇φ_1 -> Ω_1 -> consensus (z = 1).
+  auto c = base(7, 3, 3, 1, 3);
+  c.crashes.crash_at(2, 250);
+  auto r = run_stacked_kset(c);
+  EXPECT_EQ(r.z, 1);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.validity);
+  EXPECT_EQ(r.distinct_decided, 1) << "consensus must decide one value";
+  EXPECT_TRUE(r.omega_check.pass) << r.omega_check.detail;
+}
+
+TEST(Stacked, TwoSetAgreementFromWeakerSeeds) {
+  // n=7, t=3: ◇S_2 + ◇φ_1 -> Ω_2 -> 2-set agreement.
+  auto c = base(7, 3, 2, 1, 5);
+  c.crashes.crash_at(0, 100).crash_at(4, 500);
+  auto r = run_stacked_kset(c);
+  EXPECT_EQ(r.z, 2);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.validity);
+  EXPECT_LE(r.distinct_decided, 2);
+  EXPECT_TRUE(r.omega_check.pass) << r.omega_check.detail;
+}
+
+TEST(Stacked, PureDiamondSxComposition) {
+  // y = 0: ◇S_x alone, x = t+1 -> Ω_1 -> consensus (Corollary 7 route).
+  auto c = base(9, 4, 5, 0, 7);
+  c.crashes.crash_at(1, 150);
+  auto r = run_stacked_kset(c);
+  EXPECT_EQ(r.z, 1);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_EQ(r.distinct_decided, 1);
+}
+
+TEST(Stacked, PurePhiYComposition) {
+  // x = 1: ◇φ_t alone -> Ω_1 -> consensus (Corollary 6 route; ◇φ_t is
+  // equivalent to an eventually perfect detector).
+  auto c = base(7, 3, 1, 3, 9);
+  c.crashes.crash_at(6, 200);
+  auto r = run_stacked_kset(c);
+  EXPECT_EQ(r.z, 1);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_EQ(r.distinct_decided, 1);
+}
+
+struct StackParam {
+  int x, y;
+};
+
+class StackedDiagonal : public ::testing::TestWithParam<StackParam> {};
+
+TEST_P(StackedDiagonal, EveryDiagonalPointDeliversItsAgreementDegree) {
+  // n=9, t=4: every (x, y) with z = t+2-x-y in [1, t-y+1] composes into
+  // a z-set agreement that decides at most z values.
+  const auto p = GetParam();
+  StackedRunConfig c;
+  c.n = 9;
+  c.t = 4;
+  c.x = p.x;
+  c.y = p.y;
+  c.seed = 7000 + static_cast<std::uint64_t>(p.x * 10 + p.y);
+  c.crashes.crash_at(2, 120);
+  auto r = run_stacked_kset(c);
+  EXPECT_EQ(r.z, c.t + 2 - p.x - p.y);
+  EXPECT_TRUE(r.all_correct_decided) << "x=" << p.x << " y=" << p.y;
+  EXPECT_TRUE(r.validity);
+  EXPECT_LE(r.distinct_decided, r.z);
+}
+
+std::vector<StackParam> stacked_diagonal() {
+  std::vector<StackParam> out;
+  const int t = 4;
+  for (int x = 1; x <= t + 1; ++x) {
+    for (int y = 0; y <= t; ++y) {
+      const int z = t + 2 - x - y;
+      if (z < 1 || z > t - y + 1) continue;
+      out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Diagonal, StackedDiagonal,
+                         ::testing::ValuesIn(stacked_diagonal()));
+
+class StackedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StackedSeeds, AgreementDegreeRespectedAcrossSchedules) {
+  auto c = base(7, 3, 2, 1, GetParam());  // z = 2
+  c.crashes.crash_at(3, 90);
+  auto r = run_stacked_kset(c);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.validity);
+  EXPECT_LE(r.distinct_decided, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackedSeeds,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(Stacked, RejectsBadShapes) {
+  EXPECT_THROW(run_stacked_kset(base(6, 3, 3, 1, 1)),
+               std::invalid_argument);  // t >= n/2
+  EXPECT_THROW(run_stacked_kset(base(7, 3, 4, 1, 1)),
+               std::invalid_argument);  // z < 1
+}
+
+}  // namespace
+}  // namespace saf::core

@@ -1,0 +1,79 @@
+// Tests for the baseline consensus protocols (◇S-based and Ω-based).
+#include <gtest/gtest.h>
+
+#include "core/consensus.h"
+
+namespace saf::core {
+namespace {
+
+ConsensusRunConfig base(int n, int t, std::uint64_t seed) {
+  ConsensusRunConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  return c;
+}
+
+void expect_consensus(const ConsensusRunResult& r) {
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity);
+  EXPECT_NE(r.decided_value, INT64_MIN);
+}
+
+TEST(DiamondSConsensus, FailureFreeRunDecides) {
+  expect_consensus(run_diamond_s_consensus(base(5, 2, 3)));
+}
+
+TEST(DiamondSConsensus, ToleratesMaximalCrashes) {
+  auto c = base(7, 3, 5);
+  c.crashes.crash_at(0, 20).crash_at(3, 200).crash_at(6, 450);
+  expect_consensus(run_diamond_s_consensus(c));
+}
+
+TEST(DiamondSConsensus, CoordinatorCrashMidBroadcastIsSkipped) {
+  auto c = base(5, 2, 7);
+  // p1 is the round-1 coordinator; kill it after a couple of sends.
+  c.crashes.crash_after_sends(1, 2);
+  auto r = run_diamond_s_consensus(c);
+  expect_consensus(r);
+  EXPECT_GE(r.max_round, 1);
+}
+
+TEST(DiamondSConsensus, LateStabilizationDelaysButDecides) {
+  auto c = base(7, 3, 9);
+  c.fd_stab = 2500;
+  c.noise = 0.2;
+  auto r = run_diamond_s_consensus(c);
+  expect_consensus(r);
+}
+
+TEST(DiamondSConsensus, RejectsMajorityViolation) {
+  EXPECT_THROW(run_diamond_s_consensus(base(6, 3, 1)),
+               std::invalid_argument);
+}
+
+TEST(OmegaConsensus, FailureFreeRunDecides) {
+  expect_consensus(run_omega_consensus(base(5, 2, 11)));
+}
+
+TEST(OmegaConsensus, ToleratesCrashes) {
+  auto c = base(9, 4, 13);
+  c.crashes.crash_at(2, 50).crash_at(5, 300).crash_at(7, 700);
+  expect_consensus(run_omega_consensus(c));
+}
+
+class ConsensusSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsensusSeeds, BothBaselinesAgreeAcrossSchedules) {
+  auto c = base(7, 3, GetParam());
+  c.crashes.crash_at(1, 100);
+  expect_consensus(run_diamond_s_consensus(c));
+  expect_consensus(run_omega_consensus(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsensusSeeds,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace saf::core

@@ -1,0 +1,115 @@
+// Tests for the irreducibility demonstrations (paper §5) and the
+// additivity lower bound (Theorem 8 necessity): the witness source
+// detectors are legal, the naive target emulations provably fail their
+// class checks, and the two-wheels machinery breaks below the boundary.
+#include <gtest/gtest.h>
+
+#include "core/irreducibility.h"
+#include "core/two_wheels.h"
+
+namespace saf::core {
+namespace {
+
+constexpr Time kHorizon = 4000;
+
+TEST(Irreducibility, SxCannotYieldPhi_Theorem9Witness) {
+  const auto demo = demo_sx_to_phi(/*n=*/6, /*t=*/3, /*x=*/3, /*y=*/1,
+                                   /*seed=*/5, kHorizon);
+  EXPECT_TRUE(demo.source_legal.pass) << demo.source_legal.detail;
+  EXPECT_TRUE(demo.source_legal2.pass) << demo.source_legal2.detail;
+  EXPECT_FALSE(demo.target_check.pass)
+      << "the naive phi emulation unexpectedly satisfied the axioms";
+}
+
+TEST(Irreducibility, PhiCannotYieldSx_Theorem10Witness) {
+  const auto demo = demo_phi_to_sx(/*n=*/8, /*t=*/3, /*x=*/2, /*y=*/1,
+                                   /*seed=*/7, kHorizon);
+  EXPECT_TRUE(demo.source_legal.pass) << demo.source_legal.detail;
+  EXPECT_FALSE(demo.target_check.pass)
+      << "the naive suspect emulation unexpectedly satisfied completeness";
+}
+
+TEST(Irreducibility, OmegaCannotYieldSx_Theorem12Witness) {
+  const auto demo = demo_omega_to_sx(/*n=*/6, /*t=*/2, /*x=*/2, /*z=*/2,
+                                     /*seed=*/9, kHorizon);
+  EXPECT_TRUE(demo.source_legal.pass) << demo.source_legal.detail;
+  EXPECT_FALSE(demo.target_check.pass);
+}
+
+TEST(Irreducibility, DemosHoldAcrossParameterSweep) {
+  for (int y = 1; y <= 2; ++y) {
+    const auto d1 = demo_sx_to_phi(7, 3, 2 + y, y, 11 + y, kHorizon);
+    EXPECT_TRUE(d1.source_legal.pass);
+    EXPECT_FALSE(d1.target_check.pass) << "y=" << y;
+    const auto d2 = demo_phi_to_sx(9, 3, 3, y, 13 + y, kHorizon);
+    EXPECT_TRUE(d2.source_legal.pass);
+    EXPECT_FALSE(d2.target_check.pass) << "y=" << y;
+  }
+}
+
+TEST(AdditivityBound, TwoWheelsBelowBoundaryFailsOmegaCheck) {
+  // Theorem 8 necessity: x + y + z >= t + 2. Run the machinery with
+  // z one below the optimum in a crash-free run; the wheel cannot settle
+  // (every candidate L misses an alive responder) and the Ω_z check
+  // fails.
+  TwoWheelsConfig c;
+  c.n = 5;
+  c.t = 2;
+  c.x = 1;  // information-free ◇S_1
+  c.y = 0;  // information-free φ_0
+  c.z = 2;  // below the required z = t + 1 = 3
+  c.seed = 21;
+  c.horizon = 20'000;
+  const auto r = run_two_wheels(c);
+  EXPECT_FALSE(r.omega_check.pass)
+      << "Omega_2 from nothing would contradict Theorem 8";
+  // The wheel demonstrably kept hunting: l_move traffic never stops.
+  EXPECT_GT(r.l_move_count, 50u);
+}
+
+TEST(AdditivityBound, SameShapeAtTheBoundarySucceeds) {
+  // Control experiment for the test above: z = t + 1 works with the same
+  // information-free detectors.
+  TwoWheelsConfig c;
+  c.n = 5;
+  c.t = 2;
+  c.x = 1;
+  c.y = 0;
+  c.z = 3;
+  c.seed = 21;
+  c.horizon = 20'000;
+  const auto r = run_two_wheels(c);
+  EXPECT_TRUE(r.omega_check.pass) << r.omega_check.detail;
+}
+
+TEST(AdversarialSx, IsALegalDetectorDespiteMaximalSuspicion) {
+  sim::CrashPlan plan;
+  plan.crash_at(2, 100);
+  sim::FailurePattern fp(6, 2, plan);
+  fp.record_crash(2, 100);
+  AdversarialSx sx(fp, 3, /*stab_time=*/50, 31);
+  const auto h = fd::sample_suspects(sx, 6, kHorizon, 5);
+  EXPECT_TRUE(fd::check_strong_completeness(h, fp, kHorizon).pass);
+  EXPECT_TRUE(
+      fd::check_limited_scope_accuracy(h, fp, 3, kHorizon, false).pass);
+  // A crashed process suspects nobody, so it can fill one extra scope
+  // slot for free...
+  EXPECT_TRUE(
+      fd::check_limited_scope_accuracy(h, fp, 4, kHorizon, false).pass);
+  // ...but beyond scope + crashes, accuracy really is unobtainable.
+  EXPECT_FALSE(
+      fd::check_limited_scope_accuracy(h, fp, 5, kHorizon, false).pass);
+}
+
+TEST(AdversarialSx, ScopeIsTightWithoutCrashes) {
+  sim::FailurePattern fp(6, 2, {});
+  AdversarialSx sx(fp, 3, /*stab_time=*/0, 33);
+  const auto h = fd::sample_suspects(sx, 6, kHorizon, 5);
+  EXPECT_TRUE(
+      fd::check_limited_scope_accuracy(h, fp, 3, kHorizon, true).pass);
+  EXPECT_FALSE(
+      fd::check_limited_scope_accuracy(h, fp, 4, kHorizon, false).pass);
+}
+
+}  // namespace
+}  // namespace saf::core

@@ -1,0 +1,144 @@
+// Tests for the perfect classes P / ◇P and the equivalences at the top
+// of the class grid (paper §2.2): φ_t ≡ P and ◇φ_t ≡ ◇P.
+#include <gtest/gtest.h>
+
+#include "core/equivalences.h"
+#include "fd/checkers.h"
+#include "fd/perfect.h"
+#include "fd/query_oracles.h"
+
+namespace saf::fd {
+namespace {
+
+constexpr Time kHorizon = 4000;
+
+sim::FailurePattern make_pattern(int n, int t,
+                                 std::vector<std::pair<ProcessId, Time>> crashes) {
+  sim::CrashPlan plan;
+  for (auto [pid, at] : crashes) plan.crash_at(pid, at);
+  sim::FailurePattern fp(n, t, plan);
+  for (auto [pid, at] : crashes) fp.record_crash(pid, at);
+  return fp;
+}
+
+TEST(PerfectOracle, ClassPNeverMakesAMistake) {
+  auto fp = make_pattern(6, 2, {{1, 100}, {4, 700}});
+  PerfectOracleParams params;
+  params.stab_time = 0;
+  PerfectOracle p(fp, params);
+  const auto h = sample_suspects(p, 6, kHorizon, 5);
+  EXPECT_TRUE(check_strong_completeness(h, fp, kHorizon).pass);
+  const auto acc = check_strong_accuracy(h, fp, kHorizon, /*perpetual=*/true);
+  EXPECT_TRUE(acc.pass) << acc.detail;
+}
+
+TEST(PerfectOracle, DiamondPStabilizes) {
+  auto fp = make_pattern(6, 2, {{1, 100}});
+  PerfectOracleParams params;
+  params.stab_time = 500;
+  params.pre_stab_noise = 0.3;
+  PerfectOracle p(fp, params);
+  const auto h = sample_suspects(p, 6, kHorizon, 5);
+  EXPECT_TRUE(check_strong_completeness(h, fp, kHorizon).pass);
+  // Perpetual accuracy fails (pre-stab noise)...
+  EXPECT_FALSE(check_strong_accuracy(h, fp, kHorizon, true).pass);
+  // ...eventual accuracy holds, with the witness near stabilization.
+  const auto acc = check_strong_accuracy(h, fp, kHorizon, false);
+  EXPECT_TRUE(acc.pass) << acc.detail;
+  EXPECT_LE(acc.witness, 520);
+  EXPECT_GT(acc.witness, 0);
+}
+
+TEST(Checkers, StrongAccuracyCatchesASingleFalseSuspicion) {
+  auto fp = make_pattern(3, 1, {{2, 500}});
+  SetHistory h(3);
+  h[0].record(100, ProcSet{2});  // suspects p2 400 time units too early
+  h[0].record(200, ProcSet{});
+  EXPECT_FALSE(check_strong_accuracy(h, fp, kHorizon, true).pass);
+  const auto ev = check_strong_accuracy(h, fp, kHorizon, false);
+  EXPECT_TRUE(ev.pass);
+  EXPECT_EQ(ev.witness, 200);
+}
+
+TEST(Checkers, StrongAccuracyIgnoresSuspicionsOfCrashedProcesses) {
+  auto fp = make_pattern(3, 1, {{2, 50}});
+  SetHistory h(3);
+  h[0].record(60, ProcSet{2});  // p2 already crashed: legitimate
+  EXPECT_TRUE(check_strong_accuracy(h, fp, kHorizon, true).pass);
+}
+
+// --- φ_t ≡ P (both directions) -----------------------------------------
+
+TEST(Equivalences, PhiTYieldsPerfect) {
+  const int n = 6, t = 2;
+  auto fp = make_pattern(n, t, {{0, 120}, {3, 400}});
+  QueryOracleParams qp;
+  qp.detect_delay = 10;
+  PhiOracle phi(fp, /*y=*/t, qp);  // φ_t: singletons are informative
+  core::PerfectFromPhiT perfect(phi, n, t);
+  const auto h = sample_suspects(perfect, n, kHorizon, 5);
+  EXPECT_TRUE(check_strong_completeness(h, fp, kHorizon).pass);
+  const auto acc = check_strong_accuracy(h, fp, kHorizon, true);
+  EXPECT_TRUE(acc.pass) << acc.detail;
+}
+
+TEST(Equivalences, DiamondPhiTYieldsDiamondPerfect) {
+  const int n = 7, t = 3;
+  auto fp = make_pattern(n, t, {{2, 150}});
+  QueryOracleParams qp;
+  qp.stab_time = 400;
+  qp.detect_delay = 10;
+  PhiOracle phi(fp, t, qp);
+  core::PerfectFromPhiT perfect(phi, n, t);
+  const auto h = sample_suspects(perfect, n, kHorizon, 5);
+  EXPECT_TRUE(check_strong_completeness(h, fp, kHorizon).pass);
+  const auto acc = check_strong_accuracy(h, fp, kHorizon, false);
+  EXPECT_TRUE(acc.pass) << acc.detail;
+}
+
+TEST(Equivalences, PerfectYieldsPhiYForEveryY) {
+  const int n = 7, t = 3;
+  auto fp = make_pattern(n, t, {{1, 100}, {4, 300}, {6, 600}});
+  PerfectOracleParams pp;
+  pp.stab_time = 0;
+  pp.detect_delay = 8;
+  PerfectOracle perfect(fp, pp);
+  for (int y = 1; y <= t; ++y) {
+    core::SuspicionBackedPhi phi(perfect, t, y);
+    const auto res = check_phi_properties(phi, fp, y, kHorizon, 5,
+                                          /*perpetual=*/true, 97);
+    EXPECT_TRUE(res.pass) << "y=" << y << ": " << res.detail;
+  }
+}
+
+TEST(Equivalences, DiamondPerfectYieldsDiamondPhiY) {
+  const int n = 7, t = 3;
+  auto fp = make_pattern(n, t, {{1, 100}, {4, 300}});
+  PerfectOracleParams pp;
+  pp.stab_time = 400;
+  pp.pre_stab_noise = 0.25;
+  PerfectOracle perfect(fp, pp);
+  for (int y = 1; y <= t; ++y) {
+    core::SuspicionBackedPhi phi(perfect, t, y);
+    const auto res = check_phi_properties(phi, fp, y, kHorizon, 5,
+                                          /*perpetual=*/false, 98);
+    EXPECT_TRUE(res.pass) << "y=" << y << ": " << res.detail;
+  }
+}
+
+TEST(Equivalences, RoundTripPhiToPerfectToPhi) {
+  // φ_t -> P -> φ_t: the composition still satisfies the φ_t axioms.
+  const int n = 6, t = 2;
+  auto fp = make_pattern(n, t, {{0, 120}, {3, 500}});
+  QueryOracleParams qp;
+  qp.detect_delay = 10;
+  PhiOracle phi(fp, t, qp);
+  core::PerfectFromPhiT perfect(phi, n, t);
+  core::SuspicionBackedPhi phi_again(perfect, t, t);
+  const auto res =
+      check_phi_properties(phi_again, fp, t, kHorizon, 5, true, 99);
+  EXPECT_TRUE(res.pass) << res.detail;
+}
+
+}  // namespace
+}  // namespace saf::fd

@@ -1,0 +1,112 @@
+// Tests for Appendix A: the local construction φ̄_y → Ω_z (y+z >= t+1).
+#include <gtest/gtest.h>
+
+#include "core/phibar_to_omega.h"
+#include "fd/checkers.h"
+#include "fd/query_oracles.h"
+#include "sim/failure_pattern.h"
+
+namespace saf::core {
+namespace {
+
+constexpr Time kHorizon = 4000;
+
+sim::FailurePattern make_pattern(int n, int t,
+                                 std::vector<std::pair<ProcessId, Time>> crashes) {
+  sim::CrashPlan plan;
+  for (auto [pid, at] : crashes) plan.crash_at(pid, at);
+  sim::FailurePattern fp(n, t, plan);
+  for (auto [pid, at] : crashes) fp.record_crash(pid, at);
+  return fp;
+}
+
+TEST(PhiBarToOmega, ChainIsNestedAndEndsAtFullSet) {
+  auto fp = make_pattern(6, 2, {});
+  fd::PhiOracle phi(fp, 2, {});
+  fd::PhiBarOracle bar(phi);
+  PhiBarToOmega omega(bar, 6, 2, 2, 1);
+  const auto& chain = omega.chain();
+  ASSERT_EQ(chain.size(), 7u);  // Y[0..n-z+1] with z=1
+  EXPECT_TRUE(chain.front().empty());
+  EXPECT_EQ(chain.back(), ProcSet::full(6));
+  for (std::size_t j = 1; j < chain.size(); ++j) {
+    EXPECT_TRUE(chain[j - 1].subset_of(chain[j]));
+    EXPECT_EQ(chain[j].size(), static_cast<int>(j));
+  }
+}
+
+TEST(PhiBarToOmega, NoCrashesOutputsFirstSet) {
+  auto fp = make_pattern(6, 2, {});
+  fd::PhiOracle phi(fp, 1, {});
+  fd::PhiBarOracle bar(phi);
+  // y=1, z=2: y+z = 3 = t+1.
+  PhiBarToOmega omega(bar, 6, 2, 1, 2);
+  // Y[1] = {0,1} contains correct processes => query false => output Y[1].
+  EXPECT_EQ(omega.trusted(0, 100), ProcSet({0, 1}));
+}
+
+TEST(PhiBarToOmega, FirstSetCrashedOutputsAddedSingleton) {
+  auto fp = make_pattern(6, 2, {{0, 50}, {1, 80}});
+  fd::QueryOracleParams qp;
+  qp.detect_delay = 10;
+  fd::PhiOracle phi(fp, 1, qp);
+  fd::PhiBarOracle bar(phi);
+  PhiBarToOmega omega(bar, 6, 2, 1, 2);
+  // After both crashes detected: Y[1]={0,1} all crashed -> true;
+  // Y[2]={0,1,2} has p2 alive -> false -> output {2}.
+  EXPECT_EQ(omega.trusted(3, 500), ProcSet({2}));
+}
+
+TEST(PhiBarToOmega, SatisfiesOmegaZAcrossParameters) {
+  for (int t : {2, 3}) {
+    for (int y = 1; y <= t; ++y) {
+      const int z = t + 1 - y;
+      if (z < 1) continue;
+      const int n = 7;
+      auto fp = make_pattern(n, t, {{1, 60}, {2, 150}});
+      fd::QueryOracleParams qp;
+      qp.stab_time = 250;  // eventual-class oracle
+      qp.detect_delay = 10;
+      fd::PhiOracle phi(fp, y, qp);
+      fd::PhiBarOracle bar(phi);
+      PhiBarToOmega omega(bar, n, t, y, z);
+      const auto h = fd::sample_leaders(omega, n, kHorizon, 5);
+      const auto res = fd::check_eventual_leadership(h, fp, z, kHorizon);
+      EXPECT_TRUE(res.pass) << "t=" << t << " y=" << y << ": " << res.detail;
+    }
+  }
+}
+
+TEST(PhiBarToOmega, HonorsTheContainmentObligation) {
+  // The adaptor must only ever query nested sets; PhiBarOracle aborts the
+  // process otherwise, so surviving a full sampling sweep is the test.
+  auto fp = make_pattern(8, 3, {{4, 100}});
+  fd::PhiOracle phi(fp, 2, {});
+  fd::PhiBarOracle bar(phi);
+  PhiBarToOmega omega(bar, 8, 3, 2, 2);
+  for (Time tau = 0; tau <= 1000; tau += 3) {
+    for (ProcessId i = 0; i < 8; ++i) (void)omega.trusted(i, tau);
+  }
+  EXPECT_LE(bar.distinct_query_sets(), 8u);
+}
+
+TEST(PhiBarToOmega, RejectsParametersBelowTheBound) {
+  auto fp = make_pattern(6, 3, {});
+  fd::PhiOracle phi(fp, 1, {});
+  fd::PhiBarOracle bar(phi);
+  // y + z = 1 + 2 = 3 < t + 1 = 4.
+  EXPECT_THROW(PhiBarToOmega(bar, 6, 3, 1, 2), std::invalid_argument);
+}
+
+TEST(PhiBarToOmega, CustomFirstSet) {
+  auto fp = make_pattern(6, 2, {});
+  fd::PhiOracle phi(fp, 2, {});
+  fd::PhiBarOracle bar(phi);
+  PhiBarToOmega omega(bar, 6, 2, 2, 1, ProcSet{4});
+  EXPECT_EQ(omega.trusted(0, 10), ProcSet({4}));
+  EXPECT_THROW(PhiBarToOmega(bar, 6, 2, 2, 1, ProcSet({4, 5})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saf::core

@@ -1,0 +1,167 @@
+// Property-style tests: randomized inputs checked against reference
+// implementations / algebraic laws (seed-parameterized TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/ring.h"
+#include "util/rng.h"
+#include "util/trace.h"
+#include "util/types.h"
+
+namespace saf {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- ProcSet algebra laws vs std::set reference --------------------------
+
+std::set<ProcessId> to_ref(ProcSet s) {
+  std::set<ProcessId> out;
+  for (ProcessId p : s) out.insert(p);
+  return out;
+}
+
+TEST_P(SeededProperty, ProcSetMatchesSetAlgebraReference) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const int n = static_cast<int>(rng.uniform(1, 20));
+    const ProcSet a = rng.subset(ProcSet::full(n),
+                                 static_cast<int>(rng.uniform(0, n)));
+    const ProcSet b = rng.subset(ProcSet::full(n),
+                                 static_cast<int>(rng.uniform(0, n)));
+    const auto ra = to_ref(a), rb = to_ref(b);
+
+    std::set<ProcessId> runion, rinter, rdiff;
+    std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                   std::inserter(runion, runion.begin()));
+    std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                          std::inserter(rinter, rinter.begin()));
+    std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::inserter(rdiff, rdiff.begin()));
+
+    EXPECT_EQ(to_ref(a | b), runion);
+    EXPECT_EQ(to_ref(a & b), rinter);
+    EXPECT_EQ(to_ref(a - b), rdiff);
+    EXPECT_EQ(a.size(), static_cast<int>(ra.size()));
+    EXPECT_EQ(a.subset_of(b),
+              std::includes(rb.begin(), rb.end(), ra.begin(), ra.end()));
+    EXPECT_EQ(a.intersects(b), !rinter.empty());
+    EXPECT_EQ(a.min(), ra.empty() ? -1 : *ra.begin());
+    // De Morgan within the universe.
+    const ProcSet u = ProcSet::full(n);
+    EXPECT_EQ((u - (a | b)), ((u - a) & (u - b)));
+    EXPECT_EQ((u - (a & b)), ((u - a) | (u - b)));
+  }
+}
+
+// --- StepTrace vs a map-based reference ----------------------------------
+
+TEST_P(SeededProperty, StepTraceMatchesMapReference) {
+  util::Rng rng(GetParam() ^ 0xabcdULL);
+  util::StepTrace<int> trace(-1);
+  std::map<Time, int> ref;  // time -> value, last-write-wins per instant
+  Time now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += rng.uniform(0, 5);
+    const int v = static_cast<int>(rng.uniform(0, 4));
+    trace.record(now, v);
+    ref[now] = v;
+  }
+  auto ref_at = [&](Time t) {
+    auto it = ref.upper_bound(t);
+    if (it == ref.begin()) return -1;
+    return std::prev(it)->second;
+  };
+  for (Time t = 0; t <= now + 3; ++t) {
+    ASSERT_EQ(trace.at(t), ref_at(t)) << "at time " << t;
+  }
+  EXPECT_EQ(trace.final(), ref_at(now + 1));
+  // Consecutive steps always change the value.
+  for (std::size_t i = 1; i < trace.steps().size(); ++i) {
+    EXPECT_NE(trace.steps()[i].value, trace.steps()[i - 1].value);
+    EXPECT_LT(trace.steps()[i - 1].time, trace.steps()[i].time);
+  }
+  // stable_since agrees with brute force for a random predicate.
+  const int pivot = static_cast<int>(rng.uniform(0, 4));
+  auto pred = [pivot](int v) { return v >= pivot; };
+  const Time tau = util::stable_since(trace, pred);
+  if (tau == kNeverTime) {
+    EXPECT_FALSE(pred(trace.final()));
+  } else {
+    for (Time t = tau; t <= now + 3; ++t) {
+      EXPECT_TRUE(pred(trace.at(t))) << "violation after witness at " << t;
+    }
+    if (tau > 0) {
+      EXPECT_FALSE(pred(trace.at(tau - 1)));
+    }
+  }
+}
+
+// --- Ring laws ------------------------------------------------------------
+
+TEST_P(SeededProperty, MemberRingVisitsEveryPairExactlyOncePerLap) {
+  util::Rng rng(GetParam() ^ 0x7777ULL);
+  const int n = static_cast<int>(rng.uniform(3, 8));
+  const int x = static_cast<int>(rng.uniform(1, n));
+  util::MemberRing ring(n, x);
+  std::set<std::pair<ProcessId, std::uint64_t>> seen;
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const auto& pos = ring.at(cursor);
+    EXPECT_TRUE(pos.set.contains(pos.leader));
+    EXPECT_EQ(pos.set.size(), x);
+    EXPECT_TRUE(seen.insert({pos.leader, pos.set.mask()}).second);
+    cursor = ring.next(cursor);
+  }
+  EXPECT_EQ(cursor, 0u);  // a full lap returns to the start
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(util::binomial(n, x)) *
+                static_cast<std::size_t>(x));
+}
+
+TEST_P(SeededProperty, SubsetPairRingCoversAllNestedPairs) {
+  util::Rng rng(GetParam() ^ 0x9999ULL);
+  const int n = static_cast<int>(rng.uniform(4, 8));
+  const int outer = static_cast<int>(rng.uniform(2, n));
+  const int inner = static_cast<int>(rng.uniform(1, outer));
+  util::SubsetPairRing ring(n, outer, inner);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const auto& pos = ring.at(i);
+    EXPECT_TRUE(pos.inner.subset_of(pos.outer));
+    EXPECT_EQ(pos.inner.size(), inner);
+    EXPECT_EQ(pos.outer.size(), outer);
+    EXPECT_TRUE(seen.insert({pos.inner.mask(), pos.outer.mask()}).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(
+                             util::binomial(n, outer) *
+                             util::binomial(outer, inner)));
+}
+
+TEST_P(SeededProperty, RngSubsetIsUnbiasedEnough) {
+  // Every member of the universe should be picked with roughly equal
+  // frequency (loose 3-sigma band; catches gross selection bugs).
+  util::Rng rng(GetParam() ^ 0x5151ULL);
+  const ProcSet universe = ProcSet::full(10);
+  constexpr int kTrials = 4000;
+  constexpr int kPick = 3;
+  std::array<int, 10> hits{};
+  for (int i = 0; i < kTrials; ++i) {
+    for (ProcessId p : rng.subset(universe, kPick)) {
+      ++hits[static_cast<std::size_t>(p)];
+    }
+  }
+  const double expected = kTrials * kPick / 10.0;
+  for (int h : hits) {
+    EXPECT_NEAR(h, expected, 5 * std::sqrt(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace saf

@@ -1,0 +1,102 @@
+// Tests for repeated k-set agreement (§3.2's zero-degradation workload):
+// M sequential instances over one shared Ω_z detector.
+#include <gtest/gtest.h>
+
+#include "core/repeated_kset.h"
+
+namespace saf::core {
+namespace {
+
+TEST(RepeatedKSet, AllInstancesDecideWithBoundedDisagreement) {
+  RepeatedKSetConfig cfg;
+  cfg.n = 7;
+  cfg.t = 3;
+  cfg.k = cfg.z = 2;
+  cfg.instances = 6;
+  cfg.seed = 3;
+  cfg.perfect_oracle = false;
+  cfg.omega_stab = 300;
+  cfg.crashes.crash_at(1, 100).crash_at(4, 500);
+  auto r = run_repeated_kset(cfg);
+  EXPECT_TRUE(r.all_instances_decided);
+  for (int m = 0; m < cfg.instances; ++m) {
+    EXPECT_LE(r.distinct[static_cast<std::size_t>(m)], 2) << "instance " << m;
+    EXPECT_GE(r.distinct[static_cast<std::size_t>(m)], 1) << "instance " << m;
+  }
+  // Instances complete in order.
+  for (int m = 1; m < cfg.instances; ++m) {
+    EXPECT_GE(r.finish_times[static_cast<std::size_t>(m)],
+              r.finish_times[static_cast<std::size_t>(m - 1)]);
+  }
+}
+
+TEST(RepeatedKSet, ZeroDegradationAcrossInstances) {
+  // Crashes hit during instance 0; with a perfect oracle, every LATER
+  // instance still decides in one round — §3.2's claim verbatim.
+  RepeatedKSetConfig cfg;
+  cfg.n = 9;
+  cfg.t = 4;
+  cfg.k = cfg.z = 2;
+  cfg.instances = 5;
+  cfg.seed = 7;
+  cfg.perfect_oracle = true;
+  cfg.delay_min = cfg.delay_max = 5;
+  cfg.crashes.crash_at(1, 3);             // initial-ish
+  cfg.crashes.crash_after_sends(3, 20);   // mid-broadcast in instance 0
+  auto r = run_repeated_kset(cfg);
+  EXPECT_TRUE(r.all_instances_decided);
+  for (int m = 1; m < cfg.instances; ++m) {
+    EXPECT_EQ(r.rounds[static_cast<std::size_t>(m)], 1)
+        << "instance " << m << " degraded by earlier crashes";
+  }
+}
+
+TEST(RepeatedKSet, LateCrashOnlyHurtsTheInstanceItHits) {
+  RepeatedKSetConfig cfg;
+  cfg.n = 7;
+  cfg.t = 3;
+  cfg.k = cfg.z = 1;  // repeated consensus
+  cfg.instances = 4;
+  cfg.seed = 11;
+  cfg.perfect_oracle = true;
+  cfg.delay_min = cfg.delay_max = 5;
+  auto baseline = run_repeated_kset(cfg);
+  ASSERT_TRUE(baseline.all_instances_decided);
+  // All instances one round in the crash-free run.
+  for (int m = 0; m < cfg.instances; ++m) {
+    EXPECT_EQ(baseline.rounds[static_cast<std::size_t>(m)], 1);
+  }
+  // Now crash someone while instance 2 is running (decisions at ~15 per
+  // instance with fixed delay 5).
+  cfg.crashes.crash_at(2, baseline.finish_times[1] + 2);
+  auto r = run_repeated_kset(cfg);
+  EXPECT_TRUE(r.all_instances_decided);
+  EXPECT_EQ(r.rounds[0], 1);
+  EXPECT_EQ(r.rounds[1], 1);
+  EXPECT_EQ(r.rounds[3], 1) << "instance after the crash degraded";
+}
+
+TEST(RepeatedKSet, SingleInstanceMatchesOneShotShape) {
+  RepeatedKSetConfig cfg;
+  cfg.n = 5;
+  cfg.t = 2;
+  cfg.k = cfg.z = 2;
+  cfg.instances = 1;
+  cfg.seed = 13;
+  auto r = run_repeated_kset(cfg);
+  EXPECT_TRUE(r.all_instances_decided);
+  EXPECT_LE(r.distinct[0], 2);
+}
+
+TEST(RepeatedKSet, RejectsBadConfig) {
+  RepeatedKSetConfig cfg;
+  cfg.instances = 0;
+  EXPECT_THROW(run_repeated_kset(cfg), std::invalid_argument);
+  RepeatedKSetConfig big_z;
+  big_z.z = 3;
+  big_z.k = 2;
+  EXPECT_THROW(run_repeated_kset(big_z), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saf::core

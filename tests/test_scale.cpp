@@ -1,0 +1,81 @@
+// Scale tests: the library's documented limit is kMaxProcs = 64
+// processes. The combinatorial constructions (wheels) are bounded by
+// their ring sizes, but the oracle-driven protocols must work at the
+// boundary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/kset_agreement.h"
+#include "fd/export.h"
+#include "fd/omega_oracle.h"
+#include "fd/checkers.h"
+
+namespace saf {
+namespace {
+
+TEST(Scale, ProcSetBoundary) {
+  const ProcSet full = ProcSet::full(64);
+  EXPECT_EQ(full.size(), 64);
+  EXPECT_TRUE(full.contains(63));
+  ProcSet s;
+  s.insert(63);
+  EXPECT_EQ(s.min(), 63);
+  EXPECT_EQ((full - s).size(), 63);
+  EXPECT_EQ(full.mask(), ~std::uint64_t{0});
+}
+
+TEST(Scale, KSetAgreementAt40Processes) {
+  core::KSetRunConfig cfg;
+  cfg.n = 40;
+  cfg.t = 19;
+  cfg.k = cfg.z = 5;
+  cfg.seed = 404;
+  cfg.omega_stab = 150;
+  for (int i = 0; i < 10; ++i) cfg.crashes.crash_at(3 * i + 1, 30 * (i + 1));
+  auto r = core::run_kset_agreement(cfg);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.validity);
+  EXPECT_LE(r.distinct_decided, 5);
+}
+
+TEST(Scale, KSetAgreementAt64Processes) {
+  core::KSetRunConfig cfg;
+  cfg.n = 64;
+  cfg.t = 31;
+  cfg.k = cfg.z = 3;
+  cfg.seed = 646;
+  cfg.perfect_oracle = true;
+  cfg.crashes.crash_at(63, 0).crash_at(0, 40);
+  auto r = core::run_kset_agreement(cfg);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_LE(r.distinct_decided, 3);
+}
+
+TEST(Scale, SixtyFiveProcessesRejected) {
+  core::KSetRunConfig cfg;
+  cfg.n = 65;
+  cfg.t = 2;
+  EXPECT_THROW(core::run_kset_agreement(cfg), std::invalid_argument);
+}
+
+TEST(Export, CsvRoundTripShape) {
+  fd::SetHistory h(2);
+  h[0].record(10, ProcSet{1});
+  h[1].record(20, ProcSet{0, 1});
+  std::ostringstream os;
+  fd::write_set_history_csv(os, h, "suspected");
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time,process,suspected"), std::string::npos);
+  EXPECT_NE(csv.find("10,0,\"{1}\""), std::string::npos);
+  EXPECT_NE(csv.find("20,1,\"{0,1}\""), std::string::npos);
+
+  fd::ReprHistory r(1);
+  r[0].record(5, 3);
+  std::ostringstream os2;
+  fd::write_repr_history_csv(os2, r);
+  EXPECT_NE(os2.str().find("5,0,3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saf

@@ -1,0 +1,191 @@
+// Simulator fuzzing: random chatter workloads with random crash plans,
+// checked against engine-level invariants (no post-crash activity,
+// monotonic delivery times, determinism), plus failure-path tests
+// (exception propagation out of protocol coroutines, misuse guards).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace saf::sim {
+namespace {
+
+struct ChatterMsg final : Message {
+  explicit ChatterMsg(int h) : hop(h) {}
+  std::string_view tag() const override { return "chatter"; }
+  int hop;
+};
+
+/// Sends random unicasts/broadcasts/R-broadcasts forever; occasionally
+/// relays received messages. Records delivery metadata for invariant
+/// checking.
+class ChatterProcess : public Process {
+ public:
+  ChatterProcess(ProcessId id, int n, int t, std::uint64_t seed)
+      : Process(id, n, t), rng_(util::derive_seed(seed, id)) {}
+
+  ProtocolTask run() override {
+    while (true) {
+      const int action = static_cast<int>(rng_.uniform(0, 3));
+      if (action == 0) {
+        send_to(static_cast<ProcessId>(rng_.index(static_cast<std::size_t>(n()))),
+                ChatterMsg{0});
+      } else if (action == 1) {
+        broadcast_msg(ChatterMsg{1});
+      } else if (action == 2) {
+        rbroadcast_msg(ChatterMsg{2});
+      }
+      co_await sleep_for(rng_.uniform(1, 9));
+    }
+  }
+
+  void on_message(const Message& m) override { note(m); }
+  void on_rdeliver(const Message& m) override { note(m); }
+
+  std::vector<std::pair<Time, ProcessId>> deliveries;  // (when, from)
+
+ private:
+  void note(const Message& m) {
+    deliveries.emplace_back(now(), m.sender);
+  }
+  util::Rng rng_;
+};
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzz, EngineInvariantsHoldUnderRandomWorkloads) {
+  const std::uint64_t seed = GetParam();
+  util::Rng meta(seed);
+  const int n = static_cast<int>(meta.uniform(3, 10));
+  const int t = static_cast<int>(meta.uniform(1, n - 1));
+  CrashPlan plan;
+  const int crashes = static_cast<int>(meta.uniform(0, t));
+  ProcSet victims;
+  for (int i = 0; i < crashes; ++i) {
+    ProcessId v = static_cast<ProcessId>(meta.index(static_cast<std::size_t>(n)));
+    if (victims.contains(v)) continue;
+    victims.insert(v);
+    if (meta.flip(0.5)) {
+      plan.crash_at(v, meta.uniform(0, 2000));
+    } else {
+      plan.crash_after_sends(v, static_cast<std::uint64_t>(meta.uniform(1, 200)));
+    }
+  }
+  SimConfig sc;
+  sc.n = n;
+  sc.t = t;
+  sc.seed = seed;
+  sc.horizon = 3'000;
+  Simulator sim(sc, plan, std::make_unique<UniformDelay>(1, 15));
+  std::vector<ChatterProcess*> ps;
+  for (ProcessId i = 0; i < n; ++i) {
+    ps.push_back(static_cast<ChatterProcess*>(&sim.add_process(
+        std::make_unique<ChatterProcess>(i, n, t, seed))));
+  }
+  sim.run();
+
+  for (auto* p : ps) {
+    const Time my_crash = sim.pattern().crash_time(p->id());
+    Time prev = 0;
+    for (const auto& [when, from] : p->deliveries) {
+      // Delivery times are non-decreasing per process.
+      EXPECT_GE(when, prev);
+      prev = when;
+      // Nothing is delivered to a crashed process.
+      if (my_crash != kNeverTime) {
+        EXPECT_LT(when, my_crash + 1);
+      }
+      // Nothing was *sent* by a process after its crash: a message takes
+      // at least 1 time unit, so its send time is < `when`.
+      const Time sender_crash = sim.pattern().crash_time(from);
+      if (sender_crash != kNeverTime) {
+        EXPECT_LT(when, sender_crash + 16)
+            << "message from p" << from << " sent after its crash";
+      }
+    }
+  }
+  // The run made real progress.
+  EXPECT_GT(sim.events_processed(), 100u);
+  EXPECT_GT(sim.network().total_sent(), 50u);
+}
+
+TEST_P(SimFuzz, IdenticalSeedsGiveIdenticalDeliverySequences) {
+  const std::uint64_t seed = GetParam();
+  auto run_once = [&] {
+    SimConfig sc;
+    sc.n = 5;
+    sc.t = 2;
+    sc.seed = seed;
+    sc.horizon = 1'500;
+    CrashPlan plan;
+    plan.crash_at(1, 400);
+    Simulator sim(sc, plan, std::make_unique<UniformDelay>(1, 12));
+    std::vector<ChatterProcess*> ps;
+    for (ProcessId i = 0; i < 5; ++i) {
+      ps.push_back(static_cast<ChatterProcess*>(&sim.add_process(
+          std::make_unique<ChatterProcess>(i, 5, 2, seed))));
+    }
+    sim.run();
+    std::vector<std::pair<Time, ProcessId>> all;
+    for (auto* p : ps) {
+      all.insert(all.end(), p->deliveries.begin(), p->deliveries.end());
+    }
+    return all;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --- Failure paths ---------------------------------------------------------
+
+class ThrowingProcess : public Process {
+ public:
+  using Process::Process;
+  ProtocolTask run() override {
+    co_await sleep_for(10);
+    throw std::runtime_error("protocol bug");
+  }
+};
+
+TEST(SimFailurePaths, CoroutineExceptionsPropagateToTheCaller) {
+  SimConfig sc;
+  sc.n = 1;
+  sc.t = 0;
+  sc.seed = 1;
+  Simulator sim(sc, {}, std::make_unique<FixedDelay>(1));
+  sim.add_process(std::make_unique<ThrowingProcess>(0, 1, 0));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimFailurePaths, MisusedConfigurationIsRejected) {
+  SimConfig sc;
+  sc.n = 0;
+  EXPECT_THROW(Simulator(sc, {}, std::make_unique<FixedDelay>(1)),
+               std::invalid_argument);
+  SimConfig bad_tick;
+  bad_tick.n = 2;
+  bad_tick.tick_period = 0;
+  EXPECT_THROW(Simulator(bad_tick, {}, std::make_unique<FixedDelay>(1)),
+               std::invalid_argument);
+}
+
+TEST(SimFailurePaths, ProcessCountMustMatchConfig) {
+  SimConfig sc;
+  sc.n = 2;
+  sc.t = 1;
+  Simulator sim(sc, {}, std::make_unique<FixedDelay>(1));
+  sim.add_process(std::make_unique<ChatterProcess>(0, 2, 1, 1));
+  EXPECT_DEATH(sim.run(), "does not match");
+}
+
+}  // namespace
+}  // namespace saf::sim
