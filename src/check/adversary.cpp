@@ -1,0 +1,158 @@
+#include "check/adversary.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace saf::check {
+
+namespace {
+
+/// Messages from `victims` sent before `release` are held so they land
+/// shortly after `release` (the region looks crashed, then "catches
+/// up" — the R' construction of the irreducibility proofs, randomized).
+class StarvationDelay final : public sim::DelayPolicy {
+ public:
+  explicit StarvationDelay(AdversarySpec a) : a_(a) {}
+  Time delay(ProcessId from, ProcessId to, Time now,
+             util::Rng& rng) override {
+    (void)to;
+    if (a_.victims.contains(from) && now < a_.release) {
+      return std::max<Time>(a_.release - now + rng.uniform(0, a_.hi), 1);
+    }
+    return rng.uniform(a_.lo, a_.hi);
+  }
+
+ private:
+  AdversarySpec a_;
+};
+
+/// Every message sent before `release` arrives in a small window just
+/// after it: a long global silence followed by a delivery avalanche.
+class NearHorizonDelay final : public sim::DelayPolicy {
+ public:
+  explicit NearHorizonDelay(AdversarySpec a) : a_(a) {}
+  Time delay(ProcessId, ProcessId, Time now, util::Rng& rng) override {
+    if (now < a_.release) {
+      return std::max<Time>(a_.release - now + rng.uniform(0, 4 * a_.hi), 1);
+    }
+    return rng.uniform(a_.lo, a_.hi);
+  }
+
+ private:
+  AdversarySpec a_;
+};
+
+/// Alternating fast/slow epochs keyed off the send time.
+class BurstyDelay final : public sim::DelayPolicy {
+ public:
+  explicit BurstyDelay(AdversarySpec a) : a_(a) {}
+  Time delay(ProcessId, ProcessId, Time now, util::Rng& rng) override {
+    const bool slow = (now / a_.epoch) % 2 == 1;
+    return slow ? rng.uniform(a_.slow_lo, a_.slow_hi)
+                : rng.uniform(a_.lo, a_.hi);
+  }
+
+ private:
+  AdversarySpec a_;
+};
+
+const char* kind_name(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::kUniform: return "uniform";
+    case AdversaryKind::kStarvation: return "starvation";
+    case AdversaryKind::kNearHorizon: return "near-horizon";
+    case AdversaryKind::kBursty: return "bursty";
+  }
+  return "uniform";
+}
+
+}  // namespace
+
+std::string AdversarySpec::to_string() const {
+  std::ostringstream os;
+  os << kind_name(kind) << " lo=" << lo << " hi=" << hi;
+  switch (kind) {
+    case AdversaryKind::kUniform:
+      break;
+    case AdversaryKind::kStarvation:
+      os << " victims=0x" << std::hex << victims.mask() << std::dec
+         << " release=" << release;
+      break;
+    case AdversaryKind::kNearHorizon:
+      os << " release=" << release;
+      break;
+    case AdversaryKind::kBursty:
+      os << " slow_lo=" << slow_lo << " slow_hi=" << slow_hi
+         << " epoch=" << epoch;
+      break;
+  }
+  return os.str();
+}
+
+AdversarySpec AdversarySpec::parse(const std::string& line) {
+  std::istringstream is(line);
+  std::string kind;
+  is >> kind;
+  AdversarySpec a;
+  if (kind == "uniform") {
+    a.kind = AdversaryKind::kUniform;
+  } else if (kind == "starvation") {
+    a.kind = AdversaryKind::kStarvation;
+  } else if (kind == "near-horizon") {
+    a.kind = AdversaryKind::kNearHorizon;
+  } else if (kind == "bursty") {
+    a.kind = AdversaryKind::kBursty;
+  } else {
+    throw std::invalid_argument("AdversarySpec: unknown kind '" + kind + "'");
+  }
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    util::require(eq != std::string::npos,
+                  "AdversarySpec: malformed token '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    try {
+      if (key == "lo") a.lo = std::stoll(val);
+      else if (key == "hi") a.hi = std::stoll(val);
+      else if (key == "release") a.release = std::stoll(val);
+      else if (key == "slow_lo") a.slow_lo = std::stoll(val);
+      else if (key == "slow_hi") a.slow_hi = std::stoll(val);
+      else if (key == "epoch") a.epoch = std::stoll(val);
+      else if (key == "victims")
+        a.victims = ProcSet(std::stoull(val, nullptr, 0));
+      else
+        throw std::invalid_argument("AdversarySpec: unknown key '" + key +
+                                    "'");
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("AdversarySpec: bad value in '" + tok +
+                                  "'");
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<sim::DelayPolicy> make_delay_policy(const AdversarySpec& a) {
+  util::require(a.lo >= 1 && a.hi >= a.lo, "AdversarySpec: need 1 <= lo <= hi");
+  switch (a.kind) {
+    case AdversaryKind::kUniform:
+      return std::make_unique<sim::UniformDelay>(a.lo, a.hi);
+    case AdversaryKind::kStarvation:
+      util::require(a.release >= 0, "AdversarySpec: negative release");
+      return std::make_unique<StarvationDelay>(a);
+    case AdversaryKind::kNearHorizon:
+      util::require(a.release >= 0, "AdversarySpec: negative release");
+      return std::make_unique<NearHorizonDelay>(a);
+    case AdversaryKind::kBursty:
+      util::require(a.epoch >= 1 && a.slow_lo >= 1 && a.slow_hi >= a.slow_lo,
+                    "AdversarySpec: bad bursty band");
+      return std::make_unique<BurstyDelay>(a);
+  }
+  return std::make_unique<sim::UniformDelay>(a.lo, a.hi);
+}
+
+}  // namespace saf::check

@@ -1,0 +1,54 @@
+// Biased adversarial delay policies for schedule exploration.
+//
+// A uniform random sweep concentrates probability mass on "friendly"
+// schedules; the interesting corners of schedule space (a starved
+// region that looks crashed, deliveries bunched together after a long
+// silence, fast/slow oscillation) need deliberately biased adversaries.
+// An AdversarySpec is a small, serializable description of one such
+// policy — serializable so a failing (seed, crash plan, adversary)
+// triple can be written to a trace file and replayed (check/replay.h).
+//
+// Every adversary preserves the asynchronous model's one obligation:
+// delays are finite (and >= 1), so protocol liveness properties remain
+// checkable against a sufficiently distant horizon.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/delay_policy.h"
+#include "util/types.h"
+
+namespace saf::check {
+
+enum class AdversaryKind {
+  kUniform,      ///< uniform [lo, hi] — the unbiased baseline
+  kStarvation,   ///< messages FROM `victims` held back until `release`
+  kNearHorizon,  ///< all early sends bunched to arrive around `release`
+  kBursty,       ///< alternating fast/slow delay epochs of length `epoch`
+};
+
+struct AdversarySpec {
+  AdversaryKind kind = AdversaryKind::kUniform;
+  Time lo = 1;   ///< baseline delay band, applied outside the attack
+  Time hi = 10;
+  ProcSet victims;        ///< starved senders (kStarvation)
+  Time release = 0;       ///< end of the adversarial window
+  Time slow_lo = 40;      ///< slow-epoch band (kBursty)
+  Time slow_hi = 160;
+  Time epoch = 64;        ///< epoch length (kBursty)
+
+  bool operator==(const AdversarySpec&) const = default;
+
+  /// One-line token form, e.g. "starvation victims=0x15 release=1500
+  /// lo=1 hi=10" (the trace-file representation, docs/checking.md).
+  std::string to_string() const;
+  /// Inverse of to_string(); throws std::invalid_argument on bad input.
+  static AdversarySpec parse(const std::string& line);
+};
+
+/// Builds the delay policy an AdversarySpec describes. Deterministic:
+/// all randomness comes from the network's seeded stream at delay time.
+std::unique_ptr<sim::DelayPolicy> make_delay_policy(const AdversarySpec& a);
+
+}  // namespace saf::check

@@ -1,0 +1,232 @@
+// check_runner — the schedule-exploration CLI (docs/checking.md).
+//
+//   check_runner --seeds 1000                          # sweep all protocols
+//   check_runner --protocol kset,two-wheels --seeds 500
+//   check_runner --protocol kset --seeds 1000 --shrink --record out
+//   check_runner --protocol kset-small --dfs --dfs-depth 10
+//   check_runner --replay out-kset-42.trace
+//
+// Exit status: 0 clean (or replay matched), 1 violations found (or
+// replay mismatched), 2 usage error.
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/dfs.h"
+#include "check/explorer.h"
+#include "check/replay.h"
+#include "check/shrinker.h"
+
+namespace {
+
+using namespace saf;
+using namespace saf::check;
+
+struct Args {
+  std::vector<std::string> protocols;  // empty = the three paper pillars
+  std::uint64_t first_seed = 1;
+  int seeds = 100;
+  bool shrink = false;
+  bool dfs = false;
+  int dfs_depth = 10;
+  std::string record_prefix;  // write a trace per violation when set
+  std::string replay_path;
+  bool list = false;
+};
+
+int usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "check_runner: " << err << "\n";
+  std::cerr <<
+      "usage: check_runner [--protocol a,b,...] [--seeds N] [--first-seed S]\n"
+      "                    [--shrink] [--record PREFIX]\n"
+      "                    [--dfs] [--dfs-depth D]\n"
+      "                    [--replay FILE] [--list]\n";
+  return 2;
+}
+
+// Strict decimal parse; returns false (with a message) on anything stoi
+// would throw on or silently truncate ("banana", "10x", out-of-range).
+template <typename Int>
+bool parse_int(const char* flag, const char* v, Int lo, Int* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long raw = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      std::cmp_less(raw, lo) ||
+      std::cmp_greater(raw, std::numeric_limits<Int>::max())) {
+    std::cerr << "check_runner: " << flag << " expects an integer >= " << lo
+              << ", got '" << v << "'\n";
+    return false;
+  }
+  *out = static_cast<Int>(raw);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "check_runner: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const char* v = value("--protocol");
+      if (v == nullptr) return false;
+      std::string cur;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!cur.empty()) a->protocols.push_back(cur);
+          cur.clear();
+          if (*p == '\0') break;
+        } else {
+          cur += *p;
+        }
+      }
+    } else if (arg == "--seeds") {
+      const char* v = value("--seeds");
+      if (v == nullptr || !parse_int("--seeds", v, 1, &a->seeds)) return false;
+    } else if (arg == "--first-seed") {
+      const char* v = value("--first-seed");
+      if (v == nullptr ||
+          !parse_int("--first-seed", v, std::uint64_t{0}, &a->first_seed)) {
+        return false;
+      }
+    } else if (arg == "--shrink") {
+      a->shrink = true;
+    } else if (arg == "--dfs") {
+      a->dfs = true;
+    } else if (arg == "--dfs-depth") {
+      const char* v = value("--dfs-depth");
+      if (v == nullptr || !parse_int("--dfs-depth", v, 1, &a->dfs_depth)) {
+        return false;
+      }
+    } else if (arg == "--record") {
+      const char* v = value("--record");
+      if (v == nullptr) return false;
+      a->record_prefix = v;
+    } else if (arg == "--replay") {
+      const char* v = value("--replay");
+      if (v == nullptr) return false;
+      a->replay_path = v;
+    } else if (arg == "--list") {
+      a->list = true;
+    } else {
+      std::cerr << "check_runner: unknown flag " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_violation(const Protocol& p, const Violation& v) {
+  std::cout << "  VIOLATION [" << p.name << "] " << describe_case(v.c)
+            << "\n";
+  for (const auto& iv : v.outcome.violations) {
+    std::cout << "    " << iv.invariant << ": " << iv.detail << "\n";
+  }
+}
+
+/// Shrinks (optionally) and records (optionally) one violation;
+/// verifies the recorded trace replays to the identical failure.
+void postprocess_violation(const Args& args, const Protocol& p,
+                           const Violation& v) {
+  ScheduleCase repro = v.c;
+  if (args.shrink) {
+    const ShrinkResult s = shrink(p, v.c);
+    repro = s.minimized;
+    std::cout << "    shrunk in " << s.runs << " runs: "
+              << describe_case(s.minimized)
+              << " (dropped " << s.removed_crashes << " crash events"
+              << (s.adversary_simplified ? ", simplified adversary" : "")
+              << ")\n";
+  }
+  if (!args.record_prefix.empty()) {
+    TraceFile trace;
+    record_case(p, repro, &trace);
+    const std::string path = args.record_prefix + "-" + p.name + "-" +
+                             std::to_string(repro.seed) + ".trace";
+    write_trace(trace, path);
+    const ReplayResult r = replay_trace(trace);
+    std::cout << "    recorded " << path << " (" << trace.delays.size()
+              << " delays); replay: " << r.detail << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage();
+
+  if (args.list) {
+    for (const std::string& name : protocol_names()) {
+      const Protocol* p = find_protocol(name);
+      std::cout << name << " (n=" << p->n << ", t=" << p->t
+                << ", horizon=" << p->horizon << ")\n";
+    }
+    return 0;
+  }
+
+  if (!args.replay_path.empty()) {
+    try {
+      const TraceFile trace = read_trace(args.replay_path);
+      const ReplayResult r = replay_trace(trace);
+      std::cout << "replay " << args.replay_path << " [" << trace.protocol
+                << "] " << describe_case(trace.c) << "\n  " << r.detail
+                << "\n";
+      return r.matched ? 0 : 1;
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+  }
+
+  if (args.protocols.empty()) {
+    args.protocols = {"kset", "two-wheels", "phibar"};
+  }
+  bool any_violation = false;
+  for (const std::string& name : args.protocols) {
+    const Protocol* p = find_protocol(name);
+    if (p == nullptr) return usage("unknown protocol '" + name + "'");
+
+    if (args.dfs) {
+      DfsOptions opt;
+      opt.depth = args.dfs_depth;
+      const DfsReport report = explore_interleavings(*p, ScheduleCase{}, opt);
+      std::cout << "[" << name << "] dfs depth=" << args.dfs_depth << ": "
+                << report.runs << " runs"
+                << (report.exhausted ? " (exhausted)" : " (capped)") << ", "
+                << report.distinct_digests << " distinct delivery orders, "
+                << report.violations.size() << " violations\n";
+      for (const Violation& v : report.violations) print_violation(*p, v);
+      any_violation |= !report.clean();
+      continue;
+    }
+
+    ExploreOptions opt;
+    opt.first_seed = args.first_seed;
+    opt.seeds = args.seeds;
+    const ExploreReport report = explore(*p, opt);
+    std::cout << "[" << name << "] " << report.runs << " runs (seeds "
+              << args.first_seed << ".."
+              << args.first_seed + static_cast<std::uint64_t>(args.seeds) - 1
+              << "): " << report.violations.size() << " violations\n";
+    for (const Violation& v : report.violations) {
+      print_violation(*p, v);
+      try {
+        postprocess_violation(args, *p, v);
+      } catch (const std::exception& e) {
+        std::cout << "    postprocess failed: " << e.what() << "\n";
+      }
+    }
+    any_violation |= !report.clean();
+  }
+  return any_violation ? 1 : 0;
+}

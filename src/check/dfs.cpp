@@ -1,0 +1,86 @@
+#include "check/dfs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace saf::check {
+
+namespace {
+
+/// Choice-stack state shared between the DFS loop and the policy the
+/// network owns. `stack[i]` is the menu index of the i-th delay
+/// request; the policy extends the stack with first-menu choices up to
+/// `depth` and counts how many requests the run actually made.
+struct ChoiceState {
+  std::vector<std::size_t>* stack = nullptr;
+  const std::vector<Time>* menu = nullptr;
+  int depth = 0;
+  std::size_t consumed = 0;
+};
+
+class ChoiceDelayPolicy final : public sim::DelayPolicy {
+ public:
+  explicit ChoiceDelayPolicy(ChoiceState* st) : st_(st) {}
+
+  Time delay(ProcessId, ProcessId, Time, util::Rng&) override {
+    std::size_t idx = 0;
+    if (st_->consumed < st_->stack->size()) {
+      idx = (*st_->stack)[st_->consumed];
+    } else if (static_cast<int>(st_->stack->size()) < st_->depth &&
+               st_->consumed == st_->stack->size()) {
+      st_->stack->push_back(0);
+    }
+    ++st_->consumed;
+    return (*st_->menu)[idx];
+  }
+
+ private:
+  ChoiceState* st_;
+};
+
+}  // namespace
+
+DfsReport explore_interleavings(const Protocol& p, const ScheduleCase& base,
+                                const DfsOptions& opt) {
+  util::require(opt.depth >= 0, "dfs: negative depth");
+  util::require(!opt.menu.empty(), "dfs: empty delay menu");
+  for (const Time d : opt.menu) {
+    util::require(d >= 1, "dfs: menu delays must be >= 1");
+  }
+
+  DfsReport report;
+  std::unordered_set<std::uint64_t> digests;
+  std::vector<std::size_t> stack;
+  while (report.runs < opt.max_runs) {
+    ChoiceState st;
+    st.stack = &stack;
+    st.menu = &opt.menu;
+    st.depth = opt.depth;
+    RunContext ctx;
+    ctx.delay_factory = [&st] {
+      return std::make_unique<ChoiceDelayPolicy>(&st);
+    };
+    RunOutcome out = p.run(base, ctx);
+    ++report.runs;
+    digests.insert(out.digest);
+    if (!out.ok) report.violations.push_back(Violation{base, std::move(out)});
+
+    // Entries beyond what this run consumed belong to abandoned deeper
+    // branches; drop them before advancing the odometer.
+    stack.resize(std::min(stack.size(), st.consumed));
+    while (!stack.empty() && stack.back() + 1 == opt.menu.size()) {
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      report.exhausted = true;
+      break;
+    }
+    ++stack.back();
+  }
+  report.distinct_digests = digests.size();
+  return report;
+}
+
+}  // namespace saf::check

@@ -1,0 +1,29 @@
+#include "check/explorer.h"
+
+#include "util/check.h"
+
+namespace saf::check {
+
+RunOutcome run_case(const Protocol& p, const ScheduleCase& c) {
+  return p.run(c, RunContext{});
+}
+
+ExploreReport explore(const Protocol& p, const ExploreOptions& opt) {
+  util::require(opt.seeds >= 0, "explore: negative seed count");
+  ExploreReport report;
+  for (int i = 0; i < opt.seeds; ++i) {
+    const ScheduleCase c =
+        generate_case(p, opt.first_seed + static_cast<std::uint64_t>(i));
+    RunOutcome out = run_case(p, c);
+    ++report.runs;
+    if (!out.ok) {
+      report.violations.push_back(Violation{c, std::move(out)});
+      if (static_cast<int>(report.violations.size()) >= opt.max_violations) {
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace saf::check

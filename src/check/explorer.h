@@ -1,0 +1,43 @@
+// The schedule explorer: sweeps a protocol across generated adversarial
+// cases and collects invariant violations.
+//
+// Each seed deterministically maps to one (crash plan, delay adversary)
+// case via generate_case(); a sweep over [first_seed, first_seed+seeds)
+// is therefore exactly reproducible, and every reported violation can
+// be re-run, shrunk (check/shrinker.h) or recorded (check/replay.h)
+// from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/protocols.h"
+
+namespace saf::check {
+
+struct ExploreOptions {
+  std::uint64_t first_seed = 1;
+  int seeds = 100;
+  /// Stop the sweep once this many violations have been collected.
+  int max_violations = 16;
+};
+
+struct Violation {
+  ScheduleCase c;
+  RunOutcome outcome;
+};
+
+struct ExploreReport {
+  int runs = 0;
+  std::vector<Violation> violations;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Runs one case with the delivery digest and no other hooks.
+RunOutcome run_case(const Protocol& p, const ScheduleCase& c);
+
+/// Sweeps `opt.seeds` generated cases.
+ExploreReport explore(const Protocol& p, const ExploreOptions& opt);
+
+}  // namespace saf::check

@@ -1,0 +1,306 @@
+#include "check/protocols.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/phibar_to_omega.h"
+#include "fd/query_oracles.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace saf::check {
+
+namespace {
+
+// --- delivery digest ---------------------------------------------------
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// --- shared plumbing ---------------------------------------------------
+
+/// Combines the mandatory digest with the caller's optional observer.
+sim::DeliveryObserver tee(DeliveryDigest& digest,
+                          const sim::DeliveryObserver& extra) {
+  return [&digest, extra](Time at, ProcessId to, const sim::Message& m) {
+    digest.observe(at, to, m);
+    if (extra) extra(at, to, m);
+  };
+}
+
+std::unique_ptr<sim::DelayPolicy> resolve_policy(const ScheduleCase& c,
+                                                 const RunContext& ctx) {
+  return ctx.delay_factory ? ctx.delay_factory()
+                           : make_delay_policy(c.adversary);
+}
+
+// --- built-in protocol: k-set agreement (Fig 3) ------------------------
+
+RunOutcome run_kset_case(int n, int t, int k, Time horizon,
+                         const ScheduleCase& c, const RunContext& ctx) {
+  core::KSetRunConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.k = k;
+  cfg.z = k;
+  cfg.seed = c.seed;
+  cfg.omega_stab = 200;
+  cfg.horizon = horizon;
+  cfg.crashes = c.crashes;
+  DeliveryDigest digest;
+  cfg.delivery_observer = tee(digest, ctx.observer);
+  auto policy = resolve_policy(c, ctx);
+  cfg.delay_factory = [&policy](std::uint64_t) { return std::move(policy); };
+  const core::KSetRunResult res = core::run_kset_agreement(cfg);
+
+  RunOutcome out;
+  out.violations = core::kset_invariants(cfg, res);
+  out.ok = out.violations.empty();
+  out.events_processed = res.events_processed;
+  out.total_messages = res.total_messages;
+  out.digest = digest.value();
+  out.decisions = res.decisions;
+  return out;
+}
+
+// --- built-in protocol: two wheels (§4) --------------------------------
+
+RunOutcome run_two_wheels_case(const ScheduleCase& c, const RunContext& ctx) {
+  core::TwoWheelsConfig cfg;
+  cfg.n = 7;
+  cfg.t = 3;
+  cfg.x = 2;
+  cfg.y = 1;  // z = t + 2 - x - y = 2
+  cfg.seed = c.seed;
+  cfg.horizon = 30'000;
+  cfg.crashes = c.crashes;
+  DeliveryDigest digest;
+  cfg.delivery_observer = tee(digest, ctx.observer);
+  auto policy = resolve_policy(c, ctx);
+  cfg.delay_factory = [&policy](std::uint64_t) { return std::move(policy); };
+  const core::TwoWheelsResult res = core::run_two_wheels(cfg);
+
+  RunOutcome out;
+  out.violations = core::two_wheels_invariants(cfg, res);
+  out.ok = out.violations.empty();
+  out.events_processed = res.events_processed;
+  out.total_messages = res.total_messages;
+  out.digest = digest.value();
+  for (const auto& tr : res.trusted_history) {
+    out.decisions.push_back(static_cast<std::int64_t>(tr.final().mask()));
+  }
+  for (const auto& tr : res.repr_history) {
+    out.decisions.push_back(tr.final());
+  }
+  return out;
+}
+
+// --- built-in protocol: phibar -> omega (Appendix A) -------------------
+
+struct BeatMsg final : sim::Message {
+  std::string_view tag() const override { return "beat"; }
+};
+
+/// Keeps the network busy so crash plans (send triggers) and delay
+/// adversaries have traffic to act on; the adaptor itself is message-
+/// free.
+class HeartbeatProcess final : public sim::Process {
+ public:
+  HeartbeatProcess(ProcessId id, int n, int t, Time period)
+      : Process(id, n, t), period_(period) {}
+
+  sim::ProtocolTask run() override {
+    while (true) {
+      broadcast_msg(BeatMsg{});
+      co_await sleep_for(period_);
+    }
+  }
+
+ private:
+  Time period_;
+};
+
+RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
+  constexpr int n = 8, t = 3, y = 2, z = 2;  // y + z >= t + 1
+  constexpr Time horizon = 20'000;
+  sim::SimConfig sc;
+  sc.seed = c.seed;
+  sc.n = n;
+  sc.t = t;
+  sc.horizon = horizon;
+  sim::Simulator sim(sc, c.crashes, resolve_policy(c, ctx));
+  DeliveryDigest digest;
+  sim.set_delivery_observer(tee(digest, ctx.observer));
+  for (ProcessId i = 0; i < n; ++i) {
+    sim.add_process(std::make_unique<HeartbeatProcess>(i, n, t, 250));
+  }
+  fd::QueryOracleParams qp;
+  qp.stab_time = 200;
+  qp.detect_delay = 15;
+  qp.seed = util::derive_seed(c.seed, "phi");
+  fd::PhiOracle phi(sim.pattern(), y, qp);
+  fd::PhiBarOracle phibar(phi);
+  core::PhiBarToOmega omega(phibar, n, t, y, z);
+  sim.run();
+
+  RunOutcome out;
+  out.violations = core::phibar_invariants(
+      phi, omega, sim.pattern(), y, z, horizon, /*step=*/100,
+      util::derive_seed(c.seed, "phibar_check"));
+  out.ok = out.violations.empty();
+  out.events_processed = sim.events_processed();
+  out.total_messages = sim.network().total_sent();
+  out.digest = digest.value();
+  for (ProcessId i = 0; i < n; ++i) {
+    out.decisions.push_back(
+        static_cast<std::int64_t>(omega.trusted(i, horizon).mask()));
+  }
+  return out;
+}
+
+// --- registry ----------------------------------------------------------
+
+std::vector<Protocol>& registry() {
+  static std::vector<Protocol> protocols = [] {
+    std::vector<Protocol> p;
+    p.push_back({"kset", 7, 3, 60'000,
+                 [](const ScheduleCase& c, const RunContext& ctx) {
+                   return run_kset_case(7, 3, 2, 60'000, c, ctx);
+                 }});
+    p.push_back({"two-wheels", 7, 3, 30'000, run_two_wheels_case});
+    p.push_back({"phibar", 8, 3, 20'000, run_phibar_case});
+    // Consensus-sized instance for the bounded-DFS interleaving mode
+    // (small enough that the choice tree is exhaustible).
+    p.push_back({"kset-small", 4, 1, 8'000,
+                 [](const ScheduleCase& c, const RunContext& ctx) {
+                   return run_kset_case(4, 1, 1, 8'000, c, ctx);
+                 }});
+    return p;
+  }();
+  return protocols;
+}
+
+}  // namespace
+
+void DeliveryDigest::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xff;
+    h_ *= kFnvPrime;
+  }
+}
+
+void DeliveryDigest::observe(Time at, ProcessId to, const sim::Message& m) {
+  mix(static_cast<std::uint64_t>(at));
+  mix(static_cast<std::uint64_t>(to));
+  for (const char ch : m.tag()) {
+    h_ ^= static_cast<unsigned char>(ch);
+    h_ *= kFnvPrime;
+  }
+  ++count_;
+}
+
+const Protocol* find_protocol(std::string_view name) {
+  for (const Protocol& p : registry()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> protocol_names() {
+  std::vector<std::string> names;
+  for (const Protocol& p : registry()) names.push_back(p.name);
+  return names;
+}
+
+void register_protocol(Protocol p) {
+  util::require(!p.name.empty() && p.run != nullptr,
+                "register_protocol: need a name and a run function");
+  for (Protocol& existing : registry()) {
+    if (existing.name == p.name) {
+      existing = std::move(p);
+      return;
+    }
+  }
+  registry().push_back(std::move(p));
+}
+
+ScheduleCase generate_case(const Protocol& p, std::uint64_t seed) {
+  ScheduleCase c;
+  c.seed = seed;
+  util::Rng rng(util::derive_seed(seed, "case"));
+
+  // Crash plan: up to t crashes over distinct victims. One third of the
+  // cases use a crash-at-send *burst* (several processes dying within a
+  // few sends of each other, mid-broadcast); otherwise each victim
+  // independently crashes at a random time or send count.
+  const int ncrash = static_cast<int>(rng.uniform(0, p.t));
+  std::vector<ProcessId> ids(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(ids);
+  const bool burst = rng.flip(1.0 / 3.0);
+  const std::uint64_t burst_base =
+      static_cast<std::uint64_t>(rng.uniform(1, 30));
+  for (int i = 0; i < ncrash; ++i) {
+    const ProcessId pid = ids[static_cast<std::size_t>(i)];
+    if (burst) {
+      c.crashes.crash_after_sends(
+          pid, burst_base + static_cast<std::uint64_t>(rng.uniform(0, 5)));
+    } else if (rng.flip(0.5)) {
+      c.crashes.crash_at(pid, rng.uniform(0, p.horizon / 4));
+    } else {
+      c.crashes.crash_after_sends(
+          pid, static_cast<std::uint64_t>(rng.uniform(1, 60)));
+    }
+  }
+
+  // Delay adversary: cycle through the kinds so every seed band
+  // exercises every bias. Windows close early enough (<= horizon/8)
+  // that eventual properties still have room to stabilize.
+  AdversarySpec a;
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      a.kind = AdversaryKind::kUniform;
+      a.hi = rng.uniform(2, 30);
+      break;
+    case 1: {
+      a.kind = AdversaryKind::kStarvation;
+      const int nv = static_cast<int>(rng.uniform(1, p.n - 1));
+      a.victims = rng.subset(ProcSet::full(p.n), nv);
+      a.release = rng.uniform(p.horizon / 20, p.horizon / 8);
+      break;
+    }
+    case 2:
+      a.kind = AdversaryKind::kNearHorizon;
+      a.release = rng.uniform(p.horizon / 20, p.horizon / 8);
+      break;
+    default:
+      a.kind = AdversaryKind::kBursty;
+      a.epoch = rng.uniform(32, 256);
+      a.slow_lo = 40;
+      a.slow_hi = rng.uniform(80, 160);
+      break;
+  }
+  c.adversary = a;
+  return c;
+}
+
+std::string describe_case(const ScheduleCase& c) {
+  std::ostringstream os;
+  os << "seed=" << c.seed << " crashes=[";
+  bool first = true;
+  for (const sim::CrashEntry& e : c.crashes.entries()) {
+    if (!first) os << " ";
+    first = false;
+    if (e.send_trigger) {
+      os << "p" << e.pid << "#" << *e.send_trigger;
+    } else {
+      os << "p" << e.pid << "@" << e.at_time;
+    }
+  }
+  os << "] adversary={" << c.adversary.to_string() << "}";
+  return os.str();
+}
+
+}  // namespace saf::check

@@ -1,0 +1,96 @@
+// The protocol registry of the schedule-exploration harness.
+//
+// A Protocol is a named, self-contained run harness: given a
+// ScheduleCase — the full serializable identity of one run (seed, crash
+// plan, delay adversary) — it executes the protocol on the simulator
+// and evaluates its registered invariants (core/invariants.h) against
+// the ground-truth FailurePattern. Built-ins cover the paper's three
+// pillars (Fig 3 k-set agreement, the §4 two-wheels addition, the
+// Appendix A φ̄→Ω adaptor); tests register deliberately buggy fixtures
+// through the same interface to prove the harness catches them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/adversary.h"
+#include "core/invariants.h"
+#include "sim/failure_pattern.h"
+#include "sim/simulator.h"
+
+namespace saf::check {
+
+/// Everything that determines a run, byte for byte.
+struct ScheduleCase {
+  std::uint64_t seed = 1;
+  sim::CrashPlan crashes;
+  AdversarySpec adversary;
+};
+
+/// Per-run hooks threaded through a Protocol::run call.
+struct RunContext {
+  /// Overrides the delay policy (record/replay, bounded DFS); when null
+  /// the case's adversary spec builds one.
+  std::function<std::unique_ptr<sim::DelayPolicy>()> delay_factory;
+  /// Extra observer of every delivery (trace recording); may be null —
+  /// the digest below is computed regardless.
+  sim::DeliveryObserver observer;
+};
+
+struct RunOutcome {
+  bool ok = true;
+  std::vector<core::InvariantViolation> violations;
+  std::uint64_t events_processed = 0;
+  std::uint64_t total_messages = 0;
+  /// FNV-1a fingerprint of the delivery order (time, recipient, tag of
+  /// every delivered message) — equal digests mean the runs decided the
+  /// same event order.
+  std::uint64_t digest = 0;
+  /// Protocol observables (decisions / final detector outputs), for
+  /// determinism pinning.
+  std::vector<std::int64_t> decisions;
+};
+
+struct Protocol {
+  std::string name;
+  int n = 0;
+  int t = 0;
+  Time horizon = 0;
+  std::function<RunOutcome(const ScheduleCase&, const RunContext&)> run;
+};
+
+/// Looks up a protocol by name; nullptr if unknown.
+const Protocol* find_protocol(std::string_view name);
+/// Names of all registered protocols, registration order.
+std::vector<std::string> protocol_names();
+/// Registers (or replaces, by name) a protocol. Test fixtures use this
+/// to inject buggy variants.
+void register_protocol(Protocol p);
+
+/// Deterministically generates a biased adversarial case from `seed`:
+/// a random crash plan (time crashes, send-trigger bursts, crash-free
+/// runs) plus a delay adversary cycling through the AdversaryKind menu.
+ScheduleCase generate_case(const Protocol& p, std::uint64_t seed);
+
+/// Incremental FNV-1a fingerprint of a delivery sequence.
+class DeliveryDigest {
+ public:
+  void observe(Time at, ProcessId to, const sim::Message& m);
+  std::uint64_t value() const { return h_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  void mix(std::uint64_t v);
+  std::uint64_t h_ = 14695981039346656037ull;  // FNV-1a offset basis
+  std::uint64_t count_ = 0;
+};
+
+/// One-line human summary of a case ("seed=42 crashes=[p4@120 p1#25]
+/// adversary=...").
+std::string describe_case(const ScheduleCase& c);
+
+}  // namespace saf::check

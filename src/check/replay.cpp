@@ -1,0 +1,218 @@
+#include "check/replay.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace saf::check {
+
+RecordingDelayPolicy::RecordingDelayPolicy(
+    std::unique_ptr<sim::DelayPolicy> base, DelayTrace* out)
+    : base_(std::move(base)), out_(out) {
+  SAF_CHECK(base_ != nullptr && out_ != nullptr);
+}
+
+Time RecordingDelayPolicy::delay(ProcessId from, ProcessId to, Time now,
+                                 util::Rng& rng) {
+  const Time d = base_->delay(from, to, now, rng);
+  out_->push_back(DelayRecord{from, to, now, d});
+  return d;
+}
+
+Time ReplayDelayPolicy::delay(ProcessId from, ProcessId to, Time now,
+                              util::Rng& rng) {
+  (void)rng;
+  if (st_->cursor >= st_->records->size()) {
+    if (!st_->diverged) {
+      st_->diverged = true;
+      std::ostringstream os;
+      os << "replay: run requested delay #" << st_->cursor
+         << " but the trace recorded only " << st_->records->size();
+      st_->detail = os.str();
+    }
+    ++st_->cursor;
+    return 1;
+  }
+  const DelayRecord& r = (*st_->records)[st_->cursor++];
+  if (!st_->diverged && (r.from != from || r.to != to || r.at != now)) {
+    st_->diverged = true;
+    std::ostringstream os;
+    os << "replay: delay #" << (st_->cursor - 1) << " expected p" << r.from
+       << "->p" << r.to << " at " << r.at << ", run requested p" << from
+       << "->p" << to << " at " << now;
+    st_->detail = os.str();
+  }
+  return std::max<Time>(r.delay, 1);
+}
+
+std::string violation_summary(const RunOutcome& out) {
+  if (out.violations.empty()) return "";
+  return out.violations[0].invariant + ": " + out.violations[0].detail;
+}
+
+RunOutcome record_case(const Protocol& p, const ScheduleCase& c,
+                       TraceFile* out) {
+  SAF_CHECK(out != nullptr);
+  out->protocol = p.name;
+  out->c = c;
+  out->delays.clear();
+  RunContext ctx;
+  ctx.delay_factory = [&c, out] {
+    return std::make_unique<RecordingDelayPolicy>(
+        make_delay_policy(c.adversary), &out->delays);
+  };
+  RunOutcome res = p.run(c, ctx);
+  out->events = res.events_processed;
+  out->digest = res.digest;
+  out->violation = violation_summary(res);
+  return res;
+}
+
+void write_trace(const TraceFile& t, std::ostream& os) {
+  os << "saf-trace 1\n";
+  os << "protocol " << t.protocol << "\n";
+  os << "seed " << t.c.seed << "\n";
+  os << "adversary " << t.c.adversary.to_string() << "\n";
+  for (const sim::CrashEntry& e : t.c.crashes.entries()) {
+    if (e.send_trigger) {
+      os << "crash sends " << e.pid << " " << *e.send_trigger << "\n";
+    } else {
+      os << "crash at " << e.pid << " " << e.at_time << "\n";
+    }
+  }
+  os << "delays " << t.delays.size() << "\n";
+  for (const DelayRecord& r : t.delays) {
+    os << "d " << r.from << " " << r.to << " " << r.at << " " << r.delay
+       << "\n";
+  }
+  os << "events " << t.events << "\n";
+  os << "digest " << t.digest << "\n";
+  if (!t.violation.empty()) os << "violation " << t.violation << "\n";
+  os << "end\n";
+}
+
+void write_trace(const TraceFile& t, const std::string& path) {
+  std::ofstream os(path);
+  util::require(os.good(), "write_trace: cannot open " + path);
+  write_trace(t, os);
+  util::require(os.good(), "write_trace: write failed for " + path);
+}
+
+TraceFile read_trace(std::istream& is) {
+  TraceFile t;
+  std::string line;
+  auto next_line = [&](const char* what) {
+    util::require(static_cast<bool>(std::getline(is, line)),
+                  std::string("read_trace: truncated before ") + what);
+  };
+  next_line("header");
+  util::require(line == "saf-trace 1",
+                "read_trace: bad header '" + line + "'");
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "protocol") {
+      ls >> t.protocol;
+    } else if (key == "seed") {
+      ls >> t.c.seed;
+    } else if (key == "adversary") {
+      std::string rest;
+      std::getline(ls, rest);
+      t.c.adversary = AdversarySpec::parse(rest);
+    } else if (key == "crash") {
+      std::string mode;
+      ProcessId pid = -1;
+      ls >> mode >> pid;
+      if (mode == "at") {
+        Time at = 0;
+        ls >> at;
+        t.c.crashes.crash_at(pid, at);
+      } else if (mode == "sends") {
+        std::uint64_t sends = 0;
+        ls >> sends;
+        t.c.crashes.crash_after_sends(pid, sends);
+      } else {
+        throw std::invalid_argument("read_trace: bad crash mode '" + mode +
+                                    "'");
+      }
+    } else if (key == "delays") {
+      std::size_t count = 0;
+      ls >> count;
+      t.delays.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        next_line("delay record");
+        std::istringstream ds(line);
+        std::string d;
+        DelayRecord r;
+        ds >> d >> r.from >> r.to >> r.at >> r.delay;
+        util::require(d == "d" && !ds.fail(),
+                      "read_trace: bad delay record '" + line + "'");
+        t.delays.push_back(r);
+      }
+    } else if (key == "events") {
+      ls >> t.events;
+    } else if (key == "digest") {
+      ls >> t.digest;
+    } else if (key == "violation") {
+      std::string rest;
+      std::getline(ls, rest);
+      t.violation = rest.empty() ? rest : rest.substr(1);  // drop the space
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw std::invalid_argument("read_trace: unknown key '" + key + "'");
+    }
+    util::require(!ls.fail(), "read_trace: malformed line '" + line + "'");
+  }
+  util::require(saw_end, "read_trace: missing end marker");
+  util::require(!t.protocol.empty(), "read_trace: missing protocol");
+  return t;
+}
+
+TraceFile read_trace(const std::string& path) {
+  std::ifstream is(path);
+  util::require(is.good(), "read_trace: cannot open " + path);
+  return read_trace(is);
+}
+
+ReplayResult replay_trace(const TraceFile& t) {
+  const Protocol* p = find_protocol(t.protocol);
+  util::require(p != nullptr,
+                "replay_trace: unknown protocol '" + t.protocol + "'");
+  ReplayState st;
+  st.records = &t.delays;
+  RunContext ctx;
+  ctx.delay_factory = [&st] {
+    return std::make_unique<ReplayDelayPolicy>(&st);
+  };
+  ReplayResult res;
+  res.outcome = p->run(t.c, ctx);
+  res.diverged = st.diverged;
+  const std::string observed = violation_summary(res.outcome);
+  std::ostringstream os;
+  if (st.diverged) os << st.detail << "; ";
+  if (res.outcome.digest != t.digest) {
+    os << "digest mismatch (trace " << t.digest << ", run "
+       << res.outcome.digest << "); ";
+  }
+  if (res.outcome.events_processed != t.events) {
+    os << "event-count mismatch (trace " << t.events << ", run "
+       << res.outcome.events_processed << "); ";
+  }
+  if (observed != t.violation) {
+    os << "violation mismatch (trace '" << t.violation << "', run '"
+       << observed << "'); ";
+  }
+  res.detail = os.str();
+  res.matched = res.detail.empty();
+  if (res.matched) res.detail = "replayed byte-for-byte";
+  return res;
+}
+
+}  // namespace saf::check

@@ -1,0 +1,108 @@
+// Record/replay of explored schedules.
+//
+// A run of the simulator is a deterministic function of (seed, crash
+// plan, delay policy). Recording therefore only has to capture the
+// *delay decisions* the adversary made — with those replayed verbatim,
+// the event queue reconstructs the identical delivery order byte for
+// byte, independently of any future change to the adversary policies
+// themselves. A trace file (format spec: docs/checking.md) carries the
+// full ScheduleCase, the recorded delay stream, and the run's delivery
+// digest + event count + first violation, so a replay can prove it
+// reproduced the same run and the same failure.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/protocols.h"
+
+namespace saf::check {
+
+/// One delay decision of the recorded run, in request order.
+struct DelayRecord {
+  ProcessId from = -1;
+  ProcessId to = -1;
+  Time at = 0;     ///< send time
+  Time delay = 1;  ///< chosen delay (>= 1)
+
+  bool operator==(const DelayRecord&) const = default;
+};
+
+using DelayTrace = std::vector<DelayRecord>;
+
+/// Wraps a base policy, appending every decision to `out`.
+class RecordingDelayPolicy final : public sim::DelayPolicy {
+ public:
+  RecordingDelayPolicy(std::unique_ptr<sim::DelayPolicy> base,
+                       DelayTrace* out);
+  Time delay(ProcessId from, ProcessId to, Time now,
+             util::Rng& rng) override;
+
+ private:
+  std::unique_ptr<sim::DelayPolicy> base_;
+  DelayTrace* out_;
+};
+
+/// Shared cursor/divergence state of a replay (outlives the policy,
+/// which the network owns).
+struct ReplayState {
+  const DelayTrace* records = nullptr;
+  std::size_t cursor = 0;
+  bool diverged = false;
+  std::string detail;  ///< first divergence, human-readable
+};
+
+/// Serves the recorded delays in request order; flags (and survives)
+/// divergence instead of aborting, so the caller can report it.
+class ReplayDelayPolicy final : public sim::DelayPolicy {
+ public:
+  explicit ReplayDelayPolicy(ReplayState* st) : st_(st) {}
+  Time delay(ProcessId from, ProcessId to, Time now,
+             util::Rng& rng) override;
+
+ private:
+  ReplayState* st_;
+};
+
+/// A serialized run: identity + decisions + expected observations.
+struct TraceFile {
+  std::string protocol;
+  ScheduleCase c;
+  DelayTrace delays;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+  /// "invariant: detail" of the first violation; empty for clean runs.
+  std::string violation;
+};
+
+/// First-violation summary in the trace file's format ("" when ok).
+std::string violation_summary(const RunOutcome& out);
+
+/// Runs `c` under `p` while recording; fills `out` completely.
+RunOutcome record_case(const Protocol& p, const ScheduleCase& c,
+                       TraceFile* out);
+
+void write_trace(const TraceFile& t, std::ostream& os);
+void write_trace(const TraceFile& t, const std::string& path);
+/// Throws std::invalid_argument on malformed input.
+TraceFile read_trace(std::istream& is);
+TraceFile read_trace(const std::string& path);
+
+struct ReplayResult {
+  /// Digest, event count and violation summary all matched the trace.
+  bool matched = false;
+  /// The recorded delay stream diverged mid-run (nondeterminism or a
+  /// trace from a different build of the protocol).
+  bool diverged = false;
+  std::string detail;
+  RunOutcome outcome;
+};
+
+/// Re-executes the trace with its recorded delay stream and compares
+/// the observed run against the recorded one. Throws
+/// std::invalid_argument if the trace names an unknown protocol.
+ReplayResult replay_trace(const TraceFile& t);
+
+}  // namespace saf::check

@@ -1,0 +1,130 @@
+#include "check/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace saf::check {
+
+namespace {
+
+/// The invariant identity a shrink step must preserve.
+std::string first_invariant(const RunOutcome& out) {
+  return out.violations.empty() ? std::string() : out.violations[0].invariant;
+}
+
+sim::CrashPlan without_entry(const sim::CrashPlan& plan, std::size_t skip) {
+  sim::CrashPlan out;
+  const auto& entries = plan.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i == skip) continue;
+    const sim::CrashEntry& e = entries[i];
+    if (e.send_trigger) {
+      out.crash_after_sends(e.pid, *e.send_trigger);
+    } else {
+      out.crash_at(e.pid, e.at_time);
+    }
+  }
+  return out;
+}
+
+sim::CrashPlan with_halved_times(const sim::CrashPlan& plan, bool* changed) {
+  sim::CrashPlan out;
+  for (const sim::CrashEntry& e : plan.entries()) {
+    if (e.send_trigger) {
+      out.crash_after_sends(e.pid, *e.send_trigger);
+    } else {
+      if (e.at_time > 0) *changed = true;
+      out.crash_at(e.pid, e.at_time / 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Protocol& p, const ScheduleCase& failing,
+                    const ShrinkOptions& opt) {
+  ShrinkResult res;
+  res.minimized = failing;
+  res.outcome = run_case(p, failing);
+  ++res.runs;
+  util::require(!res.outcome.ok,
+                "shrink: the given case does not violate any invariant");
+  const std::string target = first_invariant(res.outcome);
+
+  // Proposes `cand`; adopts it (and returns true) if it still fails the
+  // preserved invariant within budget.
+  auto try_adopt = [&](const ScheduleCase& cand) {
+    if (res.runs >= opt.max_runs) return false;
+    RunOutcome out = run_case(p, cand);
+    ++res.runs;
+    if (out.ok) return false;
+    if (opt.same_invariant && first_invariant(out) != target) return false;
+    res.minimized = cand;
+    res.outcome = std::move(out);
+    return true;
+  };
+
+  bool changed = true;
+  while (changed && res.runs < opt.max_runs) {
+    changed = false;
+
+    // 1. Drop crash entries, one at a time.
+    for (std::size_t i = 0; i < res.minimized.crashes.entries().size();) {
+      ScheduleCase cand = res.minimized;
+      cand.crashes = without_entry(res.minimized.crashes, i);
+      if (try_adopt(cand)) {
+        ++res.removed_crashes;
+        changed = true;
+        // entry i removed: the next candidate re-uses index i.
+      } else {
+        ++i;
+      }
+    }
+
+    // 2. Adversary ladder: bias -> uniform[1,10] -> fixed 1.
+    if (res.minimized.adversary.kind != AdversaryKind::kUniform) {
+      ScheduleCase cand = res.minimized;
+      cand.adversary = AdversarySpec{};  // uniform [1, 10]
+      if (try_adopt(cand)) {
+        res.adversary_simplified = true;
+        changed = true;
+      }
+    } else if (res.minimized.adversary.lo != res.minimized.adversary.hi) {
+      ScheduleCase cand = res.minimized;
+      cand.adversary.lo = cand.adversary.hi = 1;
+      if (try_adopt(cand)) {
+        res.adversary_simplified = true;
+        changed = true;
+      }
+    }
+
+    // 3. Halve the adversarial window.
+    if (res.minimized.adversary.release > 0) {
+      ScheduleCase cand = res.minimized;
+      cand.adversary.release /= 2;
+      if (try_adopt(cand)) changed = true;
+    }
+    if (res.minimized.adversary.kind == AdversaryKind::kBursty &&
+        res.minimized.adversary.slow_hi > res.minimized.adversary.slow_lo) {
+      ScheduleCase cand = res.minimized;
+      cand.adversary.slow_hi =
+          std::max(cand.adversary.slow_lo, cand.adversary.slow_hi / 2);
+      if (try_adopt(cand)) changed = true;
+    }
+
+    // 4. Round time-triggered crashes toward 0 (earlier crashes are
+    // simpler to reason about: the process might as well never start).
+    {
+      bool times_changed = false;
+      ScheduleCase cand = res.minimized;
+      cand.crashes = with_halved_times(res.minimized.crashes, &times_changed);
+      if (times_changed && try_adopt(cand)) changed = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace saf::check

@@ -1,0 +1,50 @@
+// Counterexample shrinking (delta debugging over schedule space).
+//
+// A violation found by the explorer typically carries incidental
+// complexity: crash events that play no role, an exotic delay adversary
+// when a plain uniform one fails too, adversarial windows far longer
+// than needed. The shrinker minimizes the (seed, crash plan, delay
+// schedule) triple by repeatedly proposing simpler candidates and
+// keeping any that still violate the SAME invariant — the classic
+// ddmin loop, specialized to this domain:
+//
+//   1. drop crash entries one at a time (plans are small, so the
+//      linear pass is the whole of ddmin's subset phase);
+//   2. simplify the delay adversary down the ladder
+//      bias -> uniform[1,10] -> fixed delay 1;
+//   3. halve the adversarial window (release / slow band / epoch) and
+//      round time-triggered crashes toward 0.
+//
+// The result is a small reproducer suitable for a regression test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/explorer.h"
+
+namespace saf::check {
+
+struct ShrinkOptions {
+  /// Budget of protocol executions spent shrinking.
+  int max_runs = 200;
+  /// Keep a candidate only if it violates the same invariant name as
+  /// the original failure (prevents shrinking into a different bug).
+  bool same_invariant = true;
+};
+
+struct ShrinkResult {
+  ScheduleCase minimized;
+  /// Outcome of the minimized case (still failing).
+  RunOutcome outcome;
+  int runs = 0;             ///< executions spent
+  int removed_crashes = 0;  ///< crash entries dropped
+  bool adversary_simplified = false;
+};
+
+/// Minimizes `failing` (which must violate at least one invariant of
+/// `p`; throws std::invalid_argument otherwise).
+ShrinkResult shrink(const Protocol& p, const ScheduleCase& failing,
+                    const ShrinkOptions& opt = {});
+
+}  // namespace saf::check

@@ -1,0 +1,52 @@
+#include "core/invariants.h"
+
+#include <sstream>
+
+namespace saf::core {
+
+std::vector<InvariantViolation> kset_invariants(const KSetRunConfig& cfg,
+                                                const KSetRunResult& res) {
+  std::vector<InvariantViolation> v;
+  if (!res.validity) {
+    v.push_back({"kset/validity", "a decided value was never proposed"});
+  }
+  if (!res.agreement_k) {
+    std::ostringstream os;
+    os << res.distinct_decided << " distinct decisions > k=" << cfg.k;
+    v.push_back({"kset/agreement", os.str()});
+  }
+  if (!res.all_correct_decided) {
+    v.push_back({"kset/termination",
+                 "a correct process did not decide by the horizon"});
+  }
+  return v;
+}
+
+std::vector<InvariantViolation> two_wheels_invariants(
+    const TwoWheelsConfig& cfg, const TwoWheelsResult& res) {
+  (void)cfg;
+  std::vector<InvariantViolation> v;
+  if (!res.repr_check) {
+    v.push_back({"two-wheels/lower-repr", res.repr_check.detail});
+  }
+  if (!res.omega_check) {
+    v.push_back({"two-wheels/omega", res.omega_check.detail});
+  }
+  return v;
+}
+
+std::vector<InvariantViolation> phibar_invariants(
+    const fd::QueryOracle& phi, const fd::LeaderOracle& omega,
+    const sim::FailurePattern& pattern, int y, int z, Time horizon,
+    Time step, std::uint64_t seed) {
+  std::vector<InvariantViolation> v;
+  const fd::CheckResult phi_ok = fd::check_phi_properties(
+      phi, pattern, y, horizon, step, /*perpetual=*/false, seed);
+  if (!phi_ok) v.push_back({"phibar/phi-axioms", phi_ok.detail});
+  const fd::CheckResult omega_ok =
+      fd::check_leader_oracle(omega, pattern, z, horizon, step);
+  if (!omega_ok) v.push_back({"phibar/omega", omega_ok.detail});
+  return v;
+}
+
+}  // namespace saf::core

@@ -1,0 +1,45 @@
+// Protocol-level invariant registration.
+//
+// The schedule-exploration harness (src/check) is protocol-agnostic: it
+// drives runs and asks "did the protocol's contract hold?". The contract
+// itself belongs here, next to the protocols — each run harness gets a
+// companion function turning its result (plus the ground-truth
+// FailurePattern, via the fd checkers) into a list of named violations.
+// An empty list means every registered invariant held.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kset_agreement.h"
+#include "core/two_wheels.h"
+#include "fd/checkers.h"
+#include "fd/oracle.h"
+
+namespace saf::core {
+
+struct InvariantViolation {
+  /// Stable name, "protocol/axiom" (e.g. "kset/agreement").
+  std::string invariant;
+  std::string detail;
+};
+
+/// k-set agreement (Fig 3): validity, agreement (<= k distinct values),
+/// termination of every correct process.
+std::vector<InvariantViolation> kset_invariants(const KSetRunConfig& cfg,
+                                                const KSetRunResult& res);
+
+/// Two wheels (§4): the Theorem 3 lower-wheel representative property
+/// and the Ω_z axioms of the emitted trusted sets.
+std::vector<InvariantViolation> two_wheels_invariants(
+    const TwoWheelsConfig& cfg, const TwoWheelsResult& res);
+
+/// φ̄_y → Ω_z (Appendix A): the φ axioms of the underlying query oracle
+/// and the Ω_z axioms of the adaptor's output.
+std::vector<InvariantViolation> phibar_invariants(
+    const fd::QueryOracle& phi, const fd::LeaderOracle& omega,
+    const sim::FailurePattern& pattern, int y, int z, Time horizon,
+    Time step, std::uint64_t seed);
+
+}  // namespace saf::core

@@ -141,12 +141,15 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   sc.tick_period = cfg.tick_period;
   sc.horizon = cfg.horizon;
   std::unique_ptr<sim::DelayPolicy> delays;
-  if (cfg.delay_min == cfg.delay_max) {
+  if (cfg.delay_factory) {
+    delays = cfg.delay_factory(cfg.seed);
+  } else if (cfg.delay_min == cfg.delay_max) {
     delays = std::make_unique<sim::FixedDelay>(cfg.delay_min);
   } else {
     delays = std::make_unique<sim::UniformDelay>(cfg.delay_min, cfg.delay_max);
   }
   sim::Simulator sim(sc, cfg.crashes, std::move(delays));
+  if (cfg.delivery_observer) sim.set_delivery_observer(cfg.delivery_observer);
 
   fd::OmegaOracleParams op;
   op.stab_time = cfg.perfect_oracle ? 0 : cfg.omega_stab;
@@ -195,6 +198,7 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   res.distinct_decided = static_cast<int>(values.size());
   res.agreement_k = res.distinct_decided <= cfg.k;
   res.total_messages = sim.network().total_sent();
+  res.events_processed = sim.events_processed();
   return res;
 }
 

@@ -142,6 +142,14 @@ struct KSetRunConfig {
   /// Value proposed by process i; defaults to 100 + i when empty.
   std::vector<std::int64_t> proposals;
   sim::CrashPlan crashes;
+  /// Optional override of the network delay policy (schedule
+  /// exploration, record/replay — src/check). Called once with the
+  /// run's seed; when null, delay_min/delay_max selects a Fixed or
+  /// Uniform policy as before.
+  std::function<std::unique_ptr<sim::DelayPolicy>(std::uint64_t seed)>
+      delay_factory;
+  /// Optional observer of every message delivery (trace recording).
+  sim::DeliveryObserver delivery_observer;
 };
 
 struct KSetRunResult {
@@ -153,6 +161,7 @@ struct KSetRunResult {
   int max_round = 0;          ///< max round started by any decided process
   Time finish_time = kNeverTime;  ///< when the last correct process decided
   std::uint64_t total_messages = 0;
+  std::uint64_t events_processed = 0;  ///< engine events (determinism pin)
   bool validity = false;      ///< every decision was proposed
   bool agreement_k = false;   ///< distinct_decided <= k
 };

@@ -28,12 +28,15 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   sc.tick_period = cfg.tick_period;
   sc.horizon = cfg.horizon;
   std::unique_ptr<sim::DelayPolicy> delays;
-  if (cfg.delay_min == cfg.delay_max) {
+  if (cfg.delay_factory) {
+    delays = cfg.delay_factory(cfg.seed);
+  } else if (cfg.delay_min == cfg.delay_max) {
     delays = std::make_unique<sim::FixedDelay>(cfg.delay_min);
   } else {
     delays = std::make_unique<sim::UniformDelay>(cfg.delay_min, cfg.delay_max);
   }
   sim::Simulator sim(sc, cfg.crashes, std::move(delays));
+  if (cfg.delivery_observer) sim.set_delivery_observer(cfg.delivery_observer);
 
   fd::SuspectOracleParams sp;
   sp.stab_time = cfg.sx_stab;
@@ -77,6 +80,7 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   res.last_l_move = sim.network().last_send_time("l_move");
   res.inquiry_count = sim.network().sent_with_tag("inquiry");
   res.total_messages = sim.network().total_sent();
+  res.events_processed = sim.events_processed();
   const ProcSet correct = sim.pattern().correct_at_end(cfg.horizon);
   if (!correct.empty()) {
     res.final_trusted = leader_store.get(correct.min());

@@ -80,6 +80,12 @@ struct TwoWheelsConfig {
   Time delay_max = 10;
   Time inquiry_period = 8;
   sim::CrashPlan crashes;
+  /// Optional override of the network delay policy (schedule
+  /// exploration, record/replay — src/check); see KSetRunConfig.
+  std::function<std::unique_ptr<sim::DelayPolicy>(std::uint64_t seed)>
+      delay_factory;
+  /// Optional observer of every message delivery (trace recording).
+  sim::DeliveryObserver delivery_observer;
 };
 
 struct TwoWheelsResult {
@@ -92,6 +98,7 @@ struct TwoWheelsResult {
   Time last_l_move = kNeverTime;
   std::uint64_t inquiry_count = 0;
   std::uint64_t total_messages = 0;
+  std::uint64_t events_processed = 0;  ///< engine events (determinism pin)
   /// Final emulated Ω set of the lowest-id correct process.
   ProcSet final_trusted;
   /// Full histories of the run (repr_i and trusted_i step traces per

@@ -407,4 +407,24 @@ CheckResult check_phi_properties(const QueryOracle& oracle,
   return pass_if_stable(witness, horizon);
 }
 
+CheckResult check_leader_oracle(const LeaderOracle& oracle,
+                                const sim::FailurePattern& pattern, int z,
+                                Time horizon, Time step) {
+  const SetHistory h = sample_leaders(oracle, pattern.n(), horizon, step);
+  return check_eventual_leadership(h, pattern, z, horizon);
+}
+
+CheckResult check_suspect_oracle(const SuspectOracle& oracle,
+                                 const sim::FailurePattern& pattern, int x,
+                                 Time horizon, Time step, bool perpetual) {
+  const SetHistory h = sample_suspects(oracle, pattern.n(), horizon, step);
+  CheckResult completeness = check_strong_completeness(h, pattern, horizon);
+  if (!completeness) return completeness;
+  CheckResult accuracy =
+      check_limited_scope_accuracy(h, pattern, x, horizon, perpetual);
+  if (!accuracy) return accuracy;
+  completeness.witness = std::max(completeness.witness, accuracy.witness);
+  return completeness;
+}
+
 }  // namespace saf::fd

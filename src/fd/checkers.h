@@ -89,6 +89,25 @@ CheckResult check_strong_accuracy(const SetHistory& suspected,
                                   const sim::FailurePattern& pattern,
                                   Time horizon, bool perpetual);
 
+// ---------------------------------------------------------------------
+// Oracle-level adapters (sample + check in one call). These are the
+// entry points the schedule-exploration harness (src/check) uses to
+// turn a live oracle into a verdict against the ground-truth pattern.
+// ---------------------------------------------------------------------
+
+/// Samples `oracle` at `step` granularity and checks the Ω_z axioms
+/// (size bound + eventual common leadership with a correct member).
+CheckResult check_leader_oracle(const LeaderOracle& oracle,
+                                const sim::FailurePattern& pattern, int z,
+                                Time horizon, Time step);
+
+/// Samples `oracle` at `step` granularity and checks the ◇S_x (or S_x,
+/// perpetual=true) axioms: strong completeness AND limited-scope
+/// accuracy. The detail of the first failing axiom is reported.
+CheckResult check_suspect_oracle(const SuspectOracle& oracle,
+                                 const sim::FailurePattern& pattern, int x,
+                                 Time horizon, Time step, bool perpetual);
+
 /// Helper shared by accuracy-style checks: earliest tau such that for
 /// every instant in [tau, horizon], either the process has crashed or its
 /// suspected set does not contain `l`. kNeverTime if no such tau.

@@ -71,8 +71,13 @@ void Simulator::note_send(ProcessId sender) {
   }
 }
 
+void Simulator::set_delivery_observer(DeliveryObserver obs) {
+  delivery_observer_ = std::move(obs);
+}
+
 void Simulator::deliver(ProcessId to, const MessagePtr& m) {
   if (crashed_[static_cast<std::size_t>(to)]) return;
+  if (delivery_observer_) delivery_observer_(now_, to, *m);
   processes_[static_cast<std::size_t>(to)]->handle_delivery(m);
 }
 

@@ -24,6 +24,13 @@ class Process;
 class Network;
 struct Message;
 
+/// Observer of message deliveries, invoked for every message actually
+/// handed to an alive process (post crash-filtering), in execution
+/// order. The schedule-exploration harness (src/check) uses this to
+/// fingerprint and record the decided delivery order of a run.
+using DeliveryObserver =
+    std::function<void(Time at, ProcessId to, const Message& m)>;
+
 struct SimConfig {
   std::uint64_t seed = 1;
   int n = 0;  ///< number of processes (fixed by the processes added)
@@ -73,8 +80,16 @@ class Simulator {
   /// General-purpose deterministic stream (distinct from the network's).
   util::Rng& rng() { return rng_; }
 
-  /// Schedules fn at absolute time `at` (>= now).
+  /// Schedules fn at absolute time `at` (>= now). Events at the same
+  /// instant execute in schedule() order (the seq tie-break), so an
+  /// event scheduled with at == now() from inside a running event fires
+  /// later within the same instant, after everything already queued
+  /// there.
   void schedule(Time at, std::function<void()> fn);
+
+  /// Installs (or clears, with nullptr) the delivery observer. May be
+  /// set before or during a run; replaces any previous observer.
+  void set_delivery_observer(DeliveryObserver obs);
 
   std::uint64_t events_processed() const { return events_processed_; }
 
@@ -108,6 +123,7 @@ class Simulator {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<bool> crashed_;
   std::vector<std::uint64_t> sends_by_;
+  DeliveryObserver delivery_observer_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;

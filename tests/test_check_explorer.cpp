@@ -1,0 +1,307 @@
+// End-to-end tests of the schedule-exploration harness: adversary spec
+// serialization, the explorer sweep, counterexample shrinking, trace
+// record/replay and the bounded-DFS interleaving mode. The centerpiece
+// is an injected-bug fixture — a protocol whose Omega_z oracle is
+// deliberately widened to emit z+1 leaders — which the harness must
+// catch, shrink to a tiny reproducer, and replay to the identical
+// violation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/adversary.h"
+#include "check/dfs.h"
+#include "check/explorer.h"
+#include "check/replay.h"
+#include "check/shrinker.h"
+#include "fd/checkers.h"
+#include "fd/omega_oracle.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace saf::check {
+namespace {
+
+// --- adversary spec round-trips ----------------------------------------
+
+TEST(AdversarySpec, RoundTripsThroughItsStringForm) {
+  std::vector<AdversarySpec> specs;
+  specs.push_back({});  // uniform defaults
+  AdversarySpec starve;
+  starve.kind = AdversaryKind::kStarvation;
+  starve.victims = ProcSet{0, 2, 4};
+  starve.release = 1'500;
+  specs.push_back(starve);
+  AdversarySpec horizon;
+  horizon.kind = AdversaryKind::kNearHorizon;
+  horizon.release = 2'000;
+  horizon.hi = 25;
+  specs.push_back(horizon);
+  AdversarySpec bursty;
+  bursty.kind = AdversaryKind::kBursty;
+  bursty.epoch = 128;
+  bursty.slow_lo = 50;
+  bursty.slow_hi = 90;
+  specs.push_back(bursty);
+  for (const AdversarySpec& s : specs) {
+    const AdversarySpec back = AdversarySpec::parse(s.to_string());
+    EXPECT_EQ(back, s) << s.to_string();
+  }
+}
+
+TEST(AdversarySpec, RejectsMalformedInput) {
+  EXPECT_THROW(AdversarySpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(AdversarySpec::parse("warp-speed"), std::invalid_argument);
+  EXPECT_THROW(AdversarySpec::parse("uniform lo=x"), std::invalid_argument);
+}
+
+TEST(AdversarySpec, PoliciesKeepDelaysLegal) {
+  // Every adversary must respect the model: finite delays >= 1. Probe
+  // each kind across a spread of (from, to, now) triples.
+  util::Rng rng(99);
+  for (const AdversaryKind kind :
+       {AdversaryKind::kUniform, AdversaryKind::kStarvation,
+        AdversaryKind::kNearHorizon, AdversaryKind::kBursty}) {
+    AdversarySpec s;
+    s.kind = kind;
+    s.victims = ProcSet{0, 1};
+    s.release = 500;
+    auto policy = make_delay_policy(s);
+    for (Time now : {Time{0}, Time{100}, Time{499}, Time{500}, Time{5000}}) {
+      for (ProcessId from = 0; from < 4; ++from) {
+        const Time d = policy->delay(from, (from + 1) % 4, now, rng);
+        EXPECT_GE(d, 1) << s.to_string() << " at now=" << now;
+      }
+    }
+  }
+}
+
+// --- the injected-bug fixture ------------------------------------------
+
+struct TickMsg final : sim::Message {
+  std::string_view tag() const override { return "tick"; }
+};
+
+/// Broadcasts periodically so crash plans and delay adversaries have
+/// traffic to act on.
+class ChatterProcess final : public sim::Process {
+ public:
+  ChatterProcess(ProcessId id, int n, int t) : Process(id, n, t) {}
+  sim::ProtocolTask run() override {
+    while (true) {
+      broadcast_msg(TickMsg{});
+      co_await sleep_for(200);
+    }
+  }
+};
+
+/// An Omega_1 oracle "widened" by one: every output gains an extra
+/// member, so |trusted| == z + 1 at all times — the classic bug of a
+/// transformation forgetting to trim its candidate set.
+class WidenedOmega final : public fd::LeaderOracle {
+ public:
+  explicit WidenedOmega(const fd::OmegaZOracle& inner) : inner_(inner) {}
+  ProcSet trusted(ProcessId i, Time now) const override {
+    ProcSet s = inner_.trusted(i, now);
+    for (ProcessId extra = 0;; ++extra) {
+      if (!s.contains(extra)) {
+        s.insert(extra);
+        return s;
+      }
+    }
+  }
+
+ private:
+  const fd::OmegaZOracle& inner_;
+};
+
+constexpr int kFixtureN = 5;
+constexpr int kFixtureT = 2;
+constexpr int kFixtureZ = 1;
+constexpr Time kFixtureHorizon = 4'000;
+
+RunOutcome run_widened_omega_case(const ScheduleCase& c,
+                                  const RunContext& ctx) {
+  sim::SimConfig sc;
+  sc.seed = c.seed;
+  sc.n = kFixtureN;
+  sc.t = kFixtureT;
+  sc.horizon = kFixtureHorizon;
+  sim::Simulator sim(sc, c.crashes,
+                     ctx.delay_factory ? ctx.delay_factory()
+                                       : make_delay_policy(c.adversary));
+  DeliveryDigest digest;
+  sim.set_delivery_observer(
+      [&digest, &ctx](Time at, ProcessId to, const sim::Message& m) {
+        digest.observe(at, to, m);
+        if (ctx.observer) ctx.observer(at, to, m);
+      });
+  for (ProcessId i = 0; i < kFixtureN; ++i) {
+    sim.add_process(
+        std::make_unique<ChatterProcess>(i, kFixtureN, kFixtureT));
+  }
+  fd::OmegaOracleParams op;
+  op.stab_time = 0;
+  op.anarchy_before_stab = false;
+  op.forced_final_set = ProcSet{0};
+  const fd::OmegaZOracle inner(sim.pattern(), kFixtureZ, op);
+  const WidenedOmega widened(inner);
+  sim.run();
+
+  RunOutcome out;
+  const fd::CheckResult r = fd::check_leader_oracle(
+      widened, sim.pattern(), kFixtureZ, kFixtureHorizon, /*step=*/100);
+  if (!r) {
+    out.violations.push_back({"buggy-omega/omega", r.detail});
+  }
+  out.ok = out.violations.empty();
+  out.events_processed = sim.events_processed();
+  out.total_messages = sim.network().total_sent();
+  out.digest = digest.value();
+  return out;
+}
+
+const Protocol& buggy_protocol() {
+  static const Protocol* p = [] {
+    register_protocol({"buggy-omega", kFixtureN, kFixtureT, kFixtureHorizon,
+                       run_widened_omega_case});
+    return find_protocol("buggy-omega");
+  }();
+  return *p;
+}
+
+TEST(InjectedBug, ExplorerCatchesTheWidenedLeaderSet) {
+  ExploreOptions opt;
+  opt.seeds = 5;
+  const ExploreReport report = explore(buggy_protocol(), opt);
+  EXPECT_EQ(report.runs, 5);
+  ASSERT_FALSE(report.clean());
+  // The bug is unconditional, so every schedule must expose it.
+  EXPECT_EQ(report.violations.size(), 5u);
+  const Violation& v = report.violations.front();
+  ASSERT_EQ(v.outcome.violations.size(), 1u);
+  EXPECT_EQ(v.outcome.violations[0].invariant, "buggy-omega/omega");
+  EXPECT_NE(v.outcome.violations[0].detail.find("size > z=1"),
+            std::string::npos)
+      << v.outcome.violations[0].detail;
+}
+
+TEST(InjectedBug, ShrinkerReducesTheCounterexample) {
+  const ExploreReport report = explore(buggy_protocol(), {.seeds = 10});
+  ASSERT_FALSE(report.clean());
+  // Shrink the violation with the busiest crash plan we found.
+  const Violation* worst = &report.violations.front();
+  for (const Violation& v : report.violations) {
+    if (v.c.crashes.entries().size() > worst->c.crashes.entries().size()) {
+      worst = &v;
+    }
+  }
+  const ShrinkResult s = shrink(buggy_protocol(), worst->c);
+  EXPECT_FALSE(s.outcome.ok);
+  EXPECT_EQ(s.outcome.violations[0].invariant, "buggy-omega/omega");
+  // The bug needs no crashes at all: the minimized case must be well
+  // under the <= 3 crash-event bar, and the adversary reduced to the
+  // trivial one.
+  EXPECT_LE(s.minimized.crashes.entries().size(), 3u);
+  EXPECT_EQ(s.minimized.crashes.entries().size(), 0u);
+  EXPECT_EQ(s.minimized.adversary.kind, AdversaryKind::kUniform);
+  EXPECT_EQ(s.removed_crashes,
+            static_cast<int>(worst->c.crashes.entries().size()));
+  EXPECT_LE(s.runs, 200);
+}
+
+TEST(InjectedBug, RecordedTraceReplaysToTheIdenticalViolation) {
+  const ExploreReport report = explore(buggy_protocol(), {.seeds = 3});
+  ASSERT_FALSE(report.clean());
+  const ShrinkResult s = shrink(buggy_protocol(), report.violations[0].c);
+
+  TraceFile trace;
+  const RunOutcome rec = record_case(buggy_protocol(), s.minimized, &trace);
+  ASSERT_FALSE(rec.ok);
+  EXPECT_FALSE(trace.delays.empty());
+  EXPECT_NE(trace.violation.find("buggy-omega/omega"), std::string::npos);
+
+  // Through the text format and back: nothing may be lost.
+  std::stringstream file;
+  write_trace(trace, file);
+  const TraceFile back = read_trace(file);
+  EXPECT_EQ(back.protocol, trace.protocol);
+  EXPECT_EQ(back.c.seed, trace.c.seed);
+  EXPECT_EQ(back.c.adversary, trace.c.adversary);
+  EXPECT_EQ(back.c.crashes.entries().size(), trace.c.crashes.entries().size());
+  EXPECT_EQ(back.delays, trace.delays);
+  EXPECT_EQ(back.events, trace.events);
+  EXPECT_EQ(back.digest, trace.digest);
+  EXPECT_EQ(back.violation, trace.violation);
+
+  const ReplayResult r = replay_trace(back);
+  EXPECT_TRUE(r.matched) << r.detail;
+  EXPECT_FALSE(r.diverged);
+  EXPECT_EQ(violation_summary(r.outcome), trace.violation);
+}
+
+TEST(Shrinker, RefusesAPassingCase) {
+  const Protocol* p = find_protocol("kset-small");
+  ASSERT_NE(p, nullptr);
+  ScheduleCase clean;
+  clean.seed = 3;
+  EXPECT_THROW(shrink(*p, clean), std::invalid_argument);
+}
+
+// --- clean sweeps and the DFS mode -------------------------------------
+
+TEST(Explorer, BuiltInProtocolsSurviveASmallSweep) {
+  for (const char* name : {"kset-small", "kset"}) {
+    const Protocol* p = find_protocol(name);
+    ASSERT_NE(p, nullptr) << name;
+    ExploreOptions opt;
+    opt.seeds = (std::string(name) == "kset" ? 3 : 10);
+    const ExploreReport report = explore(*p, opt);
+    EXPECT_TRUE(report.clean()) << name << ": "
+                                << (report.violations.empty()
+                                        ? ""
+                                        : describe_case(
+                                              report.violations[0].c));
+  }
+}
+
+TEST(Dfs, ExhaustsTheChoiceTreeOnTheSmallInstance) {
+  const Protocol* p = find_protocol("kset-small");
+  ASSERT_NE(p, nullptr);
+  DfsOptions opt;
+  opt.depth = 6;
+  const DfsReport report = explore_interleavings(*p, ScheduleCase{}, opt);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.runs, 64u);  // |menu|^depth = 2^6
+  EXPECT_TRUE(report.clean());
+  // Flipping early delays genuinely changes the delivery order.
+  EXPECT_GT(report.distinct_digests, 1u);
+}
+
+TEST(Dfs, RunCapStopsAnOversizedTree) {
+  const Protocol* p = find_protocol("kset-small");
+  ASSERT_NE(p, nullptr);
+  DfsOptions opt;
+  opt.depth = 30;
+  opt.max_runs = 10;
+  const DfsReport report = explore_interleavings(*p, ScheduleCase{}, opt);
+  EXPECT_EQ(report.runs, 10u);
+  EXPECT_FALSE(report.exhausted);
+}
+
+TEST(Dfs, CatchesTheInjectedBugExhaustively) {
+  DfsOptions opt;
+  opt.depth = 3;
+  const DfsReport report =
+      explore_interleavings(buggy_protocol(), ScheduleCase{}, opt);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.violations.size(), report.runs);
+}
+
+}  // namespace
+}  // namespace saf::check

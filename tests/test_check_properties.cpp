@@ -1,0 +1,283 @@
+// Boundary-precision tests for the property checkers in fd/checkers.h:
+// for each axiom family, a history that violates the axiom by the
+// smallest possible margin must be rejected, and its barely-satisfying
+// mirror must be accepted. These pin the exact thresholds the
+// schedule-exploration harness relies on — an off-by-one in a checker
+// silently turns the explorer into a rubber stamp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fd/checkers.h"
+#include "fd/omega_oracle.h"
+#include "fd/query_oracles.h"
+#include "fd/suspect_oracles.h"
+#include "sim/failure_pattern.h"
+#include "util/trace.h"
+
+namespace saf::fd {
+namespace {
+
+constexpr Time kHorizon = 10'000;
+
+// --- limited-scope accuracy: scope off by one --------------------------
+//
+// n = 5, t = 1, p4 crashes at 100. Every correct process permanently
+// suspects p4 from 200 (completeness holds), every correct process other
+// than p0 is suspected forever by all of its peers, and exactly the
+// scope {p0, p1, p2} stops suspecting p0 at 200. The history therefore
+// satisfies diamond-S_x for x <= 3 and violates it for x = 4: the same
+// history sits exactly on the scope boundary.
+
+sim::FailurePattern scope_pattern() {
+  sim::CrashPlan plan;
+  plan.crash_at(4, 100);
+  sim::FailurePattern fp(5, 1, plan);
+  fp.record_crash(4, 100);
+  return fp;
+}
+
+SetHistory scope_boundary_history() {
+  SetHistory h(5, util::StepTrace<ProcSet>(ProcSet{}));
+  // Correct processes 0..3: suspect all correct peers from the start,
+  // and pick up the crashed p4 at 200.
+  for (ProcessId i = 0; i < 4; ++i) {
+    ProcSet peers;
+    for (ProcessId j = 0; j < 4; ++j) {
+      if (j != i) peers.insert(j);
+    }
+    h[static_cast<std::size_t>(i)].record(0, peers);
+    peers.insert(4);
+    h[static_cast<std::size_t>(i)].record(200, peers);
+  }
+  // The scope carve-out: p1 and p2 drop p0 for good at 200 (p0 never
+  // suspected itself), leaving {p0, p1, p2} as the maximal scope.
+  for (ProcessId i : {1, 2}) {
+    ProcSet s = h[static_cast<std::size_t>(i)].final();
+    s.erase(0);
+    h[static_cast<std::size_t>(i)].record(200, s);
+  }
+  return h;
+}
+
+TEST(ScopeAccuracyBoundary, ScopeOfThreeIsAccepted) {
+  const sim::FailurePattern fp = scope_pattern();
+  const SetHistory h = scope_boundary_history();
+  const CheckResult completeness = check_strong_completeness(h, fp, kHorizon);
+  EXPECT_TRUE(completeness) << completeness.detail;
+  const CheckResult ok =
+      check_limited_scope_accuracy(h, fp, 3, kHorizon, /*perpetual=*/false);
+  EXPECT_TRUE(ok) << ok.detail;
+  EXPECT_EQ(ok.witness, 200);
+}
+
+TEST(ScopeAccuracyBoundary, CrashedProcessesFillTheScopeVacuously) {
+  // A crashed process satisfies "never suspects l" vacuously after its
+  // crash, so it is legal scope filler: the same history also passes at
+  // x = 4 with p4 as the fourth member. The genuine boundary is pinned
+  // by the crash-free history below.
+  const sim::FailurePattern fp = scope_pattern();
+  const SetHistory h = scope_boundary_history();
+  const CheckResult ok =
+      check_limited_scope_accuracy(h, fp, 4, kHorizon, /*perpetual=*/false);
+  EXPECT_TRUE(ok) << ok.detail;
+}
+
+// Crash-free mirror: all five processes are correct, so the scope is
+// exactly the set of processes that stop suspecting p0 — {p0, p1, p2}.
+SetHistory crash_free_scope_history() {
+  SetHistory h(5, util::StepTrace<ProcSet>(ProcSet{}));
+  for (ProcessId i = 0; i < 5; ++i) {
+    ProcSet peers;
+    for (ProcessId j = 0; j < 5; ++j) {
+      if (j != i) peers.insert(j);
+    }
+    h[static_cast<std::size_t>(i)].record(0, peers);
+  }
+  for (ProcessId i : {1, 2}) {
+    ProcSet s = h[static_cast<std::size_t>(i)].final();
+    s.erase(0);
+    h[static_cast<std::size_t>(i)].record(200, s);
+  }
+  return h;
+}
+
+TEST(ScopeAccuracyBoundary, ScopeOfFourIsRejectedWhenAllAreCorrect) {
+  const sim::FailurePattern fp(5, 1, sim::CrashPlan{});
+  const SetHistory h = crash_free_scope_history();
+  const CheckResult ok =
+      check_limited_scope_accuracy(h, fp, 3, kHorizon, /*perpetual=*/false);
+  EXPECT_TRUE(ok) << ok.detail;
+  const CheckResult bad =
+      check_limited_scope_accuracy(h, fp, 4, kHorizon, /*perpetual=*/false);
+  EXPECT_FALSE(bad);
+  EXPECT_NE(bad.detail.find("scope of 4"), std::string::npos) << bad.detail;
+}
+
+TEST(ScopeAccuracyBoundary, PerpetualDemandsWitnessZero) {
+  const sim::FailurePattern fp = scope_pattern();
+  SetHistory h = scope_boundary_history();
+  // Eventual witness is 200, so the same history must fail S_x...
+  EXPECT_FALSE(
+      check_limited_scope_accuracy(h, fp, 3, kHorizon, /*perpetual=*/true));
+  // ...until the scope never suspected p0 at all.
+  for (ProcessId i : {1, 2}) {
+    ProcSet initial = h[static_cast<std::size_t>(i)].initial();
+    util::StepTrace<ProcSet> fresh(ProcSet{});
+    initial.erase(0);
+    fresh.record(0, initial);
+    initial.insert(4);
+    fresh.record(200, initial);
+    h[static_cast<std::size_t>(i)] = fresh;
+  }
+  const CheckResult ok =
+      check_limited_scope_accuracy(h, fp, 3, kHorizon, /*perpetual=*/true);
+  EXPECT_TRUE(ok) << ok.detail;
+  EXPECT_EQ(ok.witness, 0);
+}
+
+// --- eventual leadership: set size off by one --------------------------
+//
+// n = 4, z = 2, no crashes, all processes converge to {0} at 300. One
+// pre-convergence output of size z + 1 at a single instant must sink the
+// run; the same output trimmed to size z must not.
+
+SetHistory leadership_history(ProcSet early_output) {
+  SetHistory h(4, util::StepTrace<ProcSet>(ProcSet{0}));
+  h[1].record(50, early_output);
+  for (ProcessId i = 0; i < 4; ++i) {
+    h[static_cast<std::size_t>(i)].record(300, ProcSet{0});
+  }
+  return h;
+}
+
+TEST(LeadershipBoundary, SizeExactlyZIsAccepted) {
+  const sim::FailurePattern fp(4, 1, sim::CrashPlan{});
+  const CheckResult ok = check_eventual_leadership(
+      leadership_history(ProcSet{0, 1}), fp, 2, kHorizon);
+  EXPECT_TRUE(ok) << ok.detail;
+  EXPECT_EQ(ok.witness, 300);
+}
+
+TEST(LeadershipBoundary, SizeZPlusOneIsRejected) {
+  const sim::FailurePattern fp(4, 1, sim::CrashPlan{});
+  const CheckResult bad = check_eventual_leadership(
+      leadership_history(ProcSet{0, 1, 2}), fp, 2, kHorizon);
+  EXPECT_FALSE(bad);
+  EXPECT_NE(bad.detail.find("size > z=2"), std::string::npos) << bad.detail;
+}
+
+TEST(LeadershipBoundary, OversizeOutputByACrashedProcessIsIgnored) {
+  // The size bound only constrains outputs made while alive: the same
+  // z+1 output is harmless if p1 crashed before emitting it.
+  sim::CrashPlan plan;
+  plan.crash_at(1, 40);
+  sim::FailurePattern fp(4, 1, plan);
+  fp.record_crash(1, 40);
+  const CheckResult ok = check_eventual_leadership(
+      leadership_history(ProcSet{0, 1, 2}), fp, 2, kHorizon);
+  EXPECT_TRUE(ok) << ok.detail;
+}
+
+TEST(LeadershipBoundary, EventualSetWithoutACorrectMemberIsRejected) {
+  sim::CrashPlan plan;
+  plan.crash_at(3, 100);
+  sim::FailurePattern fp(4, 1, plan);
+  fp.record_crash(3, 100);
+  SetHistory h(4, util::StepTrace<ProcSet>(ProcSet{0}));
+  for (ProcessId i = 0; i < 4; ++i) {
+    h[static_cast<std::size_t>(i)].record(300, ProcSet{3});  // crashed
+  }
+  const CheckResult bad = check_eventual_leadership(h, fp, 2, kHorizon);
+  EXPECT_FALSE(bad);
+  EXPECT_NE(bad.detail.find("no correct process"), std::string::npos);
+}
+
+TEST(LeadershipBoundary, StabilizationTooCloseToHorizonIsRejected) {
+  // The eventual property must hold over a real suffix: converging only
+  // in the last tenth of the run does not count as "eventually forever".
+  const sim::FailurePattern fp(4, 1, sim::CrashPlan{});
+  SetHistory h(4, util::StepTrace<ProcSet>(ProcSet{0}));
+  h[1].record(static_cast<Time>(0.95 * kHorizon), ProcSet{1});
+  h[1].record(static_cast<Time>(0.96 * kHorizon), ProcSet{0});
+  const CheckResult bad = check_eventual_leadership(h, fp, 2, kHorizon);
+  EXPECT_FALSE(bad);
+  EXPECT_NE(bad.detail.find("too close to the horizon"), std::string::npos)
+      << bad.detail;
+}
+
+// --- phi region threshold off by one -----------------------------------
+//
+// A PhiOracle of class phi_{y-1} answers "small" for sets of size
+// t-y+1 — one past class y's triviality region. Checked against class y
+// it must fail safety (a live set answered true); checked against its
+// own class y-1 the identical oracle is clean. This is exactly the
+// failure mode of a transformation that mixes up its y parameter.
+
+TEST(PhiBoundary, RegionOffByOneOracleIsRejectedForClassY) {
+  constexpr int n = 6, t = 3, y = 2;
+  const sim::FailurePattern fp(n, t, sim::CrashPlan{});
+  QueryOracleParams qp;
+  qp.stab_time = 0;
+  PhiOracle off_by_one(fp, y - 1, qp);
+  const CheckResult perpetual = check_phi_properties(
+      off_by_one, fp, y, kHorizon, /*step=*/250, /*perpetual=*/true, 5);
+  EXPECT_FALSE(perpetual);
+  EXPECT_NE(perpetual.detail.find("safety"), std::string::npos)
+      << perpetual.detail;
+  const CheckResult eventual = check_phi_properties(
+      off_by_one, fp, y, kHorizon, /*step=*/250, /*perpetual=*/false, 5);
+  EXPECT_FALSE(eventual);
+}
+
+TEST(PhiBoundary, SameOracleIsAcceptedForItsOwnClass) {
+  constexpr int n = 6, t = 3, y = 2;
+  sim::CrashPlan plan;
+  plan.crash_at(5, 500);
+  sim::FailurePattern fp(n, t, plan);
+  fp.record_crash(5, 500);
+  QueryOracleParams qp;
+  qp.stab_time = 0;
+  for (const int cls : {y - 1, y}) {
+    PhiOracle oracle(fp, cls, qp);
+    const CheckResult ok = check_phi_properties(
+        oracle, fp, cls, kHorizon, /*step=*/250, /*perpetual=*/true, 5);
+    EXPECT_TRUE(ok) << "class " << cls << ": " << ok.detail;
+  }
+}
+
+// --- oracle-level adapters (the harness entry points) ------------------
+
+TEST(OracleAdapters, LeaderOracleAdapterMatchesClassAxioms) {
+  sim::CrashPlan plan;
+  plan.crash_at(2, 300);
+  sim::FailurePattern fp(5, 2, plan);
+  fp.record_crash(2, 300);
+  OmegaOracleParams op;
+  op.stab_time = 1'000;
+  const OmegaZOracle good(fp, 2, op);
+  const CheckResult ok = check_leader_oracle(good, fp, 2, kHorizon, 100);
+  EXPECT_TRUE(ok) << ok.detail;
+  // The identical oracle judged against a tighter bound z = 1 must fail
+  // whenever its eventual set has size 2.
+  if (good.final_set().size() == 2) {
+    EXPECT_FALSE(check_leader_oracle(good, fp, 1, kHorizon, 100));
+  }
+}
+
+TEST(OracleAdapters, SuspectOracleAdapterChecksBothAxioms) {
+  sim::CrashPlan plan;
+  plan.crash_at(4, 200);
+  sim::FailurePattern fp(5, 1, plan);
+  fp.record_crash(4, 200);
+  SuspectOracleParams sp;
+  sp.stab_time = 500;
+  const LimitedScopeSuspectOracle oracle(fp, /*x=*/3, sp);
+  const CheckResult ok =
+      check_suspect_oracle(oracle, fp, 3, kHorizon, 100, /*perpetual=*/false);
+  EXPECT_TRUE(ok) << ok.detail;
+  EXPECT_LE(ok.witness, static_cast<Time>(0.9 * kHorizon));
+}
+
+}  // namespace
+}  // namespace saf::fd
