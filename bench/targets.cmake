@@ -10,6 +10,7 @@ function(saf_add_bench name)
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
 
+saf_add_bench(bench_sim_core)
 saf_add_bench(bench_fig1_grid)
 saf_add_bench(bench_fig1_irreducibility)
 saf_add_bench(bench_fig2_additivity)

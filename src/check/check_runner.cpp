@@ -1,7 +1,7 @@
 // check_runner — the schedule-exploration CLI (docs/checking.md).
 //
 //   check_runner --seeds 1000                          # sweep all protocols
-//   check_runner --protocol kset,two-wheels --seeds 500
+//   check_runner --protocol kset,two-wheels --seeds 500 --jobs 4
 //   check_runner --protocol kset --seeds 1000 --shrink --record out
 //   check_runner --protocol kset-small --dfs --dfs-depth 10
 //   check_runner --replay out-kset-42.trace
@@ -21,6 +21,7 @@
 #include "check/explorer.h"
 #include "check/replay.h"
 #include "check/shrinker.h"
+#include "sweep/thread_pool.h"
 
 namespace {
 
@@ -31,6 +32,7 @@ struct Args {
   std::vector<std::string> protocols;  // empty = the three paper pillars
   std::uint64_t first_seed = 1;
   int seeds = 100;
+  int jobs = 0;  // 0 = hardware concurrency; report is jobs-invariant
   bool shrink = false;
   bool dfs = false;
   int dfs_depth = 10;
@@ -43,7 +45,7 @@ int usage(const std::string& err = "") {
   if (!err.empty()) std::cerr << "check_runner: " << err << "\n";
   std::cerr <<
       "usage: check_runner [--protocol a,b,...] [--seeds N] [--first-seed S]\n"
-      "                    [--shrink] [--record PREFIX]\n"
+      "                    [--jobs N] [--shrink] [--record PREFIX]\n"
       "                    [--dfs] [--dfs-depth D]\n"
       "                    [--replay FILE] [--list]\n";
   return 2;
@@ -99,6 +101,9 @@ bool parse_args(int argc, char** argv, Args* a) {
           !parse_int("--first-seed", v, std::uint64_t{0}, &a->first_seed)) {
         return false;
       }
+    } else if (arg == "--jobs") {
+      const char* v = value("--jobs");
+      if (v == nullptr || !parse_int("--jobs", v, 1, &a->jobs)) return false;
     } else if (arg == "--shrink") {
       a->shrink = true;
     } else if (arg == "--dfs") {
@@ -213,6 +218,7 @@ int main(int argc, char** argv) {
     ExploreOptions opt;
     opt.first_seed = args.first_seed;
     opt.seeds = args.seeds;
+    opt.jobs = args.jobs > 0 ? args.jobs : sweep::ThreadPool::default_jobs();
     const ExploreReport report = explore(*p, opt);
     std::cout << "[" << name << "] " << report.runs << " runs (seeds "
               << args.first_seed << ".."

@@ -1,5 +1,9 @@
 #include "check/explorer.h"
 
+#include <utility>
+#include <vector>
+
+#include "sweep/thread_pool.h"
 #include "util/check.h"
 
 namespace saf::check {
@@ -8,22 +12,64 @@ RunOutcome run_case(const Protocol& p, const ScheduleCase& c) {
   return p.run(c, RunContext{});
 }
 
-ExploreReport explore(const Protocol& p, const ExploreOptions& opt) {
-  util::require(opt.seeds >= 0, "explore: negative seed count");
+namespace {
+
+/// Folds per-seed outcomes into a report in seed order, reproducing the
+/// serial loop exactly — including report.runs stopping at the seed that
+/// filled the violation budget.
+ExploreReport fold(std::vector<std::pair<ScheduleCase, RunOutcome>>& outcomes,
+                   int max_violations) {
   ExploreReport report;
-  for (int i = 0; i < opt.seeds; ++i) {
-    const ScheduleCase c =
-        generate_case(p, opt.first_seed + static_cast<std::uint64_t>(i));
-    RunOutcome out = run_case(p, c);
+  for (auto& [c, out] : outcomes) {
     ++report.runs;
     if (!out.ok) {
       report.violations.push_back(Violation{c, std::move(out)});
-      if (static_cast<int>(report.violations.size()) >= opt.max_violations) {
+      if (static_cast<int>(report.violations.size()) >= max_violations) {
         break;
       }
     }
   }
   return report;
+}
+
+}  // namespace
+
+ExploreReport explore(const Protocol& p, const ExploreOptions& opt) {
+  util::require(opt.seeds >= 0, "explore: negative seed count");
+  if (opt.jobs == 1) {
+    // Serial fast path: run and fold in one pass, stopping at the
+    // violation budget without touching later seeds at all.
+    ExploreReport report;
+    for (int i = 0; i < opt.seeds; ++i) {
+      const ScheduleCase c =
+          generate_case(p, opt.first_seed + static_cast<std::uint64_t>(i));
+      RunOutcome out = run_case(p, c);
+      ++report.runs;
+      if (!out.ok) {
+        report.violations.push_back(Violation{c, std::move(out)});
+        if (static_cast<int>(report.violations.size()) >=
+            opt.max_violations) {
+          break;
+        }
+      }
+    }
+    return report;
+  }
+  // Parallel path: every seed's outcome is a pure function of the seed,
+  // so compute them all index-addressed and fold serially afterwards.
+  // Seeds past a max_violations early stop are simulated (wasted work in
+  // the violation-heavy case) but never reported, keeping the report
+  // byte-identical to the serial sweep.
+  std::vector<std::pair<ScheduleCase, RunOutcome>> outcomes(
+      static_cast<std::size_t>(opt.seeds));
+  sweep::ThreadPool pool(opt.jobs);
+  pool.parallel_for(outcomes.size(), [&](std::size_t i) {
+    const ScheduleCase c =
+        generate_case(p, opt.first_seed + static_cast<std::uint64_t>(i));
+    RunOutcome out = run_case(p, c);
+    outcomes[i] = {c, std::move(out)};
+  });
+  return fold(outcomes, opt.max_violations);
 }
 
 }  // namespace saf::check

@@ -20,6 +20,11 @@ struct ExploreOptions {
   int seeds = 100;
   /// Stop the sweep once this many violations have been collected.
   int max_violations = 16;
+  /// Worker threads (sweep::ThreadPool); <= 0 picks hardware concurrency.
+  /// The report is byte-identical to a jobs=1 sweep — outcomes are
+  /// computed per seed and folded in seed order, including the
+  /// max_violations early stop — parallelism only changes wall time.
+  int jobs = 1;
 };
 
 struct Violation {

@@ -113,7 +113,7 @@ class HeartbeatProcess final : public sim::Process {
 
   sim::ProtocolTask run() override {
     while (true) {
-      broadcast_msg(BeatMsg{});
+      broadcast_interned<BeatMsg>();  // fixed vocabulary: one arena object
       co_await sleep_for(period_);
     }
   }

@@ -1,12 +1,13 @@
 // Message base type for protocol payloads.
 //
 // Protocols define their own message structs derived from Message.
-// Messages are immutable after sending and shared between the recipients
-// of a broadcast (shared_ptr<const Message>), so a broadcast costs one
-// allocation regardless of fan-out.
+// Messages are immutable after sending and owned by the simulator's
+// per-run arena: a send bump-allocates the payload once, every recipient
+// of a broadcast shares the same object, and nothing is reference-counted
+// on the delivery path. The arena frees all messages wholesale when the
+// run's Simulator is destroyed.
 #pragma once
 
-#include <memory>
 #include <string_view>
 
 #include "util/types.h"
@@ -20,16 +21,8 @@ struct Message {
   /// message-count benches). E.g. "x_move", "phase1", "inquiry".
   virtual std::string_view tag() const = 0;
 
-  /// Filled in by the network at send time.
+  /// Filled in at send time.
   ProcessId sender = -1;
 };
-
-using MessagePtr = std::shared_ptr<const Message>;
-
-/// Convenience: make_message<PhaseMsg>(...args)
-template <typename M, typename... Args>
-MessagePtr make_message(Args&&... args) {
-  return std::make_shared<const M>(M{{}, std::forward<Args>(args)...});
-}
 
 }  // namespace saf::sim

@@ -14,27 +14,29 @@ Network::Network(Simulator& sim, std::unique_ptr<DelayPolicy> policy,
 
 Network::~Network() = default;
 
-void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
+void Network::send(ProcessId from, ProcessId to, const Message* m) {
   SAF_CHECK(m != nullptr);
   SAF_CHECK(to >= 0 && to < sim_.n());
   if (sim_.is_crashed(from)) return;  // a crashed process sends nothing
 
   const Time now = sim_.now();
   ++total_sent_;
-  auto [it, inserted] = by_tag_.try_emplace(std::string(m->tag()));
+  // Heterogeneous lookup first: the tag vocabulary is tiny and fixed, so
+  // the steady state never materializes a std::string per send.
+  auto it = by_tag_.find(m->tag());
+  if (it == by_tag_.end()) {
+    it = by_tag_.emplace(std::string(m->tag()), TagStats{}).first;
+  }
   ++it->second.count;
   it->second.last_time = now;
 
   const Time d = policy_->delay(from, to, now, rng_);
   SAF_CHECK_MSG(d >= 1, "delay policies must return >= 1");
-  Simulator* sim = &sim_;
-  sim_.schedule(now + d, [sim, to, msg = std::move(m)] {
-    sim->deliver(to, msg);
-  });
+  sim_.schedule_deliver(now + d, to, m);
   sim_.note_send(from);
 }
 
-void Network::broadcast(ProcessId from, const MessagePtr& m) {
+void Network::broadcast(ProcessId from, const Message* m) {
   for (ProcessId to = 0; to < sim_.n(); ++to) {
     if (sim_.is_crashed(from)) return;  // send-triggered crash mid-broadcast
     send(from, to, m);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -27,11 +28,14 @@ class Network {
           util::Rng rng);
   ~Network();
 
-  /// Point-to-point send; no-op if `from` has crashed.
-  void send(ProcessId from, ProcessId to, MessagePtr m);
+  /// Point-to-point send; no-op if `from` has crashed. `m` must be owned
+  /// by the simulator's arena (it outlives the run).
+  void send(ProcessId from, ProcessId to, const Message* m);
 
-  /// Send to every process, including the sender itself.
-  void broadcast(ProcessId from, const MessagePtr& m);
+  /// Send to every process, including the sender itself. All recipients
+  /// share the one arena object: a broadcast costs zero allocations
+  /// beyond the payload itself.
+  void broadcast(ProcessId from, const Message* m);
 
   std::uint64_t total_sent() const { return total_sent_; }
   std::uint64_t sent_with_tag(std::string_view tag) const;

@@ -54,9 +54,24 @@ void Process::spawn(ProtocolTask task) {
   }
 }
 
-void Process::handle_delivery(const MessagePtr& m) {
-  if (!rb_->intercept(*m)) {
-    on_message(*m);
+util::Arena& Process::arena() {
+  SAF_CHECK(sim_ != nullptr);
+  return sim_->arena();
+}
+
+const Message* Process::interned_instance(
+    const std::type_info& type, const std::function<const Message*()>& make) {
+  for (const auto& [key, msg] : interned_) {
+    if (*key == type) return msg;
+  }
+  const Message* msg = make();
+  interned_.emplace_back(&type, msg);
+  return msg;
+}
+
+void Process::handle_delivery(const Message& m) {
+  if (!rb_->intercept(m)) {
+    on_message(m);
   }
   maybe_wake();
 }
@@ -111,21 +126,18 @@ void Process::SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
   });
 }
 
-void Process::send_raw(ProcessId to, std::shared_ptr<Message> m) {
+void Process::send_raw(ProcessId to, const Message* m) {
   SAF_CHECK(sim_ != nullptr);
-  m->sender = id_;
-  sim_->network().send(id_, to, std::move(m));
+  sim_->network().send(id_, to, m);
 }
 
-void Process::broadcast_raw(std::shared_ptr<Message> m) {
+void Process::broadcast_raw(const Message* m) {
   SAF_CHECK(sim_ != nullptr);
-  m->sender = id_;
-  sim_->network().broadcast(id_, std::move(m));
+  sim_->network().broadcast(id_, m);
 }
 
-void Process::rbroadcast_raw(std::shared_ptr<Message> m) {
-  m->sender = id_;
-  rb_->rbroadcast(std::move(m));
+void Process::rbroadcast_raw(const Message* m) {
+  rb_->rbroadcast(m);
 }
 
 }  // namespace saf::sim

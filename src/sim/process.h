@@ -19,10 +19,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <typeinfo>
+#include <utility>
 #include <vector>
 
 #include "sim/message.h"
 #include "sim/task.h"
+#include "util/arena.h"
 #include "util/types.h"
 
 namespace saf::sim {
@@ -60,23 +63,37 @@ class Process {
   bool is_crashed() const;
   Time now() const;
 
-  /// Sends a protocol message point-to-point.
+  /// Sends a protocol message point-to-point. The payload is moved into
+  /// the simulator's per-run arena (one bump allocation, no refcounting).
   template <typename M>
   void send_to(ProcessId to, M msg) {
-    send_raw(to, std::make_shared<M>(std::move(msg)));
+    send_raw(to, stamp(arena().create<M>(std::move(msg))));
   }
 
   /// The paper's Broadcast(m): send to every process including self.
   template <typename M>
   void broadcast_msg(M msg) {
-    broadcast_raw(std::make_shared<M>(std::move(msg)));
+    broadcast_raw(stamp(arena().create<M>(std::move(msg))));
+  }
+
+  /// Broadcast of a payload-free message type M (heartbeats, inquiries,
+  /// alive-pings — the protocols' small fixed vocabulary). The instance
+  /// is interned: created once per (process, type) and reused for every
+  /// subsequent broadcast, so steady-state chatter allocates nothing.
+  template <typename M>
+  void broadcast_interned() {
+    static_assert(std::is_default_constructible_v<M>,
+                  "interned messages carry no payload");
+    broadcast_raw(interned_instance(typeid(M), [this] {
+      return stamp(arena().create<M>());
+    }));
   }
 
   /// The paper's R_broadcast(m) (reliable broadcast via echo-forwarding,
   /// see RbLayer).
   template <typename M>
   void rbroadcast_msg(M msg) {
-    rbroadcast_raw(std::make_shared<M>(std::move(msg)));
+    rbroadcast_raw(stamp(arena().create<M>(std::move(msg))));
   }
 
   struct UntilAwaiter {
@@ -107,6 +124,10 @@ class Process {
   /// Starts an additional task (call from boot()).
   void spawn(ProtocolTask task);
 
+  /// The owning simulator's per-run message arena. Only valid once the
+  /// process has been added to a Simulator.
+  util::Arena& arena();
+
  private:
   friend class Simulator;
   friend class RbLayer;
@@ -119,13 +140,22 @@ class Process {
 
   void attach(Simulator* sim);
   void start();
-  void handle_delivery(const MessagePtr& m);
+  void handle_delivery(const Message& m);
   void maybe_wake();
   void resume_handle(std::coroutine_handle<> h);
   void wake_token(std::uint64_t token);
-  void send_raw(ProcessId to, std::shared_ptr<Message> m);
-  void broadcast_raw(std::shared_ptr<Message> m);
-  void rbroadcast_raw(std::shared_ptr<Message> m);
+  /// Stamps the sender id onto a freshly created message.
+  template <typename M>
+  const M* stamp(M* m) {
+    m->sender = id_;
+    return m;
+  }
+  /// Looks up (or creates, via `make`) the interned instance of a type.
+  const Message* interned_instance(const std::type_info& type,
+                                   const std::function<const Message*()>& make);
+  void send_raw(ProcessId to, const Message* m);
+  void broadcast_raw(const Message* m);
+  void rbroadcast_raw(const Message* m);
 
   ProcessId id_;
   int n_;
@@ -135,6 +165,9 @@ class Process {
   std::vector<Waiter> waiters_;
   std::uint64_t next_token_ = 1;
   std::unique_ptr<RbLayer> rb_;
+  /// Interned payload-free messages, keyed by concrete type. The
+  /// vocabulary is a handful of types, so a linear scan wins.
+  std::vector<std::pair<const std::type_info*, const Message*>> interned_;
   bool started_ = false;
 };
 

@@ -11,12 +11,13 @@ std::uint64_t key_of(ProcessId origin, std::uint64_t seq) {
 }
 }  // namespace
 
-void RbLayer::rbroadcast(MessagePtr m) {
-  auto env = std::make_shared<RbEnvelope>();
+void RbLayer::rbroadcast(const Message* m) {
+  auto* env = owner_.arena().create<RbEnvelope>();
+  env->sender = owner_.id();
   env->origin = owner_.id();
   env->origin_seq = next_seq_++;
-  env->inner = std::move(m);
-  owner_.broadcast_raw(std::move(env));
+  env->inner = m;
+  owner_.broadcast_raw(env);
 }
 
 bool RbLayer::intercept(const Message& m) {
@@ -27,10 +28,13 @@ bool RbLayer::intercept(const Message& m) {
     return true;  // duplicate — Integrity
   }
   // Forward before delivering: once any correct process delivers, every
-  // correct process has the envelope in flight — Termination.
+  // correct process has the envelope in flight — Termination. The copy
+  // re-stamps the forwarder as transport-level sender; inner is shared
+  // (arena-owned, immutable).
   if (env->origin != owner_.id()) {
-    auto fwd = std::make_shared<RbEnvelope>(*env);
-    owner_.broadcast_raw(std::move(fwd));
+    auto* fwd = owner_.arena().create<RbEnvelope>(*env);
+    fwd->sender = owner_.id();
+    owner_.broadcast_raw(fwd);
   }
   owner_.on_rdeliver(*env->inner);
   return true;

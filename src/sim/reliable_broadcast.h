@@ -27,15 +27,16 @@ struct RbEnvelope final : Message {
 
   ProcessId origin = -1;
   std::uint64_t origin_seq = 0;
-  MessagePtr inner;
+  const Message* inner = nullptr;  ///< arena-owned, outlives the run
 };
 
 class RbLayer {
  public:
   explicit RbLayer(Process& owner) : owner_(owner) {}
 
-  /// Initiates R_broadcast of `m` from the owning process.
-  void rbroadcast(MessagePtr m);
+  /// Initiates R_broadcast of `m` from the owning process. `m` must be
+  /// arena-owned with its sender already stamped.
+  void rbroadcast(const Message* m);
 
   /// Returns true if the message was an RB envelope (and was consumed:
   /// either deduplicated, or forwarded + delivered via on_rdeliver).

@@ -52,7 +52,12 @@ ProcSet Simulator::alive_set() const {
 
 void Simulator::schedule(Time at, std::function<void()> fn) {
   SAF_CHECK_MSG(at >= now_, "cannot schedule into the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  queue_.push(Event{at, next_seq_++, -1, nullptr, std::move(fn)});
+}
+
+void Simulator::schedule_deliver(Time at, ProcessId to, const Message* m) {
+  SAF_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, to, m, {}});
 }
 
 void Simulator::crash(ProcessId pid) {
@@ -75,9 +80,9 @@ void Simulator::set_delivery_observer(DeliveryObserver obs) {
   delivery_observer_ = std::move(obs);
 }
 
-void Simulator::deliver(ProcessId to, const MessagePtr& m) {
+void Simulator::deliver(ProcessId to, const Message& m) {
   if (crashed_[static_cast<std::size_t>(to)]) return;
-  if (delivery_observer_) delivery_observer_(now_, to, *m);
+  if (delivery_observer_) delivery_observer_(now_, to, m);
   processes_[static_cast<std::size_t>(to)]->handle_delivery(m);
 }
 
@@ -127,14 +132,16 @@ bool Simulator::run_until(const std::function<bool()>& stop) {
   start_if_needed();
   if (stop && stop()) return true;
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > cfg_.horizon) break;
-    // Copy out before pop: fn may schedule.
-    auto fn = top.fn;
-    now_ = top.time;
-    queue_.pop();
+    if (queue_.peek().time > cfg_.horizon) break;
+    // Move out before dispatch: the handler may push into the queue.
+    Event e = queue_.pop();
+    now_ = e.time;
     ++events_processed_;
-    fn();
+    if (e.msg != nullptr) {
+      deliver(e.to, *e.msg);
+    } else {
+      e.fn();
+    }
     if (stop && stop()) return true;
   }
   return false;

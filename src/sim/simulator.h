@@ -10,11 +10,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/delay_policy.h"
+#include "sim/event_queue.h"
 #include "sim/failure_pattern.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -22,7 +23,6 @@ namespace saf::sim {
 
 class Process;
 class Network;
-struct Message;
 
 /// Observer of message deliveries, invoked for every message actually
 /// handed to an alive process (post crash-filtering), in execution
@@ -87,6 +87,10 @@ class Simulator {
   /// there.
   void schedule(Time at, std::function<void()> fn);
 
+  /// Per-run arena that owns every protocol message (and any other
+  /// run-scoped pool object). Freed wholesale on destruction.
+  util::Arena& arena() { return arena_; }
+
   /// Installs (or clears, with nullptr) the delivery observer. May be
   /// set before or during a run; replaces any previous observer.
   void set_delivery_observer(DeliveryObserver obs);
@@ -101,19 +105,10 @@ class Simulator {
   void crash(ProcessId pid);
   /// Counts a completed send; fires send-triggered crashes.
   void note_send(ProcessId sender);
-  void deliver(ProcessId to, const std::shared_ptr<const Message>& m);
+  /// Schedules a message delivery without a closure (the hot path).
+  void schedule_deliver(Time at, ProcessId to, const Message* m);
+  void deliver(ProcessId to, const Message& m);
   void tick();
-
-  struct Event {
-    Time time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
 
   SimConfig cfg_;
   CrashPlan plan_;
@@ -124,7 +119,8 @@ class Simulator {
   std::vector<bool> crashed_;
   std::vector<std::uint64_t> sends_by_;
   DeliveryObserver delivery_observer_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  util::Arena arena_;
+  EventQueue queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

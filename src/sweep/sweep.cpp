@@ -1,0 +1,90 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace saf::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+std::uint64_t run_seed(std::uint64_t master_seed, std::uint64_t index) {
+  return util::derive_seed(master_seed, index);
+}
+
+std::uint64_t SweepResult::total_events() const {
+  std::uint64_t sum = 0;
+  for (const RunStats& r : runs) sum += r.events;
+  return sum;
+}
+
+std::uint64_t SweepResult::total_messages() const {
+  std::uint64_t sum = 0;
+  for (const RunStats& r : runs) sum += r.messages;
+  return sum;
+}
+
+std::uint64_t SweepResult::failures() const {
+  std::uint64_t bad = 0;
+  for (const RunStats& r : runs) bad += r.ok ? 0 : 1;
+  return bad;
+}
+
+std::uint64_t SweepResult::digest_checksum() const {
+  std::uint64_t x = 0;
+  for (const RunStats& r : runs) x ^= r.digest;
+  return x;
+}
+
+double SweepResult::runs_per_sec() const {
+  return wall_ms_total <= 0 ? 0
+                            : static_cast<double>(runs.size()) * 1000.0 /
+                                  wall_ms_total;
+}
+
+double SweepResult::events_per_sec() const {
+  return wall_ms_total <= 0 ? 0
+                            : static_cast<double>(total_events()) * 1000.0 /
+                                  wall_ms_total;
+}
+
+double SweepResult::wall_ms_percentile(double q) const {
+  if (runs.empty()) return 0;
+  std::vector<double> w;
+  w.reserve(runs.size());
+  for (const RunStats& r : runs) w.push_back(r.wall_ms);
+  std::sort(w.begin(), w.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(w.size() - 1) + 0.5);
+  return w[std::min(rank, w.size() - 1)];
+}
+
+SweepResult run_sweep(ThreadPool& pool, std::uint64_t master_seed,
+                      std::size_t count, const RunFn& fn) {
+  SAF_CHECK(fn != nullptr);
+  SweepResult result;
+  result.runs.resize(count);
+  const auto t0 = Clock::now();
+  pool.parallel_for(count, [&](std::size_t i) {
+    const std::uint64_t seed = run_seed(master_seed, i);
+    const auto r0 = Clock::now();
+    RunStats stats = fn(seed, i);
+    stats.wall_ms = ms_between(r0, Clock::now());
+    stats.seed = seed;
+    result.runs[i] = stats;
+  });
+  result.wall_ms_total = ms_between(t0, Clock::now());
+  return result;
+}
+
+}  // namespace saf::sweep

@@ -1,0 +1,66 @@
+// The parallel sweep engine: N independent (seed, crash-plan,
+// delay-policy, protocol) simulations across cores, with deterministic
+// aggregation.
+//
+// Seed derivation is splitmix-based: run i of a sweep with master seed S
+// simulates seed derive_seed(S, i), so one 64-bit master seed names the
+// entire batch and any single run can be reproduced in isolation.
+// Results are written into an index-addressed vector, so every aggregate
+// (violation list, digest checksum, percentile tables) is a pure function
+// of the master seed — independent of thread count and schedule; a
+// parallel sweep is byte-identical to a serial one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sweep/thread_pool.h"
+#include "util/types.h"
+
+namespace saf::sweep {
+
+/// The seed run `index` of a sweep with `master_seed` simulates.
+std::uint64_t run_seed(std::uint64_t master_seed, std::uint64_t index);
+
+/// What one run reports back to the sweep.
+struct RunStats {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t digest = 0;
+  double wall_ms = 0;
+};
+
+/// Aggregates over a finished batch, all schedule-independent except the
+/// wall-time figures (which depend on the machine, not on the order).
+struct SweepResult {
+  std::vector<RunStats> runs;  ///< index order
+  double wall_ms_total = 0;    ///< whole-batch wall clock
+
+  std::size_t count() const { return runs.size(); }
+  std::uint64_t total_events() const;
+  std::uint64_t total_messages() const;
+  std::uint64_t failures() const;
+  /// XOR of per-run delivery digests: one word that pins the decided
+  /// schedule of every run in the batch.
+  std::uint64_t digest_checksum() const;
+  double runs_per_sec() const;
+  double events_per_sec() const;
+  /// q in [0,1]; nearest-rank percentile of per-run wall time.
+  double wall_ms_percentile(double q) const;
+};
+
+/// One run of the workload under sweep: given (seed, index), simulate and
+/// report. Must be thread-safe across distinct indices (each run builds
+/// its own Simulator; no shared mutable state).
+using RunFn = std::function<RunStats(std::uint64_t seed, std::size_t index)>;
+
+/// Executes `count` runs of `fn` on `pool`, seeds derived from
+/// `master_seed`. Wall times are measured per run with a steady clock.
+SweepResult run_sweep(ThreadPool& pool, std::uint64_t master_seed,
+                      std::size_t count, const RunFn& fn);
+
+}  // namespace saf::sweep

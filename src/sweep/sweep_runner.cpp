@@ -1,0 +1,429 @@
+// sweep_runner — the parallel sweep engine CLI (docs/performance.md).
+//
+// Measures the repo's two headline performance numbers and writes them
+// as machine-readable baselines:
+//
+//   BENCH_sim.json    single-core simulator throughput (events/sec,
+//                     messages) per registered protocol, serial runs;
+//   BENCH_sweep.json  parallel sweep throughput: runs/sec serial vs
+//                     parallel, p50/p99 wall time per run, scaling
+//                     efficiency, and the digest checksum that pins
+//                     determinism.
+//
+//   sweep_runner --seeds 500 --jobs 4 --grid --out-dir .
+//   sweep_runner --seeds 500 --baseline-sweep BENCH_sweep.json
+//                --baseline-sim BENCH_sim.json --tolerance 0.25
+//
+// The parallel sweep re-runs the same seed set serially and fails (exit
+// 1) unless the two verdict/digest sequences are byte-identical — the
+// determinism guarantee is enforced on every invocation, not only in
+// tests. Exit status: 0 ok, 1 violations / determinism mismatch /
+// baseline regression, 2 usage error.
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/protocols.h"
+#include "core/kset_agreement.h"
+#include "core/two_wheels.h"
+#include "sweep/bench_json.h"
+#include "sweep/sweep.h"
+#include "sweep/thread_pool.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace saf;
+using namespace saf::sweep;
+
+struct Args {
+  std::vector<std::string> protocols;  // empty = the three paper pillars
+  int seeds = 200;
+  std::uint64_t master_seed = 1;
+  int jobs = 0;  // 0 = hardware concurrency
+  int sim_runs = 12;
+  bool grid = false;
+  std::string out_dir = ".";
+  std::string baseline_sim;
+  std::string baseline_sweep;
+  double tolerance = 0.25;
+};
+
+int usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "sweep_runner: " << err << "\n";
+  std::cerr <<
+      "usage: sweep_runner [--protocol a,b,...] [--seeds N] [--master-seed S]\n"
+      "                    [--jobs N] [--sim-runs N] [--grid] [--out-dir DIR]\n"
+      "                    [--baseline-sim FILE] [--baseline-sweep FILE]\n"
+      "                    [--tolerance FRACTION]\n";
+  return 2;
+}
+
+template <typename Int>
+bool parse_int(const char* flag, const char* v, Int lo, Int* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long raw = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      std::cmp_less(raw, lo) ||
+      std::cmp_greater(raw, std::numeric_limits<Int>::max())) {
+    std::cerr << "sweep_runner: " << flag << " expects an integer >= " << lo
+              << ", got '" << v << "'\n";
+    return false;
+  }
+  *out = static_cast<Int>(raw);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "sweep_runner: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const char* v = value("--protocol");
+      if (v == nullptr) return false;
+      std::string cur;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!cur.empty()) a->protocols.push_back(cur);
+          cur.clear();
+          if (*p == '\0') break;
+        } else {
+          cur += *p;
+        }
+      }
+    } else if (arg == "--seeds") {
+      const char* v = value("--seeds");
+      if (v == nullptr || !parse_int("--seeds", v, 1, &a->seeds)) return false;
+    } else if (arg == "--master-seed") {
+      const char* v = value("--master-seed");
+      if (v == nullptr ||
+          !parse_int("--master-seed", v, std::uint64_t{0}, &a->master_seed)) {
+        return false;
+      }
+    } else if (arg == "--jobs") {
+      const char* v = value("--jobs");
+      if (v == nullptr || !parse_int("--jobs", v, 1, &a->jobs)) return false;
+    } else if (arg == "--sim-runs") {
+      const char* v = value("--sim-runs");
+      if (v == nullptr || !parse_int("--sim-runs", v, 1, &a->sim_runs)) {
+        return false;
+      }
+    } else if (arg == "--grid") {
+      a->grid = true;
+    } else if (arg == "--out-dir") {
+      const char* v = value("--out-dir");
+      if (v == nullptr) return false;
+      a->out_dir = v;
+    } else if (arg == "--baseline-sim") {
+      const char* v = value("--baseline-sim");
+      if (v == nullptr) return false;
+      a->baseline_sim = v;
+    } else if (arg == "--baseline-sweep") {
+      const char* v = value("--baseline-sweep");
+      if (v == nullptr) return false;
+      a->baseline_sweep = v;
+    } else if (arg == "--tolerance") {
+      const char* v = value("--tolerance");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      a->tolerance = std::strtod(v, &end);
+      if (end == v || *end != '\0' || a->tolerance < 0) {
+        std::cerr << "sweep_runner: --tolerance expects a fraction >= 0\n";
+        return false;
+      }
+    } else {
+      std::cerr << "sweep_runner: unknown flag " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Adapter: one schedule-exploration case as a sweep run.
+RunStats run_protocol_case(const check::Protocol& p, std::uint64_t seed) {
+  const check::ScheduleCase c = check::generate_case(p, seed);
+  const check::RunOutcome out = check::run_case(p, c);
+  RunStats s;
+  s.ok = out.ok;
+  s.events = out.events_processed;
+  s.messages = out.total_messages;
+  s.digest = out.digest;
+  return s;
+}
+
+void emit_sweep_aggregates(JsonWriter& w, const SweepResult& r) {
+  w.key("runs").value(static_cast<std::uint64_t>(r.count()));
+  w.key("violations").value(r.failures());
+  w.key("total_events").value(r.total_events());
+  w.key("total_messages").value(r.total_messages());
+  w.key("digest_checksum").value(r.digest_checksum());
+  w.key("p50_ms").value(r.wall_ms_percentile(0.50));
+  w.key("p99_ms").value(r.wall_ms_percentile(0.99));
+}
+
+// --- fig 2 grid: two-wheels additivity sweep ---------------------------
+
+struct Fig2Point {
+  int n, t, x, y;
+};
+
+std::vector<Fig2Point> fig2_points() {
+  std::vector<Fig2Point> pts;
+  const struct { int n, t; } shapes[] = {{6, 3}, {7, 3}};
+  for (const auto& s : shapes) {
+    for (int x = 1; x <= s.t + 1; ++x) {
+      for (int y = 0; y <= s.t; ++y) {
+        const int z = s.t + 2 - x - y;
+        if (z < 1 || z > s.t - y + 1) continue;
+        pts.push_back({s.n, s.t, x, y});
+      }
+    }
+  }
+  return pts;
+}
+
+RunStats run_fig2_point(const Fig2Point& pt, std::uint64_t seed) {
+  core::TwoWheelsConfig cfg;
+  cfg.n = pt.n;
+  cfg.t = pt.t;
+  cfg.x = pt.x;
+  cfg.y = pt.y;
+  cfg.seed = seed;
+  cfg.sx_noise = 0.25;
+  cfg.horizon = 30'000;
+  cfg.crashes.crash_at(1, 120);
+  const core::TwoWheelsResult res = core::run_two_wheels(cfg);
+  RunStats s;
+  s.ok = res.omega_check.pass;
+  s.events = res.events_processed;
+  s.messages = res.total_messages;
+  s.digest = res.final_trusted.mask();
+  return s;
+}
+
+// --- fig 3 grid: k-set agreement sweep ---------------------------------
+
+struct Fig3Point {
+  int k, z;
+};
+
+std::vector<Fig3Point> fig3_points() {
+  std::vector<Fig3Point> pts;
+  for (int k = 1; k <= 3; ++k) {
+    for (int z = 1; z <= k; ++z) pts.push_back({k, z});
+  }
+  return pts;
+}
+
+RunStats run_fig3_point(const Fig3Point& pt, std::uint64_t seed) {
+  core::KSetRunConfig cfg;
+  cfg.n = 7;
+  cfg.t = 3;
+  cfg.k = pt.k;
+  cfg.z = pt.z;
+  cfg.seed = seed;
+  cfg.horizon = 60'000;
+  cfg.crashes.crash_at(2, 150);
+  const core::KSetRunResult res = core::run_kset_agreement(cfg);
+  RunStats s;
+  s.ok = res.all_correct_decided && res.validity && res.agreement_k;
+  s.events = res.events_processed;
+  s.messages = res.total_messages;
+  s.digest = static_cast<std::uint64_t>(res.finish_time);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage();
+  if (args.protocols.empty()) {
+    args.protocols = {"kset", "two-wheels", "phibar"};
+  }
+  std::vector<const check::Protocol*> protocols;
+  for (const std::string& name : args.protocols) {
+    const check::Protocol* p = check::find_protocol(name);
+    if (p == nullptr) return usage("unknown protocol '" + name + "'");
+    protocols.push_back(p);
+  }
+
+  ThreadPool serial(1);
+  ThreadPool pool(args.jobs);
+  bool failed = false;
+
+  // --- BENCH_sim.json: single-core simulator throughput ----------------
+  JsonWriter sim_json;
+  sim_json.begin_object();
+  sim_json.key("schema").value("saf-bench-sim-v1");
+  sim_json.key("master_seed").value(args.master_seed);
+  sim_json.key("sim_runs").value(args.sim_runs);
+  sim_json.key("protocols").begin_object();
+  for (const check::Protocol* p : protocols) {
+    const SweepResult r = run_sweep(
+        serial, util::derive_seed(args.master_seed, "bench_sim"),
+        static_cast<std::size_t>(args.sim_runs),
+        [p](std::uint64_t seed, std::size_t) {
+          return run_protocol_case(*p, seed);
+        });
+    std::cout << "[sim " << p->name << "] " << r.count() << " runs, "
+              << static_cast<std::uint64_t>(r.events_per_sec())
+              << " events/sec, " << r.failures() << " violations\n";
+    failed |= r.failures() != 0;
+    sim_json.key(p->name).begin_object();
+    emit_sweep_aggregates(sim_json, r);
+    sim_json.key("events_per_sec").value(r.events_per_sec());
+    sim_json.key("runs_per_sec").value(r.runs_per_sec());
+    sim_json.end_object();
+  }
+  sim_json.end_object().end_object();
+
+  // --- BENCH_sweep.json: parallel sweep engine -------------------------
+  JsonWriter sweep_json;
+  sweep_json.begin_object();
+  sweep_json.key("schema").value("saf-bench-sweep-v1");
+  sweep_json.key("master_seed").value(args.master_seed);
+  sweep_json.key("seeds").value(args.seeds);
+  sweep_json.key("jobs").value(pool.jobs());
+  sweep_json.key("sweeps").begin_object();
+  for (const check::Protocol* p : protocols) {
+    const auto fn = [p](std::uint64_t seed, std::size_t) {
+      return run_protocol_case(*p, seed);
+    };
+    const auto count = static_cast<std::size_t>(args.seeds);
+    const SweepResult ser = run_sweep(serial, args.master_seed, count, fn);
+    const SweepResult par = run_sweep(pool, args.master_seed, count, fn);
+
+    // The determinism guarantee: verdicts and digests of the parallel
+    // sweep are byte-identical to the serial sweep, run for run.
+    bool identical = ser.count() == par.count();
+    for (std::size_t i = 0; identical && i < ser.count(); ++i) {
+      identical = ser.runs[i].digest == par.runs[i].digest &&
+                  ser.runs[i].ok == par.runs[i].ok &&
+                  ser.runs[i].events == par.runs[i].events;
+    }
+    if (!identical) {
+      std::cerr << "[sweep " << p->name
+                << "] DETERMINISM VIOLATION: parallel sweep diverged from "
+                   "serial sweep\n";
+      failed = true;
+    }
+    const double scaling =
+        ser.runs_per_sec() > 0
+            ? par.runs_per_sec() / ser.runs_per_sec() / pool.jobs()
+            : 0;
+    std::cout << "[sweep " << p->name << "] " << par.count() << " seeds: "
+              << static_cast<std::uint64_t>(ser.runs_per_sec())
+              << " runs/sec serial, "
+              << static_cast<std::uint64_t>(par.runs_per_sec())
+              << " runs/sec at jobs=" << pool.jobs() << " ("
+              << static_cast<int>(scaling * 100) << "% linear), "
+              << par.failures() << " violations, digests "
+              << (identical ? "identical" : "DIVERGED") << "\n";
+    failed |= par.failures() != 0;
+
+    sweep_json.key(p->name).begin_object();
+    emit_sweep_aggregates(sweep_json, par);
+    sweep_json.key("serial_runs_per_sec").value(ser.runs_per_sec());
+    sweep_json.key("parallel_runs_per_sec").value(par.runs_per_sec());
+    sweep_json.key("parallel_events_per_sec").value(par.events_per_sec());
+    sweep_json.key("scaling_efficiency").value(scaling);
+    sweep_json.key("digests_match_serial").value(identical);
+    sweep_json.end_object();
+  }
+  sweep_json.end_object();
+
+  if (args.grid) {
+    sweep_json.key("grids").begin_object();
+    {
+      const std::vector<Fig2Point> pts = fig2_points();
+      const SweepResult r = run_sweep(
+          pool, util::derive_seed(args.master_seed, "fig2"), pts.size(),
+          [&pts](std::uint64_t seed, std::size_t i) {
+            return run_fig2_point(pts[i], seed);
+          });
+      std::cout << "[grid fig2] " << r.count() << " points, "
+                << r.failures() << " omega failures\n";
+      failed |= r.failures() != 0;
+      sweep_json.key("fig2").begin_object();
+      emit_sweep_aggregates(sweep_json, r);
+      sweep_json.key("runs_per_sec").value(r.runs_per_sec());
+      sweep_json.end_object();
+    }
+    {
+      const std::vector<Fig3Point> pts = fig3_points();
+      const SweepResult r = run_sweep(
+          pool, util::derive_seed(args.master_seed, "fig3"), pts.size(),
+          [&pts](std::uint64_t seed, std::size_t i) {
+            return run_fig3_point(pts[i], seed);
+          });
+      std::cout << "[grid fig3] " << r.count() << " points, "
+                << r.failures() << " failures\n";
+      failed |= r.failures() != 0;
+      sweep_json.key("fig3").begin_object();
+      emit_sweep_aggregates(sweep_json, r);
+      sweep_json.key("runs_per_sec").value(r.runs_per_sec());
+      sweep_json.end_object();
+    }
+    sweep_json.end_object();
+  }
+  sweep_json.end_object();
+
+  const std::string sim_path = args.out_dir + "/BENCH_sim.json";
+  const std::string sweep_path = args.out_dir + "/BENCH_sweep.json";
+  try {
+    write_file(sim_path, sim_json.str());
+    write_file(sweep_path, sweep_json.str());
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_runner: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << sim_path << " and " << sweep_path << "\n";
+
+  // --- regression gate -------------------------------------------------
+  const auto gate = [&](const std::string& baseline_path,
+                        const std::string& current_text,
+                        const char* label) {
+    if (baseline_path.empty()) return;
+    try {
+      const FlatJson base = load_json_numbers(baseline_path);
+      const FlatJson cur = parse_json_numbers(current_text);
+      const RegressionReport rep =
+          compare_benchmarks(base, cur, args.tolerance);
+      for (const std::string& line : rep.regressions) {
+        std::cerr << "[" << label << "] REGRESSION " << line << "\n";
+      }
+      for (const std::string& key : rep.missing) {
+        std::cerr << "[" << label << "] MISSING METRIC " << key << "\n";
+      }
+      if (!rep.ok()) {
+        failed = true;
+      } else {
+        std::cout << "[" << label << "] no throughput regression vs "
+                  << baseline_path << " (tolerance "
+                  << static_cast<int>(args.tolerance * 100) << "%)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "[" << label << "] baseline check failed: " << e.what()
+                << "\n";
+      failed = true;
+    }
+  };
+  gate(args.baseline_sim, sim_json.str(), "sim");
+  gate(args.baseline_sweep, sweep_json.str(), "sweep");
+
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,137 @@
+#include "sweep/thread_pool.h"
+
+#include "util/check.h"
+
+namespace saf::sweep {
+
+int ThreadPool::default_jobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs <= 0 ? default_jobs() : jobs) {
+  slots_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  // The calling thread is participant 0; spawn the rest.
+  threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int i = 1; i < jobs_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_main(int self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      start_cv_.wait(l, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    work(self);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static initial split; stealing rebalances the tail.
+  const auto p = static_cast<std::size_t>(jobs_);
+  const std::size_t chunk = n / p;
+  const std::size_t rem = n % p;
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t len = chunk + (i < rem ? 1 : 0);
+    Slot& s = *slots_[i];
+    s.begin = at;
+    s.end = at + len;
+    at += len;
+  }
+  abort_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    SAF_CHECK_MSG(active_ == 0, "parallel_for is not reentrant");
+    fn_ = &fn;
+    first_error_ = nullptr;
+    active_ = jobs_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  work(0);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    done_cv_.wait(l, [&] { return active_ == 0; });
+    fn_ = nullptr;
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::work(int self) {
+  const std::function<void(std::size_t)>* fn = fn_;
+  for (std::size_t i = 0; next_index(self, &i);) {
+    try {
+      (*fn)(i);
+    } catch (...) {
+      abort_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> l(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+bool ThreadPool::next_index(int self, std::size_t* out) {
+  if (abort_.load(std::memory_order_relaxed)) return false;
+  Slot& own = *slots_[static_cast<std::size_t>(self)];
+  {
+    std::lock_guard<std::mutex> l(own.mu);
+    if (own.begin < own.end) {
+      *out = own.begin++;
+      return true;
+    }
+  }
+  // Steal: first victim (ring order from self+1) with work left donates
+  // the upper half of its range. Victim and own locks are never held
+  // together — the stolen range rides in locals between the two.
+  for (int k = 1; k < jobs_; ++k) {
+    Slot& victim = *slots_[static_cast<std::size_t>((self + k) % jobs_)];
+    std::size_t from = 0;
+    std::size_t take = 0;
+    {
+      std::lock_guard<std::mutex> l(victim.mu);
+      const std::size_t avail = victim.end - victim.begin;
+      if (avail == 0) continue;
+      take = (avail + 1) / 2;
+      from = victim.end - take;
+      victim.end = from;
+    }
+    std::lock_guard<std::mutex> l(own.mu);
+    own.begin = from;
+    own.end = from + take;
+    *out = own.begin++;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace saf::sweep

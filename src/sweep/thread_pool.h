@@ -1,0 +1,78 @@
+// Work-stealing thread pool for embarrassingly parallel sweeps.
+//
+// The sweep workloads are N independent deterministic simulations with
+// wildly varying per-run cost (a crash-free kset run is ~10x cheaper than
+// a near-horizon-starved one), so a static split leaves cores idle at the
+// tail. Each participant owns a contiguous index range; it consumes its
+// range from the front and, when empty, steals the upper half of the
+// largest remaining range of any other participant. The calling thread
+// participates as worker 0, so a pool with jobs == 1 runs inline with no
+// synchronization at all.
+//
+// Determinism: parallel_for(n, fn) promises only that fn(i) is invoked
+// exactly once for every i in [0, n); callers that need deterministic
+// aggregation write results[i] and fold the vector afterwards — never
+// fold in completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace saf::sweep {
+
+class ThreadPool {
+ public:
+  /// jobs <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, n), on jobs() threads
+  /// (including the caller). Blocks until all indices ran. If any fn
+  /// throws, the first exception is rethrown here (remaining indices may
+  /// be skipped). Not reentrant: one parallel_for at a time.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The default parallelism check_runner/sweep_runner use for --jobs 0.
+  static int default_jobs();
+
+ private:
+  /// One participant's index range. Owner pops the front under mu;
+  /// thieves detach the upper half under mu and re-home it.
+  struct Slot {
+    std::mutex mu;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_main(int self);
+  void work(int self);
+  bool next_index(int self, std::size_t* out);
+
+  int jobs_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> threads_;
+
+  // parallel_for rendezvous state, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::atomic<bool> abort_{false};  ///< set on first exception; stops pulls
+  std::exception_ptr first_error_;
+};
+
+}  // namespace saf::sweep
