@@ -185,6 +185,40 @@ void BM_SimulatorPingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorPingPong)->Unit(benchmark::kMillisecond);
 
+/// The same workload with the structured trace on (ring sink + metrics,
+/// default kind mask) — the traced-vs-untraced comparison row. The gated
+/// baselines track BM_SimulatorPingPong, where no sink is installed and
+/// every trace point compiles down to a null-pointer test; this row
+/// bounds the cost a run pays when it opts in.
+void BM_SimulatorPingPongTraced(benchmark::State& state) {
+  std::uint64_t hops = 0;
+  std::uint64_t events = 0;
+  std::uint64_t traced = 0;
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.n = 2;
+    cfg.t = 0;
+    cfg.horizon = 20'000;
+    Simulator sim(cfg, CrashPlan{}, std::make_unique<FixedDelay>(1));
+    trace::RingSink sink(4096);
+    trace::MetricsRegistry metrics;
+    sim.set_trace(&sink, &metrics);
+    auto& a = static_cast<PingPong&>(
+        sim.add_process(std::make_unique<PingPong>(0, 2, 0)));
+    auto& b = static_cast<PingPong&>(
+        sim.add_process(std::make_unique<PingPong>(1, 2, 0)));
+    sim.run();
+    hops += a.hops + b.hops;
+    events += sim.events_processed();
+    traced += sink.total();
+  }
+  benchmark::DoNotOptimize(traced);
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops / 2));  // round trips
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorPingPongTraced)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -5,12 +5,15 @@
 //   check_runner --protocol kset --seeds 1000 --shrink --record out
 //   check_runner --protocol kset-small --dfs --dfs-depth 10
 //   check_runner --replay out-kset-42.trace
+//   check_runner --seeds 200 --trace bug         # structured trace per violation
+//   check_runner --seeds 50 --metrics m.json     # per-protocol run metrics
 //
 // Exit status: 0 clean (or replay matched), 1 violations found (or
 // replay mismatched), 2 usage error.
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -22,6 +25,7 @@
 #include "check/replay.h"
 #include "check/shrinker.h"
 #include "sweep/thread_pool.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -38,16 +42,23 @@ struct Args {
   int dfs_depth = 10;
   std::string record_prefix;  // write a trace per violation when set
   std::string replay_path;
+  std::string trace_prefix;   // write a structured JSONL trace per violation
+  std::string metrics_path;   // write per-protocol run metrics as JSON
   bool list = false;
 };
 
-int usage(const std::string& err = "") {
-  if (!err.empty()) std::cerr << "check_runner: " << err << "\n";
-  std::cerr <<
+void print_usage(std::ostream& os) {
+  os <<
       "usage: check_runner [--protocol a,b,...] [--seeds N] [--first-seed S]\n"
       "                    [--jobs N] [--shrink] [--record PREFIX]\n"
       "                    [--dfs] [--dfs-depth D]\n"
-      "                    [--replay FILE] [--list]\n";
+      "                    [--trace PREFIX] [--metrics FILE]\n"
+      "                    [--replay FILE] [--list] [--help]\n";
+}
+
+int usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "check_runner: " << err << "\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -121,8 +132,19 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = value("--replay");
       if (v == nullptr) return false;
       a->replay_path = v;
+    } else if (arg == "--trace") {
+      const char* v = value("--trace");
+      if (v == nullptr) return false;
+      a->trace_prefix = v;
+    } else if (arg == "--metrics") {
+      const char* v = value("--metrics");
+      if (v == nullptr) return false;
+      a->metrics_path = v;
     } else if (arg == "--list") {
       a->list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
     } else {
       std::cerr << "check_runner: unknown flag " << arg << "\n";
       return false;
@@ -162,6 +184,24 @@ void postprocess_violation(const Args& args, const Protocol& p,
     const ReplayResult r = replay_trace(trace);
     std::cout << "    recorded " << path << " (" << trace.delays.size()
               << " delays); replay: " << r.detail << "\n";
+  }
+  if (!args.trace_prefix.empty()) {
+    // Deterministic re-run of the (possibly shrunk) failing case with
+    // the structured trace on: same seed, same crash plan, same
+    // adversary — the JSONL file IS the failing schedule.
+    const std::string path = args.trace_prefix + "-" + p.name + "-" +
+                             std::to_string(repro.seed) + ".trace.jsonl";
+    std::ofstream os(path);
+    if (!os) {
+      std::cout << "    cannot write " << path << "\n";
+      return;
+    }
+    os << "# " << p.name << " " << describe_case(repro) << "\n";
+    saf::trace::JsonlSink sink(os);
+    RunContext ctx;
+    ctx.trace_sink = &sink;
+    p.run(repro, ctx);
+    std::cout << "    structured trace " << path << "\n";
   }
 }
 
@@ -233,6 +273,28 @@ int main(int argc, char** argv) {
       }
     }
     any_violation |= !report.clean();
+  }
+
+  if (!args.metrics_path.empty()) {
+    // One canonical serial run per protocol with the metrics registry
+    // installed (metering every sweep run would perturb the parallel
+    // hot path; one deterministic run per protocol is the health probe).
+    std::ofstream os(args.metrics_path);
+    if (!os) return usage("cannot write " + args.metrics_path);
+    os << "{\"schema\":\"saf-metrics-v1\",\"protocols\":{";
+    bool first = true;
+    for (const std::string& name : args.protocols) {
+      const Protocol* p = find_protocol(name);
+      saf::trace::MetricsRegistry registry;
+      RunContext ctx;
+      ctx.metrics = &registry;
+      p->run(generate_case(*p, args.first_seed), ctx);
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":" << registry.to_json();
+    }
+    os << "}}\n";
+    std::cout << "metrics written to " << args.metrics_path << "\n";
   }
   return any_violation ? 1 : 0;
 }

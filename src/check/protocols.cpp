@@ -51,6 +51,9 @@ RunOutcome run_kset_case(int n, int t, int k, Time horizon,
   cfg.crashes = c.crashes;
   DeliveryDigest digest;
   cfg.delivery_observer = tee(digest, ctx.observer);
+  cfg.trace_sink = ctx.trace_sink;
+  cfg.metrics = ctx.metrics;
+  cfg.trace_mask = ctx.trace_mask;
   auto policy = resolve_policy(c, ctx);
   cfg.delay_factory = [&policy](std::uint64_t) { return std::move(policy); };
   const core::KSetRunResult res = core::run_kset_agreement(cfg);
@@ -78,6 +81,9 @@ RunOutcome run_two_wheels_case(const ScheduleCase& c, const RunContext& ctx) {
   cfg.crashes = c.crashes;
   DeliveryDigest digest;
   cfg.delivery_observer = tee(digest, ctx.observer);
+  cfg.trace_sink = ctx.trace_sink;
+  cfg.metrics = ctx.metrics;
+  cfg.trace_mask = ctx.trace_mask;
   auto policy = resolve_policy(c, ctx);
   cfg.delay_factory = [&policy](std::uint64_t) { return std::move(policy); };
   const core::TwoWheelsResult res = core::run_two_wheels(cfg);
@@ -133,6 +139,9 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
   sim::Simulator sim(sc, c.crashes, resolve_policy(c, ctx));
   DeliveryDigest digest;
   sim.set_delivery_observer(tee(digest, ctx.observer));
+  if (ctx.trace_sink != nullptr || ctx.metrics != nullptr) {
+    sim.set_trace(ctx.trace_sink, ctx.metrics, ctx.trace_mask);
+  }
   for (ProcessId i = 0; i < n; ++i) {
     sim.add_process(std::make_unique<HeartbeatProcess>(i, n, t, 250));
   }
@@ -144,6 +153,16 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
   fd::PhiBarOracle phibar(phi);
   core::PhiBarToOmega omega(phibar, n, t, y, z);
   sim.run();
+  // The adaptor is message-free; trace its final Ω outputs explicitly so
+  // a golden trace pins the constructed detector, not just the schedule.
+  if (sim.tracer().active()) {
+    for (ProcessId i = 0; i < n; ++i) {
+      sim.tracer().protocol(
+          trace::Kind::kNote, horizon, i,
+          static_cast<std::int64_t>(omega.trusted(i, horizon).mask()),
+          "phibar_omega");
+    }
+  }
 
   RunOutcome out;
   out.violations = core::phibar_invariants(

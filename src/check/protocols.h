@@ -39,6 +39,12 @@ struct RunContext {
   /// Extra observer of every delivery (trace recording); may be null —
   /// the digest below is computed regardless.
   sim::DeliveryObserver observer;
+  /// Optional structured trace sink / metrics registry, forwarded into
+  /// the protocol's run harness (see trace/trace.h). Null — the default
+  /// and the sweep hot path — leaves the engine untraced.
+  trace::TraceSink* trace_sink = nullptr;
+  trace::MetricsRegistry* metrics = nullptr;
+  std::uint32_t trace_mask = trace::kDefaultMask;
 };
 
 struct RunOutcome {

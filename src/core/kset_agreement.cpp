@@ -6,6 +6,7 @@
 #include <set>
 
 #include "fd/omega_oracle.h"
+#include "fd/traced.h"
 #include "sim/delay_policy.h"
 #include "util/check.h"
 
@@ -119,6 +120,8 @@ bool KSetCore::on_rdeliver(const sim::Message& m) {
     decision_ = d->value;
     decision_time_ = host_.now();
     decision_round_ = round_;
+    host_.tracer().protocol(trace::Kind::kDecide, host_.now(), host_.id(),
+                            d->value, "kset");
   }
   return true;
 }
@@ -150,6 +153,9 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   }
   sim::Simulator sim(sc, cfg.crashes, std::move(delays));
   if (cfg.delivery_observer) sim.set_delivery_observer(cfg.delivery_observer);
+  if (cfg.trace_sink != nullptr || cfg.metrics != nullptr) {
+    sim.set_trace(cfg.trace_sink, cfg.metrics, cfg.trace_mask);
+  }
 
   fd::OmegaOracleParams op;
   op.stab_time = cfg.perfect_oracle ? 0 : cfg.omega_stab;
@@ -157,9 +163,25 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   op.seed = util::derive_seed(cfg.seed, "omega");
   fd::OmegaZOracle omega(sim.pattern(), cfg.z, op);
 
+  // Oracle stack: base Ω_z, optionally wrapped (fault injection),
+  // optionally traced. Processes see only the top of the stack.
+  const fd::LeaderOracle* oracle = &omega;
+  std::unique_ptr<fd::LeaderOracle> wrapped;
+  if (cfg.oracle_wrapper) {
+    wrapped = cfg.oracle_wrapper(*oracle);
+    util::require(wrapped != nullptr, "run_kset: oracle_wrapper returned null");
+    oracle = wrapped.get();
+  }
+  std::unique_ptr<fd::TracedLeaderOracle> traced;
+  if (sim.tracer().active()) {
+    traced = std::make_unique<fd::TracedLeaderOracle>(*oracle, sim.tracer(),
+                                                      "omega");
+    oracle = traced.get();
+  }
+
   std::vector<const KSetProcess*> procs;
   for (ProcessId i = 0; i < cfg.n; ++i) {
-    auto p = std::make_unique<KSetProcess>(i, cfg.n, cfg.t, omega,
+    auto p = std::make_unique<KSetProcess>(i, cfg.n, cfg.t, *oracle,
                                            proposals[static_cast<std::size_t>(i)]);
     procs.push_back(p.get());
     sim.add_process(std::move(p));
@@ -199,6 +221,18 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   res.agreement_k = res.distinct_decided <= cfg.k;
   res.total_messages = sim.network().total_sent();
   res.events_processed = sim.events_processed();
+  if (cfg.metrics != nullptr) {
+    auto& dt = cfg.metrics->histogram("kset.decision_time");
+    auto& dr = cfg.metrics->histogram("kset.decision_round");
+    for (int i = 0; i < cfg.n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (res.decisions[idx] == kNoValue) continue;
+      dt.record(res.decision_times[idx]);
+      dr.record(res.decision_rounds[idx]);
+    }
+    cfg.metrics->counter("kset.distinct_decisions")
+        .add(static_cast<std::uint64_t>(res.distinct_decided));
+  }
   return res;
 }
 

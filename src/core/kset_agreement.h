@@ -150,6 +150,19 @@ struct KSetRunConfig {
       delay_factory;
   /// Optional observer of every message delivery (trace recording).
   sim::DeliveryObserver delivery_observer;
+  /// Optional structured trace sink / metrics registry, installed on the
+  /// run's Simulator. The Ω oracle is wrapped in a TracedLeaderOracle
+  /// when a sink is present, so fd_query / fd_change events appear in
+  /// the trace. Null (the default) keeps the hot path untouched.
+  trace::TraceSink* trace_sink = nullptr;
+  trace::MetricsRegistry* metrics = nullptr;
+  std::uint32_t trace_mask = trace::kDefaultMask;
+  /// Optional wrapper interposed between the run's Ω_z oracle and the
+  /// processes — the golden-trace mutation tests use this to inject a
+  /// misbehaving oracle into an otherwise identical configuration. The
+  /// returned oracle must not outlive `base`.
+  std::function<std::unique_ptr<fd::LeaderOracle>(const fd::LeaderOracle& base)>
+      oracle_wrapper;
 };
 
 struct KSetRunResult {

@@ -1,5 +1,7 @@
 #include "core/lower_wheel.h"
 
+#include "trace/tracer.h"
+
 namespace saf::core {
 
 LowerWheelComponent::LowerWheelComponent(sim::Process& host,
@@ -49,6 +51,8 @@ void LowerWheelComponent::drain() {
     --it->second;
     cursor_ = ring_.next(cursor_);
     last_sent_cursor_ = ring_.size();  // new position: sending re-enabled
+    host_.tracer().protocol(trace::Kind::kXMove, host_.now(), host_.id(),
+                            static_cast<std::int64_t>(cursor_), "lower");
   }
   publish();
 }

@@ -4,6 +4,7 @@
 
 #include "fd/query_oracles.h"
 #include "fd/suspect_oracles.h"
+#include "fd/traced.h"
 #include "sim/delay_policy.h"
 #include "util/check.h"
 
@@ -37,6 +38,9 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   }
   sim::Simulator sim(sc, cfg.crashes, std::move(delays));
   if (cfg.delivery_observer) sim.set_delivery_observer(cfg.delivery_observer);
+  if (cfg.trace_sink != nullptr || cfg.metrics != nullptr) {
+    sim.set_trace(cfg.trace_sink, cfg.metrics, cfg.trace_mask);
+  }
 
   fd::SuspectOracleParams sp;
   sp.stab_time = cfg.sx_stab;
@@ -61,10 +65,28 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   fd::EmulatedReprStore repr_store(cfg.n);
   fd::EmulatedLeaderStore leader_store(cfg.n);
 
+  // With tracing on, interpose traced adapters on the input oracles and
+  // hook the emulated output stores, so the trace carries both the
+  // consumed and the constructed detector histories.
+  const fd::SuspectOracle* sx_in = &sx;
+  const fd::QueryOracle* phi_in = phi.get();
+  std::unique_ptr<fd::TracedSuspectOracle> traced_sx;
+  std::unique_ptr<fd::TracedQueryOracle> traced_phi;
+  if (sim.tracer().active()) {
+    traced_sx = std::make_unique<fd::TracedSuspectOracle>(sx, sim.tracer(),
+                                                          "sx");
+    sx_in = traced_sx.get();
+    traced_phi = std::make_unique<fd::TracedQueryOracle>(*phi, sim.tracer(),
+                                                         "phi");
+    phi_in = traced_phi.get();
+    repr_store.set_tracer(&sim.tracer(), "repr");
+    leader_store.set_tracer(&sim.tracer(), "trusted");
+  }
+
   for (ProcessId i = 0; i < cfg.n; ++i) {
     sim.add_process(std::make_unique<TwoWheelsProcess>(
-        i, cfg.n, cfg.t, xring, lring, sx, *phi, repr_store, leader_store,
-        cfg.inquiry_period));
+        i, cfg.n, cfg.t, xring, lring, *sx_in, *phi_in, repr_store,
+        leader_store, cfg.inquiry_period));
   }
   sim.run();
 
@@ -87,6 +109,22 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   }
   res.repr_history = repr_store.traces();
   res.trusted_history = leader_store.traces();
+  // Quiescence marks (Cor 1): one per wheel, stamped at the horizon with
+  // the last move time as the value (kNeverTime when the wheel never
+  // moved — already quiescent).
+  if (sim.tracer().active()) {
+    sim.tracer().protocol(trace::Kind::kQuiesce, cfg.horizon, -1,
+                          res.last_x_move, "lower");
+    sim.tracer().protocol(trace::Kind::kQuiesce, cfg.horizon, -1,
+                          res.last_l_move, "upper");
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->counter("two_wheels.inquiries").add(res.inquiry_count);
+    cfg.metrics->counter("two_wheels.x_move_broadcasts")
+        .add(res.x_move_count);
+    cfg.metrics->counter("two_wheels.l_move_broadcasts")
+        .add(res.l_move_count);
+  }
   return res;
 }
 

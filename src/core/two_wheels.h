@@ -86,6 +86,15 @@ struct TwoWheelsConfig {
       delay_factory;
   /// Optional observer of every message delivery (trace recording).
   sim::DeliveryObserver delivery_observer;
+  /// Optional structured trace sink / metrics registry, installed on the
+  /// run's Simulator. With a sink present the ◇S_x and ◇φ_y oracles are
+  /// wrapped in traced adapters and the emulated repr/trusted stores
+  /// emit fd_change events, so the trace carries the full detector
+  /// histories the paper's wheels construct. Null keeps the hot path
+  /// untouched.
+  trace::TraceSink* trace_sink = nullptr;
+  trace::MetricsRegistry* metrics = nullptr;
+  std::uint32_t trace_mask = trace::kDefaultMask;
 };
 
 struct TwoWheelsResult {

@@ -1,5 +1,6 @@
 #include "core/upper_wheel.h"
 
+#include "trace/tracer.h"
 #include "util/check.h"
 
 namespace saf::core {
@@ -89,6 +90,8 @@ void UpperWheelComponent::drain() {
     --it->second;
     cursor_ = ring_.next(cursor_);
     last_sent_cursor_ = ring_.size();
+    host_.tracer().protocol(trace::Kind::kLMove, host_.now(), host_.id(),
+                            static_cast<std::int64_t>(cursor_), "upper");
   }
   publish();
 }

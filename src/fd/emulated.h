@@ -9,14 +9,23 @@
 // output Ω_z feeding the Fig 3 k-set agreement algorithm).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "fd/oracle.h"
+#include "trace/tracer.h"
 #include "util/check.h"
 #include "util/trace.h"
 #include "util/types.h"
 
 namespace saf::fd {
+
+/// Encoding of a store value for the structured trace: a ProcSet becomes
+/// its mask, a ProcessId its numeric id.
+inline std::int64_t trace_value(ProcSet v) {
+  return static_cast<std::int64_t>(v.mask());
+}
+inline std::int64_t trace_value(ProcessId v) { return v; }
 
 template <typename V>
 class EmulatedStore {
@@ -29,8 +38,19 @@ class EmulatedStore {
   void set(ProcessId i, Time t, const V& v) {
     auto idx = static_cast<std::size_t>(i);
     SAF_CHECK(idx < current_.size());
+    if (tracer_ != nullptr && !(current_[idx] == v)) {
+      tracer_->fd_change(t, i, trace_value(v), trace_name_);
+    }
     current_[idx] = v;
     traces_[idx].record(t, v);
+  }
+
+  /// Hooks the store into a run's Tracer: every set() that changes the
+  /// stored value emits an fd_change event tagged `name`. Pass nullptr
+  /// to unhook.
+  void set_tracer(trace::Tracer* tracer, std::string name) {
+    tracer_ = tracer;
+    trace_name_ = std::move(name);
   }
 
   const V& get(ProcessId i) const {
@@ -47,6 +67,8 @@ class EmulatedStore {
  private:
   std::vector<V> current_;
   std::vector<util::StepTrace<V>> traces_;
+  trace::Tracer* tracer_ = nullptr;
+  std::string trace_name_;
 };
 
 /// trusted_i outputs of an Ω_z emulation.

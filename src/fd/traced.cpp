@@ -1,0 +1,58 @@
+#include "fd/traced.h"
+
+#include <utility>
+
+namespace saf::fd {
+
+TracedLeaderOracle::TracedLeaderOracle(const LeaderOracle& base,
+                                       trace::Tracer& tracer, std::string name)
+    : base_(base), tracer_(tracer), name_(std::move(name)) {}
+
+ProcSet TracedLeaderOracle::trusted(ProcessId i, Time now) const {
+  const ProcSet v = base_.trusted(i, now);
+  tracer_.fd_query(now, i, name_);
+  const auto idx = static_cast<std::size_t>(i);
+  if (!seen_[idx] || last_[idx] != v.mask()) {
+    seen_[idx] = true;
+    last_[idx] = v.mask();
+    tracer_.fd_change(now, i, static_cast<std::int64_t>(v.mask()), name_);
+  }
+  return v;
+}
+
+TracedSuspectOracle::TracedSuspectOracle(const SuspectOracle& base,
+                                         trace::Tracer& tracer,
+                                         std::string name)
+    : base_(base), tracer_(tracer), name_(std::move(name)) {}
+
+ProcSet TracedSuspectOracle::suspected(ProcessId i, Time now) const {
+  const ProcSet v = base_.suspected(i, now);
+  tracer_.fd_query(now, i, name_);
+  const auto idx = static_cast<std::size_t>(i);
+  if (!seen_[idx] || last_[idx] != v.mask()) {
+    seen_[idx] = true;
+    last_[idx] = v.mask();
+    tracer_.fd_change(now, i, static_cast<std::int64_t>(v.mask()), name_);
+  }
+  return v;
+}
+
+TracedQueryOracle::TracedQueryOracle(const QueryOracle& base,
+                                     trace::Tracer& tracer, std::string name)
+    : base_(base), tracer_(tracer), name_(std::move(name)) {}
+
+bool TracedQueryOracle::query(ProcessId i, ProcSet x, Time now) const {
+  const bool v = base_.query(i, x, now);
+  tracer_.fd_query(now, i, name_);
+  const auto idx = static_cast<std::size_t>(i);
+  if (!seen_[idx] || last_query_[idx] != x.mask() ||
+      last_answer_[idx] != static_cast<std::uint64_t>(v)) {
+    seen_[idx] = true;
+    last_query_[idx] = x.mask();
+    last_answer_[idx] = static_cast<std::uint64_t>(v);
+    tracer_.fd_change(now, i, v ? 1 : 0, name_);
+  }
+  return v;
+}
+
+}  // namespace saf::fd

@@ -1,0 +1,75 @@
+// Tracing adapters for failure-detector oracles.
+//
+// Each adapter wraps a real oracle behind the same interface and feeds
+// the run's Tracer: every query counts toward the fd.queries metric, and
+// whenever the answer a process sees *changes* from its previous answer
+// an fd_change event is emitted carrying the new value's encoding (the
+// ProcSet mask, or 0/1 for query oracles). The change detection is per
+// querying process, so the trace reads as each process's detector
+// history — exactly the histories the paper's axioms quantify over.
+//
+// Oracles are pure functions of (process, time), so caching the last
+// answer per process is observation, not interference: wrapping an
+// oracle never changes what any protocol sees.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "fd/oracle.h"
+#include "trace/tracer.h"
+#include "util/types.h"
+
+namespace saf::fd {
+
+/// Wraps a LeaderOracle (Ω_z family); emits "omega"-tagged events by
+/// default.
+class TracedLeaderOracle : public LeaderOracle {
+ public:
+  TracedLeaderOracle(const LeaderOracle& base, trace::Tracer& tracer,
+                     std::string name = "omega");
+  ProcSet trusted(ProcessId i, Time now) const override;
+
+ private:
+  const LeaderOracle& base_;
+  trace::Tracer& tracer_;
+  std::string name_;
+  mutable std::array<std::uint64_t, kMaxProcs> last_{};
+  mutable std::array<bool, kMaxProcs> seen_{};
+};
+
+/// Wraps a SuspectOracle (S_x / ◇S_x families); default tag "suspect".
+class TracedSuspectOracle : public SuspectOracle {
+ public:
+  TracedSuspectOracle(const SuspectOracle& base, trace::Tracer& tracer,
+                      std::string name = "suspect");
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+ private:
+  const SuspectOracle& base_;
+  trace::Tracer& tracer_;
+  std::string name_;
+  mutable std::array<std::uint64_t, kMaxProcs> last_{};
+  mutable std::array<bool, kMaxProcs> seen_{};
+};
+
+/// Wraps a QueryOracle (φ_y / ◇φ_y / φ̄_y families); default tag "phi".
+/// Change detection keys on the queried set as well as the answer, since
+/// query(X) is a two-argument invocation.
+class TracedQueryOracle : public QueryOracle {
+ public:
+  TracedQueryOracle(const QueryOracle& base, trace::Tracer& tracer,
+                    std::string name = "phi");
+  bool query(ProcessId i, ProcSet x, Time now) const override;
+
+ private:
+  const QueryOracle& base_;
+  trace::Tracer& tracer_;
+  std::string name_;
+  /// Last (x.mask, answer) per process, packed; ~0 = not seen yet.
+  mutable std::array<std::uint64_t, kMaxProcs> last_query_{};
+  mutable std::array<std::uint64_t, kMaxProcs> last_answer_{};
+  mutable std::array<bool, kMaxProcs> seen_{};
+};
+
+}  // namespace saf::fd

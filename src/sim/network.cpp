@@ -17,7 +17,12 @@ Network::~Network() = default;
 void Network::send(ProcessId from, ProcessId to, const Message* m) {
   SAF_CHECK(m != nullptr);
   SAF_CHECK(to >= 0 && to < sim_.n());
-  if (sim_.is_crashed(from)) return;  // a crashed process sends nothing
+  if (sim_.is_crashed(from)) {  // a crashed process sends nothing
+    if (sim_.tracer().active()) {
+      sim_.tracer().drop(sim_.now(), from, to, m->tag(), 0);
+    }
+    return;
+  }
 
   const Time now = sim_.now();
   ++total_sent_;
@@ -32,6 +37,7 @@ void Network::send(ProcessId from, ProcessId to, const Message* m) {
 
   const Time d = policy_->delay(from, to, now, rng_);
   SAF_CHECK_MSG(d >= 1, "delay policies must return >= 1");
+  if (sim_.tracer().active()) sim_.tracer().send(now, from, to, m->tag(), d);
   sim_.schedule_deliver(now + d, to, m);
   sim_.note_send(from);
 }

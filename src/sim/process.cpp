@@ -59,6 +59,11 @@ util::Arena& Process::arena() {
   return sim_->arena();
 }
 
+trace::Tracer& Process::tracer() {
+  SAF_CHECK(sim_ != nullptr);
+  return sim_->tracer();
+}
+
 const Message* Process::interned_instance(
     const std::type_info& type, const std::function<const Message*()>& make) {
   for (const auto& [key, msg] : interned_) {

@@ -28,6 +28,10 @@
 #include "util/arena.h"
 #include "util/types.h"
 
+namespace saf::trace {
+class Tracer;
+}  // namespace saf::trace
+
 namespace saf::sim {
 
 class Simulator;
@@ -62,6 +66,11 @@ class Process {
 
   bool is_crashed() const;
   Time now() const;
+
+  /// The owning simulator's trace emission point — protocol code uses it
+  /// for x_move / l_move / decide / quiesce events. Only valid once the
+  /// process has been added to a Simulator.
+  trace::Tracer& tracer();
 
   /// Sends a protocol message point-to-point. The payload is moved into
   /// the simulator's per-run arena (one bump allocation, no refcounting).

@@ -52,11 +52,13 @@ ProcSet Simulator::alive_set() const {
 
 void Simulator::schedule(Time at, std::function<void()> fn) {
   SAF_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  tracer_.event_post(at, next_seq_);
   queue_.push(Event{at, next_seq_++, -1, nullptr, std::move(fn)});
 }
 
 void Simulator::schedule_deliver(Time at, ProcessId to, const Message* m) {
   SAF_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  tracer_.event_post(at, next_seq_);
   queue_.push(Event{at, next_seq_++, to, m, {}});
 }
 
@@ -64,6 +66,7 @@ void Simulator::crash(ProcessId pid) {
   if (crashed_[static_cast<std::size_t>(pid)]) return;
   crashed_[static_cast<std::size_t>(pid)] = true;
   pattern_.record_crash(pid, now_);
+  tracer_.crash(now_, pid);
 }
 
 void Simulator::note_send(ProcessId sender) {
@@ -81,7 +84,11 @@ void Simulator::set_delivery_observer(DeliveryObserver obs) {
 }
 
 void Simulator::deliver(ProcessId to, const Message& m) {
-  if (crashed_[static_cast<std::size_t>(to)]) return;
+  if (crashed_[static_cast<std::size_t>(to)]) {
+    if (tracer_.active()) tracer_.drop(now_, to, m.sender, m.tag(), 1);
+    return;
+  }
+  if (tracer_.active()) tracer_.deliver(now_, to, m.sender, m.tag());
   if (delivery_observer_) delivery_observer_(now_, to, m);
   processes_[static_cast<std::size_t>(to)]->handle_delivery(m);
 }
@@ -137,6 +144,10 @@ bool Simulator::run_until(const std::function<bool()>& stop) {
     Event e = queue_.pop();
     now_ = e.time;
     ++events_processed_;
+    if (tracer_.active()) {
+      tracer_.event_dispatch(e.time, e.seq);
+      tracer_.event_processed();
+    }
     if (e.msg != nullptr) {
       deliver(e.to, *e.msg);
     } else {

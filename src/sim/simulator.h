@@ -15,6 +15,7 @@
 #include "sim/delay_policy.h"
 #include "sim/event_queue.h"
 #include "sim/failure_pattern.h"
+#include "trace/tracer.h"
 #include "util/arena.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -95,6 +96,19 @@ class Simulator {
   /// set before or during a run; replaces any previous observer.
   void set_delivery_observer(DeliveryObserver obs);
 
+  /// Installs (or clears, with nullptrs) the structured trace sink and
+  /// metrics registry. `mask` selects which event kinds reach the sink.
+  /// With nothing installed — the default — every trace point in the
+  /// engine reduces to a null-pointer test.
+  void set_trace(trace::TraceSink* sink, trace::MetricsRegistry* metrics,
+                 std::uint32_t mask = trace::kDefaultMask) {
+    tracer_.install(sink, metrics, mask);
+  }
+
+  /// The run's trace emission point. Protocol and oracle code reaches it
+  /// through the host Simulator / Process to emit protocol-level events.
+  trace::Tracer& tracer() { return tracer_; }
+
   std::uint64_t events_processed() const { return events_processed_; }
 
  private:
@@ -119,6 +133,7 @@ class Simulator {
   std::vector<bool> crashed_;
   std::vector<std::uint64_t> sends_by_;
   DeliveryObserver delivery_observer_;
+  trace::Tracer tracer_;
   util::Arena arena_;
   EventQueue queue_;
   Time now_ = 0;

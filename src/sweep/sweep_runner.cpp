@@ -22,6 +22,7 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -35,6 +36,7 @@
 #include "sweep/bench_json.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -52,16 +54,23 @@ struct Args {
   std::string out_dir = ".";
   std::string baseline_sim;
   std::string baseline_sweep;
+  std::string trace_prefix;  // canonical traced run per protocol
+  std::string metrics_path;  // per-protocol run metrics as JSON
   double tolerance = 0.25;
 };
 
-int usage(const std::string& err = "") {
-  if (!err.empty()) std::cerr << "sweep_runner: " << err << "\n";
-  std::cerr <<
+void print_usage(std::ostream& os) {
+  os <<
       "usage: sweep_runner [--protocol a,b,...] [--seeds N] [--master-seed S]\n"
       "                    [--jobs N] [--sim-runs N] [--grid] [--out-dir DIR]\n"
       "                    [--baseline-sim FILE] [--baseline-sweep FILE]\n"
-      "                    [--tolerance FRACTION]\n";
+      "                    [--trace PREFIX] [--metrics FILE]\n"
+      "                    [--tolerance FRACTION] [--help]\n";
+}
+
+int usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "sweep_runner: " << err << "\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -135,6 +144,14 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = value("--baseline-sweep");
       if (v == nullptr) return false;
       a->baseline_sweep = v;
+    } else if (arg == "--trace") {
+      const char* v = value("--trace");
+      if (v == nullptr) return false;
+      a->trace_prefix = v;
+    } else if (arg == "--metrics") {
+      const char* v = value("--metrics");
+      if (v == nullptr) return false;
+      a->metrics_path = v;
     } else if (arg == "--tolerance") {
       const char* v = value("--tolerance");
       if (v == nullptr) return false;
@@ -144,6 +161,9 @@ bool parse_args(int argc, char** argv, Args* a) {
         std::cerr << "sweep_runner: --tolerance expects a fraction >= 0\n";
         return false;
       }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
     } else {
       std::cerr << "sweep_runner: unknown flag " << arg << "\n";
       return false;
@@ -424,6 +444,49 @@ int main(int argc, char** argv) {
   };
   gate(args.baseline_sim, sim_json.str(), "sim");
   gate(args.baseline_sweep, sweep_json.str(), "sweep");
+
+  // --- optional observability outputs ----------------------------------
+  // One canonical traced / metered serial run per protocol, on a seed
+  // derived from the master seed. The sweeps above stay untraced, so
+  // the throughput numbers measure the engine the benches gate.
+  if (!args.trace_prefix.empty() || !args.metrics_path.empty()) {
+    std::ofstream metrics_os;
+    if (!args.metrics_path.empty()) {
+      metrics_os.open(args.metrics_path);
+      if (!metrics_os) return usage("cannot write " + args.metrics_path);
+      metrics_os << "{\"schema\":\"saf-metrics-v1\",\"protocols\":{";
+    }
+    bool first = true;
+    for (const check::Protocol* p : protocols) {
+      const check::ScheduleCase c =
+          check::generate_case(*p, util::derive_seed(args.master_seed, "trace"));
+      saf::trace::MetricsRegistry registry;
+      check::RunContext ctx;
+      if (!args.metrics_path.empty()) ctx.metrics = &registry;
+      std::ofstream trace_os;
+      std::unique_ptr<saf::trace::JsonlSink> sink;
+      if (!args.trace_prefix.empty()) {
+        const std::string path =
+            args.trace_prefix + "-" + p->name + ".trace.jsonl";
+        trace_os.open(path);
+        if (!trace_os) return usage("cannot write " + path);
+        trace_os << "# " << p->name << " " << check::describe_case(c) << "\n";
+        sink = std::make_unique<saf::trace::JsonlSink>(trace_os);
+        ctx.trace_sink = sink.get();
+        std::cout << "[trace " << p->name << "] " << path << "\n";
+      }
+      p->run(c, ctx);
+      if (!args.metrics_path.empty()) {
+        if (!first) metrics_os << ",";
+        first = false;
+        metrics_os << "\"" << p->name << "\":" << registry.to_json();
+      }
+    }
+    if (!args.metrics_path.empty()) {
+      metrics_os << "}}\n";
+      std::cout << "metrics written to " << args.metrics_path << "\n";
+    }
+  }
 
   return failed ? 1 : 0;
 }

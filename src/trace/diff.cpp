@@ -1,0 +1,201 @@
+#include "trace/diff.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace saf::trace {
+
+namespace {
+
+/// Scans `"key":` in line and decodes the integer after it.
+bool find_int(const std::string& line, const char* key, std::int64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const long long v = std::strtoll(start, &end, 10);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+/// Scans `"key":"..."` and decodes the string after it (no escapes —
+/// format_event never emits them).
+bool find_str(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t start = at + needle.size();
+  const std::size_t close = line.find('"', start);
+  if (close == std::string::npos) return false;
+  *out = line.substr(start, close - start);
+  return true;
+}
+
+/// Appends `context` events before `at` from `lines`, one per line.
+void append_context(std::string* report, const char* side,
+                    const std::vector<std::string>& lines, std::size_t at,
+                    int context) {
+  *report += std::string("  context (") + side + "):\n";
+  const std::size_t first =
+      at > static_cast<std::size_t>(context) ? at - static_cast<std::size_t>(context) : 0;
+  for (std::size_t i = first; i < at && i < lines.size(); ++i) {
+    *report += "    [" + std::to_string(i) + "] " + lines[i] + "\n";
+  }
+}
+
+std::string field_divergence(const ParsedEvent& a, const ParsedEvent& b) {
+  if (a.time != b.time) {
+    return "time: " + std::to_string(a.time) + " vs " + std::to_string(b.time);
+  }
+  if (a.kind != b.kind) return "kind: " + a.kind + " vs " + b.kind;
+  if (a.actor != b.actor) {
+    return "actor: p" + std::to_string(a.actor) + " vs p" +
+           std::to_string(b.actor);
+  }
+  if (a.peer != b.peer) {
+    return "peer: p" + std::to_string(a.peer) + " vs p" +
+           std::to_string(b.peer);
+  }
+  if (a.value != b.value) {
+    return "value: " + std::to_string(a.value) + " vs " +
+           std::to_string(b.value);
+  }
+  return "tag: '" + a.tag + "' vs '" + b.tag + "'";
+}
+
+}  // namespace
+
+bool parse_trace_line(const std::string& line, ParsedEvent* out) {
+  std::int64_t t = 0, a = 0, p = 0, v = 0;
+  if (!find_int(line, "t", &t) || !find_int(line, "a", &a) ||
+      !find_int(line, "p", &p) || !find_int(line, "v", &v)) {
+    return false;
+  }
+  if (!find_str(line, "k", &out->kind) || !find_str(line, "tag", &out->tag)) {
+    return false;
+  }
+  out->time = t;
+  out->actor = static_cast<ProcessId>(a);
+  out->peer = static_cast<ProcessId>(p);
+  out->value = v;
+  out->raw = line;
+  return true;
+}
+
+std::vector<std::string> read_trace_lines(std::istream& is) {
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line);
+  }
+  return out;
+}
+
+std::vector<std::string> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read trace file: " + path);
+  return read_trace_lines(is);
+}
+
+TraceDiff diff_traces(const std::vector<std::string>& lhs,
+                      const std::vector<std::string>& rhs, int context) {
+  TraceDiff d;
+  const std::size_t common = std::min(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    ParsedEvent a, b;
+    const bool pa = parse_trace_line(lhs[i], &a);
+    const bool pb = parse_trace_line(rhs[i], &b);
+    if (!pa || !pb) {
+      d.first_divergence = i;
+      d.reason = "event " + std::to_string(i) + ": malformed line in " +
+                 (pa ? "rhs" : "lhs");
+      d.report = d.reason + "\n  lhs: " + lhs[i] + "\n  rhs: " + rhs[i] + "\n";
+      return d;
+    }
+    if (!a.same_shape(b)) {
+      d.first_divergence = i;
+      d.reason = "event " + std::to_string(i) + " (t=" +
+                 std::to_string(a.time) + "): field " + field_divergence(a, b);
+      d.report = "traces diverge at event " + std::to_string(i) + ":\n" +
+                 "  lhs: " + lhs[i] + "\n  rhs: " + rhs[i] + "\n  " +
+                 field_divergence(a, b) + "\n";
+      append_context(&d.report, "lhs", lhs, i, context);
+      append_context(&d.report, "rhs", rhs, i, context);
+      return d;
+    }
+  }
+  if (lhs.size() != rhs.size()) {
+    d.first_divergence = common;
+    const bool lhs_longer = lhs.size() > rhs.size();
+    d.reason = "event " + std::to_string(common) + ": " +
+               (lhs_longer ? "rhs" : "lhs") + " ends early (" +
+               std::to_string(lhs.size()) + " vs " +
+               std::to_string(rhs.size()) + " events)";
+    d.report = d.reason + "\n  next " + (lhs_longer ? "lhs" : "rhs") +
+               " event: " + (lhs_longer ? lhs[common] : rhs[common]) + "\n";
+    append_context(&d.report, "common tail", lhs_longer ? lhs : rhs, common,
+                   context);
+    return d;
+  }
+  d.identical = true;
+  d.reason = "identical (" + std::to_string(lhs.size()) + " events)";
+  d.report = d.reason + "\n";
+  return d;
+}
+
+std::string summarize_trace(const std::vector<std::string>& lines) {
+  std::map<std::string, std::uint64_t> by_kind;
+  std::map<ProcessId, std::uint64_t> by_actor;
+  std::map<std::string, std::uint64_t> by_tag;
+  std::uint64_t malformed = 0;
+  Time t_min = 0, t_max = 0;
+  bool any = false;
+  for (const std::string& line : lines) {
+    ParsedEvent e;
+    if (!parse_trace_line(line, &e)) {
+      ++malformed;
+      continue;
+    }
+    ++by_kind[e.kind];
+    if (e.actor >= 0) ++by_actor[e.actor];
+    if (!e.tag.empty()) ++by_tag[e.tag];
+    if (!any) {
+      t_min = t_max = e.time;
+      any = true;
+    } else {
+      t_min = std::min(t_min, e.time);
+      t_max = std::max(t_max, e.time);
+    }
+  }
+  std::ostringstream os;
+  os << "events: " << (lines.size() - malformed);
+  if (malformed > 0) os << " (+" << malformed << " malformed)";
+  if (any) os << ", time span [" << t_min << ", " << t_max << "]";
+  os << "\n";
+  os << "by kind:\n";
+  for (const auto& [kind, count] : by_kind) {
+    os << "  " << kind << ": " << count << "\n";
+  }
+  os << "by process:\n";
+  for (const auto& [actor, count] : by_actor) {
+    os << "  p" << actor << ": " << count << "\n";
+  }
+  if (!by_tag.empty()) {
+    os << "by tag:\n";
+    for (const auto& [tag, count] : by_tag) {
+      os << "  " << tag << ": " << count << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace saf::trace

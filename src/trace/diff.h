@@ -1,0 +1,73 @@
+// Structural trace comparison and summarization.
+//
+// Two traces of the same configuration are either identical or they
+// diverge at a first event — and that first divergence is the most
+// useful fact a regression can report: it names the instant, the
+// process and the field where behaviour drifted, with the surrounding
+// events for context. The golden-trace test suite and the trace_tool
+// CLI share this code, so "what ctest checks" and "what a human diffs"
+// are the same comparison.
+//
+// Comparison is structural, not textual: lines are parsed into their
+// (time, kind, actor, peer, value, tag) fields first, so formatting is
+// free to evolve while golden files stay valid, and the report can say
+// *which field* moved. Blank lines and '#' comments are ignored.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::trace {
+
+/// One trace line, decoded. `raw` keeps the original text for reports.
+struct ParsedEvent {
+  Time time = 0;
+  std::string kind;
+  ProcessId actor = -1;
+  ProcessId peer = -1;
+  std::int64_t value = 0;
+  std::string tag;
+  std::string raw;
+
+  bool same_shape(const ParsedEvent& o) const {
+    return time == o.time && kind == o.kind && actor == o.actor &&
+           peer == o.peer && value == o.value && tag == o.tag;
+  }
+};
+
+/// Parses one canonical line (format_event's output). Returns false on
+/// malformed input.
+bool parse_trace_line(const std::string& line, ParsedEvent* out);
+
+/// Non-comment, non-blank lines of a trace stream / file. The file
+/// variant throws std::runtime_error when the file cannot be read.
+std::vector<std::string> read_trace_lines(std::istream& is);
+std::vector<std::string> read_trace_file(const std::string& path);
+
+struct TraceDiff {
+  bool identical = false;
+  /// Index of the first divergent event (== common length when one
+  /// trace is a strict prefix of the other). Meaningful iff !identical.
+  std::size_t first_divergence = 0;
+  /// One line naming the divergence ("event 42: field value: 3 vs 7").
+  std::string reason;
+  /// Multi-line human report: the divergent pair plus `context`
+  /// preceding events from each side.
+  std::string report;
+};
+
+/// Compares two traces event by event. `context` bounds how many
+/// preceding events the report quotes. Malformed lines diverge at their
+/// index with a parse-error reason.
+TraceDiff diff_traces(const std::vector<std::string>& lhs,
+                      const std::vector<std::string>& rhs, int context = 3);
+
+/// Per-kind and per-process tables: event counts, time span, tag
+/// vocabulary. Tolerates (and counts) malformed lines.
+std::string summarize_trace(const std::vector<std::string>& lines);
+
+}  // namespace saf::trace

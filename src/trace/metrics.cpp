@@ -1,0 +1,90 @@
+#include "trace/metrics.h"
+
+#include <bit>
+
+namespace saf::trace {
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[std::bit_width(static_cast<std::uint64_t>(v))];
+}
+
+std::int64_t Histogram::quantile_bound(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count).
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.999999);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && seen > 0) {
+      return i == 0 ? 0 : (std::int64_t{1} << i) - 1;  // bucket upper bound
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(c.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"sum\":";
+    out += std::to_string(h.sum());
+    out += ",\"min\":";
+    out += std::to_string(h.min());
+    out += ",\"max\":";
+    out += std::to_string(h.max());
+    out += ",\"p50\":";
+    out += std::to_string(h.quantile_bound(0.50));
+    out += ",\"p99\":";
+    out += std::to_string(h.quantile_bound(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace saf::trace

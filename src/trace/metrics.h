@@ -1,0 +1,79 @@
+// Run metrics: named counters and virtual-time histograms.
+//
+// MetricsRegistry replaces the ad-hoc counters the harnesses used to
+// print: the engine, the failure-detector adapters and the protocol
+// harnesses all increment named metrics through the Tracer, and the
+// registry exports one stable JSON object (`--metrics FILE` on
+// check_runner / sweep_runner). Registration returns node-stable
+// references, so hot paths cache a Counter* once and pay a single
+// increment per event. Virtual-time histograms bucket by power of two —
+// exact enough for decision-latency and delay distributions, and
+// platform-independent (no floating point in the bucketing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace saf::trace {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t d = 1) { value += d; }
+};
+
+/// Histogram of non-negative integer samples (virtual times, counts).
+/// Bucket i holds samples with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return min_; }  ///< 0 when empty
+  std::int64_t max() const { return max_; }
+  const std::uint64_t* buckets() const { return buckets_; }
+  /// Nearest-rank quantile, resolved to its bucket's upper bound
+  /// (exact for the regression questions the benches ask: "did p99
+  /// decision latency double").
+  std::int64_t quantile_bound(double q) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates; the reference stays valid for the registry's
+  /// lifetime (map nodes are stable).
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// One JSON object, keys sorted:
+  ///   {"counters":{...},"histograms":{"x":{"count":..,"sum":..,
+  ///    "min":..,"max":..,"p50":..,"p99":..}}}
+  /// Callers embed it under their own schema key.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace saf::trace

@@ -1,0 +1,108 @@
+#include "trace/trace.h"
+
+#include <ostream>
+
+#include "util/check.h"
+
+namespace saf::trace {
+
+namespace {
+
+constexpr std::string_view kKindNames[kKindCount] = {
+    "post",      "dispatch",  "send",   "deliver", "drop",
+    "crash",     "fd_query",  "fd_change", "x_move", "l_move",
+    "decide",    "quiesce",   "note",
+};
+
+}  // namespace
+
+std::string_view kind_name(Kind k) {
+  const int i = static_cast<int>(k);
+  SAF_CHECK(i >= 0 && i < kKindCount);
+  return kKindNames[i];
+}
+
+bool kind_from_name(std::string_view name, Kind* out) {
+  for (int i = 0; i < kKindCount; ++i) {
+    if (kKindNames[i] == name) {
+      *out = static_cast<Kind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format_event(const TraceEvent& e) {
+  std::string out;
+  out.reserve(64);
+  out += "{\"t\":";
+  out += std::to_string(e.time);
+  out += ",\"k\":\"";
+  out += kind_name(e.kind);
+  out += "\",\"a\":";
+  out += std::to_string(e.actor);
+  out += ",\"p\":";
+  out += std::to_string(e.peer);
+  out += ",\"v\":";
+  out += std::to_string(e.value);
+  out += ",\"tag\":\"";
+  // Tags are short identifiers from a fixed vocabulary; escaping is
+  // limited to the characters that would break the line format.
+  for (const char c : e.tag) {
+    if (c == '"' || c == '\\' || c == '\n') {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
+TraceSink::~TraceSink() = default;
+
+void VectorSink::on_event(const TraceEvent& e) {
+  TraceEvent owned = e;
+  if (!e.tag.empty()) {
+    // Reuse the previous owned tag when it matches (tags come from a
+    // tiny fixed vocabulary, so this is the common case).
+    if (tags_.empty() || tags_.back() != e.tag) tags_.emplace_back(e.tag);
+    owned.tag = tags_.back();
+  }
+  events_.push_back(owned);
+  lines_.push_back(format_event(owned));
+}
+
+RingSink::RingSink(std::size_t capacity) : capacity_(capacity) {
+  SAF_CHECK(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void RingSink::on_event(const TraceEvent& e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = e;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> RingSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+    return out;
+  }
+  const std::size_t start = static_cast<std::size_t>(total_ % capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void JsonlSink::on_event(const TraceEvent& e) {
+  os_ << format_event(e) << '\n';
+}
+
+}  // namespace saf::trace

@@ -1,0 +1,136 @@
+// Structured run tracing: typed trace points and pluggable sinks.
+//
+// A run's behaviour — which message goes where and when, when a process
+// crashes, when a detector's output changes, when a wheel moves or a
+// protocol decides — is emitted as a stream of TraceEvents into a
+// TraceSink. The stream is a pure function of the run's (seed, crash
+// plan, delay policy, protocol) identity, so two traces can be compared
+// structurally (trace/diff.h) and canonical runs can be pinned as golden
+// files (tests/golden/). With no sink installed every trace point
+// compiles down to a branch on a null pointer; see docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::trace {
+
+/// The trace-point vocabulary. Values are stable (they appear in golden
+/// files by name, not by number); add new kinds at the end.
+enum class Kind : std::uint8_t {
+  kEventPost = 0,   ///< closure event scheduled (value = seq)
+  kEventDispatch,   ///< closure event dispatched (value = seq)
+  kSend,            ///< message handed to the network (value = delay)
+  kDeliver,         ///< message handed to an alive process
+  kDrop,            ///< message suppressed (value: 0 = sender crashed,
+                    ///<   1 = recipient crashed)
+  kCrash,           ///< process crash took effect
+  kFdQuery,         ///< failure-detector oracle queried
+  kFdChange,        ///< failure-detector output changed (value = encoding)
+  kXMove,           ///< lower wheel advanced its cursor (value = cursor)
+  kLMove,           ///< upper wheel advanced its cursor (value = cursor)
+  kDecide,          ///< protocol decision (value = decided value)
+  kQuiesce,         ///< quiescence witness (value = last activity time)
+  kNote,            ///< harness-level observation (value, tag free-form)
+  kCount_,          ///< number of kinds; not a kind
+};
+
+constexpr int kKindCount = static_cast<int>(Kind::kCount_);
+
+constexpr std::uint32_t bit(Kind k) {
+  return std::uint32_t{1} << static_cast<int>(k);
+}
+
+constexpr std::uint32_t kAllKinds =
+    (std::uint32_t{1} << kKindCount) - 1;
+
+/// Default sink mask: the semantic shape of a run — message flow,
+/// crashes, detector output changes and protocol milestones. The
+/// per-event engine internals (post/dispatch) and per-query oracle
+/// traffic are opt-in: they multiply the volume without adding
+/// information beyond the delivery schedule (queries still count into
+/// metrics regardless of the mask).
+constexpr std::uint32_t kDefaultMask =
+    kAllKinds &
+    ~(bit(Kind::kEventPost) | bit(Kind::kEventDispatch) |
+      bit(Kind::kFdQuery));
+
+/// Stable lowercase name ("send", "fd_change", ...). Aborts on kCount_.
+std::string_view kind_name(Kind k);
+/// Inverse of kind_name; returns false on an unknown name.
+bool kind_from_name(std::string_view name, Kind* out);
+
+/// One trace point. `tag` must point at storage outliving the event
+/// (message tags, oracle names and literal strings all qualify).
+struct TraceEvent {
+  Time time = 0;
+  Kind kind = Kind::kNote;
+  ProcessId actor = -1;  ///< process acting / queried / crashing
+  ProcessId peer = -1;   ///< counterpart (sender of a delivery, ...)
+  std::int64_t value = 0;  ///< kind-specific payload (see Kind)
+  std::string_view tag = {};  ///< message tag / oracle name / detail
+};
+
+/// Canonical one-line JSON form, identical across platforms:
+///   {"t":120,"k":"send","a":0,"p":3,"v":5,"tag":"phase1"}
+std::string format_event(const TraceEvent& e);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink();
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
+/// Keeps every event, in order. The golden-trace tests capture runs
+/// through this. Tags are copied into owned storage at capture time, so
+/// the sink stays valid after the run harness (and the oracle adapters
+/// whose name strings tags point into) is gone.
+class VectorSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& e) override;
+  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Canonical lines of all captured events.
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> lines_;
+  std::deque<std::string> tags_;  ///< owned tag storage, stable addresses
+};
+
+/// Fixed-capacity ring holding the newest events — the flight recorder
+/// for long runs where only the tail matters (and the traced bench,
+/// where an unbounded sink would measure the allocator instead).
+class RingSink final : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity = 4096);
+  void on_event(const TraceEvent& e) override;
+  /// Events seen over the sink's whole lifetime.
+  std::uint64_t total() const { return total_; }
+  /// The retained tail, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+};
+
+/// Streams canonical lines to an ostream as they arrive (the `--trace`
+/// flag of check_runner / sweep_runner).
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  void on_event(const TraceEvent& e) override;
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace saf::trace

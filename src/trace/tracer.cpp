@@ -1,0 +1,48 @@
+#include "trace/tracer.h"
+
+namespace saf::trace {
+
+void Tracer::install(TraceSink* sink, MetricsRegistry* metrics,
+                     std::uint32_t mask) {
+  sink_ = sink;
+  metrics_ = metrics;
+  mask_ = mask;
+  if (metrics_ != nullptr) {
+    c_posted_ = &metrics_->counter("sim.events_posted");
+    c_processed_ = &metrics_->counter("sim.events_processed");
+    c_sends_ = &metrics_->counter("sim.messages_sent");
+    c_delivers_ = &metrics_->counter("sim.messages_delivered");
+    c_drops_ = &metrics_->counter("sim.messages_dropped");
+    c_crashes_ = &metrics_->counter("sim.crashes");
+    c_fd_queries_ = &metrics_->counter("fd.queries");
+    c_fd_changes_ = &metrics_->counter("fd.output_changes");
+    h_delay_ = &metrics_->histogram("sim.delay");
+  } else {
+    c_posted_ = nullptr;
+    c_processed_ = nullptr;
+    c_sends_ = nullptr;
+    c_delivers_ = nullptr;
+    c_drops_ = nullptr;
+    c_crashes_ = nullptr;
+    c_fd_queries_ = nullptr;
+    c_fd_changes_ = nullptr;
+    h_delay_ = nullptr;
+  }
+}
+
+std::string_view Tracer::protocol_metric_name(Kind kind) {
+  switch (kind) {
+    case Kind::kXMove:
+      return "protocol.x_moves";
+    case Kind::kLMove:
+      return "protocol.l_moves";
+    case Kind::kDecide:
+      return "protocol.decides";
+    case Kind::kQuiesce:
+      return "protocol.quiesce_marks";
+    default:
+      return "protocol.notes";
+  }
+}
+
+}  // namespace saf::trace

@@ -1,0 +1,132 @@
+// The Tracer: the one emission point every instrumented layer calls.
+//
+// A Simulator owns a Tracer; the network, the event loop, the
+// failure-detector adapters and the protocol components reach it through
+// their Simulator / host Process. Each trace point is an inline method
+// that (a) forwards a TraceEvent to the installed sink if that Kind is
+// in the mask, and (b) bumps pre-resolved metric handles. With nothing
+// installed — the default, and the state every gated bench runs in —
+// both halves reduce to a null-pointer test, so tracing costs nothing
+// when it is off.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "trace/metrics.h"
+#include "trace/trace.h"
+#include "util/types.h"
+
+namespace saf::trace {
+
+class Tracer {
+ public:
+  /// Installs (or clears, with nullptrs) the sink and metrics registry.
+  /// `mask` selects which kinds reach the sink; metrics are always
+  /// collected when a registry is installed. Counter/histogram handles
+  /// are resolved here, once, not on the hot path.
+  void install(TraceSink* sink, MetricsRegistry* metrics,
+               std::uint32_t mask = kDefaultMask);
+
+  bool active() const { return sink_ != nullptr || metrics_ != nullptr; }
+  TraceSink* sink() const { return sink_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+  std::uint32_t mask() const { return mask_; }
+
+  bool wants(Kind k) const { return sink_ != nullptr && (mask_ & bit(k)); }
+
+  // --- engine trace points --------------------------------------------
+
+  void event_post(Time at, std::uint64_t seq) {
+    if (wants(Kind::kEventPost)) {
+      emit({at, Kind::kEventPost, -1, -1, static_cast<std::int64_t>(seq), {}});
+    }
+    if (c_posted_ != nullptr) c_posted_->add();
+  }
+
+  void event_dispatch(Time now, std::uint64_t seq) {
+    if (wants(Kind::kEventDispatch)) {
+      emit({now, Kind::kEventDispatch, -1, -1,
+            static_cast<std::int64_t>(seq), {}});
+    }
+  }
+
+  /// Every popped event (closure or delivery) counts here.
+  void event_processed() {
+    if (c_processed_ != nullptr) c_processed_->add();
+  }
+
+  void send(Time now, ProcessId from, ProcessId to, std::string_view tag,
+            Time delay) {
+    if (wants(Kind::kSend)) emit({now, Kind::kSend, from, to, delay, tag});
+    if (c_sends_ != nullptr) {
+      c_sends_->add();
+      h_delay_->record(delay);
+    }
+  }
+
+  void deliver(Time now, ProcessId to, ProcessId from, std::string_view tag) {
+    if (wants(Kind::kDeliver)) emit({now, Kind::kDeliver, to, from, 0, tag});
+    if (c_delivers_ != nullptr) c_delivers_->add();
+  }
+
+  /// site: 0 = sender crashed at send time, 1 = recipient crashed at
+  /// delivery time.
+  void drop(Time now, ProcessId actor, ProcessId peer, std::string_view tag,
+            int site) {
+    if (wants(Kind::kDrop)) emit({now, Kind::kDrop, actor, peer, site, tag});
+    if (c_drops_ != nullptr) c_drops_->add();
+  }
+
+  void crash(Time now, ProcessId pid) {
+    if (wants(Kind::kCrash)) emit({now, Kind::kCrash, pid, -1, 0, {}});
+    if (c_crashes_ != nullptr) c_crashes_->add();
+  }
+
+  // --- failure-detector trace points ----------------------------------
+
+  void fd_query(Time now, ProcessId i, std::string_view oracle) {
+    if (wants(Kind::kFdQuery)) emit({now, Kind::kFdQuery, i, -1, 0, oracle});
+    if (c_fd_queries_ != nullptr) c_fd_queries_->add();
+  }
+
+  void fd_change(Time now, ProcessId i, std::int64_t encoding,
+                 std::string_view oracle) {
+    if (wants(Kind::kFdChange)) {
+      emit({now, Kind::kFdChange, i, -1, encoding, oracle});
+    }
+    if (c_fd_changes_ != nullptr) c_fd_changes_->add();
+  }
+
+  // --- protocol-level trace points ------------------------------------
+
+  /// kXMove / kLMove / kDecide / kQuiesce / kNote.
+  void protocol(Kind kind, Time now, ProcessId actor, std::int64_t value,
+                std::string_view tag) {
+    if (wants(kind)) emit({now, kind, actor, -1, value, tag});
+    if (metrics_ != nullptr) {
+      metrics_->counter(protocol_metric_name(kind)).add();
+    }
+  }
+
+ private:
+  void emit(const TraceEvent& e) { sink_->on_event(e); }
+  static std::string_view protocol_metric_name(Kind kind);
+
+  TraceSink* sink_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t mask_ = kDefaultMask;
+
+  // Metric handles, resolved by install(); null iff metrics_ is null.
+  Counter* c_posted_ = nullptr;
+  Counter* c_processed_ = nullptr;
+  Counter* c_sends_ = nullptr;
+  Counter* c_delivers_ = nullptr;
+  Counter* c_drops_ = nullptr;
+  Counter* c_crashes_ = nullptr;
+  Counter* c_fd_queries_ = nullptr;
+  Counter* c_fd_changes_ = nullptr;
+  Histogram* h_delay_ = nullptr;
+};
+
+}  // namespace saf::trace

@@ -1,0 +1,36 @@
+# Asserts the CLI flag contract for a tool passed as -DTOOL=<path>:
+#   * an unknown flag exits 2 and prints a usage line on stderr;
+#   * --help exits 0 and prints the usage on stdout.
+if(NOT DEFINED TOOL)
+  message(FATAL_ERROR "cli_usage_check.cmake requires -DTOOL=<path>")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --definitely-not-a-flag
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+    "${TOOL} --definitely-not-a-flag: expected exit 2, got ${rc}")
+endif()
+if(NOT err MATCHES "usage:")
+  message(FATAL_ERROR
+    "${TOOL} --definitely-not-a-flag: no usage on stderr; got: ${err}")
+endif()
+if(NOT err MATCHES "unknown")
+  message(FATAL_ERROR
+    "${TOOL} --definitely-not-a-flag: unknown-flag message missing; got: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --help
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TOOL} --help: expected exit 0, got ${rc}")
+endif()
+if(NOT out MATCHES "usage:")
+  message(FATAL_ERROR "${TOOL} --help: no usage on stdout; got: ${out}")
+endif()

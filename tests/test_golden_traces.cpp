@@ -1,0 +1,224 @@
+// Golden-trace regression suite (docs/observability.md).
+//
+// Three canonical runs — Fig 3 k-set agreement, the §4 two-wheels
+// addition, and the Appendix A φ̄→Ω adaptor — are traced and compared
+// structurally against checked-in golden files on every ctest run. A
+// divergence fails with the first divergent event and its context: the
+// exact instant the engine's behaviour drifted from the pinned schedule.
+//
+// Refresh after an intentional behaviour change with
+//   cmake --build build --target refresh-golden
+// (equivalently SAF_GOLDEN_UPDATE=1 ./test_golden_traces), then review
+// the golden diff before committing.
+//
+// The mutation test closes the loop: it injects the widened-Ω bug (an
+// oracle returning z+1 leaders, the class violation PR1's explorer
+// fixture hunts) into the same k-set configuration and asserts the
+// differ reports a first divergent event — proof the golden comparison
+// has the teeth to catch a real protocol regression, not just file rot.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/protocols.h"
+#include "core/kset_agreement.h"
+#include "core/two_wheels.h"
+#include "fd/oracle.h"
+#include "trace/diff.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace saf;
+using namespace saf::trace;
+
+#ifndef SAF_GOLDEN_DIR
+#error "SAF_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string golden_path(const std::string& name) {
+  return std::string(SAF_GOLDEN_DIR) + "/" + name + ".trace.jsonl";
+}
+
+bool update_mode() { return std::getenv("SAF_GOLDEN_UPDATE") != nullptr; }
+
+/// In update mode writes the capture as the new golden file; otherwise
+/// compares structurally and fails with the first divergent event.
+void check_against_golden(const std::string& name,
+                          const std::vector<std::string>& lines,
+                          const std::string& header) {
+  const std::string path = golden_path(name);
+  if (update_mode()) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << "# " << header << "\n";
+    os << "# regenerate: cmake --build build --target refresh-golden\n";
+    for (const std::string& line : lines) os << line << "\n";
+    SUCCEED() << "refreshed " << path;
+    return;
+  }
+  std::vector<std::string> golden;
+  try {
+    golden = read_trace_file(path);
+  } catch (const std::exception& e) {
+    FAIL() << e.what()
+           << "\n(generate it: cmake --build build --target refresh-golden)";
+  }
+  const TraceDiff d = diff_traces(golden, lines);
+  EXPECT_TRUE(d.identical)
+      << "run diverged from " << path << "\n"
+      << d.report
+      << "(if the change is intentional: cmake --build build "
+         "--target refresh-golden, then review the golden diff)";
+}
+
+// --- canonical run 1: Fig 3 k-set agreement ----------------------------
+
+core::KSetRunConfig golden_kset_cfg() {
+  core::KSetRunConfig cfg;
+  cfg.n = 5;
+  cfg.t = 2;
+  cfg.k = 2;
+  cfg.z = 2;
+  cfg.seed = 11;
+  cfg.omega_stab = 200;
+  cfg.horizon = 20'000;
+  cfg.crashes.crash_at(1, 150);
+  return cfg;
+}
+
+std::vector<std::string> capture_kset(const core::KSetRunConfig& base) {
+  core::KSetRunConfig cfg = base;
+  VectorSink sink;
+  cfg.trace_sink = &sink;  // default mask: the full message schedule
+  const core::KSetRunResult res = core::run_kset_agreement(cfg);
+  EXPECT_TRUE(res.all_correct_decided);
+  return sink.lines();
+}
+
+TEST(GoldenTraces, KSetCanonicalRun) {
+  check_against_golden("kset", capture_kset(golden_kset_cfg()),
+                       "kset n=5 t=2 k=2 z=2 seed=11 crash p1@150");
+}
+
+// --- canonical run 2: §4 two-wheels addition ---------------------------
+
+TEST(GoldenTraces, TwoWheelsCanonicalRun) {
+  core::TwoWheelsConfig cfg;
+  cfg.n = 6;
+  cfg.t = 2;
+  cfg.x = 2;
+  cfg.y = 1;  // z = t + 2 - x - y = 1
+  cfg.seed = 5;
+  cfg.sx_noise = 0.0;
+  cfg.horizon = 4'000;
+  cfg.crashes.crash_at(2, 300);
+  VectorSink sink;
+  cfg.trace_sink = &sink;
+  // Semantic mask: wheel moves, crashes, detector histories and the
+  // quiescence marks — the construction's behaviour without the O(n^2)
+  // heartbeat chatter.
+  cfg.trace_mask = bit(Kind::kXMove) | bit(Kind::kLMove) |
+                   bit(Kind::kCrash) | bit(Kind::kFdChange) |
+                   bit(Kind::kQuiesce);
+  const core::TwoWheelsResult res = core::run_two_wheels(cfg);
+  EXPECT_TRUE(res.omega_check.pass);
+  check_against_golden("two_wheels", sink.lines(),
+                       "two-wheels n=6 t=2 x=2 y=1 seed=5 crash p2@300");
+}
+
+// --- canonical run 3: Appendix A phibar -> omega -----------------------
+
+TEST(GoldenTraces, PhiBarToOmegaCanonicalRun) {
+  const check::Protocol* p = check::find_protocol("phibar");
+  ASSERT_NE(p, nullptr);
+  check::ScheduleCase c;
+  c.seed = 7;
+  c.crashes.crash_at(0, 400);
+  VectorSink sink;
+  check::RunContext ctx;
+  ctx.trace_sink = &sink;
+  // The adaptor is message-free: pin the crash and its final Ω outputs
+  // (one kNote per process, value = trusted mask at the horizon).
+  ctx.trace_mask = bit(Kind::kCrash) | bit(Kind::kNote);
+  const check::RunOutcome out = p->run(c, ctx);
+  EXPECT_TRUE(out.ok);
+  check_against_golden("phibar", sink.lines(),
+                       "phibar n=8 t=3 y=2 z=2 seed=7 crash p0@400");
+}
+
+// --- the mutation test: inject the widened-omega bug -------------------
+
+/// The PR1 explorer-fixture bug, reproduced as an oracle wrapper: an
+/// "Ω_z" whose output has z+1 members (it adds the lowest non-member),
+/// violating the class bound the protocol's agreement proof leans on.
+class WidenedOmega final : public fd::LeaderOracle {
+ public:
+  WidenedOmega(const fd::LeaderOracle& base, int n) : base_(base), n_(n) {}
+  ProcSet trusted(ProcessId i, Time now) const override {
+    ProcSet s = base_.trusted(i, now);
+    for (ProcessId j = 0; j < n_; ++j) {
+      if (!s.contains(j)) {
+        s.insert(j);
+        break;
+      }
+    }
+    return s;
+  }
+
+ private:
+  const fd::LeaderOracle& base_;
+  int n_;
+};
+
+TEST(GoldenTraceMutation, WidenedOmegaDivergesFromGolden) {
+  std::vector<std::string> golden;
+  try {
+    golden = read_trace_file(golden_path("kset"));
+  } catch (const std::exception& e) {
+    GTEST_SKIP() << e.what() << " (run refresh-golden first)";
+  }
+
+  core::KSetRunConfig cfg = golden_kset_cfg();
+  cfg.oracle_wrapper = [&cfg](const fd::LeaderOracle& base) {
+    return std::unique_ptr<fd::LeaderOracle>(
+        std::make_unique<WidenedOmega>(base, cfg.n));
+  };
+  VectorSink sink;
+  cfg.trace_sink = &sink;
+  core::run_kset_agreement(cfg);
+
+  const TraceDiff d = diff_traces(golden, sink.lines());
+  ASSERT_FALSE(d.identical)
+      << "the widened-omega mutant produced the golden trace verbatim — "
+         "the golden suite has no teeth";
+  // The report must name the first divergent event with both lines.
+  EXPECT_NE(d.reason.find("event " + std::to_string(d.first_divergence)),
+            std::string::npos)
+      << d.reason;
+  EXPECT_NE(d.report.find("diverge"), std::string::npos) << d.report;
+  ASSERT_LT(d.first_divergence, golden.size());
+  // The widened oracle first betrays itself through its own output: the
+  // earliest divergence is an omega fd_change whose mask gained a
+  // member, before any schedule drift.
+  ParsedEvent first;
+  ASSERT_TRUE(parse_trace_line(golden[d.first_divergence], &first));
+  EXPECT_EQ(first.kind, "fd_change") << d.report;
+  EXPECT_EQ(first.tag, "omega") << d.report;
+}
+
+/// Same capture, same config, twice: the golden suite only works if a
+/// re-capture is bit-identical (the determinism contract restated at
+/// the trace layer).
+TEST(GoldenTraceMutation, RecaptureIsIdentical) {
+  const auto a = capture_kset(golden_kset_cfg());
+  const auto b = capture_kset(golden_kset_cfg());
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+}  // namespace

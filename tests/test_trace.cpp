@@ -1,0 +1,468 @@
+// Unit tests for the structured tracing + metrics layer (src/trace):
+// vocabulary and line format, sinks, the tracer's masking and null-sink
+// contracts, metrics buckets and JSON export, structural diff, and the
+// traced failure-detector adapters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <memory>
+#include <sstream>
+
+#include "core/kset_agreement.h"
+#include "fd/emulated.h"
+#include "fd/traced.h"
+#include "trace/diff.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+#include "trace/tracer.h"
+
+namespace {
+
+using namespace saf;
+using namespace saf::trace;
+
+// --- vocabulary --------------------------------------------------------
+
+TEST(TraceKind, NamesRoundTrip) {
+  for (int i = 0; i < kKindCount; ++i) {
+    const Kind k = static_cast<Kind>(i);
+    Kind back = Kind::kNote;
+    ASSERT_TRUE(kind_from_name(kind_name(k), &back)) << kind_name(k);
+    EXPECT_EQ(back, k);
+  }
+  Kind out;
+  EXPECT_FALSE(kind_from_name("no_such_kind", &out));
+  EXPECT_FALSE(kind_from_name("", &out));
+}
+
+TEST(TraceKind, DefaultMaskDropsEngineNoise) {
+  EXPECT_FALSE(kDefaultMask & bit(Kind::kEventPost));
+  EXPECT_FALSE(kDefaultMask & bit(Kind::kEventDispatch));
+  EXPECT_FALSE(kDefaultMask & bit(Kind::kFdQuery));
+  EXPECT_TRUE(kDefaultMask & bit(Kind::kSend));
+  EXPECT_TRUE(kDefaultMask & bit(Kind::kDeliver));
+  EXPECT_TRUE(kDefaultMask & bit(Kind::kDecide));
+  EXPECT_TRUE(kDefaultMask & bit(Kind::kCrash));
+  EXPECT_TRUE(kDefaultMask & bit(Kind::kFdChange));
+}
+
+// --- line format -------------------------------------------------------
+
+TEST(TraceFormat, CanonicalLine) {
+  const TraceEvent e{120, Kind::kSend, 0, 3, 5, "phase1"};
+  EXPECT_EQ(format_event(e),
+            "{\"t\":120,\"k\":\"send\",\"a\":0,\"p\":3,\"v\":5,"
+            "\"tag\":\"phase1\"}");
+}
+
+TEST(TraceFormat, EscapesHostileTagCharacters) {
+  const TraceEvent e{0, Kind::kNote, -1, -1, 0, "a\"b\\c\nd"};
+  const std::string line = format_event(e);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  ParsedEvent p;
+  ASSERT_TRUE(parse_trace_line(line, &p));
+  EXPECT_EQ(p.tag, "a_b_c_d");
+}
+
+TEST(TraceFormat, ParseRoundTrip) {
+  const TraceEvent e{9'999'999, Kind::kFdChange, 7, -1, -42, "omega"};
+  ParsedEvent p;
+  ASSERT_TRUE(parse_trace_line(format_event(e), &p));
+  EXPECT_EQ(p.time, e.time);
+  EXPECT_EQ(p.kind, "fd_change");
+  EXPECT_EQ(p.actor, 7);
+  EXPECT_EQ(p.peer, -1);
+  EXPECT_EQ(p.value, -42);
+  EXPECT_EQ(p.tag, "omega");
+}
+
+TEST(TraceFormat, ParseRejectsMalformed) {
+  ParsedEvent p;
+  EXPECT_FALSE(parse_trace_line("", &p));
+  EXPECT_FALSE(parse_trace_line("not json", &p));
+  EXPECT_FALSE(parse_trace_line("{\"t\":1}", &p));
+}
+
+// --- sinks -------------------------------------------------------------
+
+TEST(TraceSinks, VectorSinkOwnsTagsBeyondEmitterLifetime) {
+  VectorSink sink;
+  {
+    const std::string transient = "ephemeral_tag";
+    sink.on_event({1, Kind::kNote, 0, -1, 0, transient});
+  }  // the emitter's tag storage is gone
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].tag, "ephemeral_tag");
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_NE(sink.lines()[0].find("ephemeral_tag"), std::string::npos);
+}
+
+TEST(TraceSinks, RingSinkKeepsNewestOldestFirst) {
+  RingSink ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.on_event({static_cast<Time>(i), Kind::kNote, -1, -1, i, {}});
+  }
+  EXPECT_EQ(ring.total(), 10u);
+  const auto tail = ring.snapshot();
+  ASSERT_EQ(tail.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tail[static_cast<std::size_t>(i)].value, 6 + i);
+}
+
+TEST(TraceSinks, RingSinkUnderCapacity) {
+  RingSink ring(8);
+  for (int i = 0; i < 3; ++i) {
+    ring.on_event({static_cast<Time>(i), Kind::kNote, -1, -1, i, {}});
+  }
+  EXPECT_EQ(ring.total(), 3u);
+  const auto tail = ring.snapshot();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].value, 0);
+  EXPECT_EQ(tail[2].value, 2);
+}
+
+TEST(TraceSinks, JsonlSinkStreamsLines) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.on_event({1, Kind::kCrash, 2, -1, 0, {}});
+  sink.on_event({2, Kind::kSend, 0, 1, 3, "beat"});
+  std::istringstream is(os.str());
+  const auto lines = read_trace_lines(is);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"crash\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"beat\""), std::string::npos);
+}
+
+// --- tracer masking / null contracts -----------------------------------
+
+TEST(Tracer, InactiveByDefaultAndEmitsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.active());
+  // Every trace point must be callable with nothing installed.
+  t.event_post(0, 0);
+  t.event_dispatch(0, 0);
+  t.event_processed();
+  t.send(0, 0, 1, "x", 1);
+  t.deliver(1, 1, 0, "x");
+  t.drop(1, 0, 1, "x", 0);
+  t.crash(2, 0);
+  t.fd_query(3, 0, "o");
+  t.fd_change(3, 0, 1, "o");
+  t.protocol(Kind::kDecide, 4, 0, 7, "p");
+}
+
+TEST(Tracer, MaskFiltersSinkButNotMetrics) {
+  VectorSink sink;
+  MetricsRegistry metrics;
+  Tracer t;
+  t.install(&sink, &metrics, bit(Kind::kSend));  // sends only
+  t.send(1, 0, 1, "a", 2);
+  t.deliver(3, 1, 0, "a");
+  t.fd_query(3, 0, "o");
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].kind, Kind::kSend);
+  // Metrics ignore the mask.
+  EXPECT_EQ(metrics.counter("sim.messages_sent").value, 1u);
+  EXPECT_EQ(metrics.counter("sim.messages_delivered").value, 1u);
+  EXPECT_EQ(metrics.counter("fd.queries").value, 1u);
+}
+
+TEST(Tracer, MetricsOnlyInstallCollectsWithoutSink) {
+  MetricsRegistry metrics;
+  Tracer t;
+  t.install(nullptr, &metrics);
+  EXPECT_TRUE(t.active());
+  EXPECT_FALSE(t.wants(Kind::kSend));  // no sink => nothing wanted
+  t.send(1, 0, 1, "a", 4);
+  t.send(2, 0, 1, "a", 8);
+  EXPECT_EQ(metrics.counter("sim.messages_sent").value, 2u);
+  EXPECT_EQ(metrics.histogram("sim.delay").count(), 2u);
+  EXPECT_EQ(metrics.histogram("sim.delay").min(), 4);
+  EXPECT_EQ(metrics.histogram("sim.delay").max(), 8);
+}
+
+TEST(Tracer, ProtocolEventsRouteToNamedCounters) {
+  MetricsRegistry metrics;
+  Tracer t;
+  t.install(nullptr, &metrics);
+  t.protocol(Kind::kXMove, 1, 0, 0, "lower");
+  t.protocol(Kind::kXMove, 2, 1, 1, "lower");
+  t.protocol(Kind::kLMove, 3, 0, 0, "upper");
+  t.protocol(Kind::kDecide, 4, 0, 100, "kset");
+  t.protocol(Kind::kQuiesce, 5, -1, 2, "lower");
+  t.protocol(Kind::kNote, 6, 0, 0, "misc");
+  EXPECT_EQ(metrics.counter("protocol.x_moves").value, 2u);
+  EXPECT_EQ(metrics.counter("protocol.l_moves").value, 1u);
+  EXPECT_EQ(metrics.counter("protocol.decides").value, 1u);
+  EXPECT_EQ(metrics.counter("protocol.quiesce_marks").value, 1u);
+  EXPECT_EQ(metrics.counter("protocol.notes").value, 1u);
+}
+
+// --- metrics -----------------------------------------------------------
+
+TEST(Metrics, HistogramBucketsByPowerOfTwo) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1024);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1024);
+}
+
+TEST(Metrics, QuantileBoundsAreMonotoneAndCoverMax) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const auto p50 = h.quantile_bound(0.50);
+  const auto p99 = h.quantile_bound(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p99, 64);  // 99th value (99) lives in bucket (64, 128]
+}
+
+TEST(Metrics, RegistryHandlesAreStableAcrossInsertions) {
+  MetricsRegistry r;
+  Counter& a = r.counter("a");
+  a.add(1);
+  // Interleave enough inserts that a vector-backed registry would have
+  // reallocated; node-based storage must keep `a` valid.
+  for (int i = 0; i < 100; ++i) r.counter("c" + std::to_string(i));
+  a.add(1);
+  EXPECT_EQ(r.counter("a").value, 2u);
+}
+
+TEST(Metrics, ToJsonIsSortedAndParseable) {
+  MetricsRegistry r;
+  r.counter("b.two").add(2);
+  r.counter("a.one").add(1);
+  r.histogram("h").record(5);
+  const std::string j = r.to_json();
+  // Keys come out in lexicographic order (std::map), so the export is
+  // deterministic.
+  EXPECT_LT(j.find("a.one"), j.find("b.two"));
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+}
+
+// --- structural diff ---------------------------------------------------
+
+std::vector<std::string> lines_of(std::initializer_list<TraceEvent> events) {
+  std::vector<std::string> out;
+  for (const TraceEvent& e : events) out.push_back(format_event(e));
+  return out;
+}
+
+TEST(TraceDiffTest, IdenticalTraces) {
+  const auto a = lines_of({{1, Kind::kSend, 0, 1, 2, "x"},
+                           {2, Kind::kDeliver, 1, 0, 0, "x"}});
+  const TraceDiff d = diff_traces(a, a);
+  EXPECT_TRUE(d.identical);
+  EXPECT_NE(d.reason.find("identical"), std::string::npos);
+}
+
+TEST(TraceDiffTest, FirstDivergenceNamesFieldAndIndex) {
+  const auto a = lines_of({{1, Kind::kSend, 0, 1, 2, "x"},
+                           {2, Kind::kDeliver, 1, 0, 0, "x"}});
+  const auto b = lines_of({{1, Kind::kSend, 0, 1, 2, "x"},
+                           {2, Kind::kDeliver, 1, 0, 5, "x"}});
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, 1u);
+  EXPECT_NE(d.reason.find("value"), std::string::npos);
+  EXPECT_NE(d.report.find(a[1]), std::string::npos);
+  EXPECT_NE(d.report.find(b[1]), std::string::npos);
+}
+
+TEST(TraceDiffTest, PrefixTraceReportsEarlyEnd) {
+  const auto a = lines_of({{1, Kind::kSend, 0, 1, 2, "x"},
+                           {2, Kind::kDeliver, 1, 0, 0, "x"}});
+  const std::vector<std::string> b(a.begin(), a.begin() + 1);
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, 1u);
+  EXPECT_NE(d.reason.find("ends early"), std::string::npos);
+  const TraceDiff rev = diff_traces(b, a);
+  EXPECT_FALSE(rev.identical);
+  EXPECT_EQ(rev.first_divergence, 1u);
+}
+
+TEST(TraceDiffTest, CommentsAndBlanksIgnoredByReader) {
+  std::istringstream is(
+      "# header comment\n"
+      "\n"
+      "{\"t\":1,\"k\":\"send\",\"a\":0,\"p\":1,\"v\":2,\"tag\":\"x\"}\n"
+      "# trailing\n");
+  const auto lines = read_trace_lines(is);
+  ASSERT_EQ(lines.size(), 1u);
+}
+
+TEST(TraceDiffTest, ReadTraceFileThrowsOnMissing) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(TraceSummary, CountsKindsProcessesAndSpan) {
+  const auto a = lines_of({{10, Kind::kSend, 0, 1, 2, "x"},
+                           {20, Kind::kSend, 1, 0, 2, "x"},
+                           {30, Kind::kCrash, 1, -1, 0, {}}});
+  const std::string s = summarize_trace(a);
+  EXPECT_NE(s.find("events: 3"), std::string::npos);
+  EXPECT_NE(s.find("send: 2"), std::string::npos);
+  EXPECT_NE(s.find("crash: 1"), std::string::npos);
+  EXPECT_NE(s.find("[10, 30]"), std::string::npos);
+  EXPECT_NE(s.find("p1: 2"), std::string::npos);
+}
+
+// --- traced failure-detector adapters ----------------------------------
+
+class FixedLeader final : public fd::LeaderOracle {
+ public:
+  explicit FixedLeader(ProcSet s) : s_(s) {}
+  ProcSet trusted(ProcessId, Time now) const override {
+    // Output flips once at time 100 — two changes total per process.
+    return now < 100 ? s_ : ProcSet{0};
+  }
+
+ private:
+  ProcSet s_;
+};
+
+TEST(TracedOracles, LeaderEmitsChangeOnlyWhenOutputMoves) {
+  VectorSink sink;
+  MetricsRegistry metrics;
+  Tracer t;
+  t.install(&sink, &metrics, kAllKinds);
+  FixedLeader base(ProcSet{1, 2});
+  fd::TracedLeaderOracle traced(base, t, "omega");
+  traced.trusted(0, 0);    // first observation -> change
+  traced.trusted(0, 10);   // same answer -> no change
+  traced.trusted(0, 150);  // flipped -> change
+  traced.trusted(1, 150);  // other process's first observation -> change
+  EXPECT_EQ(metrics.counter("fd.queries").value, 4u);
+  EXPECT_EQ(metrics.counter("fd.output_changes").value, 3u);
+  int queries = 0, changes = 0;
+  for (const TraceEvent& e : sink.events()) {
+    if (e.kind == Kind::kFdQuery) ++queries;
+    if (e.kind == Kind::kFdChange) ++changes;
+  }
+  EXPECT_EQ(queries, 4);
+  EXPECT_EQ(changes, 3);
+  // The first change (each query emits fd_query first) carries the
+  // output encoded as a ProcSet mask.
+  const auto first_change = std::find_if(
+      sink.events().begin(), sink.events().end(),
+      [](const TraceEvent& e) { return e.kind == Kind::kFdChange; });
+  ASSERT_NE(first_change, sink.events().end());
+  EXPECT_EQ(first_change->value,
+            static_cast<std::int64_t>(ProcSet({1, 2}).mask()));
+}
+
+TEST(TracedOracles, WrappingDoesNotChangeAnswers) {
+  Tracer t;  // inactive: adapters must still answer correctly
+  FixedLeader base(ProcSet{3});
+  fd::TracedLeaderOracle traced(base, t, "omega");
+  for (Time at : {Time{0}, Time{50}, Time{100}, Time{200}}) {
+    EXPECT_EQ(traced.trusted(2, at), base.trusted(2, at)) << at;
+  }
+}
+
+TEST(TracedOracles, EmulatedStoreEmitsOnValueChangeOnly) {
+  VectorSink sink;
+  Tracer t;
+  t.install(&sink, nullptr, kAllKinds);
+  fd::EmulatedLeaderStore store(3);
+  store.set_tracer(&t, "trusted");
+  store.set(0, 10, ProcSet{1});   // change
+  store.set(0, 20, ProcSet{1});   // same value -> silent
+  store.set(0, 30, ProcSet{2});   // change
+  store.set(1, 30, ProcSet{2});   // change (different process)
+  int changes = 0;
+  for (const TraceEvent& e : sink.events()) {
+    if (e.kind == Kind::kFdChange) ++changes;
+  }
+  EXPECT_EQ(changes, 3);
+  // The step trace kept both value changes of process 0 (the no-op set
+  // is dropped by StepTrace itself).
+  EXPECT_EQ(store.trace(0).steps().size(), 2u);
+}
+
+// --- whole-run integration ---------------------------------------------
+
+core::KSetRunConfig small_cfg() {
+  core::KSetRunConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.k = 1;
+  cfg.z = 1;
+  cfg.seed = 3;
+  cfg.horizon = 20'000;
+  // t=1: no decision is physically possible this early (a decision needs
+  // two full message rounds), so the crash always fires before the
+  // harness's run_until(all-correct-decided) cuts the run short.
+  cfg.crashes.crash_at(2, 1);
+  return cfg;
+}
+
+TEST(TraceIntegration, TracedRunMatchesUntracedRun) {
+  const core::KSetRunResult plain = core::run_kset_agreement(small_cfg());
+  core::KSetRunConfig cfg = small_cfg();
+  VectorSink sink;
+  MetricsRegistry metrics;
+  cfg.trace_sink = &sink;
+  cfg.metrics = &metrics;
+  const core::KSetRunResult traced = core::run_kset_agreement(cfg);
+  // Observation must not perturb the run.
+  EXPECT_EQ(traced.decisions, plain.decisions);
+  EXPECT_EQ(traced.events_processed, plain.events_processed);
+  EXPECT_EQ(traced.total_messages, plain.total_messages);
+  EXPECT_FALSE(sink.events().empty());
+  EXPECT_EQ(metrics.counter("sim.messages_sent").value,
+            plain.total_messages);
+  EXPECT_EQ(metrics.counter("sim.crashes").value, 1u);
+  EXPECT_GE(metrics.counter("protocol.decides").value, 3u);
+}
+
+TEST(TraceIntegration, TraceIsDeterministic) {
+  auto capture = [] {
+    core::KSetRunConfig cfg = small_cfg();
+    auto sink = std::make_unique<VectorSink>();
+    cfg.trace_sink = sink.get();
+    core::run_kset_agreement(cfg);
+    return sink;
+  };
+  const auto a = capture();
+  const auto b = capture();
+  const TraceDiff d = diff_traces(a->lines(), b->lines());
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+TEST(TraceIntegration, MaskControlsVolume) {
+  core::KSetRunConfig cfg = small_cfg();
+  VectorSink all_sink;
+  cfg.trace_sink = &all_sink;
+  cfg.trace_mask = kAllKinds;
+  core::run_kset_agreement(cfg);
+
+  core::KSetRunConfig cfg2 = small_cfg();
+  VectorSink decide_sink;
+  cfg2.trace_sink = &decide_sink;
+  cfg2.trace_mask = bit(Kind::kDecide);
+  core::run_kset_agreement(cfg2);
+
+  EXPECT_GT(all_sink.events().size(), decide_sink.events().size());
+  for (const TraceEvent& e : decide_sink.events()) {
+    EXPECT_EQ(e.kind, Kind::kDecide);
+  }
+  EXPECT_FALSE(decide_sink.events().empty());
+  // kAllKinds includes the engine internals the default mask drops.
+  bool saw_post = false;
+  for (const TraceEvent& e : all_sink.events()) {
+    saw_post |= e.kind == Kind::kEventPost;
+  }
+  EXPECT_TRUE(saw_post);
+}
+
+}  // namespace
