@@ -7,6 +7,12 @@
 //   check_runner --replay out-kset-42.trace
 //   check_runner --seeds 200 --trace bug         # structured trace per violation
 //   check_runner --seeds 50 --metrics m.json     # per-protocol run metrics
+//   check_runner --seeds 200 --faults lossy30    # fault-injected sweep
+//   check_runner --faults "drop=0.3,flap@400/60" --max-events 2000000
+//
+// Under --faults every run carries a model-compliance verdict
+// (docs/fault_injection.md) and the per-protocol verdict histogram is
+// printed; only VIOLATION_IN_MODEL / WORKER_ERROR fail the sweep.
 //
 // Exit status: 0 clean (or replay matched), 1 violations found (or
 // replay mismatched), 2 usage error.
@@ -24,6 +30,7 @@
 #include "check/explorer.h"
 #include "check/replay.h"
 #include "check/shrinker.h"
+#include "fault/fault_spec.h"
 #include "sweep/thread_pool.h"
 #include "trace/trace.h"
 
@@ -44,6 +51,9 @@ struct Args {
   std::string replay_path;
   std::string trace_prefix;   // write a structured JSONL trace per violation
   std::string metrics_path;   // write per-protocol run metrics as JSON
+  std::string faults;         // named profile or inline fault spec
+  std::uint64_t max_events = 0;      // per-run event watchdog (0 = off)
+  std::int64_t wall_budget_ms = 0;   // per-run wall-clock watchdog (0 = off)
   bool list = false;
 };
 
@@ -53,7 +63,12 @@ void print_usage(std::ostream& os) {
       "                    [--jobs N] [--shrink] [--record PREFIX]\n"
       "                    [--dfs] [--dfs-depth D]\n"
       "                    [--trace PREFIX] [--metrics FILE]\n"
-      "                    [--replay FILE] [--list] [--help]\n";
+      "                    [--faults PROFILE|SPEC] [--max-events N]\n"
+      "                    [--wall-budget-ms N]\n"
+      "                    [--replay FILE] [--list] [--help]\n"
+      "fault profiles:";
+  for (const auto name : saf::fault::profile_names()) os << " " << name;
+  os << "\n(or an inline spec, e.g. \"drop=0.3,dup=0.1,flap@400/60\")\n";
 }
 
 int usage(const std::string& err = "") {
@@ -140,6 +155,23 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = value("--metrics");
       if (v == nullptr) return false;
       a->metrics_path = v;
+    } else if (arg == "--faults") {
+      const char* v = value("--faults");
+      if (v == nullptr) return false;
+      a->faults = v;
+    } else if (arg == "--max-events") {
+      const char* v = value("--max-events");
+      if (v == nullptr ||
+          !parse_int("--max-events", v, std::uint64_t{1}, &a->max_events)) {
+        return false;
+      }
+    } else if (arg == "--wall-budget-ms") {
+      const char* v = value("--wall-budget-ms");
+      if (v == nullptr ||
+          !parse_int("--wall-budget-ms", v, std::int64_t{1},
+                     &a->wall_budget_ms)) {
+        return false;
+      }
     } else if (arg == "--list") {
       a->list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -154,11 +186,26 @@ bool parse_args(int argc, char** argv, Args* a) {
 }
 
 void print_violation(const Protocol& p, const Violation& v) {
-  std::cout << "  VIOLATION [" << p.name << "] " << describe_case(v.c)
-            << "\n";
+  std::cout << "  " << saf::fault::verdict_name(v.outcome.verdict) << " ["
+            << p.name << "] " << describe_case(v.c) << "\n";
+  if (!v.outcome.first_broken.empty()) {
+    std::cout << "    first broken assumption: " << v.outcome.first_broken
+              << " at t=" << v.outcome.first_broken_at << "\n";
+  }
   for (const auto& iv : v.outcome.violations) {
     std::cout << "    " << iv.invariant << ": " << iv.detail << "\n";
   }
+}
+
+void print_verdicts(const ExploreReport& report) {
+  std::cout << "  verdicts:";
+  for (int i = 0; i < saf::fault::kVerdictCount; ++i) {
+    const auto v = static_cast<saf::fault::Verdict>(i);
+    if (report.verdict_count(v) == 0) continue;
+    std::cout << " " << saf::fault::verdict_name(v) << "="
+              << report.verdict_count(v);
+  }
+  std::cout << "\n";
 }
 
 /// Shrinks (optionally) and records (optionally) one violation;
@@ -236,6 +283,18 @@ int main(int argc, char** argv) {
   if (args.protocols.empty()) {
     args.protocols = {"kset", "two-wheels", "phibar"};
   }
+
+  saf::fault::FaultSpec fault_spec;
+  const bool faulted = !args.faults.empty();
+  if (faulted) {
+    try {
+      fault_spec = saf::fault::parse_fault_spec(args.faults);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+    std::cout << "fault spec: " << fault_spec.name << "\n";
+  }
+
   bool any_violation = false;
   for (const std::string& name : args.protocols) {
     const Protocol* p = find_protocol(name);
@@ -259,11 +318,17 @@ int main(int argc, char** argv) {
     opt.first_seed = args.first_seed;
     opt.seeds = args.seeds;
     opt.jobs = args.jobs > 0 ? args.jobs : sweep::ThreadPool::default_jobs();
+    opt.faults = faulted ? &fault_spec : nullptr;
+    opt.max_events = args.max_events;
+    opt.wall_budget_ms = args.wall_budget_ms;
     const ExploreReport report = explore(*p, opt);
     std::cout << "[" << name << "] " << report.runs << " runs (seeds "
               << args.first_seed << ".."
               << args.first_seed + static_cast<std::uint64_t>(args.seeds) - 1
-              << "): " << report.violations.size() << " violations\n";
+              << "): " << report.violations.size() << " failures\n";
+    if (faulted || args.max_events > 0 || args.wall_budget_ms > 0) {
+      print_verdicts(report);
+    }
     for (const Violation& v : report.violations) {
       print_violation(*p, v);
       try {

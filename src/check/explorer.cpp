@@ -12,7 +12,32 @@ RunOutcome run_case(const Protocol& p, const ScheduleCase& c) {
   return p.run(c, RunContext{});
 }
 
+RunOutcome run_case(const Protocol& p, const ScheduleCase& c,
+                    const ExploreOptions& opt) {
+  RunContext ctx;
+  ctx.faults = opt.faults;
+  ctx.max_events = opt.max_events;
+  ctx.wall_budget_ms = opt.wall_budget_ms;
+  return p.run(c, ctx);
+}
+
 namespace {
+
+/// Runs one case, quarantining a throwing worker into a WORKER_ERROR
+/// outcome so one poisoned seed cannot take down a sweep.
+RunOutcome run_quarantined(const Protocol& p, const ScheduleCase& c,
+                           const ExploreOptions& opt) {
+  try {
+    return run_case(p, c, opt);
+  } catch (const std::exception& e) {
+    RunOutcome out;
+    out.ok = false;
+    out.verdict = fault::Verdict::kWorkerError;
+    out.violations.push_back(
+        {"worker/exception", std::string("run threw: ") + e.what()});
+    return out;
+  }
+}
 
 /// Folds per-seed outcomes into a report in seed order, reproducing the
 /// serial loop exactly — including report.runs stopping at the seed that
@@ -22,6 +47,7 @@ ExploreReport fold(std::vector<std::pair<ScheduleCase, RunOutcome>>& outcomes,
   ExploreReport report;
   for (auto& [c, out] : outcomes) {
     ++report.runs;
+    ++report.verdicts[static_cast<std::size_t>(out.verdict)];
     if (!out.ok) {
       report.violations.push_back(Violation{c, std::move(out)});
       if (static_cast<int>(report.violations.size()) >= max_violations) {
@@ -43,8 +69,9 @@ ExploreReport explore(const Protocol& p, const ExploreOptions& opt) {
     for (int i = 0; i < opt.seeds; ++i) {
       const ScheduleCase c =
           generate_case(p, opt.first_seed + static_cast<std::uint64_t>(i));
-      RunOutcome out = run_case(p, c);
+      RunOutcome out = run_quarantined(p, c, opt);
       ++report.runs;
+      ++report.verdicts[static_cast<std::size_t>(out.verdict)];
       if (!out.ok) {
         report.violations.push_back(Violation{c, std::move(out)});
         if (static_cast<int>(report.violations.size()) >=
@@ -66,7 +93,7 @@ ExploreReport explore(const Protocol& p, const ExploreOptions& opt) {
   pool.parallel_for(outcomes.size(), [&](std::size_t i) {
     const ScheduleCase c =
         generate_case(p, opt.first_seed + static_cast<std::uint64_t>(i));
-    RunOutcome out = run_case(p, c);
+    RunOutcome out = run_quarantined(p, c, opt);
     outcomes[i] = {c, std::move(out)};
   });
   return fold(outcomes, opt.max_violations);

@@ -8,6 +8,7 @@
 // from its seed alone.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -19,12 +20,21 @@ struct ExploreOptions {
   std::uint64_t first_seed = 1;
   int seeds = 100;
   /// Stop the sweep once this many violations have been collected.
+  /// Under a fault spec only *failure* verdicts (VIOLATION_IN_MODEL,
+  /// WORKER_ERROR) count toward the budget — explained out-of-model
+  /// violations are expected witnesses, not stop conditions.
   int max_violations = 16;
   /// Worker threads (sweep::ThreadPool); <= 0 picks hardware concurrency.
   /// The report is byte-identical to a jobs=1 sweep — outcomes are
   /// computed per seed and folded in seed order, including the
   /// max_violations early stop — parallelism only changes wall time.
   int jobs = 1;
+  /// Optional fault spec injected into every run (must outlive the
+  /// sweep); null sweeps the clean model.
+  const fault::FaultSpec* faults = nullptr;
+  /// Per-run watchdog budgets, forwarded into RunContext (0 = off).
+  std::uint64_t max_events = 0;
+  std::int64_t wall_budget_ms = 0;
 };
 
 struct Violation {
@@ -35,12 +45,22 @@ struct Violation {
 struct ExploreReport {
   int runs = 0;
   std::vector<Violation> violations;
+  /// Verdict histogram, indexed by fault::Verdict. Without a fault spec
+  /// every run lands in SAFE_IN_MODEL or VIOLATION_IN_MODEL.
+  std::array<int, fault::kVerdictCount> verdicts{};
 
   bool clean() const { return violations.empty(); }
+  int verdict_count(fault::Verdict v) const {
+    return verdicts[static_cast<std::size_t>(v)];
+  }
 };
 
 /// Runs one case with the delivery digest and no other hooks.
 RunOutcome run_case(const Protocol& p, const ScheduleCase& c);
+
+/// Runs one case under the sweep's fault / watchdog options.
+RunOutcome run_case(const Protocol& p, const ScheduleCase& c,
+                    const ExploreOptions& opt);
 
 /// Sweeps `opt.seeds` generated cases.
 ExploreReport explore(const Protocol& p, const ExploreOptions& opt);

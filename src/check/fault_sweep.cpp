@@ -1,0 +1,289 @@
+#include "check/fault_sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "sweep/thread_pool.h"
+#include "util/check.h"
+
+namespace saf::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix_str(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Parses the verdict name written by write_fault_checkpoint.
+bool parse_verdict(std::string_view name, fault::Verdict* out) {
+  for (int i = 0; i < fault::kVerdictCount; ++i) {
+    const auto v = static_cast<fault::Verdict>(i);
+    if (fault::verdict_name(v) == name) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t FaultSweepReport::final_digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const FaultRunRecord& r : records) {
+    if (!r.done) continue;
+    h = fnv_mix(h, r.seed);
+    h = fnv_mix(h, static_cast<std::uint64_t>(r.verdict));
+    h = fnv_mix(h, r.digest);
+    h = fnv_mix(h, r.ok ? 1 : 0);
+    h = fnv_mix(h, static_cast<std::uint64_t>(r.first_broken_at));
+    h = fnv_mix_str(h, r.first_broken);
+  }
+  return h;
+}
+
+bool FaultSweepReport::failed() const {
+  return std::any_of(records.begin(), records.end(),
+                     [](const FaultRunRecord& r) {
+                       return r.done && fault::verdict_is_failure(r.verdict);
+                     });
+}
+
+std::uint64_t fault_sweep_config_digest(const Protocol& p,
+                                        const FaultSweepOptions& opt) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix_str(h, "saf-fault-sweep-v1");
+  h = fnv_mix_str(h, p.name);
+  h = fnv_mix(h, opt.first_seed);
+  h = fnv_mix(h, static_cast<std::uint64_t>(opt.seeds));
+  h = fnv_mix(h, opt.max_events);
+  // The wall budget is a non-deterministic safety net; two sweeps that
+  // differ only in it still produce the same records, so it is
+  // deliberately NOT part of the fingerprint.
+  h = fnv_mix_str(h, opt.faults_text);
+  return h;
+}
+
+void write_fault_checkpoint(const FaultSweepReport& r,
+                            std::uint64_t config_digest,
+                            const std::string& path) {
+  // Atomic persistence: write the whole file to a sibling temp path,
+  // flush, then rename over the target. A crash mid-checkpoint leaves
+  // either the previous complete checkpoint or a stray .tmp — never a
+  // half-written file a resume could half-trust.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    util::require(os.good(), "checkpoint: cannot open " + tmp);
+    os << "saf-fault-sweep-checkpoint 1\n";
+    os << "protocol " << r.protocol << "\n";
+    os << "config " << config_digest << "\n";
+    os << "total " << r.total << "\n";
+    for (std::size_t i = 0; i < r.records.size(); ++i) {
+      const FaultRunRecord& rec = r.records[i];
+      if (!rec.done) continue;
+      os << "run " << i << " " << rec.seed << " "
+         << fault::verdict_name(rec.verdict) << " " << rec.digest << " "
+         << (rec.ok ? 1 : 0) << " " << rec.first_broken_at << " "
+         << (rec.first_broken.empty() ? "-" : rec.first_broken) << "\n";
+    }
+    os << "digest " << r.final_digest() << "\n";
+    os << "end\n";
+    os.flush();
+    util::require(os.good(), "checkpoint: write failed for " + tmp);
+  }
+  util::require(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "checkpoint: rename " + tmp + " -> " + path + " failed");
+}
+
+void load_fault_checkpoint(FaultSweepReport& r, std::uint64_t config_digest,
+                           const std::string& path) {
+  std::ifstream is(path);
+  util::require(is.good(), "checkpoint: cannot open " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  auto where = [&lineno] {
+    return " (line " + std::to_string(lineno) + ")";
+  };
+  auto next = [&](const char* what) {
+    ++lineno;
+    util::require(static_cast<bool>(std::getline(is, line)),
+                  std::string("checkpoint: truncated before ") + what +
+                      where());
+  };
+  next("header");
+  util::require(line == "saf-fault-sweep-checkpoint 1",
+                "checkpoint: bad header '" + line + "'" + where());
+  bool saw_end = false;
+  std::uint64_t recorded_digest = 0;
+  bool saw_digest = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "protocol") {
+      std::string name;
+      ls >> name;
+      util::require(name == r.protocol,
+                    "checkpoint: protocol mismatch — file has '" + name +
+                        "', sweep is '" + r.protocol + "'" + where());
+    } else if (key == "config") {
+      std::uint64_t d = 0;
+      ls >> d;
+      util::require(
+          d == config_digest,
+          "checkpoint: config fingerprint mismatch — the checkpoint was "
+          "written by a sweep with different seeds/faults/budgets; refusing "
+          "to resume" +
+              where());
+    } else if (key == "total") {
+      int total = 0;
+      ls >> total;
+      util::require(total == r.total,
+                    "checkpoint: run-count mismatch" + where());
+    } else if (key == "run") {
+      std::size_t idx = 0;
+      FaultRunRecord rec;
+      std::string verdict, broken;
+      int ok = 0;
+      ls >> idx >> rec.seed >> verdict >> rec.digest >> ok >>
+          rec.first_broken_at >> broken;
+      util::require(!ls.fail() && idx < r.records.size(),
+                    "checkpoint: garbled run record '" + line + "'" +
+                        where());
+      util::require(parse_verdict(verdict, &rec.verdict),
+                    "checkpoint: unknown verdict '" + verdict + "'" +
+                        where());
+      rec.ok = ok != 0;
+      if (broken != "-") rec.first_broken = broken;
+      rec.done = true;
+      r.records[idx] = std::move(rec);
+    } else if (key == "digest") {
+      ls >> recorded_digest;
+      saw_digest = true;
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw std::invalid_argument("checkpoint: unknown key '" + key + "'" +
+                                  where());
+    }
+    util::require(!ls.fail(),
+                  "checkpoint: malformed line '" + line + "'" + where());
+  }
+  util::require(saw_end, "checkpoint: truncated — missing 'end' marker");
+  util::require(saw_digest, "checkpoint: missing digest line");
+  // Digest continuity: the loaded records must reproduce the digest the
+  // writer computed, or the file was tampered with / mis-merged.
+  util::require(r.final_digest() == recorded_digest,
+                "checkpoint: digest mismatch — records do not reproduce the "
+                "recorded final digest");
+  for (const FaultRunRecord& rec : r.records) {
+    if (rec.done) ++r.resumed;
+  }
+}
+
+FaultSweepReport fault_sweep(const Protocol& p, const FaultSweepOptions& opt) {
+  util::require(opt.seeds >= 0, "fault_sweep: negative seed count");
+  util::require(opt.checkpoint_every > 0,
+                "fault_sweep: checkpoint_every must be positive");
+  FaultSweepReport report;
+  report.protocol = p.name;
+  report.total = opt.seeds;
+  report.records.assign(static_cast<std::size_t>(opt.seeds), {});
+  const std::uint64_t config = fault_sweep_config_digest(p, opt);
+  if (opt.resume) {
+    util::require(!opt.checkpoint_path.empty(),
+                  "fault_sweep: --resume needs a checkpoint path");
+    load_fault_checkpoint(report, config, opt.checkpoint_path);
+  }
+
+  // The pending indices, chunked so the sweep can checkpoint and honor
+  // the stop flag between chunks without a seam in the records.
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    if (!report.records[i].done) todo.push_back(i);
+  }
+
+  sweep::ThreadPool pool(opt.jobs);
+  RunContext ctx;
+  ctx.faults = opt.faults;
+  ctx.max_events = opt.max_events;
+  ctx.wall_budget_ms = opt.wall_budget_ms;
+
+  std::size_t cursor = 0;
+  int since_checkpoint = 0;
+  while (cursor < todo.size()) {
+    if (opt.stop != nullptr && opt.stop->load(std::memory_order_relaxed)) {
+      report.interrupted = true;
+      break;
+    }
+    const std::size_t chunk =
+        std::min<std::size_t>(static_cast<std::size_t>(opt.checkpoint_every),
+                              todo.size() - cursor);
+    pool.parallel_for(chunk, [&](std::size_t j) {
+      const std::size_t idx = todo[cursor + j];
+      const ScheduleCase c = generate_case(
+          p, opt.first_seed + static_cast<std::uint64_t>(idx));
+      FaultRunRecord rec;
+      rec.seed = c.seed;
+      // Quarantine: a throwing run is a WORKER_ERROR record; siblings
+      // in the chunk (and every later chunk) are unaffected.
+      try {
+        const RunOutcome out = p.run(c, ctx);
+        rec.verdict = out.verdict;
+        rec.digest = out.digest;
+        rec.ok = out.ok;
+        rec.first_broken = out.first_broken;
+        rec.first_broken_at = out.first_broken_at;
+      } catch (const std::exception& e) {
+        rec.verdict = fault::Verdict::kWorkerError;
+        rec.ok = false;
+        rec.first_broken = "worker.exception";
+        rec.first_broken_at = kNeverTime;
+        (void)e;
+      }
+      rec.done = true;
+      report.records[idx] = std::move(rec);
+    });
+    cursor += chunk;
+    since_checkpoint += static_cast<int>(chunk);
+    if (!opt.checkpoint_path.empty() &&
+        (since_checkpoint >= opt.checkpoint_every || cursor == todo.size())) {
+      write_fault_checkpoint(report, config, opt.checkpoint_path);
+      since_checkpoint = 0;
+    }
+  }
+  if (report.interrupted && !opt.checkpoint_path.empty()) {
+    write_fault_checkpoint(report, config, opt.checkpoint_path);
+  }
+
+  for (const FaultRunRecord& rec : report.records) {
+    if (!rec.done) continue;
+    ++report.completed;
+    ++report.verdicts[static_cast<std::size_t>(rec.verdict)];
+  }
+  return report;
+}
+
+}  // namespace saf::check

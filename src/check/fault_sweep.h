@@ -1,0 +1,112 @@
+// The self-healing fault-injected sweep (docs/fault_injection.md).
+//
+// A fault sweep runs `seeds` generated cases of one protocol under a
+// FaultSpec, stamping every run with a model-compliance verdict
+// (fault/verdict.h). It is built to survive the runs it provokes:
+//
+//   * watchdog — per-run event / wall-clock budgets turn a hung run
+//     into a TIMED_OUT record instead of a hung sweep;
+//   * quarantine — a run that throws becomes a WORKER_ERROR record; the
+//     sweep continues and the report (not the process) carries the
+//     failure;
+//   * checkpoint/resume — with a checkpoint path set, the sweep
+//     atomically (write-to-temp + rename) persists completed records
+//     every `checkpoint_every` runs and at every stop; a resumed sweep
+//     skips completed seeds and MUST converge to the byte-identical
+//     final digest, asserted by the config fingerprint in the file.
+//
+// Records are index-addressed, so the report — including the
+// order-sensitive final digest — is a pure function of (protocol,
+// options), independent of jobs, interruptions and resume splits.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/protocols.h"
+
+namespace saf::check {
+
+struct FaultSweepOptions {
+  std::uint64_t first_seed = 1;
+  int seeds = 500;
+  /// Worker threads; <= 0 picks hardware concurrency.
+  int jobs = 1;
+  /// Fault spec injected into every run; null sweeps the clean model
+  /// (the verdicts then stay in the in-model pair).
+  const fault::FaultSpec* faults = nullptr;
+  /// Text the spec was parsed from — fingerprinted into the checkpoint
+  /// so a resume under a different spec is refused, not merged.
+  std::string faults_text;
+  /// Per-run watchdog budgets (0 = off). max_events is deterministic;
+  /// wall_budget_ms is a non-reproducible safety net.
+  std::uint64_t max_events = 0;
+  std::int64_t wall_budget_ms = 0;
+  /// Checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Load `checkpoint_path` first and skip the seeds it records.
+  bool resume = false;
+  /// Persist after every this many newly completed runs.
+  int checkpoint_every = 64;
+  /// Cooperative stop flag (SIGTERM handler): checked between chunks;
+  /// when set the sweep checkpoints what it has and returns with
+  /// interrupted == true. May be null.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// One completed run, as persisted in the checkpoint.
+struct FaultRunRecord {
+  bool done = false;  ///< false = not yet run (resume hole / interrupt)
+  std::uint64_t seed = 0;
+  fault::Verdict verdict = fault::Verdict::kSafeInModel;
+  std::uint64_t digest = 0;
+  bool ok = true;
+  std::string first_broken;       ///< first broken assumption id
+  Time first_broken_at = kNeverTime;
+};
+
+struct FaultSweepReport {
+  std::string protocol;
+  int total = 0;      ///< seeds requested
+  int completed = 0;  ///< records with done == true
+  int resumed = 0;    ///< records loaded from the checkpoint
+  bool interrupted = false;  ///< the stop flag ended the sweep early
+  std::vector<FaultRunRecord> records;  ///< index order, size == total
+  std::array<int, fault::kVerdictCount> verdicts{};
+
+  int verdict_count(fault::Verdict v) const {
+    return verdicts[static_cast<std::size_t>(v)];
+  }
+  /// Order-sensitive FNV-1a over the completed records (seed, verdict,
+  /// digest, ok, first_broken_at) in index order — the continuity pin a
+  /// resumed sweep must reproduce byte-for-byte.
+  std::uint64_t final_digest() const;
+  /// True iff any record carries a failure verdict (VIOLATION_IN_MODEL
+  /// or WORKER_ERROR) — the sweep's exit-nonzero condition.
+  bool failed() const;
+};
+
+/// Fingerprint of everything that determines the record sequence; a
+/// checkpoint only resumes against an identical fingerprint.
+std::uint64_t fault_sweep_config_digest(const Protocol& p,
+                                        const FaultSweepOptions& opt);
+
+/// Runs (or resumes) the sweep. Throws std::invalid_argument on a
+/// malformed / mismatching checkpoint; never throws for a failing run —
+/// those are quarantined into WORKER_ERROR records.
+FaultSweepReport fault_sweep(const Protocol& p, const FaultSweepOptions& opt);
+
+/// Atomically persists the completed records (write temp + rename).
+void write_fault_checkpoint(const FaultSweepReport& r,
+                            std::uint64_t config_digest,
+                            const std::string& path);
+
+/// Loads a checkpoint into `r` (records + resumed count); throws
+/// std::invalid_argument on a garbled file or a config mismatch.
+void load_fault_checkpoint(FaultSweepReport& r, std::uint64_t config_digest,
+                           const std::string& path);
+
+}  // namespace saf::check

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "core/phibar_to_omega.h"
+#include "fault/harness.h"
+#include "fault/monitor.h"
+#include "fd/faulty.h"
 #include "fd/query_oracles.h"
 #include "sim/network.h"
 #include "sim/process.h"
@@ -36,6 +39,23 @@ std::unique_ptr<sim::DelayPolicy> resolve_policy(const ScheduleCase& c,
                            : make_delay_policy(c.adversary);
 }
 
+/// Folds the watchdog + compliance outcome of a harness run into the
+/// outcome's verdict fields. `out.ok` / `out.violations` must already be
+/// set; under a fault spec only in-model violations keep ok == false —
+/// explained (out-of-model) violations are witnesses, not failures.
+void finish_verdict(RunOutcome& out, const RunContext& ctx, bool timed_out,
+                    const fault::ComplianceReport& report) {
+  out.timed_out = timed_out;
+  out.verdict = fault::classify(timed_out, !out.violations.empty(), report);
+  if (const fault::BrokenAssumption* f = report.first()) {
+    out.first_broken = f->assumption;
+    out.first_broken_at = f->at;
+  }
+  if (ctx.faults != nullptr && ctx.faults->enabled()) {
+    out.ok = !fault::verdict_is_failure(out.verdict);
+  }
+}
+
 // --- built-in protocol: k-set agreement (Fig 3) ------------------------
 
 RunOutcome run_kset_case(int n, int t, int k, Time horizon,
@@ -54,6 +74,9 @@ RunOutcome run_kset_case(int n, int t, int k, Time horizon,
   cfg.trace_sink = ctx.trace_sink;
   cfg.metrics = ctx.metrics;
   cfg.trace_mask = ctx.trace_mask;
+  cfg.faults = ctx.faults;
+  cfg.max_events = ctx.max_events;
+  cfg.wall_budget_ms = ctx.wall_budget_ms;
   auto policy = resolve_policy(c, ctx);
   cfg.delay_factory = [&policy](std::uint64_t) { return std::move(policy); };
   const core::KSetRunResult res = core::run_kset_agreement(cfg);
@@ -65,6 +88,7 @@ RunOutcome run_kset_case(int n, int t, int k, Time horizon,
   out.total_messages = res.total_messages;
   out.digest = digest.value();
   out.decisions = res.decisions;
+  finish_verdict(out, ctx, res.timed_out, res.compliance);
   return out;
 }
 
@@ -84,6 +108,9 @@ RunOutcome run_two_wheels_case(const ScheduleCase& c, const RunContext& ctx) {
   cfg.trace_sink = ctx.trace_sink;
   cfg.metrics = ctx.metrics;
   cfg.trace_mask = ctx.trace_mask;
+  cfg.faults = ctx.faults;
+  cfg.max_events = ctx.max_events;
+  cfg.wall_budget_ms = ctx.wall_budget_ms;
   auto policy = resolve_policy(c, ctx);
   cfg.delay_factory = [&policy](std::uint64_t) { return std::move(policy); };
   const core::TwoWheelsResult res = core::run_two_wheels(cfg);
@@ -100,6 +127,7 @@ RunOutcome run_two_wheels_case(const ScheduleCase& c, const RunContext& ctx) {
   for (const auto& tr : res.repr_history) {
     out.decisions.push_back(tr.final());
   }
+  finish_verdict(out, ctx, res.timed_out, res.compliance);
   return out;
 }
 
@@ -136,12 +164,15 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
   sc.n = n;
   sc.t = t;
   sc.horizon = horizon;
+  sc.max_events = ctx.max_events;
+  sc.wall_budget_ms = ctx.wall_budget_ms;
   sim::Simulator sim(sc, c.crashes, resolve_policy(c, ctx));
   DeliveryDigest digest;
   sim.set_delivery_observer(tee(digest, ctx.observer));
   if (ctx.trace_sink != nullptr || ctx.metrics != nullptr) {
     sim.set_trace(ctx.trace_sink, ctx.metrics, ctx.trace_mask);
   }
+  fault::RunFaults faults(sim, ctx.faults);
   for (ProcessId i = 0; i < n; ++i) {
     sim.add_process(std::make_unique<HeartbeatProcess>(i, n, t, 250));
   }
@@ -150,7 +181,19 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
   qp.detect_delay = 15;
   qp.seed = util::derive_seed(c.seed, "phi");
   fd::PhiOracle phi(sim.pattern(), y, qp);
-  fd::PhiBarOracle phibar(phi);
+  // Fault layer: a lying φ_y slots in under the φ̄ containment wrapper,
+  // so the adaptor consumes (and the monitors judge) the faulty answers.
+  const fd::QueryOracle* phi_in = &phi;
+  std::unique_ptr<fd::LyingQueryOracle> lying;
+  if (faults.enabled() &&
+      ctx.faults->oracle.kind == fault::OracleFaultKind::kLyingQuery) {
+    lying = std::make_unique<fd::LyingQueryOracle>(
+        *phi_in, t, y,
+        fd::FaultyOracleParams{ctx.faults->oracle.from,
+                               ctx.faults->oracle.period});
+    phi_in = lying.get();
+  }
+  fd::PhiBarOracle phibar(*phi_in);
   core::PhiBarToOmega omega(phibar, n, t, y, z);
   sim.run();
   // The adaptor is message-free; trace its final Ω outputs explicitly so
@@ -166,7 +209,7 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
 
   RunOutcome out;
   out.violations = core::phibar_invariants(
-      phi, omega, sim.pattern(), y, z, horizon, /*step=*/100,
+      *phi_in, omega, sim.pattern(), y, z, horizon, /*step=*/100,
       util::derive_seed(c.seed, "phibar_check"));
   out.ok = out.violations.empty();
   out.events_processed = sim.events_processed();
@@ -176,6 +219,16 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
     out.decisions.push_back(
         static_cast<std::int64_t>(omega.trusted(i, horizon).mask()));
   }
+  fault::ComplianceReport report;
+  if (faults.enabled()) {
+    faults.base_assumptions(sim.pattern(), report);
+    fault::MonitorWindow w;
+    w.deadline = qp.stab_time + 100;
+    w.end = sim.now();
+    w.step = 100;
+    fault::monitor_query_contract(*phi_in, sim.pattern(), y, w, report);
+  }
+  finish_verdict(out, ctx, sim.timed_out(), report);
   return out;
 }
 

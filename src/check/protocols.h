@@ -19,6 +19,8 @@
 
 #include "check/adversary.h"
 #include "core/invariants.h"
+#include "fault/fault_spec.h"
+#include "fault/verdict.h"
 #include "sim/failure_pattern.h"
 #include "sim/simulator.h"
 
@@ -45,6 +47,14 @@ struct RunContext {
   trace::TraceSink* trace_sink = nullptr;
   trace::MetricsRegistry* metrics = nullptr;
   std::uint32_t trace_mask = trace::kDefaultMask;
+  /// Optional fault spec (src/fault/): lossy links, spec-violating
+  /// oracle wraps, extra crashes. Null keeps the run — and its digest —
+  /// bit-identical to the clean path. Must outlive the run call.
+  const fault::FaultSpec* faults = nullptr;
+  /// Watchdog budgets (0 = disabled). The event budget is deterministic;
+  /// the wall-clock budget is a non-reproducible safety net.
+  std::uint64_t max_events = 0;
+  std::int64_t wall_budget_ms = 0;
 };
 
 struct RunOutcome {
@@ -59,6 +69,16 @@ struct RunOutcome {
   /// Protocol observables (decisions / final detector outputs), for
   /// determinism pinning.
   std::vector<std::int64_t> decisions;
+  /// Model-compliance verdict (fault/verdict.h). Without a fault spec a
+  /// run is SAFE_IN_MODEL or — on an invariant violation —
+  /// VIOLATION_IN_MODEL; the fault layer adds the out-of-model and
+  /// watchdog verdicts.
+  fault::Verdict verdict = fault::Verdict::kSafeInModel;
+  /// First broken assumption (stable id, e.g. "channel.loss") and the
+  /// virtual time it broke; empty / kNeverTime when in model.
+  std::string first_broken;
+  Time first_broken_at = kNeverTime;
+  bool timed_out = false;  ///< a watchdog budget stopped the run
 };
 
 struct Protocol {

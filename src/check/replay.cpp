@@ -101,17 +101,30 @@ void write_trace(const TraceFile& t, const std::string& path) {
 }
 
 TraceFile read_trace(std::istream& is) {
+  // The parser is deliberately strict: a trace that ends mid-file (a
+  // crashed recorder, a truncated copy) must fail HERE with a message
+  // naming the missing or garbled line, never reach replay and report a
+  // confusing divergence. Every diagnostic carries the 1-based line
+  // number.
   TraceFile t;
   std::string line;
-  auto next_line = [&](const char* what) {
-    util::require(static_cast<bool>(std::getline(is, line)),
-                  std::string("read_trace: truncated before ") + what);
+  std::size_t lineno = 0;
+  auto where = [&lineno] {
+    return " (line " + std::to_string(lineno) + ")";
   };
-  next_line("header");
+  auto next_line = [&](const char* what) {
+    ++lineno;
+    util::require(static_cast<bool>(std::getline(is, line)),
+                  std::string("read_trace: file truncated before ") + what +
+                      where());
+  };
+  next_line("the 'saf-trace 1' header");
   util::require(line == "saf-trace 1",
-                "read_trace: bad header '" + line + "'");
+                "read_trace: bad header '" + line + "'" + where());
   bool saw_end = false;
+  bool saw_delays = false, saw_events = false, saw_digest = false;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string key;
@@ -138,26 +151,34 @@ TraceFile read_trace(std::istream& is) {
         t.c.crashes.crash_after_sends(pid, sends);
       } else {
         throw std::invalid_argument("read_trace: bad crash mode '" + mode +
-                                    "'");
+                                    "'" + where());
       }
     } else if (key == "delays") {
       std::size_t count = 0;
       ls >> count;
+      util::require(!ls.fail(),
+                    "read_trace: bad delay count '" + line + "'" + where());
+      saw_delays = true;
       t.delays.reserve(count);
       for (std::size_t i = 0; i < count; ++i) {
-        next_line("delay record");
+        next_line(("delay record " + std::to_string(i + 1) + " of " +
+                   std::to_string(count))
+                      .c_str());
         std::istringstream ds(line);
         std::string d;
         DelayRecord r;
         ds >> d >> r.from >> r.to >> r.at >> r.delay;
         util::require(d == "d" && !ds.fail(),
-                      "read_trace: bad delay record '" + line + "'");
+                      "read_trace: garbled delay record '" + line + "'" +
+                          where());
         t.delays.push_back(r);
       }
     } else if (key == "events") {
       ls >> t.events;
+      saw_events = true;
     } else if (key == "digest") {
       ls >> t.digest;
+      saw_digest = true;
     } else if (key == "violation") {
       std::string rest;
       std::getline(ls, rest);
@@ -166,12 +187,28 @@ TraceFile read_trace(std::istream& is) {
       saw_end = true;
       break;
     } else {
-      throw std::invalid_argument("read_trace: unknown key '" + key + "'");
+      throw std::invalid_argument("read_trace: unknown key '" + key + "'" +
+                                  where());
     }
-    util::require(!ls.fail(), "read_trace: malformed line '" + line + "'");
+    util::require(!ls.fail(),
+                  "read_trace: malformed line '" + line + "'" + where());
   }
-  util::require(saw_end, "read_trace: missing end marker");
-  util::require(!t.protocol.empty(), "read_trace: missing protocol");
+  util::require(saw_end,
+                "read_trace: file truncated — missing 'end' marker after " +
+                    std::to_string(lineno) + " lines");
+  // Trailing garbage after `end` means the file is not the trace the
+  // digest pins — refuse rather than silently ignore it.
+  while (std::getline(is, line)) {
+    ++lineno;
+    util::require(line.empty(), "read_trace: trailing garbage after 'end': '" +
+                                    line + "'" + where());
+  }
+  util::require(!t.protocol.empty(), "read_trace: missing protocol line");
+  util::require(saw_delays,
+                "read_trace: missing 'delays' section — not a complete "
+                "recording");
+  util::require(saw_events, "read_trace: missing 'events' line");
+  util::require(saw_digest, "read_trace: missing 'digest' line");
   return t;
 }
 

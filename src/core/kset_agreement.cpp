@@ -5,12 +5,44 @@
 #include <algorithm>
 #include <set>
 
+#include "fault/harness.h"
+#include "fd/faulty.h"
 #include "fd/omega_oracle.h"
 #include "fd/traced.h"
 #include "sim/delay_policy.h"
 #include "util/check.h"
 
 namespace saf::core {
+
+namespace {
+/// Bounded corruption of a payload int: XOR a nonzero low-bit pattern,
+/// so the value changes but stays a valid (non-overflowing) int64. A
+/// bottom aux becomes a non-bottom lie, which is the interesting case.
+std::int64_t perturb(std::int64_t v, util::Rng& rng) {
+  return v ^ rng.uniform(1, 16);
+}
+}  // namespace
+
+const sim::Message* Phase1Msg::corrupted(util::Arena& arena,
+                                         util::Rng& rng) const {
+  auto* bad = arena.create<Phase1Msg>(*this);
+  bad->est = perturb(est, rng);
+  return bad;
+}
+
+const sim::Message* Phase2Msg::corrupted(util::Arena& arena,
+                                         util::Rng& rng) const {
+  auto* bad = arena.create<Phase2Msg>(*this);
+  bad->aux = perturb(aux, rng);
+  return bad;
+}
+
+const sim::Message* DecisionMsg::corrupted(util::Arena& arena,
+                                           util::Rng& rng) const {
+  auto* bad = arena.create<DecisionMsg>(*this);
+  bad->value = perturb(value, rng);
+  return bad;
+}
 
 KSetCore::KSetCore(sim::Process& host, const fd::LeaderOracle& omega,
                    std::int64_t proposal, int instance)
@@ -143,6 +175,8 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   sc.t = cfg.t;
   sc.tick_period = cfg.tick_period;
   sc.horizon = cfg.horizon;
+  sc.max_events = cfg.max_events;
+  sc.wall_budget_ms = cfg.wall_budget_ms;
   std::unique_ptr<sim::DelayPolicy> delays;
   if (cfg.delay_factory) {
     delays = cfg.delay_factory(cfg.seed);
@@ -156,6 +190,7 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   if (cfg.trace_sink != nullptr || cfg.metrics != nullptr) {
     sim.set_trace(cfg.trace_sink, cfg.metrics, cfg.trace_mask);
   }
+  fault::RunFaults faults(sim, cfg.faults);
 
   fd::OmegaOracleParams op;
   op.stab_time = cfg.perfect_oracle ? 0 : cfg.omega_stab;
@@ -163,15 +198,28 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   op.seed = util::derive_seed(cfg.seed, "omega");
   fd::OmegaZOracle omega(sim.pattern(), cfg.z, op);
 
-  // Oracle stack: base Ω_z, optionally wrapped (fault injection),
-  // optionally traced. Processes see only the top of the stack.
+  // Oracle stack: base Ω_z, optionally made spec-violating (fault
+  // layer), optionally wrapped (mutation tests), optionally traced.
+  // Processes see only the top; the monitors sample `monitored` — the
+  // stack below the traced adapter, i.e. exactly the values the
+  // protocol saw, without polluting fd_query metrics post-run.
   const fd::LeaderOracle* oracle = &omega;
+  std::unique_ptr<fd::FlappingLeaderOracle> flapping;
+  if (faults.enabled() &&
+      cfg.faults->oracle.kind == fault::OracleFaultKind::kFlappingLeader) {
+    flapping = std::make_unique<fd::FlappingLeaderOracle>(
+        *oracle, cfg.n,
+        fd::FaultyOracleParams{cfg.faults->oracle.from,
+                               cfg.faults->oracle.period});
+    oracle = flapping.get();
+  }
   std::unique_ptr<fd::LeaderOracle> wrapped;
   if (cfg.oracle_wrapper) {
     wrapped = cfg.oracle_wrapper(*oracle);
     util::require(wrapped != nullptr, "run_kset: oracle_wrapper returned null");
     oracle = wrapped.get();
   }
+  const fd::LeaderOracle* monitored = oracle;
   std::unique_ptr<fd::TracedLeaderOracle> traced;
   if (sim.tracer().active()) {
     traced = std::make_unique<fd::TracedLeaderOracle>(*oracle, sim.tracer(),
@@ -183,6 +231,7 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   for (ProcessId i = 0; i < cfg.n; ++i) {
     auto p = std::make_unique<KSetProcess>(i, cfg.n, cfg.t, *oracle,
                                            proposals[static_cast<std::size_t>(i)]);
+    if (faults.lossy()) p->enable_rb_acks();
     procs.push_back(p.get());
     sim.add_process(std::move(p));
   }
@@ -221,6 +270,16 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   res.agreement_k = res.distinct_decided <= cfg.k;
   res.total_messages = sim.network().total_sent();
   res.events_processed = sim.events_processed();
+  res.timed_out = sim.timed_out();
+  if (faults.enabled()) {
+    faults.base_assumptions(sim.pattern(), res.compliance);
+    fault::MonitorWindow w;
+    w.deadline = (cfg.perfect_oracle ? 0 : cfg.omega_stab) + cfg.monitor_slack;
+    w.end = sim.now();
+    w.step = cfg.tick_period;
+    fault::monitor_leader_contract(*monitored, sim.pattern(), cfg.z, w,
+                                   res.compliance);
+  }
   if (cfg.metrics != nullptr) {
     auto& dt = cfg.metrics->histogram("kset.decision_time");
     auto& dr = cfg.metrics->histogram("kset.decision_round");

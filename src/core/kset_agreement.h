@@ -25,6 +25,8 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_spec.h"
+#include "fault/monitor.h"
 #include "fd/oracle.h"
 #include "sim/process.h"
 #include "sim/simulator.h"
@@ -38,6 +40,8 @@ struct Phase1Msg final : sim::Message {
   Phase1Msg(int r, ProcSet l, std::int64_t e, int inst = 0)
       : round(r), leaders(l), est(e), instance(inst) {}
   std::string_view tag() const override { return "phase1"; }
+  const Message* corrupted(util::Arena& arena,
+                           util::Rng& rng) const override;
   int round;
   ProcSet leaders;  ///< L_i — the sender's leader set this round
   std::int64_t est;
@@ -48,6 +52,8 @@ struct Phase2Msg final : sim::Message {
   Phase2Msg(int r, std::int64_t a, int inst = 0)
       : round(r), aux(a), instance(inst) {}
   std::string_view tag() const override { return "phase2"; }
+  const Message* corrupted(util::Arena& arena,
+                           util::Rng& rng) const override;
   int round;
   std::int64_t aux;  ///< kNoValue encodes bottom
   int instance;
@@ -57,6 +63,8 @@ struct DecisionMsg final : sim::Message {
   explicit DecisionMsg(std::int64_t v, int inst = 0)
       : value(v), instance(inst) {}
   std::string_view tag() const override { return "decision"; }
+  const Message* corrupted(util::Arena& arena,
+                           util::Rng& rng) const override;
   std::int64_t value;
   int instance;
 };
@@ -163,6 +171,16 @@ struct KSetRunConfig {
   /// returned oracle must not outlive `base`.
   std::function<std::unique_ptr<fd::LeaderOracle>(const fd::LeaderOracle& base)>
       oracle_wrapper;
+  /// Optional fault spec (src/fault/): lossy links, a spec-violating
+  /// oracle wrap, extra crashes. Null (the default) keeps the run — and
+  /// its traces — bit-identical to the clean path. Must outlive the call.
+  const fault::FaultSpec* faults = nullptr;
+  /// Watchdog budgets forwarded to SimConfig (0 = disabled).
+  std::uint64_t max_events = 0;
+  std::int64_t wall_budget_ms = 0;
+  /// Envelope slack the contract monitors add to the oracle's
+  /// stabilization time (see fault::MonitorWindow).
+  Time monitor_slack = 100;
 };
 
 struct KSetRunResult {
@@ -177,6 +195,10 @@ struct KSetRunResult {
   std::uint64_t events_processed = 0;  ///< engine events (determinism pin)
   bool validity = false;      ///< every decision was proposed
   bool agreement_k = false;   ///< distinct_decided <= k
+  bool timed_out = false;     ///< a watchdog budget stopped the run
+  /// Model-compliance report (empty unless cfg.faults was set and the
+  /// monitors found a broken assumption).
+  fault::ComplianceReport compliance;
 };
 
 KSetRunResult run_kset_agreement(const KSetRunConfig& cfg);

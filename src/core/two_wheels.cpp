@@ -2,6 +2,8 @@
 
 #include "sim/network.h"
 
+#include "fault/harness.h"
+#include "fd/faulty.h"
 #include "fd/query_oracles.h"
 #include "fd/suspect_oracles.h"
 #include "fd/traced.h"
@@ -28,6 +30,8 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   sc.t = cfg.t;
   sc.tick_period = cfg.tick_period;
   sc.horizon = cfg.horizon;
+  sc.max_events = cfg.max_events;
+  sc.wall_budget_ms = cfg.wall_budget_ms;
   std::unique_ptr<sim::DelayPolicy> delays;
   if (cfg.delay_factory) {
     delays = cfg.delay_factory(cfg.seed);
@@ -41,6 +45,7 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   if (cfg.trace_sink != nullptr || cfg.metrics != nullptr) {
     sim.set_trace(cfg.trace_sink, cfg.metrics, cfg.trace_mask);
   }
+  fault::RunFaults faults(sim, cfg.faults);
 
   fd::SuspectOracleParams sp;
   sp.stab_time = cfg.sx_stab;
@@ -65,18 +70,41 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   fd::EmulatedReprStore repr_store(cfg.n);
   fd::EmulatedLeaderStore leader_store(cfg.n);
 
+  // Fault layer: interpose the spec-violating wrapper on the matching
+  // input oracle. A lying φ with y == 0 is skipped (TrivialPhi0 has no
+  // informative sizes to lie about).
+  const fd::SuspectOracle* sx_in = &sx;
+  const fd::QueryOracle* phi_in = phi.get();
+  std::unique_ptr<fd::ShrunkScopeSuspectOracle> shrunk;
+  std::unique_ptr<fd::LyingQueryOracle> lying;
+  if (faults.enabled()) {
+    const fault::OracleFaults& of = cfg.faults->oracle;
+    if (of.kind == fault::OracleFaultKind::kShrunkScope) {
+      shrunk = std::make_unique<fd::ShrunkScopeSuspectOracle>(
+          *sx_in, cfg.n, fd::FaultyOracleParams{of.from, of.period});
+      sx_in = shrunk.get();
+    } else if (of.kind == fault::OracleFaultKind::kLyingQuery &&
+               cfg.y > 0) {
+      lying = std::make_unique<fd::LyingQueryOracle>(
+          *phi_in, cfg.t, cfg.y, fd::FaultyOracleParams{of.from, of.period});
+      phi_in = lying.get();
+    }
+  }
+  // The monitors sample these — the protocol-visible histories, below
+  // the traced adapters (so post-run sampling stays out of the metrics).
+  const fd::SuspectOracle* sx_monitored = sx_in;
+  const fd::QueryOracle* phi_monitored = phi_in;
+
   // With tracing on, interpose traced adapters on the input oracles and
   // hook the emulated output stores, so the trace carries both the
   // consumed and the constructed detector histories.
-  const fd::SuspectOracle* sx_in = &sx;
-  const fd::QueryOracle* phi_in = phi.get();
   std::unique_ptr<fd::TracedSuspectOracle> traced_sx;
   std::unique_ptr<fd::TracedQueryOracle> traced_phi;
   if (sim.tracer().active()) {
-    traced_sx = std::make_unique<fd::TracedSuspectOracle>(sx, sim.tracer(),
+    traced_sx = std::make_unique<fd::TracedSuspectOracle>(*sx_in, sim.tracer(),
                                                           "sx");
     sx_in = traced_sx.get();
-    traced_phi = std::make_unique<fd::TracedQueryOracle>(*phi, sim.tracer(),
+    traced_phi = std::make_unique<fd::TracedQueryOracle>(*phi_in, sim.tracer(),
                                                          "phi");
     phi_in = traced_phi.get();
     repr_store.set_tracer(&sim.tracer(), "repr");
@@ -84,9 +112,11 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   }
 
   for (ProcessId i = 0; i < cfg.n; ++i) {
-    sim.add_process(std::make_unique<TwoWheelsProcess>(
+    auto p = std::make_unique<TwoWheelsProcess>(
         i, cfg.n, cfg.t, xring, lring, *sx_in, *phi_in, repr_store,
-        leader_store, cfg.inquiry_period));
+        leader_store, cfg.inquiry_period);
+    if (faults.lossy()) p->enable_rb_acks();
+    sim.add_process(std::move(p));
   }
   sim.run();
 
@@ -124,6 +154,24 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
         .add(res.x_move_count);
     cfg.metrics->counter("two_wheels.l_move_broadcasts")
         .add(res.l_move_count);
+  }
+  res.timed_out = sim.timed_out();
+  if (faults.enabled()) {
+    faults.base_assumptions(sim.pattern(), res.compliance);
+    fault::MonitorWindow sw;
+    sw.deadline = cfg.sx_stab + cfg.monitor_slack;
+    sw.end = sim.now();
+    sw.step = cfg.tick_period;
+    fault::monitor_suspect_contract(*sx_monitored, sim.pattern(), cfg.x, sw,
+                                    res.compliance);
+    if (cfg.y > 0) {
+      fault::MonitorWindow qw;
+      qw.deadline = cfg.phi_stab + cfg.monitor_slack;
+      qw.end = sim.now();
+      qw.step = cfg.tick_period;
+      fault::monitor_query_contract(*phi_monitored, sim.pattern(), cfg.y, qw,
+                                    res.compliance);
+    }
   }
   return res;
 }

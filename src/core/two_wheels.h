@@ -20,6 +20,8 @@
 
 #include "core/lower_wheel.h"
 #include "core/upper_wheel.h"
+#include "fault/fault_spec.h"
+#include "fault/monitor.h"
 #include "fd/checkers.h"
 #include "fd/emulated.h"
 #include "sim/simulator.h"
@@ -95,6 +97,16 @@ struct TwoWheelsConfig {
   trace::TraceSink* trace_sink = nullptr;
   trace::MetricsRegistry* metrics = nullptr;
   std::uint32_t trace_mask = trace::kDefaultMask;
+  /// Optional fault spec (src/fault/). A kShrunkScope oracle fault
+  /// wraps the ◇S_x input, a kLyingQuery fault wraps the ◇φ_y input
+  /// (with y == 0 there is nothing to lie about and the wrap is
+  /// skipped). Null keeps the run bit-identical to the clean path.
+  const fault::FaultSpec* faults = nullptr;
+  /// Watchdog budgets forwarded to SimConfig (0 = disabled).
+  std::uint64_t max_events = 0;
+  std::int64_t wall_budget_ms = 0;
+  /// Envelope slack the contract monitors add to sx_stab / phi_stab.
+  Time monitor_slack = 100;
 };
 
 struct TwoWheelsResult {
@@ -114,6 +126,10 @@ struct TwoWheelsResult {
   /// process), for export / custom analysis (fd/export.h).
   fd::ReprHistory repr_history;
   fd::SetHistory trusted_history;
+  bool timed_out = false;  ///< a watchdog budget stopped the run
+  /// Model-compliance report (empty unless cfg.faults was set and the
+  /// monitors found a broken assumption).
+  fault::ComplianceReport compliance;
 };
 
 /// Runs the construction to the horizon and checks both wheel guarantees.

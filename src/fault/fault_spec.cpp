@@ -1,0 +1,170 @@
+#include "fault/fault_spec.h"
+
+#include <cstdlib>
+#include <tuple>
+#include <utility>
+
+#include "util/check.h"
+
+namespace saf::fault {
+
+namespace {
+
+struct NamedProfile {
+  std::string_view name;
+  std::string_view description;
+  std::string_view spec;  ///< inline-grammar expansion ("" = no faults)
+};
+
+// Every named profile is defined by its inline-grammar expansion, so
+// the two entry formats cannot drift apart.
+constexpr NamedProfile kProfiles[] = {
+    {"none", "no faults (the clean AS_{n,t} run)", ""},
+    {"lossy30", "30% independent message loss per link", "drop=0.3"},
+    {"lossy-burst",
+     "5% background loss plus Gilbert bursts (2% enter, 20% exit)",
+     "drop=0.05,burst=0.02/0.2"},
+    {"dup", "20% message duplication", "dup=0.2"},
+    {"corrupt", "5% payload corruption of protocol ints", "corrupt=0.05"},
+    {"partition",
+     "one-way partition isolating process 0's outbound links, 100-800",
+     "partition=0:*@100-800"},
+    {"flap-omega", "Omega_z leadership flaps forever from t=400",
+     "flap@400/60"},
+    {"shrink-sx", "diamond-S_x scope collapses recurrently from t=400",
+     "shrink@400/60"},
+    {"lying-phi", "phi_y claims regions crashed that did not, from t=300",
+     "lie@300"},
+    {"crash-storm", "two crashes beyond the plan injected from t=300",
+     "crashes=2@300"},
+};
+
+double parse_prob(std::string_view key, std::string_view v) {
+  char* end = nullptr;
+  const std::string s(v);
+  const double p = std::strtod(s.c_str(), &end);
+  util::require(end == s.c_str() + s.size() && s.size() > 0,
+                "--faults: bad number for " + std::string(key) + ": " + s);
+  util::require(p >= 0.0 && p < 1.0,
+                "--faults: " + std::string(key) + " must be in [0,1)");
+  return p;
+}
+
+std::int64_t parse_num(std::string_view key, std::string_view v) {
+  char* end = nullptr;
+  const std::string s(v);
+  const std::int64_t x = std::strtoll(s.c_str(), &end, 10);
+  util::require(end == s.c_str() + s.size() && s.size() > 0,
+                "--faults: bad integer for " + std::string(key) + ": " + s);
+  return x;
+}
+
+/// Splits "a@b" into (a, b); `second` is empty if '@' is absent.
+std::pair<std::string_view, std::string_view> split_at(std::string_view s,
+                                                       char sep) {
+  const auto pos = s.find(sep);
+  if (pos == std::string_view::npos) return {s, {}};
+  return {s.substr(0, pos), s.substr(pos + 1)};
+}
+
+void apply_token(FaultSpec& out, std::string_view token) {
+  auto [key, value] = split_at(token, '=');
+  if (value.empty() && key.find('@') != std::string_view::npos) {
+    // Keyword tokens (flap@FROM/PERIOD, ...) attach their argument with
+    // '@' instead of '='.
+    std::tie(key, value) = split_at(key, '@');
+  }
+  if (key == "drop") {
+    out.link.drop = parse_prob(key, value);
+  } else if (key == "dup") {
+    out.link.dup = parse_prob(key, value);
+  } else if (key == "corrupt") {
+    out.link.corrupt = parse_prob(key, value);
+  } else if (key == "burst") {
+    const auto [enter, exit] = split_at(value, '/');
+    util::require(!exit.empty(), "--faults: burst needs ENTER/EXIT");
+    out.link.burst_enter = parse_prob("burst enter", enter);
+    out.link.burst_exit = parse_prob("burst exit", exit);
+    util::require(out.link.burst_exit > 0,
+                  "--faults: burst exit probability must be > 0");
+  } else if (key == "partition") {
+    const auto [link, window] = split_at(value, '@');
+    const auto [from, to] = split_at(link, ':');
+    const auto [start, heal] = split_at(window, '-');
+    util::require(!to.empty() && !window.empty() && !heal.empty(),
+                  "--faults: partition needs F:T@S-H");
+    PartitionSpec p;
+    p.from = static_cast<ProcessId>(parse_num("partition from", from));
+    p.to = to == "*" ? -1
+                     : static_cast<ProcessId>(parse_num("partition to", to));
+    p.start = parse_num("partition start", start);
+    p.heal = heal == "*" ? kNeverTime : parse_num("partition heal", heal);
+    util::require(p.heal == kNeverTime || p.heal > p.start,
+                  "--faults: partition must heal after it starts");
+    out.link.partitions.push_back(p);
+  } else if (key == "flap" || key == "shrink" || key == "lie") {
+    util::require(out.oracle.kind == OracleFaultKind::kNone,
+                  "--faults: at most one oracle fault per spec");
+    out.oracle.kind = key == "flap"     ? OracleFaultKind::kFlappingLeader
+                      : key == "shrink" ? OracleFaultKind::kShrunkScope
+                                        : OracleFaultKind::kLyingQuery;
+    if (!value.empty()) {
+      const auto [from, period] = split_at(value, '/');
+      out.oracle.from = parse_num("oracle fault from", from);
+      if (!period.empty()) {
+        out.oracle.period = parse_num("oracle fault period", period);
+        util::require(out.oracle.period >= 1,
+                      "--faults: oracle fault period must be >= 1");
+      }
+    }
+  } else if (key == "crashes") {
+    const auto [count, at] = split_at(value, '@');
+    out.extra_crashes = static_cast<int>(parse_num("crashes", count));
+    util::require(out.extra_crashes >= 1, "--faults: crashes must be >= 1");
+    if (!at.empty()) out.extra_crash_at = parse_num("crashes at", at);
+  } else {
+    throw std::invalid_argument("--faults: unknown token: " +
+                                std::string(token));
+  }
+}
+
+FaultSpec parse_inline(std::string_view spec, std::string name) {
+  FaultSpec out;
+  out.name = std::move(name);
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const auto [token, tail] = split_at(rest, ',');
+    util::require(!token.empty(), "--faults: empty token in spec");
+    apply_token(out, token);
+    rest = tail;
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(std::string_view spec) {
+  // The '@' form of flap/shrink/lie aside, keys always carry '=' — so
+  // a profile name never collides with an inline spec; still, profiles
+  // are checked first and win.
+  for (const NamedProfile& p : kProfiles) {
+    if (p.name == spec) return parse_inline(p.spec, std::string(p.name));
+  }
+  util::require(!spec.empty(), "--faults: empty spec");
+  return parse_inline(spec, std::string(spec));
+}
+
+std::vector<std::string_view> profile_names() {
+  std::vector<std::string_view> out;
+  for (const NamedProfile& p : kProfiles) out.push_back(p.name);
+  return out;
+}
+
+std::string_view profile_description(std::string_view name) {
+  for (const NamedProfile& p : kProfiles) {
+    if (p.name == name) return p.description;
+  }
+  return {};
+}
+
+}  // namespace saf::fault

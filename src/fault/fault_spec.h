@@ -1,0 +1,106 @@
+// Declarative description of the faults injected into one run.
+//
+// A FaultSpec says *what* to break — links, oracle contracts, the crash
+// budget — while the actual breaking is done by LinkFaultModel
+// (src/fault/link_faults.h), the faulty oracle wrappers (fd/faulty.h)
+// and Simulator::inject_crash_at, all driven deterministically from the
+// run seed. Specs come from named profiles (`profile("lossy30")`) or
+// from an inline comma-separated spec string; `--faults` on
+// check_runner / sweep_runner accepts both.
+//
+// Inline grammar (tokens separated by ','):
+//   drop=P            per-message drop probability, P in [0,1)
+//   dup=P             duplication probability
+//   corrupt=P         payload-corruption probability
+//   burst=ENTER/EXIT  Gilbert burst loss: per-message probability of
+//                     entering / leaving a lose-everything state
+//   partition=F:T@S-H one-way partition of link F -> T (T may be `*`
+//                     for all destinations) from time S until heal
+//                     time H (H may be `*` for never)
+//   flap[@FROM/PERIOD]    Ω_z leader flaps forever (fd/faulty.h)
+//   shrink[@FROM/PERIOD]  ◇S_x scope collapses recurrently
+//   lie[@FROM]            φ_y claims regions crashed that did not
+//   crashes=N[@AT]        N crashes beyond the plan, injected at AT
+//                         onward (one every 10 time units), targeting
+//                         planned-correct processes with highest ids
+//
+// Example: "drop=0.3,dup=0.1,lie@300,crashes=2@400".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::fault {
+
+/// One-way scheduled partition: messages F -> T are dropped while
+/// start <= now < heal (heal == kNeverTime means it never heals).
+struct PartitionSpec {
+  ProcessId from = -1;
+  ProcessId to = -1;  ///< -1 = every destination
+  Time start = 0;
+  Time heal = kNeverTime;
+};
+
+struct LinkFaults {
+  double drop = 0.0;
+  double dup = 0.0;
+  double corrupt = 0.0;
+  double burst_enter = 0.0;
+  double burst_exit = 0.2;
+  std::vector<PartitionSpec> partitions;
+
+  bool any() const {
+    return drop > 0 || dup > 0 || corrupt > 0 || burst_enter > 0 ||
+           !partitions.empty();
+  }
+  /// True iff messages can actually be lost (drop / burst / partition)
+  /// — the condition under which harnesses arm the RB ack path.
+  bool lossy() const {
+    return drop > 0 || burst_enter > 0 || !partitions.empty();
+  }
+};
+
+enum class OracleFaultKind {
+  kNone = 0,
+  kFlappingLeader,  ///< Ω_z: fd::FlappingLeaderOracle
+  kShrunkScope,     ///< ◇S_x: fd::ShrunkScopeSuspectOracle
+  kLyingQuery,      ///< φ_y: fd::LyingQueryOracle
+};
+
+struct OracleFaults {
+  OracleFaultKind kind = OracleFaultKind::kNone;
+  Time from = 300;
+  Time period = 60;
+};
+
+struct FaultSpec {
+  std::string name = "none";
+  LinkFaults link;
+  OracleFaults oracle;
+  /// Crashes beyond the CrashPlan (pushing the run past t when the plan
+  /// is already at the bound). Injected via Simulator::inject_crash_at.
+  int extra_crashes = 0;
+  Time extra_crash_at = 300;
+
+  bool enabled() const {
+    return link.any() || oracle.kind != OracleFaultKind::kNone ||
+           extra_crashes > 0;
+  }
+};
+
+/// Resolves `spec` as a named profile if the name matches, otherwise
+/// parses it as an inline spec string. Throws std::invalid_argument on
+/// an unknown key or malformed value.
+FaultSpec parse_fault_spec(std::string_view spec);
+
+/// The named profiles, for --help / --list output.
+std::vector<std::string_view> profile_names();
+
+/// One-line description of a named profile; empty if unknown.
+std::string_view profile_description(std::string_view name);
+
+}  // namespace saf::fault

@@ -1,0 +1,39 @@
+#include "fault/harness.h"
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace saf::fault {
+
+RunFaults::RunFaults(sim::Simulator& sim, const FaultSpec* spec)
+    : spec_(spec) {
+  if (!enabled()) return;
+  if (spec_->link.any()) {
+    link_ = std::make_unique<LinkFaultModel>(spec_->link, sim.n(), sim.seed(),
+                                             sim.arena());
+    sim.network().set_fault_hook(link_.get());
+  }
+  if (spec_->extra_crashes > 0) {
+    // Highest-id planned-correct processes first: deterministic, and
+    // never collides with the plan's own victims.
+    std::vector<ProcessId> targets =
+        sim.pattern().planned_correct().to_vector();
+    int injected = 0;
+    for (auto it = targets.rbegin();
+         it != targets.rend() && injected < spec_->extra_crashes; ++it) {
+      sim.inject_crash_at(spec_->extra_crash_at + 10 * injected, *it);
+      ++injected;
+    }
+  }
+}
+
+void RunFaults::base_assumptions(const sim::FailurePattern& pattern,
+                                 ComplianceReport& out) const {
+  if (!enabled()) return;
+  monitor_crash_budget(pattern, out);
+  if (link_ != nullptr) channel_assumptions(*link_, out);
+}
+
+}  // namespace saf::fault

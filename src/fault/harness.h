@@ -1,0 +1,48 @@
+// RunFaults: the per-run fault machinery shared by every protocol
+// harness.
+//
+// Construction (before processes are added) builds the LinkFaultModel
+// from the spec and installs it on the run's network, and schedules the
+// spec's extra crashes through Simulator::inject_crash_at — targeting
+// planned-correct processes with the highest ids, one every 10 time
+// units from extra_crash_at, which pushes a plan already at the t bound
+// past it. Oracle wrapping stays in each harness (the oracle types
+// differ per protocol); after the run, base_assumptions() folds the
+// channel faults and the crash budget into the compliance report.
+#pragma once
+
+#include <memory>
+
+#include "fault/fault_spec.h"
+#include "fault/link_faults.h"
+#include "fault/monitor.h"
+
+namespace saf::sim {
+class Simulator;
+}  // namespace saf::sim
+
+namespace saf::fault {
+
+class RunFaults {
+ public:
+  /// `spec` may be null (the clean run: nothing is installed and the
+  /// network send path stays bit-identical). Must outlive the run.
+  RunFaults(sim::Simulator& sim, const FaultSpec* spec);
+
+  bool enabled() const { return spec_ != nullptr && spec_->enabled(); }
+  const FaultSpec* spec() const { return spec_; }
+  /// True iff the harness should arm the RB ack/retransmission path.
+  bool lossy() const { return enabled() && spec_->link.lossy(); }
+  const LinkFaultModel* link_model() const { return link_.get(); }
+
+  /// Channel + crash-budget assumptions (call after the run; the
+  /// harness adds its oracle monitors on top).
+  void base_assumptions(const sim::FailurePattern& pattern,
+                        ComplianceReport& out) const;
+
+ private:
+  const FaultSpec* spec_;
+  std::unique_ptr<LinkFaultModel> link_;
+};
+
+}  // namespace saf::fault

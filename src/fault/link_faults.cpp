@@ -1,0 +1,85 @@
+#include "fault/link_faults.h"
+
+#include "util/arena.h"
+#include "util/check.h"
+
+namespace saf::fault {
+
+LinkFaultModel::LinkFaultModel(const LinkFaults& spec, int n,
+                               std::uint64_t seed, util::Arena& arena)
+    : spec_(spec),
+      n_(n),
+      rng_(util::derive_seed(seed, "link-faults")),
+      arena_(arena),
+      burst_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0) {
+  SAF_CHECK(n >= 1 && n <= kMaxProcs);
+}
+
+bool LinkFaultModel::partitioned(ProcessId from, ProcessId to,
+                                 Time now) const {
+  for (const PartitionSpec& p : spec_.partitions) {
+    if (p.from != from) continue;
+    if (p.to != -1 && p.to != to) continue;
+    if (now < p.start) continue;
+    if (p.heal != kNeverTime && now >= p.heal) continue;
+    return true;
+  }
+  return false;
+}
+
+sim::LinkFaultAction LinkFaultModel::on_send(ProcessId from, ProcessId to,
+                                             Time now,
+                                             const sim::Message& m) {
+  sim::LinkFaultAction a;
+  if (partitioned(from, to, now)) {
+    a.drop = true;
+    a.drop_site = 3;
+    ++drops_;
+    if (first_drop_ == kNeverTime) first_drop_ = now;
+    return a;
+  }
+  if (spec_.burst_enter > 0) {
+    auto& state = burst_[static_cast<std::size_t>(from) *
+                             static_cast<std::size_t>(n_) +
+                         static_cast<std::size_t>(to)];
+    if (state != 0) {
+      // In a burst: lose the message, maybe leave the bad state.
+      if (rng_.flip(spec_.burst_exit)) state = 0;
+      a.drop = true;
+    } else if (rng_.flip(spec_.burst_enter)) {
+      state = 1;
+      a.drop = true;
+    }
+    if (a.drop) {
+      a.drop_site = 2;
+      ++drops_;
+      if (first_drop_ == kNeverTime) first_drop_ = now;
+      return a;
+    }
+  }
+  if (spec_.drop > 0 && rng_.flip(spec_.drop)) {
+    a.drop = true;
+    a.drop_site = 2;
+    ++drops_;
+    if (first_drop_ == kNeverTime) first_drop_ = now;
+    return a;
+  }
+  if (spec_.corrupt > 0 && rng_.flip(spec_.corrupt)) {
+    // Not every message type is corruptible (heartbeats carry no
+    // payload); a nullptr means the message passes through unchanged.
+    if (const sim::Message* bad = m.corrupted(arena_, rng_)) {
+      a.replacement = bad;
+      ++corruptions_;
+      if (first_corrupt_ == kNeverTime) first_corrupt_ = now;
+    }
+  }
+  if (spec_.dup > 0 && rng_.flip(spec_.dup)) {
+    a.duplicate = true;
+    a.dup_extra_delay = 1 + rng_.uniform(0, 9);
+    ++dups_;
+    if (first_dup_ == kNeverTime) first_dup_ = now;
+  }
+  return a;
+}
+
+}  // namespace saf::fault

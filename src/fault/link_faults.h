@@ -1,0 +1,65 @@
+// LinkFaultModel: the LinkFaults portion of a FaultSpec, realized as a
+// sim::LinkFaultHook.
+//
+// Installed on a run's Network (Network::set_fault_hook), the model is
+// consulted once per point-to-point send and decides — deterministically
+// from its own seeded stream — whether the message is dropped (uniform
+// loss, Gilbert burst state per directed link, or a scheduled one-way
+// partition), duplicated (the copy gets a small extra delay), or
+// corrupted (via Message::corrupted, bounded payload perturbation).
+//
+// The model also remembers the virtual time of the FIRST fault of each
+// kind: those instants are exactly when the AS_{n,t} "reliable channels"
+// assumption broke, and feed the compliance report
+// (fault::channel_assumptions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace saf::util {
+class Arena;
+}  // namespace saf::util
+
+namespace saf::fault {
+
+class LinkFaultModel final : public sim::LinkFaultHook {
+ public:
+  /// `seed` must be the run seed (the model derives its own stream);
+  /// `arena` owns corrupted copies and must outlive the run. `n` sizes
+  /// the per-link burst state.
+  LinkFaultModel(const LinkFaults& spec, int n, std::uint64_t seed,
+                 util::Arena& arena);
+
+  sim::LinkFaultAction on_send(ProcessId from, ProcessId to, Time now,
+                               const sim::Message& m) override;
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t dups() const { return dups_; }
+  std::uint64_t corruptions() const { return corruptions_; }
+  Time first_drop_time() const { return first_drop_; }
+  Time first_dup_time() const { return first_dup_; }
+  Time first_corrupt_time() const { return first_corrupt_; }
+
+ private:
+  bool partitioned(ProcessId from, ProcessId to, Time now) const;
+
+  LinkFaults spec_;
+  int n_;
+  util::Rng rng_;
+  util::Arena& arena_;
+  std::vector<std::uint8_t> burst_;  ///< Gilbert state per directed link
+  std::uint64_t drops_ = 0;
+  std::uint64_t dups_ = 0;
+  std::uint64_t corruptions_ = 0;
+  Time first_drop_ = kNeverTime;
+  Time first_dup_ = kNeverTime;
+  Time first_corrupt_ = kNeverTime;
+};
+
+}  // namespace saf::fault

@@ -1,0 +1,168 @@
+#include "fault/monitor.h"
+
+#include <algorithm>
+
+#include "fault/link_faults.h"
+#include "util/check.h"
+
+namespace saf::fault {
+
+const BrokenAssumption* ComplianceReport::first() const {
+  const BrokenAssumption* best = nullptr;
+  for (const BrokenAssumption& b : broken) {
+    if (best == nullptr || b.at < best->at) best = &b;
+  }
+  return best;
+}
+
+void ComplianceReport::add(std::string_view assumption, Time at,
+                           std::string detail) {
+  broken.push_back(
+      BrokenAssumption{std::string(assumption), at, std::move(detail)});
+}
+
+void monitor_leader_contract(const fd::LeaderOracle& oracle,
+                             const sim::FailurePattern& pattern, int z,
+                             const MonitorWindow& w, ComplianceReport& out) {
+  if (w.deadline > w.end) return;  // run ended before the envelope opened
+  const int n = pattern.n();
+  const ProcSet correct = pattern.correct_at_end(w.end);
+  if (correct.empty()) return;
+  const ProcSet reference = oracle.trusted(correct.min(), w.deadline);
+  for (Time tau = w.deadline; tau <= w.end; tau += w.step) {
+    for (ProcessId i = 0; i < n; ++i) {
+      if (pattern.crashed_by(i, tau)) continue;
+      const ProcSet set = oracle.trusted(i, tau);
+      if (set != reference) {
+        out.add("omega.contract", tau,
+                "process " + std::to_string(i) + " trusted " +
+                    set.to_string() + " != " + reference.to_string() +
+                    " (agreement/stability)");
+        return;
+      }
+    }
+    if (reference.size() > z) {
+      out.add("omega.contract", tau,
+              "trusted set " + reference.to_string() + " exceeds z=" +
+                  std::to_string(z));
+      return;
+    }
+    if (!reference.intersects(correct)) {
+      out.add("omega.contract", tau,
+              "trusted set " + reference.to_string() +
+                  " has no correct member");
+      return;
+    }
+  }
+}
+
+void monitor_suspect_contract(const fd::SuspectOracle& oracle,
+                              const sim::FailurePattern& pattern, int x,
+                              const MonitorWindow& w, ComplianceReport& out) {
+  if (w.deadline > w.end) return;
+  const int n = pattern.n();
+  const ProcSet correct = pattern.correct_at_end(w.end);
+  // clean[ℓ] = observers that have not suspected ℓ at any grid instant
+  // so far. The contract survives at τ iff some correct ℓ still has an
+  // x-sized clean scope containing ℓ itself.
+  std::vector<ProcSet> clean(static_cast<std::size_t>(n), ProcSet::full(n));
+  for (Time tau = w.deadline; tau <= w.end; tau += w.step) {
+    for (ProcessId i = 0; i < n; ++i) {
+      if (pattern.crashed_by(i, tau)) continue;
+      const ProcSet suspects = oracle.suspected(i, tau);
+      for (ProcessId l : correct) {
+        if (suspects.contains(l)) {
+          clean[static_cast<std::size_t>(l)].erase(i);
+        }
+      }
+    }
+    bool alive = false;
+    for (ProcessId l : correct) {
+      const ProcSet q = clean[static_cast<std::size_t>(l)];
+      if (q.contains(l) && q.size() >= x) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) {
+      out.add("sx.accuracy", tau,
+              "no correct process keeps an unsuspecting scope of size >= " +
+                  std::to_string(x));
+      return;
+    }
+  }
+}
+
+void monitor_query_contract(const fd::QueryOracle& oracle,
+                            const sim::FailurePattern& pattern, int y,
+                            const MonitorWindow& w, ComplianceReport& out) {
+  if (w.deadline > w.end) return;
+  const int n = pattern.n();
+  const int t = pattern.t();
+  const ProcSet correct = pattern.correct_at_end(w.end);
+  if (correct.empty()) return;
+  const ProcessId observer = correct.min();
+  for (Time tau = w.deadline; tau <= w.end; tau += w.step) {
+    for (int size = std::max(1, t - y + 1); size <= t; ++size) {
+      for (int start = 0; start < n; ++start) {
+        ProcSet x;
+        for (int j = 0; j < size; ++j) {
+          x.insert(static_cast<ProcessId>((start + j) % n));
+        }
+        if (!oracle.query(observer, x, tau)) continue;
+        // A true answer claims all of X crashed by now.
+        for (ProcessId q : x) {
+          if (!pattern.crashed_by(q, tau)) {
+            out.add("phi.safety", tau,
+                    "query(" + x.to_string() + ") answered true but " +
+                        std::to_string(q) + " is alive");
+            return;
+          }
+        }
+      }
+    }
+  }
+}
+
+void monitor_crash_budget(const sim::FailurePattern& pattern,
+                          ComplianceReport& out) {
+  std::vector<Time> times;
+  for (ProcessId p = 0; p < pattern.n(); ++p) {
+    if (pattern.crash_time(p) != kNeverTime) {
+      times.push_back(pattern.crash_time(p));
+    }
+  }
+  if (static_cast<int>(times.size()) <= pattern.t()) return;
+  std::sort(times.begin(), times.end());
+  out.add("crash.budget", times[static_cast<std::size_t>(pattern.t())],
+          std::to_string(times.size()) + " crashes exceed t=" +
+              std::to_string(pattern.t()));
+}
+
+void channel_assumptions(const LinkFaultModel& model, ComplianceReport& out) {
+  if (model.drops() > 0) {
+    out.add("channel.loss", model.first_drop_time(),
+            std::to_string(model.drops()) + " messages lost");
+  }
+  if (model.dups() > 0) {
+    out.add("channel.duplication", model.first_dup_time(),
+            std::to_string(model.dups()) + " messages duplicated");
+  }
+  if (model.corruptions() > 0) {
+    out.add("channel.corruption", model.first_corrupt_time(),
+            std::to_string(model.corruptions()) + " payloads corrupted");
+  }
+}
+
+Verdict classify(bool timed_out, bool safety_violated,
+                 const ComplianceReport& report) {
+  if (timed_out) return Verdict::kTimedOut;
+  if (report.in_model()) {
+    return safety_violated ? Verdict::kViolationInModel
+                           : Verdict::kSafeInModel;
+  }
+  return safety_violated ? Verdict::kViolationExplained
+                         : Verdict::kSafeOutOfModel;
+}
+
+}  // namespace saf::fault

@@ -1,0 +1,96 @@
+// Runtime contract monitors and the model-compliance verdict.
+//
+// Every oracle in this library is a pure function of (process, time),
+// so a monitor does not need to shadow the run: it re-samples the
+// EFFECTIVE oracle history (the top of the wrapper stack — exactly what
+// the protocol saw) after the run, on a fixed virtual-time grid, and
+// checks the class axioms in their *envelope* form: the eventual
+// clauses must hold from a caller-supplied deadline (the configured
+// stabilization time plus slack) to the end of the run. Envelope
+// deadlines make "which assumption broke first, and when" a
+// deterministic, pinnable answer instead of a liveness judgment call.
+//
+// The monitors append BrokenAssumption entries to a ComplianceReport;
+// classify() folds the report and the invariant outcome into the run's
+// Verdict (src/fault/verdict.h).
+//
+// Assumption ids are stable strings:
+//   channel.loss / channel.duplication / channel.corruption
+//   omega.contract   (Ω_z: agreement, size, correct member, stability)
+//   sx.accuracy      (◇S_x: an x-scope with an unsuspected correct hub)
+//   phi.safety       (φ_y/◇φ_y: true answers only about crashed regions)
+//   crash.budget     (at most t crashes)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/verdict.h"
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+#include "util/types.h"
+
+namespace saf::fault {
+
+class LinkFaultModel;
+
+struct BrokenAssumption {
+  std::string assumption;  ///< stable id (see file comment)
+  Time at = kNeverTime;    ///< virtual time the assumption first broke
+  std::string detail;      ///< human-readable specifics
+};
+
+struct ComplianceReport {
+  std::vector<BrokenAssumption> broken;
+
+  bool in_model() const { return broken.empty(); }
+
+  /// The assumption that broke earliest by virtual time (ties resolved
+  /// by insertion order); nullptr when in model.
+  const BrokenAssumption* first() const;
+
+  void add(std::string_view assumption, Time at, std::string detail);
+};
+
+/// Sampling window of the post-run monitors. The eventual clauses must
+/// hold at every grid instant deadline, deadline+step, ..., <= end.
+struct MonitorWindow {
+  Time deadline = 0;  ///< envelope deadline (stab_time + slack)
+  Time end = 0;       ///< virtual time the run actually ended
+  Time step = 5;      ///< grid granularity (use the run's tick period)
+};
+
+/// Ω_z: from the deadline on, all alive processes output one common,
+/// constant set of size <= z containing a correct process.
+void monitor_leader_contract(const fd::LeaderOracle& oracle,
+                             const sim::FailurePattern& pattern, int z,
+                             const MonitorWindow& w, ComplianceReport& out);
+
+/// ◇S_x: from the deadline on, some correct process ℓ is never
+/// suspected by at least x processes (a scope Q ∋ ℓ, |Q| >= x).
+void monitor_suspect_contract(const fd::SuspectOracle& oracle,
+                              const sim::FailurePattern& pattern, int x,
+                              const MonitorWindow& w, ComplianceReport& out);
+
+/// φ_y/◇φ_y safety: from the deadline on, a true answer to a query of
+/// informative size (t-y < |X| <= t) implies all of X crashed. Sampled
+/// over the contiguous id windows of each informative size.
+void monitor_query_contract(const fd::QueryOracle& oracle,
+                            const sim::FailurePattern& pattern, int y,
+                            const MonitorWindow& w, ComplianceReport& out);
+
+/// AS_{n,t}: at most t processes crash. Pins the (t+1)-th crash time.
+void monitor_crash_budget(const sim::FailurePattern& pattern,
+                          ComplianceReport& out);
+
+/// Reliable channels: folds the link model's first-fault times into
+/// channel.loss / channel.duplication / channel.corruption entries.
+void channel_assumptions(const LinkFaultModel& model, ComplianceReport& out);
+
+/// Folds the watchdog outcome, the invariant outcome and the compliance
+/// report into the run's verdict.
+Verdict classify(bool timed_out, bool safety_violated,
+                 const ComplianceReport& report);
+
+}  // namespace saf::fault

@@ -1,0 +1,62 @@
+// Three-way (plus failure-mode) run verdicts.
+//
+// Inside AS_{n,t} a safety violation is a bug. Outside it — lossy
+// links, lying detectors, more than t crashes — the paper's theorems no
+// longer promise anything, so a violation is an *explained* witness of
+// the assumptions' necessity, not a red test. The verdict couples the
+// invariant outcome with the contract monitors' model-compliance
+// report (src/fault/monitor.h) to make that distinction first-class.
+#pragma once
+
+#include <string_view>
+
+namespace saf::fault {
+
+enum class Verdict {
+  /// All assumptions held and safety held — the classic green run.
+  kSafeInModel = 0,
+  /// Assumptions were broken, yet safety still held (graceful
+  /// degradation; common under loss masked by retransmission).
+  kSafeOutOfModel,
+  /// Safety broke AND the monitors pinpoint which assumption broke
+  /// first, by virtual time — an explained out-of-model witness.
+  kViolationExplained,
+  /// Safety broke with every assumption intact — a genuine bug.
+  kViolationInModel,
+  /// The watchdog stopped the run (event or wall-clock budget).
+  kTimedOut,
+  /// The run threw; the sweep quarantined it and moved on.
+  kWorkerError,
+  kCount_,  ///< number of verdicts; not a verdict
+};
+
+inline constexpr int kVerdictCount = static_cast<int>(Verdict::kCount_);
+
+/// Stable uppercase name ("SAFE_IN_MODEL", ...), as reported by the
+/// runners' verdict histograms.
+constexpr std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kSafeInModel:
+      return "SAFE_IN_MODEL";
+    case Verdict::kSafeOutOfModel:
+      return "SAFE_OUT_OF_MODEL";
+    case Verdict::kViolationExplained:
+      return "VIOLATION_EXPLAINED";
+    case Verdict::kViolationInModel:
+      return "VIOLATION_IN_MODEL";
+    case Verdict::kTimedOut:
+      return "TIMED_OUT";
+    case Verdict::kWorkerError:
+      return "WORKER_ERROR";
+    default:
+      return "?";
+  }
+}
+
+/// True for the two verdicts that must fail a sweep (in-model safety
+/// violations and quarantined worker errors).
+constexpr bool verdict_is_failure(Verdict v) {
+  return v == Verdict::kViolationInModel || v == Verdict::kWorkerError;
+}
+
+}  // namespace saf::fault

@@ -1,0 +1,27 @@
+#include "fd/faulty.h"
+
+namespace saf::fd {
+
+ProcSet FlappingLeaderOracle::trusted(ProcessId i, Time now) const {
+  if (now < params_.from) return base_.trusted(i, now);
+  return ProcSet{flap_leader(now)};
+}
+
+ProcSet ShrunkScopeSuspectOracle::suspected(ProcessId i, Time now) const {
+  if (collapsed(now)) return ProcSet::full(n_);
+  return base_.suspected(i, now);
+}
+
+bool LyingQueryOracle::query(ProcessId i, ProcSet x, Time now) const {
+  // The lie covers exactly the informative sizes: triviality answers
+  // (|X| <= t-y true, |X| > t false) are kept intact so consumers that
+  // rely on them (the two-wheels inquiry logic, the phi-bar chain)
+  // still see a structurally sane detector — one that merely asserts
+  // regions crashed when they did not.
+  if (now >= params_.from && x.size() > t_ - y_ && x.size() <= t_) {
+    return true;
+  }
+  return base_.query(i, x, now);
+}
+
+}  // namespace saf::fd

@@ -1,0 +1,93 @@
+// Spec-violating oracle wrappers: detectors that break their class
+// contract in controlled, deterministic ways.
+//
+// Every proof in the paper assumes the detector honors its axioms.
+// These wrappers are the other side of that assumption: each one wraps
+// a well-behaved base oracle and violates exactly one axiom from a
+// configurable time `from` on, forever. They stay pure functions of
+// (process, time) — like every oracle in this library — so the contract
+// monitors (src/fault/monitor.h) can re-sample the whole faulty history
+// after a run and pin the violation to a virtual-time instant.
+//
+//   * FlappingLeaderOracle   — Ω_z whose leadership never stabilizes:
+//     from `from` on, the trusted set rotates through singletons
+//     {(now / period) mod n}. Breaks eventual common leadership.
+//   * ShrunkScopeSuspectOracle — ◇S_x whose accuracy scope recurrently
+//     collapses below x: from `from` on, every other `period` window
+//     suspects ALL processes (including the scope's safe leader).
+//     Breaks eventual limited-scope accuracy.
+//   * LyingQueryOracle       — ◇φ_y that lies about crashed regions:
+//     from `from` on, every query of informative size
+//     (t-y < |X| <= t) answers true, claiming X fully crashed whether
+//     or not it did. Breaks the class's (eventual) safety axiom.
+//
+// Crash-budget violations (> t crashes) are not an oracle concern; they
+// are injected through Simulator::inject_crash_at by the fault layer.
+#pragma once
+
+#include "fd/oracle.h"
+
+namespace saf::fd {
+
+/// When and how fast a wrapper misbehaves.
+struct FaultyOracleParams {
+  Time from = 0;      ///< first instant of misbehavior (lasts forever)
+  Time period = 50;   ///< flap/collapse cadence
+};
+
+class FlappingLeaderOracle final : public LeaderOracle {
+ public:
+  FlappingLeaderOracle(const LeaderOracle& base, int n,
+                       FaultyOracleParams params)
+      : base_(base), n_(n), params_(params) {}
+
+  ProcSet trusted(ProcessId i, Time now) const override;
+
+  /// The leader the flap designates at `now` (test hook).
+  ProcessId flap_leader(Time now) const {
+    return static_cast<ProcessId>((now / params_.period) % n_);
+  }
+
+ private:
+  const LeaderOracle& base_;
+  int n_;
+  FaultyOracleParams params_;
+};
+
+class ShrunkScopeSuspectOracle final : public SuspectOracle {
+ public:
+  ShrunkScopeSuspectOracle(const SuspectOracle& base, int n,
+                           FaultyOracleParams params)
+      : base_(base), n_(n), params_(params) {}
+
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+  /// True iff `now` falls in a suspect-everyone window (test hook).
+  bool collapsed(Time now) const {
+    return now >= params_.from &&
+           ((now - params_.from) / params_.period) % 2 == 0;
+  }
+
+ private:
+  const SuspectOracle& base_;
+  int n_;
+  FaultyOracleParams params_;
+};
+
+class LyingQueryOracle final : public QueryOracle {
+ public:
+  /// `t` and `y` delimit the informative query sizes the lie covers.
+  LyingQueryOracle(const QueryOracle& base, int t, int y,
+                   FaultyOracleParams params)
+      : base_(base), t_(t), y_(y), params_(params) {}
+
+  bool query(ProcessId i, ProcSet x, Time now) const override;
+
+ private:
+  const QueryOracle& base_;
+  int t_;
+  int y_;
+  FaultyOracleParams params_;
+};
+
+}  // namespace saf::fd

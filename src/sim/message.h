@@ -12,6 +12,11 @@
 
 #include "util/types.h"
 
+namespace saf::util {
+class Arena;
+class Rng;
+}  // namespace saf::util
+
 namespace saf::sim {
 
 struct Message {
@@ -20,6 +25,17 @@ struct Message {
   /// Short stable tag used for per-kind accounting (quiescence measures,
   /// message-count benches). E.g. "x_move", "phase1", "inquiry".
   virtual std::string_view tag() const = 0;
+
+  /// Fault-injection seam: returns an arena-owned copy of this message
+  /// with its payload ints perturbed by `rng` (bounded corruption — the
+  /// copy must still be structurally valid so handlers don't crash), or
+  /// nullptr if this message type has nothing corruptible. The default
+  /// is nullptr: corruption is opt-in per message type.
+  virtual const Message* corrupted(util::Arena& arena, util::Rng& rng) const {
+    (void)arena;
+    (void)rng;
+    return nullptr;
+  }
 
   /// Filled in at send time.
   ProcessId sender = -1;

@@ -14,6 +14,8 @@ Network::Network(Simulator& sim, std::unique_ptr<DelayPolicy> policy,
 
 Network::~Network() = default;
 
+LinkFaultHook::~LinkFaultHook() = default;
+
 void Network::send(ProcessId from, ProcessId to, const Message* m) {
   SAF_CHECK(m != nullptr);
   SAF_CHECK(to >= 0 && to < sim_.n());
@@ -35,10 +37,34 @@ void Network::send(ProcessId from, ProcessId to, const Message* m) {
   ++it->second.count;
   it->second.last_time = now;
 
+  bool duplicate = false;
+  Time dup_extra = 1;
+  if (fault_hook_ != nullptr) {
+    const LinkFaultAction a = fault_hook_->on_send(from, to, now, *m);
+    if (a.drop) {
+      // The sender took its send step; the link lost the message. The
+      // send still counts toward send-triggered crashes.
+      if (sim_.tracer().active()) {
+        sim_.tracer().drop(now, from, to, m->tag(), a.drop_site);
+      }
+      sim_.note_send(from);
+      return;
+    }
+    if (a.replacement != nullptr) m = a.replacement;
+    duplicate = a.duplicate;
+    dup_extra = a.dup_extra_delay;
+  }
+
   const Time d = policy_->delay(from, to, now, rng_);
   SAF_CHECK_MSG(d >= 1, "delay policies must return >= 1");
   if (sim_.tracer().active()) sim_.tracer().send(now, from, to, m->tag(), d);
   sim_.schedule_deliver(now + d, to, m);
+  if (duplicate) {
+    if (sim_.tracer().active()) {
+      sim_.tracer().dup(now, from, to, m->tag(), dup_extra);
+    }
+    sim_.schedule_deliver(now + d + dup_extra, to, m);
+  }
   sim_.note_send(from);
 }
 

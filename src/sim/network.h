@@ -22,6 +22,30 @@ namespace saf::sim {
 class Simulator;
 class DelayPolicy;
 
+/// What a LinkFaultHook decided for one (from, to, message) traversal.
+/// The default-constructed action is "deliver unchanged".
+struct LinkFaultAction {
+  bool drop = false;      ///< suppress the message entirely
+  int drop_site = 2;      ///< trace site when dropped: 2 lossy, 3 partition
+  bool duplicate = false;  ///< also schedule a second copy
+  Time dup_extra_delay = 1;  ///< extra delay applied to the duplicate
+  /// Corrupted payload to deliver instead of the original (must be
+  /// arena-owned); nullptr delivers the original.
+  const Message* replacement = nullptr;
+};
+
+/// Fault-injection seam of the network (src/fault/ implements it).
+/// Consulted once per point-to-point send, after crash filtering and
+/// before delay assignment. Implementations must be deterministic in
+/// their own seeded state — the hook is part of the run identity. With
+/// no hook installed, Network::send is bit-identical to the clean path.
+class LinkFaultHook {
+ public:
+  virtual ~LinkFaultHook();
+  virtual LinkFaultAction on_send(ProcessId from, ProcessId to, Time now,
+                                  const Message& m) = 0;
+};
+
 class Network {
  public:
   Network(Simulator& sim, std::unique_ptr<DelayPolicy> policy,
@@ -42,6 +66,11 @@ class Network {
   /// Time of the most recent send carrying `tag`; kNeverTime if none.
   Time last_send_time(std::string_view tag) const;
 
+  /// Installs (or clears, with nullptr) the link fault hook. The hook
+  /// is not owned and must outlive the run.
+  void set_fault_hook(LinkFaultHook* hook) { fault_hook_ = hook; }
+  LinkFaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   struct TagStats {
     std::uint64_t count = 0;
@@ -50,6 +79,7 @@ class Network {
 
   Simulator& sim_;
   std::unique_ptr<DelayPolicy> policy_;
+  LinkFaultHook* fault_hook_ = nullptr;
   util::Rng rng_;
   std::uint64_t total_sent_ = 0;
   std::map<std::string, TagStats, std::less<>> by_tag_;

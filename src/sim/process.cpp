@@ -145,4 +145,8 @@ void Process::rbroadcast_raw(const Message* m) {
   rb_->rbroadcast(m);
 }
 
+void Process::enable_rb_acks(Time backoff_base, int max_retries) {
+  rb_->enable_acks(RbRetryParams{backoff_base, max_retries});
+}
+
 }  // namespace saf::sim

@@ -105,6 +105,13 @@ class Process {
     rbroadcast_raw(stamp(arena().create<M>(std::move(msg))));
   }
 
+  /// Switches this process's reliable-broadcast layer into
+  /// quasi-reliable mode for runs over lossy links: every envelope
+  /// receipt is acknowledged, and unacked destinations are retransmitted
+  /// with exponential backoff (base << min(retry-1, 6)), up to
+  /// max_retries attempts. Call on every process before the run starts.
+  void enable_rb_acks(Time backoff_base = 40, int max_retries = 8);
+
   struct UntilAwaiter {
     Process* p;
     std::function<bool()> pred;

@@ -8,12 +8,24 @@
 //   * Integrity — the (origin, seq) dedup set delivers each m once;
 //   * Termination — a correct process that delivers has already forwarded
 //     to all, so every correct process eventually delivers.
+//
+// Over FAIR-LOSSY links (the fault layer's lossy profiles) the bare
+// echo scheme loses Termination: every copy of an envelope can be
+// dropped. enable_acks() reconstructs quasi-reliable delivery: every
+// receipt of an envelope (including duplicates) is acknowledged to its
+// transport-level sender, and each broadcaster retransmits
+// point-to-point to unacked destinations with exponential backoff and a
+// retry cap. The (origin, seq) dedup set keeps delivery exactly-once no
+// matter how many copies arrive. With acks disabled — the default —
+// the layer is bit-identical to the clean echo scheme.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "sim/message.h"
+#include "util/types.h"
 
 namespace saf::sim {
 
@@ -25,27 +37,69 @@ struct RbEnvelope final : Message {
   /// argument is about).
   std::string_view tag() const override { return inner->tag(); }
 
+  /// Corrupts the payload, keeping the (origin, seq) identity — the
+  /// dedup set then treats the corrupted copy as the real one, which is
+  /// exactly what in-flight corruption of a relayed message looks like.
+  const Message* corrupted(util::Arena& arena, util::Rng& rng) const override;
+
   ProcessId origin = -1;
   std::uint64_t origin_seq = 0;
   const Message* inner = nullptr;  ///< arena-owned, outlives the run
+};
+
+/// Acknowledges receipt of one envelope copy to its transport-level
+/// sender (origin or forwarder), naming the envelope by identity.
+struct RbAckMsg final : Message {
+  std::string_view tag() const override { return "rb_ack"; }
+
+  ProcessId origin = -1;
+  std::uint64_t origin_seq = 0;
+};
+
+/// Retransmission knobs for the quasi-reliable mode. Retry k (1-based)
+/// fires backoff_base << min(k-1, 6) after the previous attempt.
+struct RbRetryParams {
+  Time backoff_base = 40;
+  int max_retries = 8;
 };
 
 class RbLayer {
  public:
   explicit RbLayer(Process& owner) : owner_(owner) {}
 
+  /// Switches the layer into quasi-reliable mode (see file comment).
+  /// Call on every process of a run before it starts.
+  void enable_acks(RbRetryParams params);
+  bool acks_enabled() const { return acks_enabled_; }
+
   /// Initiates R_broadcast of `m` from the owning process. `m` must be
   /// arena-owned with its sender already stamped.
   void rbroadcast(const Message* m);
 
-  /// Returns true if the message was an RB envelope (and was consumed:
-  /// either deduplicated, or forwarded + delivered via on_rdeliver).
+  /// Returns true if the message was an RB-layer message (envelope or
+  /// ack) and was consumed: deduplicated, acknowledged, or forwarded +
+  /// delivered via on_rdeliver.
   bool intercept(const Message& m);
 
  private:
+  struct Pending {
+    const RbEnvelope* env = nullptr;
+    ProcSet unacked;
+    int attempts = 0;  ///< retries already sent
+  };
+
+  /// Registers `env` (just broadcast by the owner) for ack tracking and
+  /// schedules the first retry timer.
+  void track(const RbEnvelope* env);
+  void schedule_retry(std::uint64_t key);
+  void retry(std::uint64_t key);
+
   Process& owner_;
   std::uint64_t next_seq_ = 0;
   std::unordered_set<std::uint64_t> seen_;  // key: origin << 40 | seq
+  bool acks_enabled_ = false;
+  RbRetryParams params_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
 };
 
 }  // namespace saf::sim

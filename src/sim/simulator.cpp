@@ -83,6 +83,25 @@ void Simulator::set_delivery_observer(DeliveryObserver obs) {
   delivery_observer_ = std::move(obs);
 }
 
+void Simulator::inject_crash_at(Time at, ProcessId pid) {
+  SAF_CHECK(pid >= 0 && pid < cfg_.n);
+  schedule(at, [this, pid] { crash(pid); });
+}
+
+bool Simulator::over_budget() {
+  if (cfg_.max_events > 0 && events_processed_ >= cfg_.max_events) {
+    return true;
+  }
+  if (cfg_.wall_budget_ms > 0 && (events_processed_ & 0xFFF) == 0) {
+    const auto elapsed = std::chrono::steady_clock::now() - wall_start_;
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+            .count() >= cfg_.wall_budget_ms) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Simulator::deliver(ProcessId to, const Message& m) {
   if (crashed_[static_cast<std::size_t>(to)]) {
     if (tracer_.active()) tracer_.drop(now_, to, m.sender, m.tag(), 1);
@@ -138,8 +157,19 @@ void Simulator::run() {
 bool Simulator::run_until(const std::function<bool()>& stop) {
   start_if_needed();
   if (stop && stop()) return true;
+  // The budget branch stays off the clean hot path: with both budgets
+  // at their 0 default, over_budget() is never called.
+  const bool budgeted = cfg_.max_events > 0 || cfg_.wall_budget_ms > 0;
+  if (cfg_.wall_budget_ms > 0 &&
+      wall_start_ == std::chrono::steady_clock::time_point{}) {
+    wall_start_ = std::chrono::steady_clock::now();
+  }
   while (!queue_.empty()) {
     if (queue_.peek().time > cfg_.horizon) break;
+    if (budgeted && over_budget()) {
+      timed_out_ = true;
+      break;
+    }
     // Move out before dispatch: the handler may push into the queue.
     Event e = queue_.pop();
     now_ = e.time;

@@ -7,6 +7,7 @@
 // and all randomness flows from seeded streams.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -41,6 +42,15 @@ struct SimConfig {
   Time tick_period = 5;
   /// Hard stop: no event later than this is processed.
   Time horizon = 200'000;
+  /// Watchdog: stop the run (timed_out() becomes true) once this many
+  /// events have been processed. 0 disables the budget. Deterministic —
+  /// part of the run identity.
+  std::uint64_t max_events = 0;
+  /// Watchdog: wall-clock budget in milliseconds, checked every ~4096
+  /// events. 0 disables. NOT deterministic — a safety net against runs
+  /// that are pathological in real time; digest-sensitive workloads
+  /// should rely on max_events / horizon instead.
+  std::int64_t wall_budget_ms = 0;
 };
 
 class Simulator {
@@ -69,6 +79,7 @@ class Simulator {
   Time horizon() const { return cfg_.horizon; }
   int n() const { return cfg_.n; }
   int t() const { return cfg_.t; }
+  std::uint64_t seed() const { return cfg_.seed; }
 
   bool is_crashed(ProcessId pid) const;
   ProcSet alive_set() const;
@@ -111,6 +122,17 @@ class Simulator {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// True iff the run was stopped by a watchdog budget (max_events or
+  /// wall_budget_ms) before reaching the horizon / its stop predicate.
+  bool timed_out() const { return timed_out_; }
+
+  /// Fault injection: schedules a crash of `pid` at absolute time `at`,
+  /// bypassing the CrashPlan and its <= t bound. Used to push a run
+  /// outside AS_{n,t}; the process stays "planned correct", so oracles
+  /// built from the plan will keep trusting it — exactly the assumption
+  /// violation the fault layer wants to study. Call before run().
+  void inject_crash_at(Time at, ProcessId pid);
+
  private:
   friend class Network;
   friend class Process;
@@ -140,6 +162,10 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool started_ = false;
+  bool timed_out_ = false;
+  std::chrono::steady_clock::time_point wall_start_{};
+
+  bool over_budget();
 };
 
 }  // namespace saf::sim

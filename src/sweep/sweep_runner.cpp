@@ -14,12 +14,27 @@
 //   sweep_runner --seeds 500 --baseline-sweep BENCH_sweep.json
 //                --baseline-sim BENCH_sim.json --tolerance 0.25
 //
+// Fault-injection mode (docs/fault_injection.md): with --faults set the
+// runner executes the self-healing fault sweep instead of the benches —
+// per-run verdicts, watchdog budgets, worker quarantine, and
+// checkpoint/resume:
+//
+//   sweep_runner --faults lossy30 --protocol kset,two-wheels --seeds 500
+//   sweep_runner --faults lossy30 --checkpoint ck --max-events 2000000
+//   sweep_runner --faults lossy30 --checkpoint ck --resume
+//
+// SIGTERM/SIGINT stop the fault sweep cooperatively: the current chunk
+// finishes, the checkpoint is written, and the runner exits 130; a
+// --resume then continues to the byte-identical final digest.
+//
 // The parallel sweep re-runs the same seed set serially and fails (exit
 // 1) unless the two verdict/digest sequences are byte-identical — the
 // determinism guarantee is enforced on every invocation, not only in
 // tests. Exit status: 0 ok, 1 violations / determinism mismatch /
-// baseline regression, 2 usage error.
+// baseline regression, 2 usage error, 130 interrupted (checkpointed).
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -30,9 +45,11 @@
 #include <vector>
 
 #include "check/explorer.h"
+#include "check/fault_sweep.h"
 #include "check/protocols.h"
 #include "core/kset_agreement.h"
 #include "core/two_wheels.h"
+#include "fault/fault_spec.h"
 #include "sweep/bench_json.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
@@ -57,6 +74,13 @@ struct Args {
   std::string trace_prefix;  // canonical traced run per protocol
   std::string metrics_path;  // per-protocol run metrics as JSON
   double tolerance = 0.25;
+  // Fault-injection mode.
+  std::string faults;         // named profile or inline spec; enables the mode
+  std::string checkpoint;     // checkpoint file (fault mode)
+  bool resume = false;        // resume from --checkpoint
+  int checkpoint_every = 64;  // persist cadence, in completed runs
+  std::uint64_t max_events = 0;     // per-run event watchdog (0 = off)
+  std::int64_t wall_budget_ms = 0;  // per-run wall-clock watchdog (0 = off)
 };
 
 void print_usage(std::ostream& os) {
@@ -65,7 +89,13 @@ void print_usage(std::ostream& os) {
       "                    [--jobs N] [--sim-runs N] [--grid] [--out-dir DIR]\n"
       "                    [--baseline-sim FILE] [--baseline-sweep FILE]\n"
       "                    [--trace PREFIX] [--metrics FILE]\n"
-      "                    [--tolerance FRACTION] [--help]\n";
+      "                    [--tolerance FRACTION]\n"
+      "                    [--faults PROFILE|SPEC] [--checkpoint FILE]\n"
+      "                    [--resume] [--checkpoint-every N]\n"
+      "                    [--max-events N] [--wall-budget-ms N] [--help]\n"
+      "fault profiles:";
+  for (const auto name : saf::fault::profile_names()) os << " " << name;
+  os << "\n";
 }
 
 int usage(const std::string& err = "") {
@@ -152,6 +182,35 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = value("--metrics");
       if (v == nullptr) return false;
       a->metrics_path = v;
+    } else if (arg == "--faults") {
+      const char* v = value("--faults");
+      if (v == nullptr) return false;
+      a->faults = v;
+    } else if (arg == "--checkpoint") {
+      const char* v = value("--checkpoint");
+      if (v == nullptr) return false;
+      a->checkpoint = v;
+    } else if (arg == "--resume") {
+      a->resume = true;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = value("--checkpoint-every");
+      if (v == nullptr ||
+          !parse_int("--checkpoint-every", v, 1, &a->checkpoint_every)) {
+        return false;
+      }
+    } else if (arg == "--max-events") {
+      const char* v = value("--max-events");
+      if (v == nullptr ||
+          !parse_int("--max-events", v, std::uint64_t{1}, &a->max_events)) {
+        return false;
+      }
+    } else if (arg == "--wall-budget-ms") {
+      const char* v = value("--wall-budget-ms");
+      if (v == nullptr ||
+          !parse_int("--wall-budget-ms", v, std::int64_t{1},
+                     &a->wall_budget_ms)) {
+        return false;
+      }
     } else if (arg == "--tolerance") {
       const char* v = value("--tolerance");
       if (v == nullptr) return false;
@@ -266,6 +325,89 @@ RunStats run_fig3_point(const Fig3Point& pt, std::uint64_t seed) {
   return s;
 }
 
+// --- fault-injection mode ----------------------------------------------
+
+/// Cooperative stop flag for the fault sweep (SIGTERM / SIGINT).
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+int run_fault_mode(const Args& args,
+                   const std::vector<const check::Protocol*>& protocols) {
+  saf::fault::FaultSpec spec;
+  try {
+    spec = saf::fault::parse_fault_spec(args.faults.empty() ? "none"
+                                                            : args.faults);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  if (args.checkpoint.empty() && args.resume) {
+    return usage("--resume needs --checkpoint FILE");
+  }
+  if (!args.checkpoint.empty() && protocols.size() != 1) {
+    return usage("--checkpoint tracks one sweep; use --protocol NAME");
+  }
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  std::cout << "fault sweep: spec=" << spec.name << " seeds=" << args.seeds
+            << " max-events=" << args.max_events << "\n";
+  bool failed = false;
+  bool interrupted = false;
+  for (const check::Protocol* p : protocols) {
+    check::FaultSweepOptions opt;
+    opt.first_seed = args.master_seed;
+    opt.seeds = args.seeds;
+    opt.jobs = args.jobs;
+    opt.faults = spec.enabled() ? &spec : nullptr;
+    opt.faults_text = args.faults;
+    opt.max_events = args.max_events;
+    opt.wall_budget_ms = args.wall_budget_ms;
+    opt.checkpoint_path = args.checkpoint;
+    opt.resume = args.resume;
+    opt.checkpoint_every = args.checkpoint_every;
+    opt.stop = &g_stop;
+    check::FaultSweepReport report;
+    try {
+      report = check::fault_sweep(*p, opt);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+    std::cout << "[" << p->name << "] " << report.completed << "/"
+              << report.total << " runs";
+    if (report.resumed > 0) std::cout << " (" << report.resumed << " resumed)";
+    if (report.interrupted) std::cout << " INTERRUPTED";
+    std::cout << ", digest " << report.final_digest() << "\n  verdicts:";
+    for (int i = 0; i < saf::fault::kVerdictCount; ++i) {
+      const auto v = static_cast<saf::fault::Verdict>(i);
+      if (report.verdict_count(v) == 0) continue;
+      std::cout << " " << saf::fault::verdict_name(v) << "="
+                << report.verdict_count(v);
+    }
+    std::cout << "\n";
+    for (const check::FaultRunRecord& rec : report.records) {
+      if (!rec.done || !saf::fault::verdict_is_failure(rec.verdict)) continue;
+      std::cout << "  " << saf::fault::verdict_name(rec.verdict) << " seed="
+                << rec.seed
+                << (rec.first_broken.empty()
+                        ? std::string()
+                        : " first-broken=" + rec.first_broken) << "\n";
+    }
+    failed |= report.failed();
+    interrupted |= report.interrupted;
+  }
+  if (interrupted) {
+    std::cout << "interrupted; checkpoint "
+              << (args.checkpoint.empty() ? "not configured"
+                                          : "written to " + args.checkpoint)
+              << "\n";
+    return 130;
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -279,6 +421,10 @@ int main(int argc, char** argv) {
     const check::Protocol* p = check::find_protocol(name);
     if (p == nullptr) return usage("unknown protocol '" + name + "'");
     protocols.push_back(p);
+  }
+
+  if (!args.faults.empty() || !args.checkpoint.empty() || args.resume) {
+    return run_fault_mode(args, protocols);
   }
 
   ThreadPool serial(1);

@@ -11,7 +11,7 @@ namespace {
 constexpr std::string_view kKindNames[kKindCount] = {
     "post",      "dispatch",  "send",   "deliver", "drop",
     "crash",     "fd_query",  "fd_change", "x_move", "l_move",
-    "decide",    "quiesce",   "note",
+    "decide",    "quiesce",   "note",   "dup",     "retransmit",
 };
 
 }  // namespace
@@ -101,8 +101,19 @@ std::vector<TraceEvent> RingSink::snapshot() const {
   return out;
 }
 
+JsonlSink::~JsonlSink() {
+  os_.flush();
+}
+
 void JsonlSink::on_event(const TraceEvent& e) {
   os_ << format_event(e) << '\n';
+  // A crash is exactly the event after which the rest of the trace may
+  // never come — make sure everything up to it reaches the file.
+  if (e.kind == Kind::kCrash) flush();
+}
+
+void JsonlSink::flush() {
+  os_.flush();
 }
 
 }  // namespace saf::trace

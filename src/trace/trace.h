@@ -29,7 +29,8 @@ enum class Kind : std::uint8_t {
   kSend,            ///< message handed to the network (value = delay)
   kDeliver,         ///< message handed to an alive process
   kDrop,            ///< message suppressed (value: 0 = sender crashed,
-                    ///<   1 = recipient crashed)
+                    ///<   1 = recipient crashed, 2 = lossy link,
+                    ///<   3 = partitioned link)
   kCrash,           ///< process crash took effect
   kFdQuery,         ///< failure-detector oracle queried
   kFdChange,        ///< failure-detector output changed (value = encoding)
@@ -38,6 +39,8 @@ enum class Kind : std::uint8_t {
   kDecide,          ///< protocol decision (value = decided value)
   kQuiesce,         ///< quiescence witness (value = last activity time)
   kNote,            ///< harness-level observation (value, tag free-form)
+  kDup,             ///< link fault duplicated a message (value = extra delay)
+  kRetransmit,      ///< quasi-reliable layer resent a message (value = attempt)
   kCount_,          ///< number of kinds; not a kind
 };
 
@@ -123,11 +126,18 @@ class RingSink final : public TraceSink {
 };
 
 /// Streams canonical lines to an ostream as they arrive (the `--trace`
-/// flag of check_runner / sweep_runner).
+/// flag of check_runner / sweep_runner). Crash-safe: the stream is
+/// flushed after every kCrash event and again on destruction, so a
+/// thrown invariant (stack unwind) or a post-mortem on a faulty run
+/// still sees the full tail of the trace instead of losing whatever sat
+/// in the stdio buffer.
 class JsonlSink final : public TraceSink {
  public:
   explicit JsonlSink(std::ostream& os) : os_(os) {}
+  ~JsonlSink() override;
   void on_event(const TraceEvent& e) override;
+  /// Pushes buffered lines to the underlying stream now.
+  void flush();
 
  private:
   std::ostream& os_;

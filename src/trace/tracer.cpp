@@ -13,6 +13,8 @@ void Tracer::install(TraceSink* sink, MetricsRegistry* metrics,
     c_sends_ = &metrics_->counter("sim.messages_sent");
     c_delivers_ = &metrics_->counter("sim.messages_delivered");
     c_drops_ = &metrics_->counter("sim.messages_dropped");
+    c_dups_ = &metrics_->counter("net.dups");
+    c_retransmits_ = &metrics_->counter("net.retransmits");
     c_crashes_ = &metrics_->counter("sim.crashes");
     c_fd_queries_ = &metrics_->counter("fd.queries");
     c_fd_changes_ = &metrics_->counter("fd.output_changes");
@@ -23,6 +25,8 @@ void Tracer::install(TraceSink* sink, MetricsRegistry* metrics,
     c_sends_ = nullptr;
     c_delivers_ = nullptr;
     c_drops_ = nullptr;
+    c_dups_ = nullptr;
+    c_retransmits_ = nullptr;
     c_crashes_ = nullptr;
     c_fd_queries_ = nullptr;
     c_fd_changes_ = nullptr;

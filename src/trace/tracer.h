@@ -71,11 +71,29 @@ class Tracer {
   }
 
   /// site: 0 = sender crashed at send time, 1 = recipient crashed at
-  /// delivery time.
+  /// delivery time, 2 = lossy link, 3 = partitioned link.
   void drop(Time now, ProcessId actor, ProcessId peer, std::string_view tag,
             int site) {
     if (wants(Kind::kDrop)) emit({now, Kind::kDrop, actor, peer, site, tag});
     if (c_drops_ != nullptr) c_drops_->add();
+  }
+
+  /// A link fault duplicated a message; `extra_delay` is the additional
+  /// delay applied to the duplicate copy.
+  void dup(Time now, ProcessId from, ProcessId to, std::string_view tag,
+           Time extra_delay) {
+    if (wants(Kind::kDup)) emit({now, Kind::kDup, from, to, extra_delay, tag});
+    if (c_dups_ != nullptr) c_dups_->add();
+  }
+
+  /// The quasi-reliable broadcast layer resent an unacknowledged
+  /// envelope (value = retry attempt number, 1-based).
+  void retransmit(Time now, ProcessId from, ProcessId to,
+                  std::string_view tag, int attempt) {
+    if (wants(Kind::kRetransmit)) {
+      emit({now, Kind::kRetransmit, from, to, attempt, tag});
+    }
+    if (c_retransmits_ != nullptr) c_retransmits_->add();
   }
 
   void crash(Time now, ProcessId pid) {
@@ -123,6 +141,8 @@ class Tracer {
   Counter* c_sends_ = nullptr;
   Counter* c_delivers_ = nullptr;
   Counter* c_drops_ = nullptr;
+  Counter* c_dups_ = nullptr;
+  Counter* c_retransmits_ = nullptr;
   Counter* c_crashes_ = nullptr;
   Counter* c_fd_queries_ = nullptr;
   Counter* c_fd_changes_ = nullptr;

@@ -1,0 +1,540 @@
+// Tests for the fault-injection layer (src/fault/): spec parsing,
+// deterministic link faults (drop / dup / corrupt / partition),
+// retransmission exactly-once under loss, the spec-violating oracle
+// wrappers and their contract monitors, verdict classification, and the
+// golden out-of-model fixtures with pinned first-broken assumptions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/protocols.h"
+#include "core/kset_agreement.h"
+#include "fault/fault_spec.h"
+#include "fault/harness.h"
+#include "fault/link_faults.h"
+#include "fault/monitor.h"
+#include "fault/verdict.h"
+#include "fd/faulty.h"
+#include "fd/omega_oracle.h"
+#include "fd/query_oracles.h"
+#include "fd/suspect_oracles.h"
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+#include "util/arena.h"
+
+namespace saf {
+namespace {
+
+using fault::FaultSpec;
+using fault::Verdict;
+
+// --- fault-spec parsing ------------------------------------------------
+
+TEST(FaultSpec, NamedProfilesResolve) {
+  for (const auto name : fault::profile_names()) {
+    const FaultSpec s = fault::parse_fault_spec(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_FALSE(fault::profile_description(name).empty()) << name;
+  }
+  EXPECT_FALSE(fault::parse_fault_spec("none").enabled());
+  EXPECT_TRUE(fault::parse_fault_spec("lossy30").enabled());
+  EXPECT_DOUBLE_EQ(fault::parse_fault_spec("lossy30").link.drop, 0.3);
+}
+
+TEST(FaultSpec, InlineGrammar) {
+  const FaultSpec s = fault::parse_fault_spec(
+      "drop=0.25,dup=0.1,corrupt=0.05,burst=0.02/0.4,"
+      "partition=0:*@100-800,flap@400/60,crashes=2@350");
+  EXPECT_DOUBLE_EQ(s.link.drop, 0.25);
+  EXPECT_DOUBLE_EQ(s.link.dup, 0.1);
+  EXPECT_DOUBLE_EQ(s.link.corrupt, 0.05);
+  EXPECT_DOUBLE_EQ(s.link.burst_enter, 0.02);
+  EXPECT_DOUBLE_EQ(s.link.burst_exit, 0.4);
+  ASSERT_EQ(s.link.partitions.size(), 1u);
+  EXPECT_EQ(s.link.partitions[0].from, 0);
+  EXPECT_EQ(s.link.partitions[0].to, -1);
+  EXPECT_EQ(s.link.partitions[0].start, 100);
+  EXPECT_EQ(s.link.partitions[0].heal, 800);
+  EXPECT_EQ(s.oracle.kind, fault::OracleFaultKind::kFlappingLeader);
+  EXPECT_EQ(s.oracle.from, 400);
+  EXPECT_EQ(s.oracle.period, 60);
+  EXPECT_EQ(s.extra_crashes, 2);
+  EXPECT_EQ(s.extra_crash_at, 350);
+  EXPECT_TRUE(s.link.lossy());
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW(fault::parse_fault_spec("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("drop=banana"), std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("no_such_key=1"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("partition=0"), std::invalid_argument);
+}
+
+// --- deterministic link faults -----------------------------------------
+
+struct PlainMsg final : sim::Message {
+  std::string_view tag() const override { return "plain"; }
+};
+
+/// Replays the same synthetic send sequence through a model built from
+/// (spec, n, seed) and records the drop/dup decisions.
+std::vector<int> fault_schedule(const fault::LinkFaults& spec,
+                                std::uint64_t seed) {
+  util::Arena arena;
+  fault::LinkFaultModel model(spec, 5, seed, arena);
+  const PlainMsg m;
+  std::vector<int> decisions;
+  for (Time now = 0; now < 400; now += 3) {
+    for (ProcessId from = 0; from < 5; ++from) {
+      for (ProcessId to = 0; to < 5; ++to) {
+        if (to == from) continue;
+        const sim::LinkFaultAction a = model.on_send(from, to, now, m);
+        decisions.push_back(a.drop ? 1 : (a.duplicate ? 2 : 0));
+      }
+    }
+  }
+  return decisions;
+}
+
+TEST(LinkFaults, ScheduleIsDeterministicFromSeed) {
+  fault::LinkFaults spec;
+  spec.drop = 0.3;
+  spec.dup = 0.2;
+  EXPECT_EQ(fault_schedule(spec, 42), fault_schedule(spec, 42));
+  EXPECT_NE(fault_schedule(spec, 42), fault_schedule(spec, 43));
+}
+
+TEST(LinkFaults, DropAndDupRatesAreRoughlyHonored) {
+  fault::LinkFaults spec;
+  spec.drop = 0.3;
+  util::Arena arena;
+  fault::LinkFaultModel model(spec, 4, 7, arena);
+  const PlainMsg m;
+  const int sends = 20'000;
+  for (int i = 0; i < sends; ++i) {
+    (void)model.on_send(0, 1, i, m);
+  }
+  EXPECT_GT(model.drops(), sends * 0.25);
+  EXPECT_LT(model.drops(), sends * 0.35);
+  EXPECT_NE(model.first_drop_time(), kNeverTime);
+}
+
+TEST(LinkFaults, PartitionWindowDropsExactlyInsideIt) {
+  fault::LinkFaults spec;
+  fault::PartitionSpec part;
+  part.from = 0;
+  part.to = 1;
+  part.start = 100;
+  part.heal = 200;
+  spec.partitions.push_back(part);
+  util::Arena arena;
+  fault::LinkFaultModel model(spec, 4, 1, arena);
+  const PlainMsg m;
+  EXPECT_FALSE(model.on_send(0, 1, 99, m).drop);
+  EXPECT_TRUE(model.on_send(0, 1, 100, m).drop);
+  EXPECT_TRUE(model.on_send(0, 1, 199, m).drop);
+  EXPECT_FALSE(model.on_send(0, 1, 200, m).drop);  // healed
+  EXPECT_FALSE(model.on_send(0, 2, 150, m).drop);  // other link untouched
+  EXPECT_FALSE(model.on_send(1, 0, 150, m).drop);  // one-way only
+  EXPECT_EQ(model.first_drop_time(), 100);
+}
+
+TEST(LinkFaults, WildcardPartitionIsolatesSenderUntilHeal) {
+  fault::LinkFaults spec;
+  fault::PartitionSpec part;
+  part.from = 2;
+  part.to = -1;  // every destination
+  part.start = 50;
+  part.heal = kNeverTime;  // never heals
+  spec.partitions.push_back(part);
+  util::Arena arena;
+  fault::LinkFaultModel model(spec, 4, 1, arena);
+  const PlainMsg m;
+  for (ProcessId to = 0; to < 4; ++to) {
+    if (to == 2) continue;
+    EXPECT_FALSE(model.on_send(2, to, 49, m).drop);
+    EXPECT_TRUE(model.on_send(2, to, 50, m).drop);
+    EXPECT_TRUE(model.on_send(2, to, 100'000, m).drop);
+  }
+}
+
+TEST(LinkFaults, CorruptionNeedsACorruptibleMessage) {
+  fault::LinkFaults spec;
+  spec.corrupt = 1.0;
+  util::Arena arena;
+  fault::LinkFaultModel model(spec, 4, 9, arena);
+  // PlainMsg has no corrupted() override: passes through unchanged.
+  const PlainMsg plain;
+  EXPECT_EQ(model.on_send(0, 1, 10, plain).replacement, nullptr);
+  EXPECT_EQ(model.corruptions(), 0u);
+  // Phase1Msg perturbs its payload into a fresh arena copy.
+  const core::Phase1Msg p1{1, ProcSet{0}, 100, 0};
+  const sim::LinkFaultAction a = model.on_send(0, 1, 10, p1);
+  ASSERT_NE(a.replacement, nullptr);
+  const auto* bad = dynamic_cast<const core::Phase1Msg*>(a.replacement);
+  ASSERT_NE(bad, nullptr);
+  EXPECT_NE(bad->est, p1.est);
+  EXPECT_EQ(bad->round, p1.round);
+  EXPECT_EQ(model.corruptions(), 1u);
+  EXPECT_EQ(model.first_corrupt_time(), 10);
+}
+
+// --- retransmission under loss -----------------------------------------
+
+struct PayloadMsg final : sim::Message {
+  explicit PayloadMsg(int v) : value(v) {}
+  std::string_view tag() const override { return "payload"; }
+  int value;
+};
+
+/// Process 0 R-broadcasts one payload; everyone records R-deliveries.
+class RbProcess : public sim::Process {
+ public:
+  using Process::Process;
+
+  sim::ProtocolTask run() override {
+    if (id() == 0) rbroadcast_msg(PayloadMsg{1234});
+    co_return;
+  }
+
+  void on_rdeliver(const sim::Message& m) override {
+    if (const auto* p = dynamic_cast<const PayloadMsg*>(&m)) {
+      deliveries.push_back(p->value);
+    }
+  }
+
+  std::vector<int> deliveries;
+};
+
+TEST(Retransmission, ExactlyOnceRDeliveryUnderThirtyPercentLoss) {
+  // 30% uniform loss, RB ack/retransmission armed: every alive process
+  // must R-deliver the payload exactly once (retransmits mask the loss,
+  // dedup masks the retransmits).
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull, 99ull}) {
+    sim::SimConfig sc;
+    sc.n = 5;
+    sc.t = 1;
+    sc.seed = seed;
+    sc.horizon = 60'000;
+    sim::Simulator sim(sc, sim::CrashPlan{},
+                       std::make_unique<sim::UniformDelay>(1, 10));
+    fault::LinkFaults lf;
+    lf.drop = 0.3;
+    fault::LinkFaultModel model(lf, 5, seed, sim.arena());
+    sim.network().set_fault_hook(&model);
+    std::vector<RbProcess*> ps;
+    for (ProcessId i = 0; i < 5; ++i) {
+      auto p = std::make_unique<RbProcess>(i, 5, 1);
+      p->enable_rb_acks();
+      ps.push_back(p.get());
+      sim.add_process(std::move(p));
+    }
+    sim.run();
+    EXPECT_GT(model.drops(), 0u) << "seed " << seed;
+    for (const RbProcess* p : ps) {
+      ASSERT_EQ(p->deliveries.size(), 1u)
+          << "seed " << seed << " process " << p->id();
+      EXPECT_EQ(p->deliveries[0], 1234);
+    }
+  }
+}
+
+TEST(Retransmission, DuplicatingLinksStayExactlyOnce) {
+  sim::SimConfig sc;
+  sc.n = 4;
+  sc.t = 1;
+  sc.seed = 5;
+  sc.horizon = 30'000;
+  sim::Simulator sim(sc, sim::CrashPlan{},
+                     std::make_unique<sim::UniformDelay>(1, 10));
+  fault::LinkFaults lf;
+  lf.dup = 0.5;
+  fault::LinkFaultModel model(lf, 4, 5, sim.arena());
+  sim.network().set_fault_hook(&model);
+  std::vector<RbProcess*> ps;
+  for (ProcessId i = 0; i < 4; ++i) {
+    auto p = std::make_unique<RbProcess>(i, 4, 1);
+    ps.push_back(p.get());
+    sim.add_process(std::move(p));
+  }
+  sim.run();
+  EXPECT_GT(model.dups(), 0u);
+  for (const RbProcess* p : ps) {
+    ASSERT_EQ(p->deliveries.size(), 1u) << "process " << p->id();
+  }
+}
+
+// --- contract monitors vs the faulty wrappers --------------------------
+
+/// A pattern with no crashes over n = 5, t = 2.
+sim::FailurePattern clean_pattern() {
+  return sim::FailurePattern(5, 2, sim::CrashPlan{});
+}
+
+TEST(Monitors, CleanOmegaPassesFlappingOmegaFlagged) {
+  const sim::FailurePattern pattern = clean_pattern();
+  fd::OmegaOracleParams op;
+  op.stab_time = 100;
+  op.seed = 11;
+  const fd::OmegaZOracle base(pattern, /*z=*/2, op);
+  fault::MonitorWindow w;
+  w.deadline = 150;
+  w.end = 800;
+  w.step = 5;
+
+  fault::ComplianceReport clean;
+  fault::monitor_leader_contract(base, pattern, 2, w, clean);
+  EXPECT_TRUE(clean.in_model());
+
+  const fd::FlappingLeaderOracle flapping(base, 5,
+                                          fd::FaultyOracleParams{300, 50});
+  fault::ComplianceReport broken;
+  fault::monitor_leader_contract(flapping, pattern, 2, w, broken);
+  ASSERT_FALSE(broken.in_model());
+  ASSERT_NE(broken.first(), nullptr);
+  EXPECT_EQ(broken.first()->assumption, "omega.contract");
+  EXPECT_GE(broken.first()->at, 300);
+  EXPECT_LE(broken.first()->at, 400);
+}
+
+TEST(Monitors, ShrunkScopeFlaggedAtCollapseStart) {
+  const sim::FailurePattern pattern = clean_pattern();
+  fd::SuspectOracleParams sp;
+  sp.stab_time = 100;
+  sp.noise_prob = 0.0;
+  sp.seed = 3;
+  const fd::LimitedScopeSuspectOracle base(pattern, /*x=*/3, sp);
+  fault::MonitorWindow w;
+  w.deadline = 150;
+  w.end = 900;
+  w.step = 5;
+
+  fault::ComplianceReport clean;
+  fault::monitor_suspect_contract(base, pattern, 3, w, clean);
+  EXPECT_TRUE(clean.in_model());
+
+  const fd::ShrunkScopeSuspectOracle shrunk(base, 5,
+                                            fd::FaultyOracleParams{400, 60});
+  fault::ComplianceReport broken;
+  fault::monitor_suspect_contract(shrunk, pattern, 3, w, broken);
+  ASSERT_FALSE(broken.in_model());
+  ASSERT_NE(broken.first(), nullptr);
+  EXPECT_EQ(broken.first()->assumption, "sx.accuracy");
+  // The first collapse window opens exactly at `from`, on the grid.
+  EXPECT_EQ(broken.first()->at, 400);
+}
+
+TEST(Monitors, LyingQueryFlaggedFromLieStart) {
+  const sim::FailurePattern pattern = clean_pattern();
+  fd::QueryOracleParams qp;
+  qp.stab_time = 100;
+  qp.seed = 3;
+  const fd::PhiOracle base(pattern, /*y=*/1, qp);
+  fault::MonitorWindow w;
+  w.deadline = 150;
+  w.end = 900;
+  w.step = 5;
+
+  fault::ComplianceReport clean;
+  fault::monitor_query_contract(base, pattern, 1, w, clean);
+  EXPECT_TRUE(clean.in_model());
+
+  const fd::LyingQueryOracle lying(base, /*t=*/2, /*y=*/1,
+                                   fd::FaultyOracleParams{400, 60});
+  fault::ComplianceReport broken;
+  fault::monitor_query_contract(lying, pattern, 1, w, broken);
+  ASSERT_FALSE(broken.in_model());
+  ASSERT_NE(broken.first(), nullptr);
+  EXPECT_EQ(broken.first()->assumption, "phi.safety");
+  // Nobody crashed, so the very first lying instant on the grid is a
+  // provably false "all of X crashed" answer.
+  EXPECT_EQ(broken.first()->at, 400);
+}
+
+TEST(Monitors, CrashBudgetPinsTheTPlusFirstCrash) {
+  // The plan stays within t = 2; the third crash arrives the way the
+  // fault layer delivers it — outside the plan, via record_crash (the
+  // simulator stamps injected crashes exactly like planned ones).
+  sim::CrashPlan plan;
+  plan.crash_at(0, 100).crash_at(1, 200);
+  sim::FailurePattern pattern(5, 2, plan);
+  pattern.record_crash(0, 100);
+  pattern.record_crash(1, 200);
+  pattern.record_crash(2, 300);
+  fault::ComplianceReport report;
+  fault::monitor_crash_budget(pattern, report);
+  ASSERT_FALSE(report.in_model());
+  EXPECT_EQ(report.first()->assumption, "crash.budget");
+  EXPECT_EQ(report.first()->at, 300);  // the (t+1)-th crash
+
+  sim::FailurePattern within(5, 2, plan);
+  within.record_crash(0, 100);
+  within.record_crash(1, 200);
+  fault::ComplianceReport ok;
+  fault::monitor_crash_budget(within, ok);
+  EXPECT_TRUE(ok.in_model());
+}
+
+TEST(Monitors, FirstBrokenIsEarliestByVirtualTime) {
+  fault::ComplianceReport r;
+  r.add("omega.contract", 500, "later");
+  r.add("channel.loss", 120, "earlier");
+  r.add("crash.budget", 120, "tied, inserted after");
+  ASSERT_NE(r.first(), nullptr);
+  EXPECT_EQ(r.first()->assumption, "channel.loss");
+  EXPECT_EQ(r.first()->at, 120);
+}
+
+// --- verdict classification --------------------------------------------
+
+TEST(Verdicts, ClassifyMatrix) {
+  fault::ComplianceReport in_model;
+  fault::ComplianceReport out_of_model;
+  out_of_model.add("channel.loss", 10, "drop");
+  EXPECT_EQ(fault::classify(false, false, in_model), Verdict::kSafeInModel);
+  EXPECT_EQ(fault::classify(false, false, out_of_model),
+            Verdict::kSafeOutOfModel);
+  EXPECT_EQ(fault::classify(false, true, out_of_model),
+            Verdict::kViolationExplained);
+  EXPECT_EQ(fault::classify(false, true, in_model),
+            Verdict::kViolationInModel);
+  EXPECT_EQ(fault::classify(true, false, in_model), Verdict::kTimedOut);
+  EXPECT_EQ(fault::classify(true, true, out_of_model), Verdict::kTimedOut);
+  EXPECT_TRUE(fault::verdict_is_failure(Verdict::kViolationInModel));
+  EXPECT_TRUE(fault::verdict_is_failure(Verdict::kWorkerError));
+  EXPECT_FALSE(fault::verdict_is_failure(Verdict::kViolationExplained));
+  EXPECT_FALSE(fault::verdict_is_failure(Verdict::kSafeOutOfModel));
+  EXPECT_FALSE(fault::verdict_is_failure(Verdict::kTimedOut));
+}
+
+// --- end-to-end verdicts through the check layer -----------------------
+
+check::RunOutcome run_with_faults(const char* protocol, std::uint64_t seed,
+                                  const FaultSpec* spec) {
+  const check::Protocol* p = check::find_protocol(protocol);
+  EXPECT_NE(p, nullptr);
+  const check::ScheduleCase c = check::generate_case(*p, seed);
+  check::RunContext ctx;
+  ctx.faults = spec;
+  return p->run(c, ctx);
+}
+
+TEST(FaultVerdicts, CleanRunsStaySafeInModel) {
+  const check::RunOutcome out = run_with_faults("kset", 1, nullptr);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.verdict, Verdict::kSafeInModel);
+  EXPECT_TRUE(out.first_broken.empty());
+  EXPECT_EQ(out.first_broken_at, kNeverTime);
+}
+
+TEST(FaultVerdicts, DisabledFaultsAreByteIdenticalToClean) {
+  // The satellite guarantee: a null / "none" fault spec leaves digest,
+  // event count and decisions bit-identical to the clean path.
+  const FaultSpec none = fault::parse_fault_spec("none");
+  for (const char* proto : {"kset", "two-wheels", "phibar"}) {
+    const check::RunOutcome clean = run_with_faults(proto, 5, nullptr);
+    const check::RunOutcome with_none = run_with_faults(proto, 5, &none);
+    EXPECT_EQ(clean.digest, with_none.digest) << proto;
+    EXPECT_EQ(clean.events_processed, with_none.events_processed) << proto;
+    EXPECT_EQ(clean.decisions, with_none.decisions) << proto;
+    EXPECT_EQ(with_none.verdict, Verdict::kSafeInModel) << proto;
+  }
+}
+
+TEST(FaultVerdicts, LossyRunsCarryOutOfModelVerdicts) {
+  const FaultSpec lossy = fault::parse_fault_spec("lossy30");
+  int out_of_model = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const check::RunOutcome out = run_with_faults("kset", seed, &lossy);
+    EXPECT_TRUE(out.ok) << "out-of-model runs must not fail the sweep";
+    EXPECT_TRUE(out.verdict == Verdict::kSafeOutOfModel ||
+                out.verdict == Verdict::kViolationExplained)
+        << verdict_name(out.verdict);
+    EXPECT_EQ(out.first_broken, "channel.loss");
+    EXPECT_NE(out.first_broken_at, kNeverTime);
+    if (out.verdict == Verdict::kViolationExplained) ++out_of_model;
+  }
+  EXPECT_GT(out_of_model, 0) << "30% loss should break termination somewhere";
+}
+
+// Golden out-of-model fixture #1 (documented in docs/fault_injection.md):
+// the lying-phi profile against the φ̄→Ω adaptor. The φ oracle starts
+// lying at t=300; the monitor's envelope deadline for this harness is
+// qp.stab_time (200) + slack (100) = 300, so the first broken instant is
+// pinned to exactly 300 for EVERY schedule.
+TEST(FaultVerdicts, GoldenLyingPhiYieldsViolationExplainedAt300) {
+  const FaultSpec lying = fault::parse_fault_spec("lying-phi");
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const check::RunOutcome out = run_with_faults("phibar", seed, &lying);
+    EXPECT_EQ(out.verdict, Verdict::kViolationExplained)
+        << "seed " << seed << ": " << verdict_name(out.verdict);
+    EXPECT_EQ(out.first_broken, "phi.safety") << "seed " << seed;
+    EXPECT_EQ(out.first_broken_at, 300) << "seed " << seed;
+    EXPECT_TRUE(out.ok) << "explained violations are witnesses, not bugs";
+    EXPECT_FALSE(out.violations.empty());
+  }
+}
+
+// Golden out-of-model fixture #2: shrink-sx against two-wheels. The ◇S_x
+// scope collapses from t=400 on; the monitor deadline is sx_stab (300) +
+// slack (100) = 400, so a violating run pins sx.accuracy at exactly 400.
+TEST(FaultVerdicts, GoldenShrunkScopePinsSxAccuracyAt400) {
+  const FaultSpec shrink = fault::parse_fault_spec("shrink-sx");
+  int explained = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const check::RunOutcome out = run_with_faults("two-wheels", seed, &shrink);
+    ASSERT_EQ(out.first_broken, "sx.accuracy") << "seed " << seed;
+    EXPECT_EQ(out.first_broken_at, 400) << "seed " << seed;
+    if (out.verdict == Verdict::kViolationExplained) ++explained;
+  }
+  EXPECT_GT(explained, 0);
+}
+
+TEST(FaultVerdicts, CrashStormBreaksTheCrashBudget) {
+  // Whether two extra crashes overflow t depends on how many crashes the
+  // generated plan already spends and on the run still being alive at
+  // t=300 — so sweep a seed range and require that at least one run
+  // overflows, and that every overflow is attributed to crash.budget.
+  const FaultSpec storm = fault::parse_fault_spec("crash-storm");
+  int overflows = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const check::RunOutcome out = run_with_faults("kset", seed, &storm);
+    EXPECT_NE(out.verdict, Verdict::kViolationInModel) << "seed " << seed;
+    if (out.verdict == Verdict::kSafeInModel) {
+      EXPECT_TRUE(out.first_broken.empty()) << "seed " << seed;
+      continue;
+    }
+    ++overflows;
+    EXPECT_EQ(out.first_broken, "crash.budget") << "seed " << seed;
+    EXPECT_NE(out.first_broken_at, kNeverTime) << "seed " << seed;
+  }
+  EXPECT_GE(overflows, 1) << "no seed in 1..12 overflowed the budget";
+}
+
+TEST(FaultVerdicts, ExplorerHistogramsCountEveryRun) {
+  const FaultSpec lossy = fault::parse_fault_spec("lossy30");
+  const check::Protocol* p = check::find_protocol("kset-small");
+  ASSERT_NE(p, nullptr);
+  check::ExploreOptions opt;
+  opt.seeds = 30;
+  opt.jobs = 2;
+  opt.faults = &lossy;
+  const check::ExploreReport report = check::explore(*p, opt);
+  EXPECT_EQ(report.runs, 30);
+  int histogram_total = 0;
+  for (int i = 0; i < fault::kVerdictCount; ++i) {
+    histogram_total += report.verdicts[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(histogram_total, 30);
+  EXPECT_EQ(report.verdict_count(Verdict::kViolationInModel), 0);
+  EXPECT_EQ(report.verdict_count(Verdict::kWorkerError), 0);
+  EXPECT_TRUE(report.clean());
+}
+
+}  // namespace
+}  // namespace saf
