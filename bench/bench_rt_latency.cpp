@@ -1,0 +1,167 @@
+// Live-runtime latency benchmark (docs/live_runtime.md).
+//
+// Forks real loopback clusters — the same path as `rt_cluster` — and
+// measures wall-clock decision latency as seen by each node: the time
+// from node start to its k-set decision, over UDP links and
+// heartbeat-implemented failure detectors. Reports p50/p99 decision
+// latency plus decision and run throughput, and writes the
+// BENCH_rt.json baseline checked in at the repo root.
+//
+// This is deliberately not a google-benchmark binary: each "iteration"
+// forks a five-process cluster and waits on real sockets, so it lives
+// at the build root (not build/bench, which CI sweeps with
+// --benchmark_list_tests).
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rt/cluster.h"
+#include "sweep/bench_json.h"
+
+namespace {
+
+using saf::rt::ClusterConfig;
+using saf::rt::ClusterResult;
+
+void print_usage(std::ostream& os) {
+  os << "usage: bench_rt_latency [--rounds R] [--n N] [--t T] [--k K]\n"
+        "                        [--crash C] [--base-port P] [--out FILE]\n"
+        "                        [--help]\n";
+}
+
+int usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "bench_rt_latency: " << err << "\n";
+  print_usage(std::cerr);
+  return 2;
+}
+
+template <typename Int>
+bool parse_int(const char* flag, const char* v, long long lo, Int* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long raw = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || raw < lo) {
+    std::cerr << "bench_rt_latency: " << flag << " expects an integer >= "
+              << lo << "\n";
+    return false;
+  }
+  *out = static_cast<Int>(raw);
+  return true;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterConfig cfg;
+  cfg.protocol = "kset";
+  cfg.crash = 1;
+  cfg.out_dir = "bench_rt_out";
+  int rounds = 10;
+  std::string out_path = "BENCH_rt.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_rt_latency: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--rounds") {
+      if ((v = value("--rounds")) == nullptr ||
+          !parse_int("--rounds", v, 1, &rounds)) {
+        return usage();
+      }
+    } else if (arg == "--n") {
+      if ((v = value("--n")) == nullptr || !parse_int("--n", v, 2, &cfg.n))
+        return usage();
+    } else if (arg == "--t") {
+      if ((v = value("--t")) == nullptr || !parse_int("--t", v, 1, &cfg.t))
+        return usage();
+    } else if (arg == "--k") {
+      if ((v = value("--k")) == nullptr || !parse_int("--k", v, 1, &cfg.k))
+        return usage();
+    } else if (arg == "--crash") {
+      if ((v = value("--crash")) == nullptr ||
+          !parse_int("--crash", v, 0, &cfg.crash)) {
+        return usage();
+      }
+    } else if (arg == "--base-port") {
+      if ((v = value("--base-port")) == nullptr ||
+          !parse_int("--base-port", v, 1024, &cfg.base_port)) {
+        return usage();
+      }
+    } else if (arg == "--out") {
+      if ((v = value("--out")) == nullptr) return usage();
+      out_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "bench_rt_latency: unknown flag " << arg << "\n";
+      return usage();
+    }
+  }
+  if (cfg.t >= cfg.n) return usage("--t must be < --n");
+  if (cfg.crash > cfg.t) return usage("--crash must be <= --t");
+
+  std::vector<double> latencies_ms;
+  std::uint64_t decisions = 0;
+  int failed_rounds = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    const ClusterResult res = saf::rt::run_cluster(cfg);
+    if (!res.contract_ok()) {
+      ++failed_rounds;
+      std::cerr << "bench_rt_latency: round " << (r + 1) << " failed";
+      if (!res.detail.empty()) std::cerr << " (" << res.detail << ")";
+      std::cerr << "\n";
+      continue;
+    }
+    for (const saf::rt::ClusterNodeOutcome& node : res.nodes) {
+      if (node.launched && node.decided) {
+        latencies_ms.push_back(static_cast<double>(node.decision_ms));
+        ++decisions;
+      }
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  saf::sweep::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("saf-bench-rt-v1");
+  w.key("protocol").value(cfg.protocol);
+  w.key("n").value(cfg.n);
+  w.key("t").value(cfg.t);
+  w.key("k").value(cfg.k);
+  w.key("crash").value(cfg.crash);
+  w.key("rounds").value(rounds);
+  w.key("failed_rounds").value(failed_rounds);
+  w.key("decisions").value(decisions);
+  w.key("decision_p50_ms").value(percentile(latencies_ms, 0.50));
+  w.key("decision_p99_ms").value(percentile(latencies_ms, 0.99));
+  w.key("decisions_per_sec")
+      .value(wall_s > 0 ? static_cast<double>(decisions) / wall_s : 0.0);
+  w.key("runs_per_sec")
+      .value(wall_s > 0 ? static_cast<double>(rounds - failed_rounds) / wall_s
+                        : 0.0);
+  w.end_object();
+  saf::sweep::write_file(out_path, w.str() + "\n");
+  std::cout << w.str() << "\n";
+  return failed_rounds == 0 ? 0 : 1;
+}

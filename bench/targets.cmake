@@ -24,3 +24,11 @@ saf_add_bench(bench_thm5_bounds)
 saf_add_bench(bench_baseline_consensus)
 saf_add_bench(bench_repeated_kset)
 saf_add_bench(bench_kset_routes)
+
+# Live-runtime latency bench: forks real UDP clusters, so it is a plain
+# binary (no google-benchmark harness) and lives at the build root,
+# outside the build/bench --benchmark_list_tests sweep.
+add_executable(bench_rt_latency ${CMAKE_SOURCE_DIR}/bench/bench_rt_latency.cpp)
+target_link_libraries(bench_rt_latency PRIVATE saf_rt saf_sweep)
+set_target_properties(bench_rt_latency PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR})

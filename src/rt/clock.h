@@ -1,0 +1,56 @@
+// Clock seam of the live runtime.
+//
+// In the virtual-time simulator, `Time` is a logical delay quantum. In
+// the live runtime (src/rt) the SAME `Time` type means *milliseconds*:
+// one virtual time unit == 1 ms of wall clock, so timeouts, heartbeat
+// periods and trace timestamps read naturally on both substrates.
+//
+// Everything time-dependent in rt (retransmission timers, heartbeat
+// suspicion timeouts, the node's pump cadence) reads time through this
+// interface, so the transport and the heartbeat failure detectors are
+// unit-testable against a hand-advanced TestClock (tests/test_rt_link,
+// tests/test_rt_fd) while production nodes run on the monotonic wall
+// clock.
+#pragma once
+
+#include <chrono>
+
+#include "util/types.h"
+
+namespace saf::rt {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic milliseconds since the clock's epoch (construction, for
+  /// the wall clock).
+  virtual Time now_ms() const = 0;
+};
+
+/// Monotonic wall clock; epoch = construction time, so a node's trace
+/// timestamps start near 0 like a simulator run's.
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  Time now_ms() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Hand-advanced clock for deterministic unit tests.
+class TestClock final : public Clock {
+ public:
+  Time now_ms() const override { return now_; }
+  void advance(Time ms) { now_ += ms; }
+  void set(Time ms) { now_ = ms; }
+
+ private:
+  Time now_ = 0;
+};
+
+}  // namespace saf::rt

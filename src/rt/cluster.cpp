@@ -1,0 +1,291 @@
+#include "rt/cluster.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/invariants.h"
+#include "sweep/bench_json.h"
+#include "util/check.h"
+
+namespace saf::rt {
+
+namespace {
+
+std::string node_result_path(const ClusterConfig& cfg, ProcessId id) {
+  return cfg.out_dir + "/node_" + std::to_string(id) + ".json";
+}
+
+std::string node_trace_path(const ClusterConfig& cfg, ProcessId id) {
+  return cfg.out_dir + "/node_" + std::to_string(id) + ".jsonl";
+}
+
+NodeConfig node_config(const ClusterConfig& cfg, ProcessId id) {
+  NodeConfig nc;
+  nc.id = id;
+  nc.n = cfg.n;
+  nc.t = cfg.t;
+  nc.k = cfg.k;
+  nc.protocol = cfg.protocol;
+  nc.x = cfg.x;
+  nc.y = cfg.y;
+  nc.base_port = cfg.base_port;
+  nc.seed = cfg.seed + static_cast<std::uint64_t>(id);
+  nc.run_for_ms = cfg.run_for_ms;
+  nc.linger_ms = cfg.linger_ms;
+  nc.hb = cfg.hb;
+  nc.link = cfg.link;
+  nc.result_path = node_result_path(cfg, id);
+  if (cfg.trace) nc.trace_path = node_trace_path(cfg, id);
+  return nc;
+}
+
+/// Extracts the integer value of `"t":` from a canonical trace line
+/// (format_event always puts it first); -1 if absent.
+std::int64_t line_time(const std::string& line) {
+  const auto pos = line.find("\"t\":");
+  if (pos == std::string::npos) return -1;
+  return std::atoll(line.c_str() + pos + 4);
+}
+
+/// Merges per-node jsonl traces into one file ordered by timestamp
+/// (ties: node id), each line annotated with its node of origin.
+void merge_traces(const ClusterConfig& cfg, ClusterResult* res) {
+  struct Line {
+    std::int64_t t;
+    ProcessId node;
+    std::string text;
+  };
+  std::vector<Line> all;
+  for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
+    std::ifstream in(node_trace_path(cfg, id));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line.front() != '{') continue;
+      // {"t":...}  ->  {"node":<id>,"t":...}
+      std::string tagged =
+          "{\"node\":" + std::to_string(id) + "," + line.substr(1);
+      all.push_back({line_time(line), id, std::move(tagged)});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Line& a, const Line& b) {
+    return a.t != b.t ? a.t < b.t : a.node < b.node;
+  });
+  const std::string path = cfg.out_dir + "/trace_merged.jsonl";
+  std::ofstream out(path);
+  for (const Line& l : all) out << l.text << "\n";
+  res->merged_trace_path = path;
+}
+
+void check_kset_contract(const ClusterConfig& cfg, ClusterResult* res) {
+  // Synthesize the KSetRunResult fields kset_invariants reads from the
+  // per-node outcomes; the checker is then byte-for-byte the one the
+  // simulator harness uses.
+  core::KSetRunConfig kcfg;
+  kcfg.n = cfg.n;
+  kcfg.t = cfg.t;
+  kcfg.k = cfg.k;
+  core::KSetRunResult kres;
+  std::set<std::int64_t> proposed;
+  for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
+    proposed.insert(100 + id);  // run_node's default proposal
+  }
+  std::set<std::int64_t> decided_values;
+  kres.validity = true;
+  kres.all_correct_decided = true;
+  for (const ClusterNodeOutcome& node : res->nodes) {
+    if (!node.launched) continue;
+    if (!node.decided) {
+      kres.all_correct_decided = false;
+      continue;
+    }
+    decided_values.insert(node.decision);
+    if (proposed.count(node.decision) == 0) kres.validity = false;
+    if (res->max_decision_ms == kNeverTime ||
+        node.decision_ms > res->max_decision_ms) {
+      res->max_decision_ms = node.decision_ms;
+    }
+  }
+  res->distinct_decided = static_cast<int>(decided_values.size());
+  kres.distinct_decided = res->distinct_decided;
+  kres.agreement_k = res->distinct_decided <= cfg.k;
+  for (const core::InvariantViolation& v :
+       core::kset_invariants(kcfg, kres)) {
+    res->violations.push_back(v.invariant + ": " + v.detail);
+  }
+}
+
+void check_wheels_contract(const ClusterConfig& cfg, ClusterResult* res) {
+  // End-state slice of the Ω_z axioms: all launched nodes share a final
+  // trusted set of size in [1, z] containing a launched (correct) id.
+  // (The full eventual axioms over histories are checked deterministically
+  // in tests/test_rt_fd.cpp; a live run can only witness the end state.)
+  const int z = cfg.t + 2 - cfg.x - cfg.y;
+  std::set<std::uint64_t> masks;
+  for (const ClusterNodeOutcome& node : res->nodes) {
+    if (node.launched) masks.insert(node.final_trusted_mask);
+  }
+  if (masks.size() != 1) {
+    res->violations.push_back("wheels/omega: nodes disagree on trusted set");
+    return;
+  }
+  const ProcSet trusted(*masks.begin());
+  if (trusted.empty() || trusted.size() > z) {
+    res->violations.push_back("wheels/omega: |trusted| outside [1, z]");
+  }
+  bool has_correct = false;
+  for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
+    if (trusted.contains(id)) has_correct = true;
+  }
+  if (!has_correct) {
+    res->violations.push_back("wheels/omega: trusted set has no correct id");
+  }
+}
+
+}  // namespace
+
+ClusterResult run_cluster(const ClusterConfig& cfg) {
+  SAF_CHECK(cfg.n >= 2 && cfg.n <= kMaxProcs);
+  SAF_CHECK(cfg.crash >= 0 && cfg.crash <= cfg.t);
+  ClusterResult res;
+  ::mkdir(cfg.out_dir.c_str(), 0755);  // EEXIST is fine
+
+  res.nodes.assign(static_cast<std::size_t>(cfg.n), {});
+  for (ProcessId id = 0; id < cfg.n; ++id) res.nodes[id].id = id;
+
+  std::vector<std::pair<ProcessId, pid_t>> children;
+  for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
+    // Stale artifacts from a previous run must not be readable as this
+    // run's results.
+    ::unlink(node_result_path(cfg, id).c_str());
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      res.detail = "fork failed";
+      for (auto& [cid, cpid] : children) ::kill(cpid, SIGKILL);
+      return res;
+    }
+    if (pid == 0) {
+      const NodeResult nres = run_node(node_config(cfg, id));
+      ::_exit(nres.ok ? 0 : 3);
+    }
+    children.emplace_back(id, pid);
+    res.nodes[id].launched = true;
+  }
+
+  // Reap with a wall deadline: per-node budget + slack for fork/teardown.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg.run_for_ms + 5000);
+  bool all_ok = true;
+  while (!children.empty()) {
+    for (std::size_t i = 0; i < children.size();) {
+      int status = 0;
+      const pid_t r = ::waitpid(children[i].second, &status, WNOHANG);
+      if (r == children[i].second) {
+        res.nodes[children[i].first].exited_ok =
+            WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        all_ok = all_ok && res.nodes[children[i].first].exited_ok;
+        children.erase(children.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (children.empty()) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::ostringstream os;
+      os << "wall budget exceeded; killed nodes:";
+      for (auto& [cid, cpid] : children) {
+        os << " " << cid;
+        ::kill(cpid, SIGKILL);
+        ::waitpid(cpid, nullptr, 0);
+      }
+      res.detail = os.str();
+      all_ok = false;
+      children.clear();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  res.ok = all_ok;
+
+  for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
+    ClusterNodeOutcome& node = res.nodes[id];
+    try {
+      const sweep::FlatJson j =
+          sweep::load_json_numbers(node_result_path(cfg, id));
+      auto get = [&](const char* key) {
+        const auto it = j.find(key);
+        return it == j.end() ? 0.0 : it->second;
+      };
+      node.decided = get("decided") != 0.0;
+      node.decision = static_cast<std::int64_t>(get("decision"));
+      node.decision_ms = static_cast<Time>(get("decision_ms"));
+      node.final_trusted_mask =
+          static_cast<std::uint64_t>(get("final_trusted_mask"));
+      node.final_suspected_mask =
+          static_cast<std::uint64_t>(get("final_suspected_mask"));
+    } catch (const std::exception& e) {
+      res.ok = false;
+      if (res.detail.empty()) {
+        res.detail = "node " + std::to_string(id) + " result: " + e.what();
+      }
+    }
+  }
+
+  if (cfg.protocol == "kset") {
+    check_kset_contract(cfg, &res);
+  } else {
+    check_wheels_contract(cfg, &res);
+  }
+  if (cfg.trace) merge_traces(cfg, &res);
+  return res;
+}
+
+std::string cluster_result_json(const ClusterConfig& cfg,
+                                const ClusterResult& res) {
+  sweep::JsonWriter w;
+  w.begin_object();
+  w.key("protocol").value(cfg.protocol);
+  w.key("n").value(cfg.n);
+  w.key("t").value(cfg.t);
+  w.key("k").value(cfg.k);
+  w.key("crash").value(cfg.crash);
+  w.key("ok").value(res.ok);
+  w.key("contract_ok").value(res.contract_ok());
+  w.key("distinct_decided").value(res.distinct_decided);
+  w.key("max_decision_ms")
+      .value(static_cast<std::int64_t>(res.max_decision_ms));
+  w.key("violations").begin_array();
+  for (const std::string& v : res.violations) w.value(v);
+  w.end_array();
+  w.key("nodes").begin_array();
+  for (const ClusterNodeOutcome& node : res.nodes) {
+    w.begin_object();
+    w.key("id").value(static_cast<std::int64_t>(node.id));
+    w.key("launched").value(node.launched);
+    w.key("exited_ok").value(node.exited_ok);
+    w.key("decided").value(node.decided);
+    w.key("decision").value(node.decision);
+    w.key("decision_ms").value(static_cast<std::int64_t>(node.decision_ms));
+    w.key("final_trusted_mask").value(node.final_trusted_mask);
+    w.key("final_suspected_mask").value(node.final_suspected_mask);
+    w.end_object();
+  }
+  w.end_array();
+  if (!res.merged_trace_path.empty()) {
+    w.key("merged_trace").value(res.merged_trace_path);
+  }
+  if (!res.detail.empty()) w.key("detail").value(res.detail);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace saf::rt

@@ -1,0 +1,77 @@
+// Loopback cluster launcher: fork n live nodes, wait, check the
+// protocol contract.
+//
+// This is the rt counterpart of the run_* harnesses in core/: it
+// launches one OS process per protocol node (each running rt/node.h
+// over UDP on 127.0.0.1), collects the per-node result JSONs, and
+// feeds a synthesized KSetRunResult through the same
+// core::kset_invariants checker the simulator harnesses use — so "the
+// live cluster reached k-set agreement" means exactly what it means
+// for a simulated run. Crashes are initial: the lowest `crash` ids are
+// simply never launched (the AS_{n,t} model's hardest-to-distinguish
+// crash is the one that happened before the first step), which forces
+// the survivors' heartbeat detectors — not any launcher-side ground
+// truth — to account for the missing processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/node.h"
+#include "util/types.h"
+
+namespace saf::rt {
+
+struct ClusterConfig {
+  int n = 5;
+  int t = 2;
+  int k = 2;
+  std::string protocol = "kset";  ///< "kset" | "wheels"
+  int x = 2;                      ///< wheels: ◇S_x scope
+  int y = 1;                      ///< wheels: ◇φ_y class index
+  int crash = 0;  ///< initial crashes: ids 0..crash-1 are never launched
+  std::uint16_t base_port = 47400;
+  std::uint64_t seed = 1;
+  Time run_for_ms = 15'000;  ///< per-node wall budget
+  Time linger_ms = 750;
+  HeartbeatParams hb;
+  UdpLinkParams link;
+  /// Directory for per-node result/trace files (created if missing).
+  std::string out_dir = "rt_cluster_out";
+  bool trace = false;  ///< per-node jsonl traces + a merged trace
+};
+
+struct ClusterNodeOutcome {
+  ProcessId id = -1;
+  bool launched = false;
+  bool exited_ok = false;  ///< exit status 0 within the wall budget
+  bool decided = false;
+  std::int64_t decision = INT64_MIN;
+  Time decision_ms = kNeverTime;
+  std::uint64_t final_trusted_mask = 0;
+  std::uint64_t final_suspected_mask = 0;
+};
+
+struct ClusterResult {
+  bool ok = false;  ///< every launched node exited cleanly in budget
+  /// Protocol-contract violations (empty = the contract held). kset:
+  /// validity / agreement / termination via core::kset_invariants;
+  /// wheels: final-output Ω_z axioms.
+  std::vector<std::string> violations;
+  std::vector<ClusterNodeOutcome> nodes;
+  int distinct_decided = 0;
+  Time max_decision_ms = kNeverTime;  ///< slowest decider (kset)
+  std::string merged_trace_path;      ///< set when cfg.trace
+  std::string detail;                 ///< human-readable failure context
+
+  bool contract_ok() const { return ok && violations.empty(); }
+};
+
+ClusterResult run_cluster(const ClusterConfig& cfg);
+
+/// Flat JSON summary of a cluster run (the rt_cluster CLI's output).
+std::string cluster_result_json(const ClusterConfig& cfg,
+                                const ClusterResult& res);
+
+}  // namespace saf::rt

@@ -1,0 +1,273 @@
+#include "rt/codec.h"
+
+#include "core/kset_agreement.h"
+#include "core/lower_wheel.h"
+#include "core/upper_wheel.h"
+#include "sim/reliable_broadcast.h"
+
+namespace saf::rt {
+
+namespace {
+
+// Stable wire type ids — part of the datagram format, never reordered.
+enum : std::uint8_t {
+  kPhase1 = 1,
+  kPhase2 = 2,
+  kDecision = 3,
+  kRbEnvelope = 4,
+  kRbAck = 5,
+  kXMove = 6,
+  kInquiry = 7,
+  kResponse = 8,
+  kLMove = 9,
+  kHeartbeat = 10,
+};
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(std::vector<std::uint8_t>* out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_i32(std::vector<std::uint8_t>* out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian reader; `ok` latches any overrun.
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (left < 1) {
+      ok = false;
+      return 0;
+    }
+    --left;
+    return *p++;
+  }
+  std::uint32_t u32() {
+    if (left < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(*p++) << (8 * i);
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (left < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+    left -= 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+};
+
+}  // namespace
+
+bool encode_message(const sim::Message& m, std::vector<std::uint8_t>* out) {
+  if (const auto* p1 = dynamic_cast<const core::Phase1Msg*>(&m)) {
+    out->push_back(kPhase1);
+    put_i32(out, p1->sender);
+    put_i32(out, p1->round);
+    put_u64(out, p1->leaders.mask());
+    put_i64(out, p1->est);
+    put_i32(out, p1->instance);
+    return true;
+  }
+  if (const auto* p2 = dynamic_cast<const core::Phase2Msg*>(&m)) {
+    out->push_back(kPhase2);
+    put_i32(out, p2->sender);
+    put_i32(out, p2->round);
+    put_i64(out, p2->aux);
+    put_i32(out, p2->instance);
+    return true;
+  }
+  if (const auto* d = dynamic_cast<const core::DecisionMsg*>(&m)) {
+    out->push_back(kDecision);
+    put_i32(out, d->sender);
+    put_i64(out, d->value);
+    put_i32(out, d->instance);
+    return true;
+  }
+  if (const auto* env = dynamic_cast<const sim::RbEnvelope*>(&m)) {
+    out->push_back(kRbEnvelope);
+    put_i32(out, env->sender);  // transport-level sender (origin/forwarder)
+    put_i32(out, env->origin);
+    put_u64(out, env->origin_seq);
+    return env->inner != nullptr && encode_message(*env->inner, out);
+  }
+  if (const auto* ack = dynamic_cast<const sim::RbAckMsg*>(&m)) {
+    out->push_back(kRbAck);
+    put_i32(out, ack->sender);
+    put_i32(out, ack->origin);
+    put_u64(out, ack->origin_seq);
+    return true;
+  }
+  if (const auto* x = dynamic_cast<const core::XMoveMsg*>(&m)) {
+    out->push_back(kXMove);
+    put_i32(out, x->sender);
+    put_i32(out, x->leader);
+    put_u64(out, x->set.mask());
+    return true;
+  }
+  if (const auto* q = dynamic_cast<const core::InquiryMsg*>(&m)) {
+    out->push_back(kInquiry);
+    put_i32(out, q->sender);
+    put_u64(out, q->attempt);
+    return true;
+  }
+  if (const auto* r = dynamic_cast<const core::ResponseMsg*>(&m)) {
+    out->push_back(kResponse);
+    put_i32(out, r->sender);
+    put_u64(out, r->attempt);
+    put_i32(out, r->repr);
+    return true;
+  }
+  if (const auto* l = dynamic_cast<const core::LMoveMsg*>(&m)) {
+    out->push_back(kLMove);
+    put_i32(out, l->sender);
+    put_u64(out, l->inner.mask());
+    put_u64(out, l->outer.mask());
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+const sim::Message* decode_inner(Reader& r, util::Arena& arena, int depth);
+
+template <typename M>
+const sim::Message* stamped(util::Arena& arena, ProcessId sender, M msg) {
+  auto* m = arena.create<M>(std::move(msg));
+  m->sender = sender;
+  return m;
+}
+
+const sim::Message* decode_inner(Reader& r, util::Arena& arena, int depth) {
+  const std::uint8_t type = r.u8();
+  const auto sender = static_cast<ProcessId>(r.i32());
+  if (!r.ok) return nullptr;
+  switch (type) {
+    case kPhase1: {
+      const auto round = static_cast<int>(r.i32());
+      // Parenthesized: ProcSet{u64} would pick the initializer-list
+      // ctor and build {mask-as-id}, not the set the mask encodes.
+      const ProcSet leaders(r.u64());
+      const std::int64_t est = r.i64();
+      const auto instance = static_cast<int>(r.i32());
+      if (!r.ok || est == core::kNoValue) return nullptr;
+      return stamped(arena, sender,
+                     core::Phase1Msg{round, leaders, est, instance});
+    }
+    case kPhase2: {
+      const auto round = static_cast<int>(r.i32());
+      const std::int64_t aux = r.i64();
+      const auto instance = static_cast<int>(r.i32());
+      if (!r.ok) return nullptr;
+      return stamped(arena, sender, core::Phase2Msg{round, aux, instance});
+    }
+    case kDecision: {
+      const std::int64_t value = r.i64();
+      const auto instance = static_cast<int>(r.i32());
+      if (!r.ok) return nullptr;
+      return stamped(arena, sender, core::DecisionMsg{value, instance});
+    }
+    case kRbEnvelope: {
+      if (depth > 0) return nullptr;  // envelopes never nest
+      const auto origin = static_cast<ProcessId>(r.i32());
+      const std::uint64_t origin_seq = r.u64();
+      if (!r.ok) return nullptr;
+      const sim::Message* inner = decode_inner(r, arena, depth + 1);
+      if (inner == nullptr) return nullptr;
+      auto* env = arena.create<sim::RbEnvelope>();
+      env->sender = sender;
+      env->origin = origin;
+      env->origin_seq = origin_seq;
+      env->inner = inner;
+      return env;
+    }
+    case kRbAck: {
+      const auto origin = static_cast<ProcessId>(r.i32());
+      const std::uint64_t origin_seq = r.u64();
+      if (!r.ok) return nullptr;
+      auto* ack = arena.create<sim::RbAckMsg>();
+      ack->sender = sender;
+      ack->origin = origin;
+      ack->origin_seq = origin_seq;
+      return ack;
+    }
+    case kXMove: {
+      const auto leader = static_cast<ProcessId>(r.i32());
+      const ProcSet set(r.u64());
+      if (!r.ok) return nullptr;
+      return stamped(arena, sender, core::XMoveMsg{leader, set});
+    }
+    case kInquiry: {
+      const std::uint64_t attempt = r.u64();
+      if (!r.ok) return nullptr;
+      return stamped(arena, sender, core::InquiryMsg{attempt});
+    }
+    case kResponse: {
+      const std::uint64_t attempt = r.u64();
+      const auto repr = static_cast<ProcessId>(r.i32());
+      if (!r.ok) return nullptr;
+      return stamped(arena, sender, core::ResponseMsg{attempt, repr});
+    }
+    case kLMove: {
+      const ProcSet inner(r.u64());
+      const ProcSet outer(r.u64());
+      if (!r.ok) return nullptr;
+      return stamped(arena, sender, core::LMoveMsg{inner, outer});
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+const sim::Message* decode_message(const std::uint8_t* data, std::size_t len,
+                                   util::Arena& arena) {
+  Reader r{data, len};
+  const sim::Message* m = decode_inner(r, arena, 0);
+  // Trailing bytes mean the buffer is not one well-formed message.
+  if (m == nullptr || r.left != 0) return nullptr;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_heartbeat(std::uint64_t hb_seq) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kHeartbeat);
+  put_u64(&out, hb_seq);
+  return out;
+}
+
+bool decode_heartbeat(const std::uint8_t* data, std::size_t len,
+                      std::uint64_t* hb_seq) {
+  if (len != 9 || data[0] != kHeartbeat) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data[1 + i]) << (8 * i);
+  }
+  *hb_seq = v;
+  return true;
+}
+
+}  // namespace saf::rt

@@ -1,0 +1,94 @@
+#include "rt/heartbeat_fd.h"
+
+#include "util/check.h"
+
+namespace saf::rt {
+
+HeartbeatMonitor::HeartbeatMonitor(ProcessId self, int n, const Clock& clock,
+                                   HeartbeatParams params)
+    : self_(self), n_(n), clock_(clock), params_(params) {
+  SAF_CHECK(self >= 0 && self < n);
+  SAF_CHECK_MSG(params.hb_period >= 1 && params.timeout_initial >= 1,
+                "HeartbeatMonitor: periods must be positive");
+  // Everyone starts "heard from now": a peer gets a full timeout to
+  // produce its first heartbeat before suspicion can begin.
+  last_heard_.assign(static_cast<std::size_t>(n), clock_.now_ms());
+  timeout_.assign(static_cast<std::size_t>(n), params.timeout_initial);
+  next_hb_ = clock_.now_ms();
+}
+
+void HeartbeatMonitor::on_heartbeat(ProcessId from) {
+  if (from < 0 || from >= n_ || from == self_) return;
+  const auto idx = static_cast<std::size_t>(from);
+  last_heard_[idx] = clock_.now_ms();
+  if (suspected_.contains(from)) {
+    // False suspicion: the peer is alive, our timeout was too eager.
+    suspected_.erase(from);
+    timeout_[idx] += params_.timeout_increment;
+    if (timeout_[idx] > params_.timeout_max) timeout_[idx] = params_.timeout_max;
+    history_.record(clock_.now_ms(), suspected_);
+  }
+}
+
+void HeartbeatMonitor::tick() {
+  const Time now = clock_.now_ms();
+  bool changed = false;
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (p == self_ || suspected_.contains(p)) continue;
+    const auto idx = static_cast<std::size_t>(p);
+    if (now - last_heard_[idx] > timeout_[idx]) {
+      suspected_.insert(p);
+      changed = true;
+    }
+  }
+  if (changed) history_.record(now, suspected_);
+}
+
+bool HeartbeatMonitor::heartbeat_due() {
+  const Time now = clock_.now_ms();
+  if (now < next_hb_) return false;
+  next_hb_ = now + params_.hb_period;
+  return true;
+}
+
+Time HeartbeatMonitor::timeout_of(ProcessId peer) const {
+  SAF_CHECK(peer >= 0 && peer < n_);
+  return timeout_[static_cast<std::size_t>(peer)];
+}
+
+ProcSet HeartbeatSuspect::suspected(ProcessId i, Time now) const {
+  (void)i;
+  (void)now;
+  return monitor_.suspected_now();
+}
+
+ProcSet HeartbeatOmega::leaders_from_suspected(ProcSet suspected, int n, int z,
+                                               ProcessId self) {
+  ProcSet leaders;
+  for (ProcessId p = 0; p < n && leaders.size() < z; ++p) {
+    if (!suspected.contains(p)) leaders.insert(p);
+  }
+  if (leaders.empty()) leaders.insert(self);
+  return leaders;
+}
+
+ProcSet HeartbeatOmega::trusted(ProcessId i, Time now) const {
+  (void)i;
+  (void)now;
+  return leaders_from_suspected(monitor_.suspected_now(), monitor_.n(), z_,
+                                monitor_.self());
+}
+
+bool HeartbeatPhi::query(ProcessId i, ProcSet x, Time now) const {
+  (void)i;
+  (void)now;
+  const int size = x.size();
+  // Triviality rules of Definition φ_y (perpetual).
+  if (size <= t_ - y_) return true;
+  if (size > t_) return false;
+  // Informative size: "all of X crashed", to the monitor's best
+  // knowledge. Eventual accuracy inherits from the monitor's.
+  return (x - monitor_.suspected_now()).empty();
+}
+
+}  // namespace saf::rt

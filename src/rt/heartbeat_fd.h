@@ -1,0 +1,140 @@
+// Heartbeat-implemented failure detectors.
+//
+// The simulator's oracles answer from the run's ground-truth
+// FailurePattern; a live node has no ground truth and must *infer*
+// failures from message behavior. This is the classical heartbeat
+// construction: every node periodically broadcasts an unreliable "I am
+// alive" datagram, and a monitor suspects any peer whose heartbeats
+// stop arriving within an adaptive per-peer timeout. A false suspicion
+// (a heartbeat arrives from a currently-suspected peer) retracts the
+// suspicion and *increases* that peer's timeout, so on any network with
+// some (unknown) bound on delay the monitor converges to ◇P behavior:
+// eventually exactly the crashed peers are suspected, forever.
+//
+// Since ◇P ⊆ ◇S_x for every scope x and Ω_z / ◇φ_y are deterministic
+// functions of an eventually-accurate suspicion set, one monitor feeds
+// all three detector families the paper's protocols consume:
+//
+//   * HeartbeatSuspect — ◇S_x (the suspicion set itself);
+//   * HeartbeatOmega   — Ω_z (the z lowest-id non-suspected processes);
+//   * HeartbeatPhi     — ◇φ_y (suspected-set containment plus the
+//                        trivial size rules of Definition φ_y).
+//
+// All three implement the fd:: oracle interfaces, so core/ protocol
+// code (kset_agreement.cpp, two_wheels.cpp) runs against them
+// unmodified — the detector choice is a harness-layer concern. One
+// honest deviation from the sim oracles' contract: an oracle here is a
+// pure function of time only *between monitor ticks* (the output steps
+// when tick()/on_heartbeat() run, not continuously), which matches how
+// the rt node samples them — once per pump iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/oracle.h"
+#include "rt/clock.h"
+#include "util/trace.h"
+#include "util/types.h"
+
+namespace saf::rt {
+
+struct HeartbeatParams {
+  Time hb_period = 20;         ///< ms between heartbeat broadcasts
+  Time timeout_initial = 100;  ///< starting suspicion timeout per peer
+  Time timeout_increment = 50; ///< added on each false suspicion
+  Time timeout_max = 5000;     ///< adaptive-timeout ceiling
+};
+
+/// One node's suspicion engine. Not an oracle itself — the adapters
+/// below project its state onto the fd:: interfaces.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(ProcessId self, int n, const Clock& clock,
+                   HeartbeatParams params = {});
+
+  /// Records a heartbeat arrival from `from`. If `from` was suspected,
+  /// the suspicion was false: retract it and grow the peer's timeout.
+  void on_heartbeat(ProcessId from);
+
+  /// Re-evaluates timeouts against the clock; peers silent for longer
+  /// than their timeout become suspected. Call once per pump iteration.
+  void tick();
+
+  /// True when the node should broadcast its next heartbeat; arms the
+  /// following deadline when it fires.
+  bool heartbeat_due();
+
+  ProcSet suspected_now() const { return suspected_; }
+  Time timeout_of(ProcessId peer) const;
+
+  /// Full suspicion history (step function of clock time) for the
+  /// fd/checkers.h axiom checkers.
+  const util::StepTrace<ProcSet>& history() const { return history_; }
+
+  const HeartbeatParams& params() const { return params_; }
+  ProcessId self() const { return self_; }
+  int n() const { return n_; }
+
+ private:
+  ProcessId self_;
+  int n_;
+  const Clock& clock_;
+  HeartbeatParams params_;
+  std::vector<Time> last_heard_;  ///< per peer; start time for everyone
+  std::vector<Time> timeout_;    ///< per peer, adaptive
+  ProcSet suspected_;
+  Time next_hb_ = 0;
+  util::StepTrace<ProcSet> history_;
+};
+
+/// ◇S_x view: the monitor's suspicion set. The scope x is a property
+/// the *history* satisfies (checked by check_suspect_oracle), not a
+/// knob of the implementation — a ◇P-quality set satisfies every x.
+class HeartbeatSuspect final : public fd::SuspectOracle {
+ public:
+  explicit HeartbeatSuspect(const HeartbeatMonitor& monitor)
+      : monitor_(monitor) {}
+  ProcSet suspected(ProcessId i, Time now) const override;
+
+ private:
+  const HeartbeatMonitor& monitor_;
+};
+
+/// Ω_z view: the z lowest-id processes the monitor does not suspect.
+/// Deterministic in the suspicion set, so once every correct node's
+/// monitor stabilizes to the true crash set, all correct nodes output
+/// the same leader set — which contains the lowest-id correct process.
+class HeartbeatOmega final : public fd::LeaderOracle {
+ public:
+  HeartbeatOmega(const HeartbeatMonitor& monitor, int z)
+      : monitor_(monitor), z_(z) {}
+  ProcSet trusted(ProcessId i, Time now) const override;
+
+  /// The projection itself, shared with tests: first `z` members of
+  /// {0..n-1} \ suspected, falling back to {self} if fewer than one
+  /// survives (cannot happen live — a monitor never suspects itself).
+  static ProcSet leaders_from_suspected(ProcSet suspected, int n, int z,
+                                        ProcessId self);
+
+ private:
+  const HeartbeatMonitor& monitor_;
+  int z_;
+};
+
+/// ◇φ_y view (Definition φ_y): |X| <= t-y is trivially alive-ish
+/// (true), |X| > t trivially contains a correct process (false), and an
+/// informative size answers "all of X crashed" from the suspicion set.
+class HeartbeatPhi final : public fd::QueryOracle {
+ public:
+  HeartbeatPhi(const HeartbeatMonitor& monitor, int t, int y)
+      : monitor_(monitor), t_(t), y_(y) {}
+  bool query(ProcessId i, ProcSet x, Time now) const override;
+
+ private:
+  const HeartbeatMonitor& monitor_;
+  int t_;
+  int y_;
+};
+
+}  // namespace saf::rt

@@ -1,0 +1,212 @@
+#include "rt/node.h"
+
+#include <fstream>
+#include <memory>
+
+#include "core/kset_agreement.h"
+#include "core/two_wheels.h"
+#include "rt/clock.h"
+#include "rt/codec.h"
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sweep/bench_json.h"
+#include "trace/trace.h"
+#include "util/check.h"
+
+namespace saf::rt {
+
+namespace {
+
+/// Placeholder for a protocol process living in another OS process.
+/// Never runs a task; traffic addressed to it leaves via the transport
+/// hook before the local delivery path is reached.
+class RemoteStub final : public sim::Process {
+ public:
+  using Process::Process;
+  void boot() override {}
+};
+
+/// The outbound seam: sends addressed to non-local ids are encoded and
+/// carried by the UdpLink.
+class RtBridge final : public sim::RemoteTransportHook {
+ public:
+  RtBridge(ProcessId self, UdpLink& link) : self_(self), link_(link) {}
+
+  bool forward(ProcessId from, ProcessId to, Time now,
+               const sim::Message& m) override {
+    (void)from;
+    (void)now;
+    if (to == self_) return false;  // local: the engine delivers it
+    buf_.clear();
+    if (!encode_message(m, &buf_)) {
+      // Outside the rt vocabulary — nothing a stub could do with it
+      // anyway; count and swallow.
+      ++encode_failures_;
+      return true;
+    }
+    link_.send(to, buf_);
+    return true;
+  }
+
+  std::uint64_t encode_failures() const { return encode_failures_; }
+
+ private:
+  ProcessId self_;
+  UdpLink& link_;
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t encode_failures_ = 0;
+};
+
+}  // namespace
+
+NodeResult run_node(const NodeConfig& cfg) {
+  SAF_CHECK(cfg.id >= 0 && cfg.id < cfg.n);
+  SAF_CHECK(cfg.protocol == "kset" || cfg.protocol == "wheels");
+  NodeResult res;
+
+  WallClock wall;
+  UdpLink link(cfg.id, cfg.n, cfg.base_port, wall, cfg.link);
+  if (!link.ok()) return res;  // port collision: ok stays false
+
+  HeartbeatMonitor monitor(cfg.id, cfg.n, wall, cfg.hb);
+  HeartbeatSuspect sx(monitor);
+  HeartbeatOmega omega(monitor, cfg.k);
+  HeartbeatPhi phi(monitor, cfg.t, cfg.y);
+
+  sim::SimConfig scfg;
+  scfg.seed = cfg.seed;
+  scfg.n = cfg.n;
+  scfg.t = cfg.t;
+  scfg.tick_period = cfg.tick_period;
+  scfg.horizon = cfg.run_for_ms + cfg.linger_ms + 1000;
+  sim::Simulator sim(scfg, sim::CrashPlan{},
+                     std::make_unique<sim::FixedDelay>(1));
+
+  std::ofstream trace_out;
+  std::unique_ptr<trace::JsonlSink> sink;
+  trace::MetricsRegistry metrics;
+  if (!cfg.trace_path.empty()) {
+    trace_out.open(cfg.trace_path);
+    sink = std::make_unique<trace::JsonlSink>(trace_out);
+    sim.set_trace(sink.get(), &metrics);
+  }
+
+  // Wheels plumbing (constructed even for kset — cheap, and keeps the
+  // setup code straight-line).
+  const int wheels_z = cfg.t + 2 - cfg.x - cfg.y;
+  const int outer = cfg.t - cfg.y + 1;
+  util::MemberRing xring(cfg.n, cfg.x);
+  util::SubsetPairRing lring(cfg.n, outer,
+                             wheels_z >= 1 ? wheels_z : 1);
+  fd::EmulatedReprStore repr_store(cfg.n);
+  fd::EmulatedLeaderStore leader_store(cfg.n);
+
+  const std::int64_t proposal =
+      cfg.proposal == core::kNoValue ? 100 + cfg.id : cfg.proposal;
+
+  core::KSetProcess* kproc = nullptr;
+  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+    if (pid != cfg.id) {
+      sim.add_process(std::make_unique<RemoteStub>(pid, cfg.n, cfg.t));
+    } else if (cfg.protocol == "kset") {
+      auto p = std::make_unique<core::KSetProcess>(pid, cfg.n, cfg.t, omega,
+                                                   proposal);
+      kproc = p.get();
+      sim.add_process(std::move(p));
+    } else {
+      sim.add_process(std::make_unique<core::TwoWheelsProcess>(
+          pid, cfg.n, cfg.t, xring, lring, sx, phi, repr_store,
+          leader_store));
+    }
+  }
+
+  RtBridge bridge(cfg.id, link);
+  sim.network().set_remote_hook(&bridge);
+
+  std::uint64_t hb_seq = 0;
+  const UdpLink::DeliverFn deliver = [&](ProcessId from,
+                                         const std::uint8_t* data,
+                                         std::size_t len) {
+    std::uint64_t seq = 0;
+    if (decode_heartbeat(data, len, &seq)) {
+      monitor.on_heartbeat(from);
+      return;
+    }
+    const sim::Message* m = decode_message(data, len, sim.arena());
+    if (m != nullptr) sim.inject_deliver(cfg.id, m);
+  };
+
+  Time decided_at = kNeverTime;
+  for (;;) {
+    const Time now = wall.now_ms();
+    if (now >= cfg.run_for_ms) break;
+    if (monitor.heartbeat_due()) {
+      const std::vector<std::uint8_t> hb = encode_heartbeat(hb_seq++);
+      for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+        if (pid != cfg.id) link.send_unreliable(pid, hb);
+      }
+      ++res.heartbeats_sent;
+    }
+    link.poll(deliver);
+    monitor.tick();
+    link.maintain();
+    sim.pump(now);
+    if (kproc != nullptr && decided_at == kNeverTime &&
+        kproc->core().decided()) {
+      decided_at = now;
+    }
+    if (decided_at != kNeverTime && now - decided_at >= cfg.linger_ms &&
+        link.pending() == 0) {
+      break;
+    }
+    link.wait_readable(1);
+  }
+
+  res.ok = true;
+  if (kproc != nullptr) {
+    res.decided = kproc->core().decided();
+    res.decision = kproc->core().decision();
+    res.decision_ms = kproc->core().decision_time();
+    res.decision_round = kproc->core().decision_round();
+    res.final_trusted = omega.trusted(cfg.id, wall.now_ms());
+  } else {
+    res.final_trusted = leader_store.trusted(cfg.id, wall.now_ms());
+  }
+  res.final_suspected = monitor.suspected_now();
+  res.events_processed = sim.events_processed();
+  res.link_stats = link.stats();
+
+  if (!cfg.result_path.empty()) {
+    sweep::write_file(cfg.result_path, node_result_json(cfg, res));
+  }
+  return res;
+}
+
+std::string node_result_json(const NodeConfig& cfg, const NodeResult& res) {
+  sweep::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<std::int64_t>(cfg.id));
+  w.key("protocol").value(cfg.protocol);
+  w.key("ok").value(res.ok);
+  w.key("decided").value(res.decided);
+  w.key("decision").value(res.decision);
+  w.key("decision_ms").value(static_cast<std::int64_t>(res.decision_ms));
+  w.key("decision_round").value(res.decision_round);
+  w.key("final_suspected_mask")
+      .value(static_cast<std::uint64_t>(res.final_suspected.mask()));
+  w.key("final_trusted_mask")
+      .value(static_cast<std::uint64_t>(res.final_trusted.mask()));
+  w.key("events_processed").value(res.events_processed);
+  w.key("heartbeats_sent").value(res.heartbeats_sent);
+  w.key("datagrams_sent").value(res.link_stats.datagrams_sent);
+  w.key("datagrams_received").value(res.link_stats.datagrams_received);
+  w.key("retransmits").value(res.link_stats.retransmits);
+  w.key("dups_dropped").value(res.link_stats.dups_dropped);
+  w.key("acks_sent").value(res.link_stats.acks_sent);
+  w.key("abandoned").value(res.link_stats.abandoned);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace saf::rt

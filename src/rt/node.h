@@ -1,0 +1,84 @@
+// One live protocol node: a wall-clock process driving the unmodified
+// core/ protocols over UDP.
+//
+// The trick that keeps core/ protocol sources untouched is an *embedded
+// simulator*: each OS process hosts a Simulator with the full process
+// table, but only its own id is a real protocol process — the other
+// n-1 slots are inert RemoteStubs. Three seams splice the engine onto
+// the real world:
+//
+//   * outbound — a sim::RemoteTransportHook on the embedded Network
+//     intercepts every send addressed to a non-local id, flattens the
+//     message through rt/codec and hands it to the UdpLink (exactly
+//     once, end to end: the link retransmits and dedups);
+//   * inbound  — datagrams decode into the simulator's arena and enter
+//     through Simulator::inject_deliver, so handlers, reliable-
+//     broadcast interception and coroutine wakeups behave exactly as
+//     in a simulated run;
+//   * time     — the main loop calls Simulator::pump(now_ms) so virtual
+//     time tracks the wall clock (1 virtual unit == 1 ms); ticks,
+//     sleeps and wait predicates fire at their real-time instants.
+//
+// The failure detectors the protocols consume are the heartbeat
+// implementations (rt/heartbeat_fd.h) — the detector choice lives
+// here, in the harness, not in the protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/heartbeat_fd.h"
+#include "rt/udp_link.h"
+#include "util/types.h"
+
+namespace saf::rt {
+
+struct NodeConfig {
+  ProcessId id = 0;
+  int n = 5;
+  int t = 2;
+  int k = 2;  ///< agreement bound; the Ω oracle is built with z = k
+  /// "kset" (Fig 3 over heartbeat-Ω_z) or "wheels" (the two-wheels
+  /// construction over heartbeat-◇S_x + heartbeat-◇φ_y).
+  std::string protocol = "kset";
+  int x = 2;  ///< wheels: ◇S_x scope
+  int y = 1;  ///< wheels: ◇φ_y class index
+  std::uint16_t base_port = 47400;
+  /// Value this node proposes (kset); kNoValue means "default 100+id".
+  std::int64_t proposal = INT64_MIN;
+  std::uint64_t seed = 1;
+  Time run_for_ms = 15'000;  ///< wall budget; also the sim horizon
+  /// After deciding, keep serving acks / RB forwards this long so
+  /// slower peers can still finish (a decided node that exits at once
+  /// would look crashed to everyone else).
+  Time linger_ms = 750;
+  Time tick_period = 5;
+  HeartbeatParams hb;
+  UdpLinkParams link;
+  std::string trace_path;   ///< jsonl trace file; empty = no trace
+  std::string result_path;  ///< result JSON file; empty = stdout
+};
+
+struct NodeResult {
+  bool ok = false;       ///< socket bound and the run completed
+  bool decided = false;  ///< kset only
+  std::int64_t decision = INT64_MIN;
+  Time decision_ms = kNeverTime;
+  int decision_round = 0;
+  ProcSet final_suspected;  ///< monitor output at shutdown
+  ProcSet final_trusted;    ///< Ω view at shutdown (kset: heartbeat-Ω;
+                            ///< wheels: the emulated store's output)
+  std::uint64_t events_processed = 0;
+  std::uint64_t heartbeats_sent = 0;
+  UdpLinkStats link_stats;
+};
+
+/// Runs one node to completion (decision + linger, or the wall budget).
+NodeResult run_node(const NodeConfig& cfg);
+
+/// Flat single-object JSON of a run's outcome — the contract between
+/// rt_node and the rt_cluster launcher (parsed by
+/// sweep::load_json_numbers on the other side).
+std::string node_result_json(const NodeConfig& cfg, const NodeResult& res);
+
+}  // namespace saf::rt

@@ -1,0 +1,167 @@
+// rt_cluster: launch a loopback cluster of live nodes and check the
+// protocol contract.
+//
+//   rt_cluster --protocol kset --n 5 --k 2 --crash 1
+//
+// forks n-1 rt nodes (the lowest `crash` ids are never launched —
+// initial crashes), waits for them on a wall budget, and verifies
+// k-set agreement / termination with the same core::kset_invariants
+// checker the simulator harnesses use. Prints a JSON summary. Exit
+// status: 0 contract held, 1 a node failed or an invariant was
+// violated, 2 usage error.
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "rt/cluster.h"
+
+namespace {
+
+using saf::rt::ClusterConfig;
+using saf::rt::ClusterResult;
+
+void print_usage(std::ostream& os) {
+  os << "usage: rt_cluster [--protocol kset|wheels] [--n N] [--t T] [--k K]\n"
+        "                  [--x X] [--y Y] [--crash C] [--base-port P]\n"
+        "                  [--seed S] [--run-for-ms MS] [--linger-ms MS]\n"
+        "                  [--hb-period MS] [--hb-timeout MS]\n"
+        "                  [--out-dir DIR] [--trace] [--repeat R] [--help]\n";
+}
+
+int usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "rt_cluster: " << err << "\n";
+  print_usage(std::cerr);
+  return 2;
+}
+
+template <typename Int>
+bool parse_int(const char* flag, const char* v, long long lo, Int* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long raw = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || raw < lo) {
+    std::cerr << "rt_cluster: " << flag << " expects an integer >= " << lo
+              << "\n";
+    return false;
+  }
+  *out = static_cast<Int>(raw);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, ClusterConfig* cfg, int* repeat) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "rt_cluster: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--protocol") {
+      if ((v = value("--protocol")) == nullptr) return false;
+      cfg->protocol = v;
+    } else if (arg == "--n") {
+      if ((v = value("--n")) == nullptr || !parse_int("--n", v, 2, &cfg->n))
+        return false;
+    } else if (arg == "--t") {
+      if ((v = value("--t")) == nullptr || !parse_int("--t", v, 1, &cfg->t))
+        return false;
+    } else if (arg == "--k") {
+      if ((v = value("--k")) == nullptr || !parse_int("--k", v, 1, &cfg->k))
+        return false;
+    } else if (arg == "--x") {
+      if ((v = value("--x")) == nullptr || !parse_int("--x", v, 1, &cfg->x))
+        return false;
+    } else if (arg == "--y") {
+      if ((v = value("--y")) == nullptr || !parse_int("--y", v, 0, &cfg->y))
+        return false;
+    } else if (arg == "--crash") {
+      if ((v = value("--crash")) == nullptr ||
+          !parse_int("--crash", v, 0, &cfg->crash)) {
+        return false;
+      }
+    } else if (arg == "--base-port") {
+      if ((v = value("--base-port")) == nullptr ||
+          !parse_int("--base-port", v, 1024, &cfg->base_port)) {
+        return false;
+      }
+    } else if (arg == "--seed") {
+      if ((v = value("--seed")) == nullptr ||
+          !parse_int("--seed", v, 0, &cfg->seed)) {
+        return false;
+      }
+    } else if (arg == "--run-for-ms") {
+      if ((v = value("--run-for-ms")) == nullptr ||
+          !parse_int("--run-for-ms", v, 1, &cfg->run_for_ms)) {
+        return false;
+      }
+    } else if (arg == "--linger-ms") {
+      if ((v = value("--linger-ms")) == nullptr ||
+          !parse_int("--linger-ms", v, 0, &cfg->linger_ms)) {
+        return false;
+      }
+    } else if (arg == "--hb-period") {
+      if ((v = value("--hb-period")) == nullptr ||
+          !parse_int("--hb-period", v, 1, &cfg->hb.hb_period)) {
+        return false;
+      }
+    } else if (arg == "--hb-timeout") {
+      if ((v = value("--hb-timeout")) == nullptr ||
+          !parse_int("--hb-timeout", v, 1, &cfg->hb.timeout_initial)) {
+        return false;
+      }
+    } else if (arg == "--out-dir") {
+      if ((v = value("--out-dir")) == nullptr) return false;
+      cfg->out_dir = v;
+    } else if (arg == "--trace") {
+      cfg->trace = true;
+    } else if (arg == "--repeat") {
+      if ((v = value("--repeat")) == nullptr ||
+          !parse_int("--repeat", v, 1, repeat)) {
+        return false;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "rt_cluster: unknown flag " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterConfig cfg;
+  int repeat = 1;
+  if (!parse_args(argc, argv, &cfg, &repeat)) return usage();
+  if (cfg.t >= cfg.n) return usage("--t must be < --n");
+  if (cfg.crash > cfg.t) return usage("--crash must be <= --t");
+  if (cfg.protocol != "kset" && cfg.protocol != "wheels") {
+    return usage("--protocol must be kset or wheels");
+  }
+
+  bool failed = false;
+  for (int r = 0; r < repeat; ++r) {
+    const ClusterResult res = saf::rt::run_cluster(cfg);
+    std::cout << saf::rt::cluster_result_json(cfg, res) << "\n";
+    if (!res.contract_ok()) {
+      std::cerr << "rt_cluster: run " << (r + 1) << "/" << repeat
+                << " FAILED";
+      if (!res.detail.empty()) std::cerr << " (" << res.detail << ")";
+      for (const std::string& viol : res.violations) {
+        std::cerr << "\n  violation: " << viol;
+      }
+      std::cerr << "\n";
+      failed = true;
+    } else if (repeat > 1) {
+      std::cerr << "rt_cluster: run " << (r + 1) << "/" << repeat << " ok\n";
+    }
+  }
+  return failed ? 1 : 0;
+}

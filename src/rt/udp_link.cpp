@@ -1,0 +1,248 @@
+#include "rt/udp_link.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace saf::rt {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53414652;  // "SAFR"
+constexpr std::uint8_t kData = 0;
+constexpr std::uint8_t kAck = 1;
+constexpr std::uint8_t kUnreliable = 2;
+constexpr std::size_t kHeader = 4 + 1 + 4 + 8;  // magic, kind, from, seq
+constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+/// Stand-in payload handed to the LinkFaultHook for each transmission
+/// attempt: at this layer the content is opaque bytes, so the hook sees
+/// one fixed tag and nothing corruptible.
+struct RawDatagram final : sim::Message {
+  std::string_view tag() const override { return "udp"; }
+};
+const RawDatagram kRawDatagram{};
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in a{};
+  a.sin_family = AF_INET;
+  a.sin_port = htons(port);
+  a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return a;
+}
+
+}  // namespace
+
+DedupWindow::DedupWindow(std::size_t window)
+    : window_(window), slot_seq_(window, kEmptySlot) {
+  SAF_CHECK_MSG(window >= 1, "DedupWindow: window must be >= 1");
+}
+
+bool DedupWindow::fresh(std::uint64_t seq) {
+  if (any_ && seq + window_ <= newest_) return false;  // aged out: assume seen
+  const std::size_t slot = static_cast<std::size_t>(seq % window_);
+  if (slot_seq_[slot] == seq) return false;
+  slot_seq_[slot] = seq;
+  if (!any_ || seq > newest_) newest_ = seq;
+  any_ = true;
+  return true;
+}
+
+UdpLink::UdpLink(ProcessId self, int n, std::uint16_t base_port,
+                 const Clock& clock, UdpLinkParams params)
+    : self_(self),
+      n_(n),
+      base_port_(base_port),
+      clock_(clock),
+      params_(params) {
+  SAF_CHECK(self >= 0 && self < n);
+  dedup_.assign(static_cast<std::size_t>(n), DedupWindow(params.dedup_window));
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr = loopback_addr(port_of(self));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdpLink::~UdpLink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint16_t UdpLink::port_of(ProcessId id) const {
+  return static_cast<std::uint16_t>(base_port_ + id);
+}
+
+void UdpLink::transmit(ProcessId to, std::uint8_t kind, std::uint64_t seq,
+                       const std::uint8_t* payload, std::size_t len) {
+  if (fd_ < 0) return;
+  int copies = 1;
+  if (fault_hook_ != nullptr) {
+    const sim::LinkFaultAction a =
+        fault_hook_->on_send(self_, to, clock_.now_ms(), kRawDatagram);
+    if (a.drop) {
+      ++stats_.faults_dropped;
+      return;
+    }
+    if (a.duplicate) copies = 2;
+  }
+  std::uint8_t buf[kHeader];
+  put_u32(buf, kMagic);
+  buf[4] = kind;
+  put_u32(buf + 5, static_cast<std::uint32_t>(self_));
+  put_u64(buf + 9, seq);
+  iovec iov[2];
+  iov[0] = {buf, kHeader};
+  iov[1] = {const_cast<std::uint8_t*>(payload), len};
+  sockaddr_in addr = loopback_addr(port_of(to));
+  msghdr msg{};
+  msg.msg_name = &addr;
+  msg.msg_namelen = sizeof(addr);
+  msg.msg_iov = iov;
+  msg.msg_iovlen = len > 0 ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    // Errors (full buffers, dead peer ports) are indistinguishable from
+    // loss to the protocol; the retransmission layer absorbs them.
+    (void)::sendmsg(fd_, &msg, 0);
+    ++stats_.datagrams_sent;
+  }
+}
+
+void UdpLink::send(ProcessId to, std::vector<std::uint8_t> payload) {
+  SAF_CHECK(to >= 0 && to < n_);
+  SAF_CHECK_MSG(payload.size() <= params_.max_payload,
+                "UdpLink::send: payload exceeds max_payload");
+  const std::uint64_t seq = next_seq_++;
+  transmit(to, kData, seq, payload.data(), payload.size());
+  pending_.push_back(Pending{to, seq, std::move(payload),
+                             clock_.now_ms() + retry_backoff(params_.rto_base, 0),
+                             0});
+}
+
+void UdpLink::send_unreliable(ProcessId to,
+                              const std::vector<std::uint8_t>& payload) {
+  SAF_CHECK(to >= 0 && to < n_);
+  transmit(to, kUnreliable, 0, payload.data(), payload.size());
+}
+
+void UdpLink::send_ack(ProcessId to, std::uint64_t seq) {
+  transmit(to, kAck, seq, nullptr, 0);
+  ++stats_.acks_sent;
+}
+
+int UdpLink::poll(const DeliverFn& deliver) {
+  if (fd_ < 0) return 0;
+  int read = 0;
+  std::uint8_t buf[2048];
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got < 0) break;  // EWOULDBLOCK or a transient error: drained
+    if (static_cast<std::size_t>(got) < kHeader || get_u32(buf) != kMagic) {
+      continue;  // no creation: stray datagrams are discarded
+    }
+    const std::uint8_t kind = buf[4];
+    const auto from = static_cast<ProcessId>(get_u32(buf + 5));
+    if (from < 0 || from >= n_ || from == self_) continue;
+    const std::uint64_t seq = get_u64(buf + 9);
+    const std::uint8_t* payload = buf + kHeader;
+    const auto len = static_cast<std::size_t>(got) - kHeader;
+    ++stats_.datagrams_received;
+    ++read;
+    switch (kind) {
+      case kAck: {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+          if (it->seq == seq && it->to == from) {
+            pending_.erase(it);
+            break;
+          }
+        }
+        break;
+      }
+      case kData: {
+        // Ack every copy: the sender keeps retransmitting until one ack
+        // survives the link.
+        send_ack(from, seq);
+        if (dedup_[static_cast<std::size_t>(from)].fresh(seq)) {
+          deliver(from, payload, len);
+        } else {
+          ++stats_.dups_dropped;
+        }
+        break;
+      }
+      case kUnreliable: {
+        deliver(from, payload, len);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return read;
+}
+
+void UdpLink::maintain() {
+  const Time now = clock_.now_ms();
+  for (std::size_t i = 0; i < pending_.size();) {
+    Pending& p = pending_[i];
+    if (now < p.next_due) {
+      ++i;
+      continue;
+    }
+    if (p.attempts >= params_.max_retries) {
+      // The peer is unresponsive past every backoff: abandon, as the
+      // model allows for crashed destinations.
+      abandoned_peers_.insert(p.to);
+      ++stats_.abandoned;
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++p.attempts;
+    ++stats_.retransmits;
+    transmit(p.to, kData, p.seq, p.payload.data(), p.payload.size());
+    p.next_due = now + retry_backoff(params_.rto_base, p.attempts);
+    ++i;
+  }
+}
+
+void UdpLink::wait_readable(int timeout_ms) {
+  if (fd_ < 0) return;
+  pollfd pfd{fd_, POLLIN, 0};
+  (void)::poll(&pfd, 1, timeout_ms);
+}
+
+}  // namespace saf::rt

@@ -1,0 +1,169 @@
+// UDP perfect links: exactly-once delivery over a fair-lossy datagram
+// socket.
+//
+// The sim substrate gets reliable channels by fiat; the live runtime
+// has to *implement* them (cf. the perfect-link layer every deployed
+// FD-based system sits on). Each reliable send is stamped with a
+// per-sender sequence number and retransmitted with exponential backoff
+// until acknowledged; the receiver acks every copy and suppresses
+// duplicates through a sliding per-sender window. The composition gives
+// the AS_{n,t} channel contract over loopback/LAN UDP:
+//
+//   * no loss      — retransmission until ack (up to max_retries; a
+//                    crashed peer's traffic is abandoned, which the
+//                    model permits: channels to crashed processes owe
+//                    nothing);
+//   * no duplication — the DedupWindow delivers each (sender, seq) once;
+//   * no creation  — a magic header rejects stray datagrams.
+//
+// Heartbeats go through send_unreliable(): retransmitting a stale "I am
+// alive" would be worse than losing it, and the heartbeat detectors are
+// built to tolerate loss.
+//
+// Fault injection plugs in at the REAL transport through the same
+// sim::LinkFaultHook seam the simulator's Network uses: the hook is
+// consulted once per datagram *transmission attempt* (first sends,
+// retransmits, acks, heartbeats alike), so a fault::LinkFaultModel
+// configured for 30% loss exercises the retransmission machinery
+// itself — tests/test_rt_link.cpp pins exactly-once delivery under it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rt/clock.h"
+#include "sim/message.h"
+#include "sim/network.h"
+#include "util/types.h"
+
+namespace saf::rt {
+
+/// Backoff of retransmission attempt `attempt` (0-based): base << min(
+/// attempt, 6) — the same curve as the simulator's quasi-reliable RB
+/// layer, so both substrates degrade identically under loss.
+inline Time retry_backoff(Time base, int attempt) {
+  return base << (attempt < 6 ? attempt : 6);
+}
+
+/// Per-sender duplicate suppression over a sliding sequence window.
+/// Pure state machine (no sockets), unit-tested directly.
+class DedupWindow {
+ public:
+  explicit DedupWindow(std::size_t window = 1024);
+
+  /// True iff `seq` was never accepted before. Overflow behavior: a seq
+  /// more than `window` behind the newest accepted seq is *assumed
+  /// already seen* and rejected — under the link's bounded retransmit
+  /// lifetime (max_retries backoffs) a live datagram can never trail
+  /// the sender's newest traffic by a full window, so the assumption
+  /// only ever discards genuine stragglers of already-acked sends.
+  bool fresh(std::uint64_t seq);
+
+  std::uint64_t newest() const { return newest_; }
+
+ private:
+  std::size_t window_;
+  std::uint64_t newest_ = 0;
+  bool any_ = false;
+  std::vector<std::uint64_t> slot_seq_;  ///< seq held by ring slot, or kEmpty
+};
+
+struct UdpLinkParams {
+  Time rto_base = 20;        ///< first retransmit after this many ms
+  int max_retries = 10;      ///< retransmissions before abandoning a peer
+  std::size_t dedup_window = 1024;
+  std::size_t max_payload = 1200;  ///< codec payload bound per datagram
+};
+
+struct UdpLinkStats {
+  std::uint64_t datagrams_sent = 0;      ///< transmissions that hit the wire
+  std::uint64_t datagrams_received = 0;  ///< well-formed datagrams read
+  std::uint64_t retransmits = 0;
+  std::uint64_t dups_dropped = 0;   ///< receiver-side duplicate suppressions
+  std::uint64_t acks_sent = 0;
+  std::uint64_t faults_dropped = 0;  ///< transmissions eaten by the fault hook
+  std::uint64_t abandoned = 0;       ///< reliable sends given up on
+};
+
+/// One node's UDP endpoint: process id `self` is bound to
+/// 127.0.0.1:(base_port + self); peers are addressed by id the same way.
+class UdpLink {
+ public:
+  /// Payload delivery callback: `from` is the link-level sender.
+  using DeliverFn =
+      std::function<void(ProcessId from, const std::uint8_t* data,
+                         std::size_t len)>;
+
+  UdpLink(ProcessId self, int n, std::uint16_t base_port, const Clock& clock,
+          UdpLinkParams params = {});
+  ~UdpLink();
+
+  UdpLink(const UdpLink&) = delete;
+  UdpLink& operator=(const UdpLink&) = delete;
+
+  /// False if the socket could not be created/bound (port collision);
+  /// every other call is then a no-op.
+  bool ok() const { return fd_ >= 0; }
+
+  /// Reliable exactly-once send (sequenced, acked, retransmitted).
+  void send(ProcessId to, std::vector<std::uint8_t> payload);
+
+  /// Fire-and-forget datagram (heartbeats). No seq, no ack, no dedup.
+  void send_unreliable(ProcessId to, const std::vector<std::uint8_t>& payload);
+
+  /// Drains every readable datagram: acks + dedups reliable traffic and
+  /// hands fresh payloads to `deliver`. Returns datagrams read.
+  int poll(const DeliverFn& deliver);
+
+  /// Retransmits overdue unacked sends and abandons peers that
+  /// exhausted max_retries. Call once per loop iteration.
+  void maintain();
+
+  /// Blocks until the socket is readable or `timeout_ms` elapsed.
+  void wait_readable(int timeout_ms);
+
+  /// Installs (or clears) the per-datagram fault hook (not owned). The
+  /// hook's drop/duplicate decisions apply to every transmission
+  /// attempt; corruption replacements are ignored (payloads are opaque
+  /// bytes here — corruption belongs to the codec-level tests).
+  void set_fault_hook(sim::LinkFaultHook* hook) { fault_hook_ = hook; }
+
+  /// Reliable sends not yet acknowledged.
+  std::size_t pending() const { return pending_.size(); }
+  /// Peers on which a reliable send was abandoned after max_retries.
+  ProcSet abandoned_peers() const { return abandoned_peers_; }
+
+  const UdpLinkStats& stats() const { return stats_; }
+  std::uint16_t port_of(ProcessId id) const;
+
+ private:
+  struct Pending {
+    ProcessId to = -1;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
+    Time next_due = 0;
+    int attempts = 0;  ///< retransmissions already performed
+  };
+
+  /// Writes one datagram to the wire (consulting the fault hook).
+  void transmit(ProcessId to, std::uint8_t kind, std::uint64_t seq,
+                const std::uint8_t* payload, std::size_t len);
+  void send_ack(ProcessId to, std::uint64_t seq);
+
+  ProcessId self_;
+  int n_;
+  std::uint16_t base_port_;
+  const Clock& clock_;
+  UdpLinkParams params_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;
+  std::deque<Pending> pending_;
+  std::vector<DedupWindow> dedup_;  ///< per sender id
+  sim::LinkFaultHook* fault_hook_ = nullptr;
+  ProcSet abandoned_peers_;
+  UdpLinkStats stats_;
+};
+
+}  // namespace saf::rt

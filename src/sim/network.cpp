@@ -16,6 +16,8 @@ Network::~Network() = default;
 
 LinkFaultHook::~LinkFaultHook() = default;
 
+RemoteTransportHook::~RemoteTransportHook() = default;
+
 void Network::send(ProcessId from, ProcessId to, const Message* m) {
   SAF_CHECK(m != nullptr);
   SAF_CHECK(to >= 0 && to < sim_.n());
@@ -36,6 +38,14 @@ void Network::send(ProcessId from, ProcessId to, const Message* m) {
   }
   ++it->second.count;
   it->second.last_time = now;
+
+  if (remote_hook_ != nullptr && remote_hook_->forward(from, to, now, *m)) {
+    // The message left this simulator; delay 0 marks a remote send in
+    // the trace (local delay policies always report >= 1).
+    if (sim_.tracer().active()) sim_.tracer().send(now, from, to, m->tag(), 0);
+    sim_.note_send(from);
+    return;
+  }
 
   bool duplicate = false;
   Time dup_extra = 1;

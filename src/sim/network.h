@@ -46,6 +46,22 @@ class LinkFaultHook {
                                   const Message& m) = 0;
 };
 
+/// Remote-transport seam of the network (src/rt implements it). In a
+/// live run each OS process hosts ONE real protocol process; sends to
+/// any other id are consumed by this hook and carried over a real
+/// transport (UDP) instead of being scheduled locally. The inbound half
+/// is Simulator::inject_deliver. With no hook installed — every
+/// simulator-only workload — Network::send is unchanged.
+class RemoteTransportHook {
+ public:
+  virtual ~RemoteTransportHook();
+  /// Returns true iff the hook consumed the send (it will carry `m` to
+  /// process `to` outside this simulator); false falls through to the
+  /// local delivery path.
+  virtual bool forward(ProcessId from, ProcessId to, Time now,
+                       const Message& m) = 0;
+};
+
 class Network {
  public:
   Network(Simulator& sim, std::unique_ptr<DelayPolicy> policy,
@@ -71,6 +87,11 @@ class Network {
   void set_fault_hook(LinkFaultHook* hook) { fault_hook_ = hook; }
   LinkFaultHook* fault_hook() const { return fault_hook_; }
 
+  /// Installs (or clears, with nullptr) the remote transport hook. Not
+  /// owned; must outlive the run.
+  void set_remote_hook(RemoteTransportHook* hook) { remote_hook_ = hook; }
+  RemoteTransportHook* remote_hook() const { return remote_hook_; }
+
  private:
   struct TagStats {
     std::uint64_t count = 0;
@@ -80,6 +101,7 @@ class Network {
   Simulator& sim_;
   std::unique_ptr<DelayPolicy> policy_;
   LinkFaultHook* fault_hook_ = nullptr;
+  RemoteTransportHook* remote_hook_ = nullptr;
   util::Rng rng_;
   std::uint64_t total_sent_ = 0;
   std::map<std::string, TagStats, std::less<>> by_tag_;

@@ -154,6 +154,34 @@ void Simulator::run() {
   run_until({});
 }
 
+void Simulator::pump(Time upto) {
+  SAF_CHECK_MSG(upto >= now_, "pump: cannot advance backwards");
+  start_if_needed();
+  while (!queue_.empty()) {
+    const Event& head = queue_.peek();
+    if (head.time > upto || head.time > cfg_.horizon) break;
+    Event e = queue_.pop();
+    now_ = e.time;
+    ++events_processed_;
+    if (tracer_.active()) {
+      tracer_.event_dispatch(e.time, e.seq);
+      tracer_.event_processed();
+    }
+    if (e.msg != nullptr) {
+      deliver(e.to, *e.msg);
+    } else {
+      e.fn();
+    }
+  }
+  now_ = upto;
+}
+
+void Simulator::inject_deliver(ProcessId to, const Message* m) {
+  SAF_CHECK(m != nullptr);
+  SAF_CHECK(to >= 0 && to < cfg_.n);
+  schedule_deliver(now_, to, m);
+}
+
 bool Simulator::run_until(const std::function<bool()>& stop) {
   start_if_needed();
   if (stop && stop()) return true;

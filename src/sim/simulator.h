@@ -75,6 +75,23 @@ class Simulator {
   /// iff stop() became true before the horizon.
   bool run_until(const std::function<bool()>& stop);
 
+  /// Live-runtime seam (src/rt): dispatches every pending event with
+  /// time <= upto, then advances the virtual clock to exactly `upto`.
+  /// Unlike run()/run_until(), the clock never jumps ahead of `upto` to
+  /// a future event — a wall-clock driver calls pump(elapsed_ms) each
+  /// iteration so virtual time tracks real time. Starts the processes
+  /// on the first call, like run(). Events beyond the horizon are never
+  /// dispatched.
+  void pump(Time upto);
+
+  /// Live-runtime seam: schedules delivery of an arena-owned message to
+  /// local process `to` at the current instant (after everything already
+  /// queued there). This is the inbound half of the transport seam — a
+  /// remote peer's message enters the engine here, bypassing the local
+  /// Network (whose delay policy and crash filter model only this
+  /// simulator's processes).
+  void inject_deliver(ProcessId to, const Message* m);
+
   Time now() const { return now_; }
   Time horizon() const { return cfg_.horizon; }
   int n() const { return cfg_.n; }

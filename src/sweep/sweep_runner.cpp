@@ -29,9 +29,14 @@
 //
 // The parallel sweep re-runs the same seed set serially and fails (exit
 // 1) unless the two verdict/digest sequences are byte-identical — the
-// determinism guarantee is enforced on every invocation, not only in
-// tests. Exit status: 0 ok, 1 violations / determinism mismatch /
-// baseline regression, 2 usage error, 130 interrupted (checkpointed).
+// determinism guarantee is enforced on every invocation by default and
+// always in CI. --verify-digest off skips the serial re-run (roughly
+// halving sweep wall time for local iteration); the serial-vs-parallel
+// keys are then absent from BENCH_sweep.json, so a run with the check
+// off cannot be gated against a baseline that has them (the gate
+// reports them missing). Exit status: 0 ok, 1 violations / determinism
+// mismatch / baseline regression, 2 usage error, 130 interrupted
+// (checkpointed).
 #include <atomic>
 #include <cerrno>
 #include <csignal>
@@ -74,6 +79,7 @@ struct Args {
   std::string trace_prefix;  // canonical traced run per protocol
   std::string metrics_path;  // per-protocol run metrics as JSON
   double tolerance = 0.25;
+  bool verify_digest = true;  // serial re-run + digest comparison
   // Fault-injection mode.
   std::string faults;         // named profile or inline spec; enables the mode
   std::string checkpoint;     // checkpoint file (fault mode)
@@ -89,7 +95,7 @@ void print_usage(std::ostream& os) {
       "                    [--jobs N] [--sim-runs N] [--grid] [--out-dir DIR]\n"
       "                    [--baseline-sim FILE] [--baseline-sweep FILE]\n"
       "                    [--trace PREFIX] [--metrics FILE]\n"
-      "                    [--tolerance FRACTION]\n"
+      "                    [--tolerance FRACTION] [--verify-digest on|off]\n"
       "                    [--faults PROFILE|SPEC] [--checkpoint FILE]\n"
       "                    [--resume] [--checkpoint-every N]\n"
       "                    [--max-events N] [--wall-budget-ms N] [--help]\n"
@@ -218,6 +224,18 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->tolerance = std::strtod(v, &end);
       if (end == v || *end != '\0' || a->tolerance < 0) {
         std::cerr << "sweep_runner: --tolerance expects a fraction >= 0\n";
+        return false;
+      }
+    } else if (arg == "--verify-digest") {
+      const char* v = value("--verify-digest");
+      if (v == nullptr) return false;
+      const std::string mode = v;
+      if (mode == "on") {
+        a->verify_digest = true;
+      } else if (mode == "off") {
+        a->verify_digest = false;
+      } else {
+        std::cerr << "sweep_runner: --verify-digest expects on|off\n";
         return false;
       }
     } else if (arg == "--help" || arg == "-h") {
@@ -470,11 +488,30 @@ int main(int argc, char** argv) {
       return run_protocol_case(*p, seed);
     };
     const auto count = static_cast<std::size_t>(args.seeds);
-    const SweepResult ser = run_sweep(serial, args.master_seed, count, fn);
     const SweepResult par = run_sweep(pool, args.master_seed, count, fn);
+    failed |= par.failures() != 0;
+
+    sweep_json.key(p->name).begin_object();
+    emit_sweep_aggregates(sweep_json, par);
+
+    if (!args.verify_digest) {
+      // --verify-digest off: no serial reference run, so no
+      // serial/scaling/identity keys either — absence is the honest
+      // signal that this sweep was not determinism-checked.
+      std::cout << "[sweep " << p->name << "] " << par.count() << " seeds: "
+                << static_cast<std::uint64_t>(par.runs_per_sec())
+                << " runs/sec at jobs=" << pool.jobs() << ", "
+                << par.failures()
+                << " violations, digest check SKIPPED (--verify-digest off)\n";
+      sweep_json.key("parallel_runs_per_sec").value(par.runs_per_sec());
+      sweep_json.key("parallel_events_per_sec").value(par.events_per_sec());
+      sweep_json.end_object();
+      continue;
+    }
 
     // The determinism guarantee: verdicts and digests of the parallel
     // sweep are byte-identical to the serial sweep, run for run.
+    const SweepResult ser = run_sweep(serial, args.master_seed, count, fn);
     bool identical = ser.count() == par.count();
     for (std::size_t i = 0; identical && i < ser.count(); ++i) {
       identical = ser.runs[i].digest == par.runs[i].digest &&
@@ -499,10 +536,7 @@ int main(int argc, char** argv) {
               << static_cast<int>(scaling * 100) << "% linear), "
               << par.failures() << " violations, digests "
               << (identical ? "identical" : "DIVERGED") << "\n";
-    failed |= par.failures() != 0;
 
-    sweep_json.key(p->name).begin_object();
-    emit_sweep_aggregates(sweep_json, par);
     sweep_json.key("serial_runs_per_sec").value(ser.runs_per_sec());
     sweep_json.key("parallel_runs_per_sec").value(par.runs_per_sec());
     sweep_json.key("parallel_events_per_sec").value(par.events_per_sec());

@@ -1,0 +1,231 @@
+// Heartbeat failure-detector suite (src/rt/heartbeat_fd).
+//
+// Drives n HeartbeatMonitors against a TestClock through a tiny
+// in-memory heartbeat world — instant delivery, crashes = a node going
+// silent — so every run is deterministic, then hands the recorded
+// suspicion/leadership histories to the SAME fd/checkers.h axiom
+// checkers the simulator's oracles are validated with. That closes the
+// loop the subsystem promises: the heartbeat implementation satisfies
+// the class definitions (◇S_x accuracy+completeness, Ω_z eventual
+// common leadership), not merely "looks right".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fd/checkers.h"
+#include "rt/clock.h"
+#include "rt/heartbeat_fd.h"
+#include "sim/failure_pattern.h"
+#include "util/trace.h"
+
+namespace saf::rt {
+namespace {
+
+/// In-memory heartbeat world: every alive node broadcasts on its period
+/// and every alive peer hears it the same millisecond. A crashed node
+/// simply stops broadcasting (its monitor also stops running, freezing
+/// its history — the checkers ignore post-crash output anyway).
+struct HeartbeatWorld {
+  HeartbeatWorld(int n, HeartbeatParams params) : n(n) {
+    for (ProcessId i = 0; i < n; ++i) {
+      monitors.push_back(
+          std::make_unique<HeartbeatMonitor>(i, n, clock, params));
+    }
+    crash_time.assign(static_cast<std::size_t>(n), kNeverTime);
+  }
+
+  bool alive(ProcessId i, Time t) const {
+    const Time c = crash_time[static_cast<std::size_t>(i)];
+    return c == kNeverTime || c > t;  // kNeverTime is -1, not +infinity
+  }
+
+  /// Advances to `horizon` in 1 ms steps, recording each node's Ω_z
+  /// output into `trusted` (when given).
+  void run_to(Time horizon, int z, fd::SetHistory* trusted = nullptr) {
+    if (trusted != nullptr && trusted->empty()) {
+      trusted->assign(static_cast<std::size_t>(n),
+                      util::StepTrace<ProcSet>{});
+    }
+    for (Time t = clock.now_ms(); t <= horizon; ++t) {
+      clock.set(t);
+      for (ProcessId i = 0; i < n; ++i) {
+        if (!alive(i, t) || !monitors[i]->heartbeat_due()) continue;
+        for (ProcessId j = 0; j < n; ++j) {
+          if (j != i && alive(j, t)) monitors[j]->on_heartbeat(i);
+        }
+      }
+      for (ProcessId j = 0; j < n; ++j) {
+        if (!alive(j, t)) continue;
+        monitors[j]->tick();
+        if (trusted != nullptr) {
+          (*trusted)[static_cast<std::size_t>(j)].record(
+              t, HeartbeatOmega::leaders_from_suspected(
+                     monitors[j]->suspected_now(), n, z, j));
+        }
+      }
+    }
+  }
+
+  fd::SetHistory suspicion_histories() const {
+    fd::SetHistory h;
+    for (const auto& m : monitors) h.push_back(m->history());
+    return h;
+  }
+
+  int n;
+  TestClock clock;
+  std::vector<std::unique_ptr<HeartbeatMonitor>> monitors;
+  std::vector<Time> crash_time;
+};
+
+TEST(HeartbeatMonitor, SuspectsSilentPeerAfterTimeout) {
+  TestClock clock;
+  HeartbeatParams params;  // timeout_initial = 100
+  HeartbeatMonitor m(0, 2, clock, params);
+  clock.set(100);
+  m.tick();
+  EXPECT_TRUE(m.suspected_now().empty());  // exactly at the bound: not yet
+  clock.set(101);
+  m.tick();
+  EXPECT_TRUE(m.suspected_now().contains(1));
+  EXPECT_FALSE(m.suspected_now().contains(0)) << "never suspects itself";
+}
+
+TEST(HeartbeatMonitor, FalseSuspicionGrowsTimeoutAndIsEventuallyAccurate) {
+  HeartbeatParams params;  // initial 100, increment 50
+  HeartbeatWorld world(2, params);
+  HeartbeatMonitor& m = *world.monitors[0];
+
+  // Node 1 goes silent past the initial timeout, then speaks again:
+  // the suspicion was false and the timeout must adapt.
+  world.clock.set(150);
+  m.tick();
+  ASSERT_TRUE(m.suspected_now().contains(1));
+  // Retract one tick later — at the same instant StepTrace's
+  // last-write-wins would erase the episode from the history.
+  world.clock.set(151);
+  m.on_heartbeat(1);
+  EXPECT_FALSE(m.suspected_now().contains(1));
+  EXPECT_EQ(m.timeout_of(1), 150);
+
+  // A second eager episode grows it again.
+  world.clock.set(350);
+  m.tick();
+  ASSERT_TRUE(m.suspected_now().contains(1));
+  world.clock.set(351);
+  m.on_heartbeat(1);
+  EXPECT_EQ(m.timeout_of(1), 200);
+
+  // From here both nodes heartbeat on schedule to the horizon.
+  world.monitors[1]->on_heartbeat(0);  // symmetry for the checker
+  world.run_to(3000, /*z=*/1);
+
+  // ◇P-style accuracy: the false suspicions stopped for good. The
+  // perpetual variant must fail — a suspicion did happen pre-crash.
+  const sim::CrashPlan plan;  // nobody crashes
+  sim::FailurePattern pattern(2, 1, plan);
+  const auto histories = world.suspicion_histories();
+  const fd::CheckResult eventual =
+      fd::check_strong_accuracy(histories, pattern, 3000, /*perpetual=*/false);
+  EXPECT_TRUE(eventual.pass) << eventual.detail;
+  EXPECT_GT(eventual.witness, 0);
+  EXPECT_FALSE(
+      fd::check_strong_accuracy(histories, pattern, 3000, /*perpetual=*/true)
+          .pass);
+}
+
+TEST(HeartbeatSuspect, SatisfiesDiamondSAxiomsAfterCrashes) {
+  HeartbeatParams params;
+  HeartbeatWorld world(5, params);
+  world.crash_time[0] = 400;
+  world.crash_time[4] = 900;
+  world.run_to(5000, /*z=*/2);
+
+  sim::CrashPlan plan;
+  plan.crash_at(0, 400).crash_at(4, 900);
+  sim::FailurePattern pattern(5, 2, plan);
+  pattern.record_crash(0, 400);
+  pattern.record_crash(4, 900);
+
+  const auto histories = world.suspicion_histories();
+  const fd::CheckResult completeness =
+      fd::check_strong_completeness(histories, pattern, 5000);
+  EXPECT_TRUE(completeness.pass) << completeness.detail;
+  // Crashes become visible one timeout after the silence starts.
+  EXPECT_GT(completeness.witness, 900);
+
+  // ◇S_x limited-scope accuracy for the smallest interesting scope;
+  // ◇P-quality suspicion satisfies it for every x.
+  const fd::CheckResult accuracy = fd::check_limited_scope_accuracy(
+      histories, pattern, /*x=*/2, 5000, /*perpetual=*/false);
+  EXPECT_TRUE(accuracy.pass) << accuracy.detail;
+}
+
+TEST(HeartbeatOmega, ConvergesToCommonCorrectLeadersAfterLastCrash) {
+  HeartbeatParams params;
+  HeartbeatWorld world(5, params);
+  world.crash_time[0] = 300;
+  world.crash_time[1] = 700;  // last crash
+  fd::SetHistory trusted;
+  world.run_to(5000, /*z=*/2, &trusted);
+
+  sim::CrashPlan plan;
+  plan.crash_at(0, 300).crash_at(1, 700);
+  sim::FailurePattern pattern(5, 2, plan);
+  pattern.record_crash(0, 300);
+  pattern.record_crash(1, 700);
+
+  const fd::CheckResult lead =
+      fd::check_eventual_leadership(trusted, pattern, /*z=*/2, 5000);
+  EXPECT_TRUE(lead.pass) << lead.detail;
+  EXPECT_GT(lead.witness, 700) << "cannot stabilize before the last crash";
+
+  // The stabilized output is the same at every correct node: the two
+  // lowest-id survivors.
+  for (ProcessId j = 2; j < 5; ++j) {
+    EXPECT_EQ(trusted[static_cast<std::size_t>(j)].at(5000),
+              ProcSet({2, 3}));
+  }
+}
+
+TEST(HeartbeatOmega, LeadersFromSuspectedProjection) {
+  EXPECT_EQ(HeartbeatOmega::leaders_from_suspected(ProcSet{}, 5, 2, 3),
+            ProcSet({0, 1}));
+  EXPECT_EQ(HeartbeatOmega::leaders_from_suspected(ProcSet({0, 1}), 5, 2, 3),
+            ProcSet({2, 3}));
+  EXPECT_EQ(HeartbeatOmega::leaders_from_suspected(ProcSet({0, 2, 4}), 5, 3, 3),
+            ProcSet({1, 3}));
+  // Degenerate fallback: everything suspected -> output self, never ∅.
+  EXPECT_EQ(HeartbeatOmega::leaders_from_suspected(ProcSet({0, 1, 2, 3, 4}), 5,
+                                                   2, 3),
+            ProcSet({3}));
+}
+
+TEST(HeartbeatPhi, DefinitionPhiYRules) {
+  HeartbeatParams params;
+  HeartbeatWorld world(5, params);
+  world.crash_time[0] = 200;
+  world.crash_time[1] = 500;
+  world.run_to(3000, /*z=*/1);
+
+  // n=5, t=2, y=1 at a correct node, after suspicion stabilized on {0,1}.
+  const HeartbeatMonitor& m = *world.monitors[2];
+  ASSERT_EQ(m.suspected_now(), ProcSet({0, 1}));
+  const HeartbeatPhi phi(m, /*t=*/2, /*y=*/1);
+  const Time now = world.clock.now_ms();
+
+  // |X| <= t-y = 1: trivially true, whatever X holds.
+  EXPECT_TRUE(phi.query(2, ProcSet({0}), now));
+  EXPECT_TRUE(phi.query(2, ProcSet({3}), now));
+  // |X| > t = 2: some member is alive by the model bound — false.
+  EXPECT_FALSE(phi.query(2, ProcSet({2, 3, 4}), now));
+  EXPECT_FALSE(phi.query(2, ProcSet({0, 1, 2}), now));
+  // Informative size (|X| = 2): true iff all of X is suspected.
+  EXPECT_TRUE(phi.query(2, ProcSet({0, 1}), now));
+  EXPECT_FALSE(phi.query(2, ProcSet({0, 2}), now));
+  EXPECT_FALSE(phi.query(2, ProcSet({3, 4}), now));
+}
+
+}  // namespace
+}  // namespace saf::rt
