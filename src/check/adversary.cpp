@@ -77,8 +77,7 @@ std::string AdversarySpec::to_string() const {
     case AdversaryKind::kUniform:
       break;
     case AdversaryKind::kStarvation:
-      os << " victims=0x" << std::hex << victims.mask() << std::dec
-         << " release=" << release;
+      os << " victims=0x" << victims.to_hex() << " release=" << release;
       break;
     case AdversaryKind::kNearHorizon:
       os << " release=" << release;
@@ -122,7 +121,9 @@ AdversarySpec AdversarySpec::parse(const std::string& line) {
       else if (key == "slow_hi") a.slow_hi = std::stoll(val);
       else if (key == "epoch") a.epoch = std::stoll(val);
       else if (key == "victims")
-        a.victims = ProcSet(std::stoull(val, nullptr, 0));
+        a.victims = val.starts_with("0x") || val.starts_with("0X")
+                        ? ProcSet::from_hex(val)
+                        : ProcSet(std::stoull(val, nullptr, 0));
       else
         throw std::invalid_argument("AdversarySpec: unknown key '" + key +
                                     "'");

@@ -18,7 +18,7 @@ ProcSet PerfectFromPhiT::suspected(ProcessId i, Time now) const {
   return out;
 }
 
-bool SuspicionBackedPhi::query(ProcessId i, ProcSet x, Time now) const {
+bool SuspicionBackedPhi::query(ProcessId i, const ProcSet& x, Time now) const {
   const int size = x.size();
   if (size <= t_ - y_) return true;
   if (size > t_) return false;

@@ -41,7 +41,7 @@ class SuspicionBackedPhi : public fd::QueryOracle {
   SuspicionBackedPhi(const fd::SuspectOracle& suspects, int t, int y)
       : suspects_(suspects), t_(t), y_(y) {}
 
-  bool query(ProcessId i, ProcSet x, Time now) const override;
+  bool query(ProcessId i, const ProcSet& x, Time now) const override;
 
  private:
   const fd::SuspectOracle& suspects_;

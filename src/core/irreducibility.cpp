@@ -121,7 +121,7 @@ IrreducibilityDemo demo_phi_to_sx(int n, int t, int x, int y,
   return demo;
 }
 
-bool NaivePhiFromOmega::query(ProcessId i, ProcSet x, Time now) const {
+bool NaivePhiFromOmega::query(ProcessId i, const ProcSet& x, Time now) const {
   const int size = x.size();
   if (size <= t_ - y_) return true;
   if (size > t_) return false;

@@ -96,7 +96,7 @@ class NaivePhiFromOmega : public fd::QueryOracle {
   NaivePhiFromOmega(const fd::LeaderOracle& omega, int t, int y, Mode mode)
       : omega_(omega), t_(t), y_(y), mode_(mode) {}
 
-  bool query(ProcessId i, ProcSet x, Time now) const override;
+  bool query(ProcessId i, const ProcSet& x, Time now) const override;
 
  private:
   const fd::LeaderOracle& omega_;

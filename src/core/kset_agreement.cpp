@@ -65,10 +65,10 @@ bool KSetCore::phase1_from(int r, ProcSet l) const {
 std::optional<ProcSet> KSetCore::majority_leader_set(int r) const {
   auto it = phase1_.find(r);
   if (it == phase1_.end()) return std::nullopt;
-  std::map<std::uint64_t, int> counts;
-  for (const Phase1Msg& m : it->second) ++counts[m.leaders.mask()];
-  for (const auto& [mask, count] : counts) {
-    if (2 * count > host_.n()) return ProcSet(mask);
+  std::map<ProcSet, int> counts;
+  for (const Phase1Msg& m : it->second) ++counts[m.leaders];
+  for (const auto& [leaders, count] : counts) {
+    if (2 * count > host_.n()) return leaders;
   }
   return std::nullopt;
 }
@@ -177,6 +177,7 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   sc.horizon = cfg.horizon;
   sc.max_events = cfg.max_events;
   sc.wall_budget_ms = cfg.wall_budget_ms;
+  sc.batched_broadcasts = cfg.batched_broadcasts;
   std::unique_ptr<sim::DelayPolicy> delays;
   if (cfg.delay_factory) {
     delays = cfg.delay_factory(cfg.seed);

@@ -53,9 +53,9 @@ class LowerWheelComponent {
   std::size_t cursor() const { return cursor_; }
 
  private:
-  using PositionKey = std::pair<ProcessId, std::uint64_t>;
+  using PositionKey = std::pair<ProcessId, ProcSet>;
   static PositionKey key(ProcessId leader, ProcSet set) {
-    return {leader, set.mask()};
+    return {leader, set};
   }
   void drain();
   void publish();

@@ -32,6 +32,7 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
   sc.horizon = cfg.horizon;
   sc.max_events = cfg.max_events;
   sc.wall_budget_ms = cfg.wall_budget_ms;
+  sc.batched_broadcasts = cfg.batched_broadcasts;
   std::unique_ptr<sim::DelayPolicy> delays;
   if (cfg.delay_factory) {
     delays = cfg.delay_factory(cfg.seed);

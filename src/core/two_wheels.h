@@ -105,6 +105,10 @@ struct TwoWheelsConfig {
   /// Watchdog budgets forwarded to SimConfig (0 = disabled).
   std::uint64_t max_events = 0;
   std::int64_t wall_budget_ms = 0;
+  /// Aggregated broadcast fan-out for large n (forwarded to
+  /// SimConfig::batched_broadcasts; changes the schedule — keep off for
+  /// digest-pinned workloads).
+  bool batched_broadcasts = false;
   /// Envelope slack the contract monitors add to sx_stab / phi_stab.
   Time monitor_slack = 100;
 };

@@ -81,9 +81,9 @@ class UpperWheelComponent {
   std::size_t cursor() const { return cursor_; }
 
  private:
-  using PositionKey = std::pair<std::uint64_t, std::uint64_t>;
+  using PositionKey = std::pair<ProcSet, ProcSet>;
   static PositionKey key(ProcSet inner, ProcSet outer) {
-    return {inner.mask(), outer.mask()};
+    return {inner, outer};
   }
   void drain();
   void publish();

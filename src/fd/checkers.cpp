@@ -346,14 +346,22 @@ CheckResult check_phi_properties(const QueryOracle& oracle,
   // process stuck on the wrong answer forever is a violation even if
   // other processes answer correctly.
   Time witness = 0;
+  // The alive set per probe instant is the same for every query set —
+  // hoist it out of the X loop (it dominated the checker's profile).
+  std::vector<ProcSet> alive_at;
+  alive_at.reserve(static_cast<std::size_t>(horizon / step) + 1);
+  for (Time tau = 0; tau <= horizon; tau += step) {
+    alive_at.push_back(full - pattern.crashed_set(tau));
+  }
   for (const ProcSet& X : sets) {
     const int size = X.size();
     std::vector<Time> last_true(static_cast<std::size_t>(n), kNeverTime);
     std::vector<Time> last_false(static_cast<std::size_t>(n), kNeverTime);
     std::vector<bool> final_ans(static_cast<std::size_t>(n), false);
     std::vector<bool> ever_queried(static_cast<std::size_t>(n), false);
-    for (Time tau = 0; tau <= horizon; tau += step) {
-      const ProcSet alive = full - pattern.crashed_set(tau);
+    std::size_t probe = 0;
+    for (Time tau = 0; tau <= horizon; tau += step, ++probe) {
+      const ProcSet& alive = alive_at[probe];
       for (ProcessId querier : alive) {
         const bool ans = oracle.query(querier, X, tau);
         const auto q = static_cast<std::size_t>(querier);

@@ -12,7 +12,7 @@ ProcSet ShrunkScopeSuspectOracle::suspected(ProcessId i, Time now) const {
   return base_.suspected(i, now);
 }
 
-bool LyingQueryOracle::query(ProcessId i, ProcSet x, Time now) const {
+bool LyingQueryOracle::query(ProcessId i, const ProcSet& x, Time now) const {
   // The lie covers exactly the informative sizes: triviality answers
   // (|X| <= t-y true, |X| > t false) are kept intact so consumers that
   // rely on them (the two-wheels inquiry logic, the phi-bar chain)

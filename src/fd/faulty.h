@@ -81,7 +81,7 @@ class LyingQueryOracle final : public QueryOracle {
                    FaultyOracleParams params)
       : base_(base), t_(t), y_(y), params_(params) {}
 
-  bool query(ProcessId i, ProcSet x, Time now) const override;
+  bool query(ProcessId i, const ProcSet& x, Time now) const override;
 
  private:
   const QueryOracle& base_;

@@ -40,7 +40,7 @@ class QueryOracle {
  public:
   virtual ~QueryOracle() = default;
   /// The invocation query(X) by process i at time now.
-  virtual bool query(ProcessId i, ProcSet x, Time now) const = 0;
+  virtual bool query(ProcessId i, const ProcSet& x, Time now) const = 0;
 };
 
 }  // namespace saf::fd

@@ -16,7 +16,7 @@ PhiOracle::PhiOracle(const sim::FailurePattern& pattern, int y,
                 "PhiOracle: negative time parameter");
 }
 
-bool PhiOracle::query(ProcessId i, ProcSet x, Time now) const {
+bool PhiOracle::query(ProcessId i, const ProcSet& x, Time now) const {
   const int t = pattern_.t();
   const int size = x.size();
   // Triviality (perpetual for both φ_y and ◇φ_y).
@@ -26,7 +26,7 @@ bool PhiOracle::query(ProcessId i, ProcSet x, Time now) const {
   if (now < params_.stab_time) {
     std::uint64_t h = util::derive_seed(params_.seed ^ 0x51f0ULL,
                                         static_cast<std::uint64_t>(now));
-    h = util::derive_seed(h, x.mask() * 1315423911ULL +
+    h = util::derive_seed(h, x.hash() * 1315423911ULL +
                                  static_cast<std::uint64_t>(i));
     return (h & 1) != 0;
   }
@@ -40,7 +40,7 @@ bool PhiOracle::query(ProcessId i, ProcSet x, Time now) const {
 
 PhiBarOracle::PhiBarOracle(const QueryOracle& base) : base_(base) {}
 
-bool PhiBarOracle::query(ProcessId i, ProcSet x, Time now) const {
+bool PhiBarOracle::query(ProcessId i, const ProcSet& x, Time now) const {
   // Containment obligation: x must be comparable with every previously
   // queried set. The chain is sorted by size; nesting of equal-size sets
   // means equality, so one binary position check per query suffices —
@@ -54,7 +54,9 @@ bool PhiBarOracle::query(ProcessId i, ProcSet x, Time now) const {
     }
     chain_.push_back(x);
     std::sort(chain_.begin(), chain_.end(),
-              [](ProcSet a, ProcSet b) { return a.size() < b.size(); });
+              [](const ProcSet& a, const ProcSet& b) {
+                return a.size() < b.size();
+              });
   }
   return base_.query(i, x, now);
 }

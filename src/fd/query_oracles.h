@@ -39,7 +39,7 @@ class PhiOracle : public QueryOracle {
   PhiOracle(const sim::FailurePattern& pattern, int y,
             QueryOracleParams params);
 
-  bool query(ProcessId i, ProcSet x, Time now) const override;
+  bool query(ProcessId i, const ProcSet& x, Time now) const override;
 
   int y() const { return y_; }
 
@@ -56,7 +56,7 @@ class PhiOracle : public QueryOracle {
 class TrivialPhi0 : public QueryOracle {
  public:
   explicit TrivialPhi0(int t) : t_(t) {}
-  bool query(ProcessId, ProcSet x, Time) const override {
+  bool query(ProcessId, const ProcSet& x, Time) const override {
     return x.size() <= t_;
   }
 
@@ -71,7 +71,7 @@ class PhiBarOracle : public QueryOracle {
  public:
   explicit PhiBarOracle(const QueryOracle& base);
 
-  bool query(ProcessId i, ProcSet x, Time now) const override;
+  bool query(ProcessId i, const ProcSet& x, Time now) const override;
 
   /// Number of distinct sets queried so far (diagnostics).
   std::size_t distinct_query_sets() const { return chain_.size(); }

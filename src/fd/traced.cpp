@@ -41,7 +41,7 @@ TracedQueryOracle::TracedQueryOracle(const QueryOracle& base,
                                      trace::Tracer& tracer, std::string name)
     : base_(base), tracer_(tracer), name_(std::move(name)) {}
 
-bool TracedQueryOracle::query(ProcessId i, ProcSet x, Time now) const {
+bool TracedQueryOracle::query(ProcessId i, const ProcSet& x, Time now) const {
   const bool v = base_.query(i, x, now);
   tracer_.fd_query(now, i, name_);
   const auto idx = static_cast<std::size_t>(i);

@@ -60,7 +60,7 @@ class TracedQueryOracle : public QueryOracle {
  public:
   TracedQueryOracle(const QueryOracle& base, trace::Tracer& tracer,
                     std::string name = "phi");
-  bool query(ProcessId i, ProcSet x, Time now) const override;
+  bool query(ProcessId i, const ProcSet& x, Time now) const override;
 
  private:
   const QueryOracle& base_;

@@ -40,6 +40,15 @@ void put_i32(std::vector<std::uint8_t>* out, std::int32_t v) {
   }
 }
 
+// ProcSet wire format: one length byte (number of 64-bit words, trailing
+// zero words trimmed) followed by that many little-endian u64 words.
+// A single-word set costs 9 bytes; the empty set costs 1.
+void put_procset(std::vector<std::uint8_t>* out, const ProcSet& s) {
+  const int used = s.words_used();
+  out->push_back(static_cast<std::uint8_t>(used));
+  for (int i = 0; i < used; ++i) put_u64(out, s.word(i));
+}
+
 /// Bounds-checked little-endian reader; `ok` latches any overrun.
 struct Reader {
   const std::uint8_t* p;
@@ -76,6 +85,17 @@ struct Reader {
   }
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  ProcSet procset() {
+    const std::uint8_t used = u8();
+    if (used > static_cast<std::uint8_t>(ProcSet::word_count())) {
+      ok = false;
+      return ProcSet();
+    }
+    std::uint64_t words[ProcSet::kWords] = {};
+    for (int i = 0; i < used; ++i) words[i] = u64();
+    if (!ok) return ProcSet();
+    return ProcSet::from_words(words, used);
+  }
 };
 
 }  // namespace
@@ -85,7 +105,7 @@ bool encode_message(const sim::Message& m, std::vector<std::uint8_t>* out) {
     out->push_back(kPhase1);
     put_i32(out, p1->sender);
     put_i32(out, p1->round);
-    put_u64(out, p1->leaders.mask());
+    put_procset(out, p1->leaders);
     put_i64(out, p1->est);
     put_i32(out, p1->instance);
     return true;
@@ -123,7 +143,7 @@ bool encode_message(const sim::Message& m, std::vector<std::uint8_t>* out) {
     out->push_back(kXMove);
     put_i32(out, x->sender);
     put_i32(out, x->leader);
-    put_u64(out, x->set.mask());
+    put_procset(out, x->set);
     return true;
   }
   if (const auto* q = dynamic_cast<const core::InquiryMsg*>(&m)) {
@@ -142,8 +162,8 @@ bool encode_message(const sim::Message& m, std::vector<std::uint8_t>* out) {
   if (const auto* l = dynamic_cast<const core::LMoveMsg*>(&m)) {
     out->push_back(kLMove);
     put_i32(out, l->sender);
-    put_u64(out, l->inner.mask());
-    put_u64(out, l->outer.mask());
+    put_procset(out, l->inner);
+    put_procset(out, l->outer);
     return true;
   }
   return false;
@@ -167,9 +187,11 @@ const sim::Message* decode_inner(Reader& r, util::Arena& arena, int depth) {
   switch (type) {
     case kPhase1: {
       const auto round = static_cast<int>(r.i32());
-      // Parenthesized: ProcSet{u64} would pick the initializer-list
-      // ctor and build {mask-as-id}, not the set the mask encodes.
-      const ProcSet leaders(r.u64());
+      // Length-prefixed word array; the reader rejects a word count
+      // beyond ProcSet capacity or a truncated array. (Historically a
+      // fixed 8-byte mask, decoded with parentheses — ProcSet{u64}
+      // would pick the initializer-list ctor and build {mask-as-id}.)
+      const ProcSet leaders = r.procset();
       const std::int64_t est = r.i64();
       const auto instance = static_cast<int>(r.i32());
       if (!r.ok || est == core::kNoValue) return nullptr;
@@ -215,7 +237,7 @@ const sim::Message* decode_inner(Reader& r, util::Arena& arena, int depth) {
     }
     case kXMove: {
       const auto leader = static_cast<ProcessId>(r.i32());
-      const ProcSet set(r.u64());
+      const ProcSet set = r.procset();
       if (!r.ok) return nullptr;
       return stamped(arena, sender, core::XMoveMsg{leader, set});
     }
@@ -231,8 +253,8 @@ const sim::Message* decode_inner(Reader& r, util::Arena& arena, int depth) {
       return stamped(arena, sender, core::ResponseMsg{attempt, repr});
     }
     case kLMove: {
-      const ProcSet inner(r.u64());
-      const ProcSet outer(r.u64());
+      const ProcSet inner = r.procset();
+      const ProcSet outer = r.procset();
       if (!r.ok) return nullptr;
       return stamped(arena, sender, core::LMoveMsg{inner, outer});
     }

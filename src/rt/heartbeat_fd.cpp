@@ -79,7 +79,7 @@ ProcSet HeartbeatOmega::trusted(ProcessId i, Time now) const {
                                 monitor_.self());
 }
 
-bool HeartbeatPhi::query(ProcessId i, ProcSet x, Time now) const {
+bool HeartbeatPhi::query(ProcessId i, const ProcSet& x, Time now) const {
   (void)i;
   (void)now;
   const int size = x.size();

@@ -129,7 +129,7 @@ class HeartbeatPhi final : public fd::QueryOracle {
  public:
   HeartbeatPhi(const HeartbeatMonitor& monitor, int t, int y)
       : monitor_(monitor), t_(t), y_(y) {}
-  bool query(ProcessId i, ProcSet x, Time now) const override;
+  bool query(ProcessId i, const ProcSet& x, Time now) const override;
 
  private:
   const HeartbeatMonitor& monitor_;

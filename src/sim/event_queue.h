@@ -33,6 +33,11 @@ namespace saf::sim {
 
 struct Message;
 
+/// Sentinel recipient for an aggregated broadcast delivery: one queue
+/// event whose dispatch hands the message to every process in id order
+/// (see Network's batched-broadcast path).
+inline constexpr ProcessId kBroadcastRecipient = -2;
+
 /// One scheduled event. Message deliveries are first-class (`msg` set,
 /// POD payload, no closure allocation — the hot path); everything else
 /// (protocol starts, ticks, timers, crashes, user schedule() calls)
@@ -40,7 +45,7 @@ struct Message;
 struct Event {
   Time time = 0;
   std::uint64_t seq = 0;
-  ProcessId to = -1;             ///< recipient, for delivery events
+  ProcessId to = -1;             ///< recipient, or kBroadcastRecipient
   const Message* msg = nullptr;  ///< non-null => delivery event
   std::function<void()> fn;      ///< closure event otherwise
 };

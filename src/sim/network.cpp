@@ -79,10 +79,49 @@ void Network::send(ProcessId from, ProcessId to, const Message* m) {
 }
 
 void Network::broadcast(ProcessId from, const Message* m) {
+  // The aggregated path needs the whole fan-out to be one atomic step;
+  // the fault and remote seams act per (from, to) link, so either hook
+  // forces the per-recipient path.
+  if (batched_ && fault_hook_ == nullptr && remote_hook_ == nullptr) {
+    broadcast_batched(from, m);
+    return;
+  }
   for (ProcessId to = 0; to < sim_.n(); ++to) {
     if (sim_.is_crashed(from)) return;  // send-triggered crash mid-broadcast
     send(from, to, m);
   }
+}
+
+void Network::broadcast_batched(ProcessId from, const Message* m) {
+  SAF_CHECK(m != nullptr);
+  if (sim_.is_crashed(from)) {
+    if (sim_.tracer().active()) {
+      sim_.tracer().drop(sim_.now(), from, kBroadcastRecipient, m->tag(), 0);
+    }
+    return;
+  }
+  const Time now = sim_.now();
+  const int n = sim_.n();
+  // Accounting matches the per-recipient path: a broadcast is n sends.
+  total_sent_ += static_cast<std::uint64_t>(n);
+  auto it = by_tag_.find(m->tag());
+  if (it == by_tag_.end()) {
+    it = by_tag_.emplace(std::string(m->tag()), TagStats{}).first;
+  }
+  it->second.count += static_cast<std::uint64_t>(n);
+  it->second.last_time = now;
+
+  // One delay sample for the whole fan-out, drawn for the (from, from)
+  // link — every recipient sees the message at the same instant. The
+  // send-triggered crash check runs after the batch is scheduled: a
+  // batched broadcast is atomic, never truncated mid-fan-out.
+  const Time d = policy_->delay(from, from, now, rng_);
+  SAF_CHECK_MSG(d >= 1, "delay policies must return >= 1");
+  if (sim_.tracer().active()) {
+    sim_.tracer().send(now, from, kBroadcastRecipient, m->tag(), d);
+  }
+  sim_.schedule_broadcast_deliver(now + d, m);
+  sim_.note_sends(from, static_cast<std::uint64_t>(n));
 }
 
 std::uint64_t Network::sent_with_tag(std::string_view tag) const {

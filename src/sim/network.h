@@ -74,8 +74,15 @@ class Network {
 
   /// Send to every process, including the sender itself. All recipients
   /// share the one arena object: a broadcast costs zero allocations
-  /// beyond the payload itself.
+  /// beyond the payload itself. With batched broadcasts enabled (and no
+  /// per-link hook installed), the whole fan-out is one queue event with
+  /// one shared delay sample — O(1) queue traffic instead of O(n).
   void broadcast(ProcessId from, const Message* m);
+
+  /// Enables / disables the aggregated broadcast path (see
+  /// SimConfig::batched_broadcasts for the semantics and caveats).
+  void set_batched_broadcasts(bool on) { batched_ = on; }
+  bool batched_broadcasts() const { return batched_; }
 
   std::uint64_t total_sent() const { return total_sent_; }
   std::uint64_t sent_with_tag(std::string_view tag) const;
@@ -98,10 +105,13 @@ class Network {
     Time last_time = kNeverTime;
   };
 
+  void broadcast_batched(ProcessId from, const Message* m);
+
   Simulator& sim_;
   std::unique_ptr<DelayPolicy> policy_;
   LinkFaultHook* fault_hook_ = nullptr;
   RemoteTransportHook* remote_hook_ = nullptr;
+  bool batched_ = false;
   util::Rng rng_;
   std::uint64_t total_sent_ = 0;
   std::map<std::string, TagStats, std::less<>> by_tag_;

@@ -19,6 +19,7 @@ Simulator::Simulator(SimConfig cfg, CrashPlan plan,
   util::require(cfg.horizon >= 1, "SimConfig: horizon must be >= 1");
   network_ = std::make_unique<Network>(
       *this, std::move(delays), util::Rng(util::derive_seed(cfg.seed, "network")));
+  network_->set_batched_broadcasts(cfg.batched_broadcasts);
 }
 
 Simulator::~Simulator() = default;
@@ -62,6 +63,12 @@ void Simulator::schedule_deliver(Time at, ProcessId to, const Message* m) {
   queue_.push(Event{at, next_seq_++, to, m, {}});
 }
 
+void Simulator::schedule_broadcast_deliver(Time at, const Message* m) {
+  SAF_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  tracer_.event_post(at, next_seq_);
+  queue_.push(Event{at, next_seq_++, kBroadcastRecipient, m, {}});
+}
+
 void Simulator::crash(ProcessId pid) {
   if (crashed_[static_cast<std::size_t>(pid)]) return;
   crashed_[static_cast<std::size_t>(pid)] = true;
@@ -69,8 +76,8 @@ void Simulator::crash(ProcessId pid) {
   tracer_.crash(now_, pid);
 }
 
-void Simulator::note_send(ProcessId sender) {
-  ++sends_by_[static_cast<std::size_t>(sender)];
+void Simulator::note_sends(ProcessId sender, std::uint64_t count) {
+  sends_by_[static_cast<std::size_t>(sender)] += count;
   for (const CrashEntry& e : plan_.entries()) {
     if (e.pid == sender && e.send_trigger &&
         sends_by_[static_cast<std::size_t>(sender)] >= *e.send_trigger) {
@@ -110,6 +117,12 @@ void Simulator::deliver(ProcessId to, const Message& m) {
   if (tracer_.active()) tracer_.deliver(now_, to, m.sender, m.tag());
   if (delivery_observer_) delivery_observer_(now_, to, m);
   processes_[static_cast<std::size_t>(to)]->handle_delivery(m);
+}
+
+void Simulator::deliver_all(const Message& m) {
+  // One popped event fans out to every process in id order; deliver()
+  // itself drops recipients that crashed before this instant.
+  for (ProcessId to = 0; to < cfg_.n; ++to) deliver(to, m);
 }
 
 void Simulator::tick() {
@@ -168,7 +181,11 @@ void Simulator::pump(Time upto) {
       tracer_.event_processed();
     }
     if (e.msg != nullptr) {
-      deliver(e.to, *e.msg);
+      if (e.to == kBroadcastRecipient) {
+        deliver_all(*e.msg);
+      } else {
+        deliver(e.to, *e.msg);
+      }
     } else {
       e.fn();
     }
@@ -207,7 +224,11 @@ bool Simulator::run_until(const std::function<bool()>& stop) {
       tracer_.event_processed();
     }
     if (e.msg != nullptr) {
-      deliver(e.to, *e.msg);
+      if (e.to == kBroadcastRecipient) {
+        deliver_all(*e.msg);
+      } else {
+        deliver(e.to, *e.msg);
+      }
     } else {
       e.fn();
     }

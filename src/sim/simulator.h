@@ -51,6 +51,16 @@ struct SimConfig {
   /// that are pathological in real time; digest-sensitive workloads
   /// should rely on max_events / horizon instead.
   std::int64_t wall_budget_ms = 0;
+  /// Aggregated broadcasts for large n: a broadcast becomes ONE queue
+  /// event (one shared delay sample) whose dispatch delivers to every
+  /// process in id order, instead of n per-recipient events each with an
+  /// independent delay. Cuts queue traffic from O(n²) to O(n) per
+  /// all-to-all step (heartbeats, phase messages). Deterministic, but a
+  /// DIFFERENT schedule than the per-recipient path — off by default so
+  /// recorded digests and golden traces are untouched. Ignored (falls
+  /// back to per-recipient sends) while a fault or remote hook is
+  /// installed, since those seams act per link.
+  bool batched_broadcasts = false;
 };
 
 class Simulator {
@@ -156,11 +166,16 @@ class Simulator {
 
   void start_if_needed();
   void crash(ProcessId pid);
-  /// Counts a completed send; fires send-triggered crashes.
-  void note_send(ProcessId sender);
+  /// Counts completed sends; fires send-triggered crashes.
+  void note_send(ProcessId sender) { note_sends(sender, 1); }
+  void note_sends(ProcessId sender, std::uint64_t count);
   /// Schedules a message delivery without a closure (the hot path).
   void schedule_deliver(Time at, ProcessId to, const Message* m);
+  /// Schedules one aggregated delivery of `m` to every process
+  /// (dispatched as deliver_all — the batched-broadcast event).
+  void schedule_broadcast_deliver(Time at, const Message* m);
   void deliver(ProcessId to, const Message& m);
+  void deliver_all(const Message& m);
   void tick();
 
   SimConfig cfg_;

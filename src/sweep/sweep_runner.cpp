@@ -37,8 +37,10 @@
 // reports them missing). Exit status: 0 ok, 1 violations / determinism
 // mismatch / baseline regression, 2 usage error, 130 interrupted
 // (checkpointed).
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -52,6 +54,7 @@
 #include "check/explorer.h"
 #include "check/fault_sweep.h"
 #include "check/protocols.h"
+#include "core/invariants.h"
 #include "core/kset_agreement.h"
 #include "core/two_wheels.h"
 #include "fault/fault_spec.h"
@@ -87,6 +90,7 @@ struct Args {
   int checkpoint_every = 64;  // persist cadence, in completed runs
   std::uint64_t max_events = 0;     // per-run event watchdog (0 = off)
   std::int64_t wall_budget_ms = 0;  // per-run wall-clock watchdog (0 = off)
+  std::string scale = "off";        // n-scaling grid: off|smoke|full
 };
 
 void print_usage(std::ostream& os) {
@@ -98,7 +102,8 @@ void print_usage(std::ostream& os) {
       "                    [--tolerance FRACTION] [--verify-digest on|off]\n"
       "                    [--faults PROFILE|SPEC] [--checkpoint FILE]\n"
       "                    [--resume] [--checkpoint-every N]\n"
-      "                    [--max-events N] [--wall-budget-ms N] [--help]\n"
+      "                    [--max-events N] [--wall-budget-ms N]\n"
+      "                    [--scale off|smoke|full] [--help]\n"
       "fault profiles:";
   for (const auto name : saf::fault::profile_names()) os << " " << name;
   os << "\n";
@@ -226,6 +231,14 @@ bool parse_args(int argc, char** argv, Args* a) {
         std::cerr << "sweep_runner: --tolerance expects a fraction >= 0\n";
         return false;
       }
+    } else if (arg == "--scale") {
+      const char* v = value("--scale");
+      if (v == nullptr) return false;
+      a->scale = v;
+      if (a->scale != "off" && a->scale != "smoke" && a->scale != "full") {
+        std::cerr << "sweep_runner: --scale expects off|smoke|full\n";
+        return false;
+      }
     } else if (arg == "--verify-digest") {
       const char* v = value("--verify-digest");
       if (v == nullptr) return false;
@@ -341,6 +354,107 @@ RunStats run_fig3_point(const Fig3Point& pt, std::uint64_t seed) {
   s.messages = res.total_messages;
   s.digest = static_cast<std::uint64_t>(res.finish_time);
   return s;
+}
+
+// --- n-scaling grid ----------------------------------------------------
+//
+// The large-n scaling curve (see docs/performance.md, "Scaling to
+// n=1024"): full kset runs at n ∈ {8, 64, 128, 512, 1024}, each with a
+// perfect Ω_2 oracle and aggregated broadcasts, reporting events/sec
+// and decision latency per point into BENCH_sim.json under "scale".
+// Every run is invariant-checked; a violation fails the whole runner.
+// "smoke" runs the n=128 point alone over 50 seeds (the CI gate that
+// large-n stays correct without paying for the full curve).
+
+struct ScalePoint {
+  int n;
+  int reps;  ///< seeded repetitions; fixed so the digest is deterministic
+};
+
+std::vector<ScalePoint> scale_points(const std::string& mode) {
+  if (mode == "smoke") return {{128, 50}};
+  return {{8, 200}, {64, 50}, {128, 20}, {512, 4}, {1024, 2}};
+}
+
+core::KSetRunConfig scale_config(int n, std::uint64_t seed) {
+  core::KSetRunConfig cfg;
+  cfg.n = n;
+  cfg.t = 3;
+  cfg.k = cfg.z = 2;
+  cfg.seed = seed;
+  cfg.perfect_oracle = true;      // measure decisions, not stabilization
+  cfg.batched_broadcasts = true;  // O(n) queue events per all-to-all step
+  cfg.horizon = 20'000;
+  cfg.crashes.crash_at(n - 1, 0).crash_at(n / 2, 30);
+  return cfg;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+/// Runs the scaling grid, one JSON object per point ("n8", "n64", ...).
+/// Returns false if any run broke a kset invariant.
+bool run_scale_grid(JsonWriter& w, std::uint64_t master_seed,
+                    const std::vector<ScalePoint>& points) {
+  bool ok = true;
+  for (const ScalePoint& pt : points) {
+    std::vector<double> wall_ms;
+    std::vector<double> decision_ticks;
+    std::uint64_t events = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a offset basis
+    const std::uint64_t point_seed = util::derive_seed(
+        util::derive_seed(master_seed, "scale"),
+        static_cast<std::uint64_t>(pt.n));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < pt.reps; ++rep) {
+      const core::KSetRunConfig cfg = scale_config(
+          pt.n, util::derive_seed(point_seed,
+                                  static_cast<std::uint64_t>(rep)));
+      const auto r0 = std::chrono::steady_clock::now();
+      const core::KSetRunResult res = core::run_kset_agreement(cfg);
+      const auto r1 = std::chrono::steady_clock::now();
+      wall_ms.push_back(
+          std::chrono::duration<double, std::milli>(r1 - r0).count());
+      decision_ticks.push_back(static_cast<double>(res.finish_time));
+      events += res.events_processed;
+      messages += res.total_messages;
+      violations += core::kset_invariants(cfg, res).size();
+      // Wall-clock-free digest: the scaling runs stay bit-deterministic.
+      for (const std::uint64_t v :
+           {static_cast<std::uint64_t>(res.finish_time),
+            res.events_processed, res.total_messages}) {
+        digest = (digest ^ v) * 1099511628211ULL;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double events_per_sec =
+        secs > 0 ? static_cast<double>(events) / secs : 0;
+    std::cout << "[scale n=" << pt.n << "] " << pt.reps << " runs, "
+              << static_cast<std::uint64_t>(events_per_sec)
+              << " events/sec, decision p50 "
+              << percentile(decision_ticks, 0.50) << " ticks / "
+              << percentile(wall_ms, 0.50) << " ms, " << violations
+              << " violations\n";
+    ok &= violations == 0;
+    w.key("n" + std::to_string(pt.n)).begin_object();
+    w.key("runs").value(static_cast<std::uint64_t>(pt.reps));
+    w.key("violations").value(violations);
+    w.key("total_events").value(events);
+    w.key("total_messages").value(messages);
+    w.key("digest_checksum").value(digest);
+    w.key("events_per_sec").value(events_per_sec);
+    w.key("decision_p50_ticks").value(percentile(decision_ticks, 0.50));
+    w.key("decision_p50_wall_ms").value(percentile(wall_ms, 0.50));
+    w.end_object();
+  }
+  return ok;
 }
 
 // --- fault-injection mode ----------------------------------------------
@@ -473,7 +587,17 @@ int main(int argc, char** argv) {
     sim_json.key("runs_per_sec").value(r.runs_per_sec());
     sim_json.end_object();
   }
-  sim_json.end_object().end_object();
+  sim_json.end_object();  // protocols
+  if (args.scale != "off") {
+    sim_json.key("scale").begin_object();
+    if (!run_scale_grid(sim_json, args.master_seed,
+                        scale_points(args.scale))) {
+      std::cerr << "[scale] INVARIANT VIOLATIONS in the n-scaling grid\n";
+      failed = true;
+    }
+    sim_json.end_object();
+  }
+  sim_json.end_object();
 
   // --- BENCH_sweep.json: parallel sweep engine -------------------------
   JsonWriter sweep_json;

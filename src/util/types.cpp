@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace saf {
 
@@ -11,7 +12,54 @@ std::string ProcSet::to_string() const {
   return os.str();
 }
 
-std::ostream& operator<<(std::ostream& os, ProcSet s) {
+std::string ProcSet::to_hex() const {
+  const int used = words_used();
+  if (used == 0) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(used) * 16);
+  // Leading zeros are skipped until the first set nibble; the top used
+  // word is nonzero, so lower words always print fully padded.
+  for (int i = used - 1; i >= 0; --i) {
+    const std::uint64_t w = w_[i];
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const int d = static_cast<int>((w >> shift) & 0xF);
+      if (out.empty() && d == 0) continue;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return out;
+}
+
+ProcSet ProcSet::from_hex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.empty()) throw std::invalid_argument("ProcSet::from_hex: empty");
+  if (hex.size() > static_cast<std::size_t>(kWords) * 16) {
+    throw std::invalid_argument("ProcSet::from_hex: too many digits");
+  }
+  ProcSet s;
+  int nibble = 0;  // counts hex digits consumed from the least-significant end
+  for (std::size_t i = hex.size(); i-- > 0; ++nibble) {
+    const char c = hex[i];
+    std::uint64_t d = 0;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("ProcSet::from_hex: bad digit");
+    }
+    s.w_[nibble / 16] |= d << (4 * (nibble % 16));
+  }
+  s.top_ = (static_cast<int>(hex.size()) + 15) / 16;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const ProcSet& s) {
   os << '{';
   bool first = true;
   for (ProcessId id : s) {

@@ -1,0 +1,279 @@
+// Differential property suite for the multi-word ProcSet.
+//
+// ProcSet64 below is a verbatim retention of the historical single-word
+// representation (one uint64_t mask, ordered and hashed by mask value).
+// For n <= 64 the multi-word ProcSet promises to be OBSERVABLY IDENTICAL
+// to it — same members, same operator results, same iteration order,
+// same total order, same mask() — which is what keeps every recorded
+// digest, golden trace and derived seed in the repo stable. The
+// randomized cases check that promise on ~10k seeded operation pairs;
+// the deterministic cases pin the word seams (bits 63/64/65 and
+// 127/128/129) and the cross-word total order, where a single-word
+// reference can no longer see.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace saf {
+namespace {
+
+/// The pre-widening ProcSet: one 64-bit mask. Reference model only.
+class ProcSet64 {
+ public:
+  constexpr ProcSet64() = default;
+  constexpr explicit ProcSet64(std::uint64_t mask) : mask_(mask) {}
+
+  static constexpr ProcSet64 full(int n) {
+    return ProcSet64(n >= 64 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << n) - 1);
+  }
+
+  constexpr bool contains(ProcessId id) const { return (mask_ >> id) & 1u; }
+  constexpr void insert(ProcessId id) { mask_ |= std::uint64_t{1} << id; }
+  constexpr void erase(ProcessId id) { mask_ &= ~(std::uint64_t{1} << id); }
+  constexpr int size() const { return std::popcount(mask_); }
+  constexpr bool empty() const { return mask_ == 0; }
+  constexpr std::uint64_t mask() const { return mask_; }
+
+  constexpr ProcSet64 operator|(ProcSet64 o) const {
+    return ProcSet64(mask_ | o.mask_);
+  }
+  constexpr ProcSet64 operator&(ProcSet64 o) const {
+    return ProcSet64(mask_ & o.mask_);
+  }
+  constexpr ProcSet64 operator-(ProcSet64 o) const {
+    return ProcSet64(mask_ & ~o.mask_);
+  }
+
+  constexpr bool operator==(const ProcSet64&) const = default;
+  constexpr auto operator<=>(const ProcSet64&) const = default;
+
+  constexpr bool subset_of(ProcSet64 o) const {
+    return (mask_ & ~o.mask_) == 0;
+  }
+  constexpr bool intersects(ProcSet64 o) const {
+    return (mask_ & o.mask_) != 0;
+  }
+  constexpr ProcessId min() const {
+    return mask_ == 0 ? -1 : std::countr_zero(mask_);
+  }
+
+  std::vector<ProcessId> to_vector() const {
+    std::vector<ProcessId> out;
+    for (std::uint64_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(std::countr_zero(m));
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+std::vector<ProcessId> iterate(const ProcSet& s) {
+  std::vector<ProcessId> out;
+  for (ProcessId id : s) out.push_back(id);
+  return out;
+}
+
+/// Compares every observable of a (multi-word, reference) pair built
+/// from the same members.
+void expect_same(const ProcSet& a, const ProcSet64& r, const char* what) {
+  EXPECT_EQ(a.mask(), r.mask()) << what;
+  EXPECT_EQ(a.size(), r.size()) << what;
+  EXPECT_EQ(a.empty(), r.empty()) << what;
+  EXPECT_EQ(a.min(), r.min()) << what;
+  EXPECT_EQ(iterate(a), r.to_vector()) << what;
+  EXPECT_EQ(a.to_vector(), r.to_vector()) << what;
+}
+
+TEST(ProcSetDiff, RandomizedOpsAgreeWithSingleWordReference) {
+  std::mt19937_64 gen(20260808);
+  for (int iter = 0; iter < 10'000; ++iter) {
+    const std::uint64_t ma = gen();
+    const std::uint64_t mb = gen();
+    const ProcSet a(ma), b(mb);
+    const ProcSet64 ra(ma), rb(mb);
+
+    expect_same(a, ra, "a");
+    expect_same(a | b, ra | rb, "a|b");
+    expect_same(a & b, ra & rb, "a&b");
+    expect_same(a - b, ra - rb, "a-b");
+    EXPECT_EQ(a.subset_of(b), ra.subset_of(rb));
+    EXPECT_EQ((a & b).subset_of(a), true);
+    EXPECT_EQ(a.intersects(b), ra.intersects(rb));
+    EXPECT_EQ(a == b, ra == rb);
+    EXPECT_EQ(a < b, ra < rb);
+    EXPECT_EQ(a > b, ra > rb);
+    EXPECT_EQ(a <=> b == 0, ra <=> rb == 0);
+
+    // Point mutations agree too.
+    const auto id = static_cast<ProcessId>(gen() % 64);
+    ProcSet am = a;
+    ProcSet64 rm = ra;
+    EXPECT_EQ(am.contains(id), rm.contains(id));
+    am.insert(id);
+    rm.insert(id);
+    expect_same(am, rm, "insert");
+    am.erase(id);
+    rm.erase(id);
+    expect_same(am, rm, "erase");
+
+    // |=, &= match their binary forms.
+    ProcSet acc = a;
+    acc |= b;
+    EXPECT_EQ(acc, a | b);
+    acc = a;
+    acc &= b;
+    EXPECT_EQ(acc, a & b);
+  }
+}
+
+TEST(ProcSetDiff, FullAgreesWithReferenceUpTo64) {
+  for (int n = 0; n <= 64; ++n) {
+    expect_same(ProcSet::full(n), ProcSet64::full(n), "full(n)");
+  }
+}
+
+TEST(ProcSetSeam, BitsAroundWordBoundaries) {
+  for (const ProcessId seam : {63, 64, 65, 127, 128, 129}) {
+    ProcSet s;
+    EXPECT_FALSE(s.contains(seam));
+    s.insert(seam);
+    EXPECT_TRUE(s.contains(seam)) << seam;
+    EXPECT_EQ(s.size(), 1) << seam;
+    EXPECT_EQ(s.min(), seam);
+    EXPECT_EQ(iterate(s), std::vector<ProcessId>{seam});
+    // The neighbors stayed clear: no smearing across the word seam.
+    EXPECT_FALSE(s.contains(seam - 1));
+    EXPECT_FALSE(s.contains(seam + 1));
+    EXPECT_EQ(s.mask(), seam < 64 ? std::uint64_t{1} << seam : 0u) << seam;
+    s.erase(seam);
+    EXPECT_TRUE(s.empty()) << seam;
+  }
+
+  // A straddling set iterates in increasing id order across words.
+  const ProcSet straddle{63, 64, 65, 127, 128, 129};
+  EXPECT_EQ(straddle.size(), 6);
+  EXPECT_EQ(iterate(straddle),
+            (std::vector<ProcessId>{63, 64, 65, 127, 128, 129}));
+  EXPECT_EQ(straddle.min(), 63);
+  EXPECT_EQ((straddle - ProcSet{63}).min(), 64);
+  EXPECT_EQ((straddle - ProcSet{63, 64, 65, 127}).min(), 128);
+}
+
+TEST(ProcSetSeam, SetAlgebraAcrossWords) {
+  const ProcSet a{1, 63, 64, 200, 1023};
+  const ProcSet b{63, 65, 200};
+  EXPECT_EQ(a | b, (ProcSet{1, 63, 64, 65, 200, 1023}));
+  EXPECT_EQ(a & b, (ProcSet{63, 200}));
+  EXPECT_EQ(a - b, (ProcSet{1, 64, 1023}));
+  EXPECT_TRUE((a & b).subset_of(a));
+  EXPECT_TRUE((a & b).subset_of(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((a - b).intersects(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(b.subset_of(a | b));
+}
+
+TEST(ProcSetFull, EdgeBehaviorAtAndBeyondWordBoundaries) {
+  for (const int n : {0, 1, 63, 64, 65, 127, 128, 129, 512, 1023, 1024}) {
+    const ProcSet f = ProcSet::full(n);
+    EXPECT_EQ(f.size(), n) << n;
+    if (n > 0) {
+      EXPECT_TRUE(f.contains(0)) << n;
+      EXPECT_TRUE(f.contains(n - 1)) << n;
+      EXPECT_EQ(f.min(), 0) << n;
+    }
+    if (n < kMaxProcs) EXPECT_FALSE(f.contains(n)) << n;
+    // full(n) is exactly {0..n-1}: iteration confirms no stray bits.
+    const auto ids = iterate(f);
+    ASSERT_EQ(static_cast<int>(ids.size()), n) << n;
+    for (int i = 0; i < n; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+  }
+  // At and beyond capacity, full() saturates to the same all-ones set.
+  EXPECT_EQ(ProcSet::full(kMaxProcs), ProcSet::full(kMaxProcs + 7));
+  EXPECT_EQ(ProcSet::full(kMaxProcs).size(), kMaxProcs);
+}
+
+TEST(ProcSetOrder, TotalOrderConsistencyAcrossWords) {
+  // Higher words dominate: any set with a bit above another set's top
+  // word orders after it, matching the old "bigger mask sorts later".
+  EXPECT_LT(ProcSet{63}, ProcSet{64});
+  EXPECT_LT((ProcSet{0, 1, 2, 63}), ProcSet{64});
+  EXPECT_LT(ProcSet{64}, (ProcSet{64, 0}));
+  EXPECT_LT((ProcSet{64, 0}), ProcSet{65});
+  EXPECT_LT(ProcSet{127}, ProcSet{128});
+  EXPECT_LT(ProcSet::full(64), ProcSet{64});
+  EXPECT_LT(ProcSet::full(1023), ProcSet{1023});
+
+  // <=> is a strong total order: antisymmetric, transitive, and
+  // consistent with == on a sorted shuffle of cross-word sets.
+  util::Rng rng(99);
+  std::vector<ProcSet> sets;
+  for (int i = 0; i < 200; ++i) {
+    sets.push_back(rng.subset(ProcSet::full(kMaxProcs), 1 + i % 17));
+  }
+  sets.push_back(ProcSet());
+  sets.push_back(ProcSet::full(kMaxProcs));
+  std::sort(sets.begin(), sets.end());
+  for (std::size_t i = 0; i + 1 < sets.size(); ++i) {
+    const auto c = sets[i] <=> sets[i + 1];
+    EXPECT_TRUE(c < 0 || (c == 0 && sets[i] == sets[i + 1]));
+    EXPECT_EQ(sets[i] < sets[i + 1], !(sets[i + 1] <= sets[i]));
+  }
+  // Equality and hash are consistent for equal values.
+  for (const ProcSet& s : sets) {
+    const ProcSet copy = ProcSet::from_vector(s.to_vector());
+    EXPECT_EQ(copy, s);
+    EXPECT_EQ(copy <=> s, std::strong_ordering::equal);
+    EXPECT_EQ(copy.hash(), s.hash());
+  }
+}
+
+TEST(ProcSetWords, WordAccessorsAndHexRoundTrip) {
+  ProcSet s{3, 64, 200, 1023};
+  EXPECT_EQ(s.word(0), std::uint64_t{1} << 3);
+  EXPECT_EQ(s.word(1), std::uint64_t{1});
+  EXPECT_EQ(s.word(3), std::uint64_t{1} << (200 - 192));
+  EXPECT_EQ(s.words_used(), ProcSet::word_count());
+  EXPECT_EQ(ProcSet().words_used(), 0);
+  EXPECT_EQ(ProcSet{64}.words_used(), 2);
+
+  // Hex round-trips, and single-word values keep the historical
+  // `std::hex << mask()` spelling.
+  EXPECT_EQ(ProcSet().to_hex(), "0");
+  EXPECT_EQ((ProcSet{0, 1, 3}).to_hex(), "b");
+  EXPECT_EQ(ProcSet{64}.to_hex(), "10000000000000000");
+  for (const ProcSet& v :
+       {ProcSet(), ProcSet{5}, ProcSet{63, 64}, s, ProcSet::full(1024)}) {
+    EXPECT_EQ(ProcSet::from_hex(v.to_hex()), v);
+    EXPECT_EQ(ProcSet::from_hex("0x" + v.to_hex()), v);
+  }
+  EXPECT_THROW(ProcSet::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(ProcSet::from_hex("0x"), std::invalid_argument);
+  EXPECT_THROW(ProcSet::from_hex("12g4"), std::invalid_argument);
+  EXPECT_THROW(ProcSet::from_hex(std::string(257, 'f')),
+               std::invalid_argument);
+
+  // mask() stays word 0 — the n <= 64 digest contract.
+  EXPECT_EQ((ProcSet{3, 64}).mask(), std::uint64_t{1} << 3);
+  EXPECT_EQ((ProcSet{3}).hash(), (ProcSet{3}).mask());
+}
+
+// Iterating a temporary is safe: the iterator snapshots the words.
+TEST(ProcSetIter, TemporaryLifetime) {
+  std::vector<ProcessId> out;
+  for (ProcessId id : ProcSet{2, 64, 700} | ProcSet{1023}) out.push_back(id);
+  EXPECT_EQ(out, (std::vector<ProcessId>{2, 64, 700, 1023}));
+}
+
+}  // namespace
+}  // namespace saf

@@ -275,5 +275,67 @@ TEST(Codec, EnvelopeRoundTripAndRejects) {
   EXPECT_EQ(decode_message(junk, sizeof(junk), arena), nullptr);
 }
 
+// ProcSet fields travel as a length-prefixed word array (one count byte
+// + count little-endian u64 words, trailing zero words trimmed), so
+// sets with members >= 64 — impossible under the old fixed 8-byte mask
+// format — round-trip exactly.
+TEST(Codec, ProcSetsWithHighBitsSurviveRoundTrip) {
+  util::Arena arena;
+  std::vector<std::uint8_t> buf;
+
+  const ProcSet leaders{1, 63, 64, 129, 1023};
+  core::Phase1Msg p1{7, leaders, 55, 1};
+  p1.sender = 1023;
+  ASSERT_TRUE(encode_message(p1, &buf));
+  const auto* dp1 = dynamic_cast<const core::Phase1Msg*>(
+      decode_message(buf.data(), buf.size(), arena));
+  ASSERT_NE(dp1, nullptr);
+  EXPECT_EQ(dp1->sender, 1023);
+  EXPECT_EQ(dp1->leaders, leaders);
+  EXPECT_EQ(dp1->est, 55);
+
+  buf.clear();
+  core::LMoveMsg lm{ProcSet{64, 65}, ProcSet{64, 65, 900}};
+  lm.sender = 0;
+  ASSERT_TRUE(encode_message(lm, &buf));
+  const auto* dlm = dynamic_cast<const core::LMoveMsg*>(
+      decode_message(buf.data(), buf.size(), arena));
+  ASSERT_NE(dlm, nullptr);
+  EXPECT_EQ(dlm->inner, (ProcSet{64, 65}));
+  EXPECT_EQ(dlm->outer, (ProcSet{64, 65, 900}));
+
+  // The empty set is the minimal encoding: count byte 0, no words.
+  buf.clear();
+  core::XMoveMsg mv{5, ProcSet()};
+  mv.sender = 2;
+  ASSERT_TRUE(encode_message(mv, &buf));
+  const auto* dmv = dynamic_cast<const core::XMoveMsg*>(
+      decode_message(buf.data(), buf.size(), arena));
+  ASSERT_NE(dmv, nullptr);
+  EXPECT_TRUE(dmv->set.empty());
+}
+
+TEST(Codec, ProcSetWordArrayRejectsTruncationAndOverflow) {
+  util::Arena arena;
+  std::vector<std::uint8_t> buf;
+
+  core::Phase1Msg p1{7, ProcSet{2, 64, 500}, 55, 1};
+  p1.sender = 3;
+  ASSERT_TRUE(encode_message(p1, &buf));
+  // Every truncation of the datagram is rejected — in particular the
+  // ones that cut into the ProcSet word array.
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_EQ(decode_message(buf.data(), len, arena), nullptr) << len;
+  }
+
+  // A word count beyond ProcSet capacity is rejected even when enough
+  // bytes follow. The count byte sits after type(1) + sender(4) +
+  // round(4).
+  std::vector<std::uint8_t> big = buf;
+  big[9] = static_cast<std::uint8_t>(ProcSet::word_count() + 1);
+  big.insert(big.end(), 64, 0xFF);  // plenty of trailing "words"
+  EXPECT_EQ(decode_message(big.data(), big.size(), arena), nullptr);
+}
+
 }  // namespace
 }  // namespace saf::rt

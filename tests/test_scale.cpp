@@ -1,12 +1,16 @@
-// Scale tests: the library's documented limit is kMaxProcs = 64
-// processes. The combinatorial constructions (wheels) are bounded by
+// Scale tests: the library's documented limit is kMaxProcs = 1024
+// processes (ProcSet is a multi-word bitset; ids 64+ live past the
+// first word). The combinatorial constructions (wheels) are bounded by
 // their ring sizes, but the oracle-driven protocols must work at the
-// boundary.
+// boundary — including above 64, where the historical single-word
+// representation ends.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "core/invariants.h"
 #include "core/kset_agreement.h"
+#include "core/two_wheels.h"
 #include "fd/export.h"
 #include "fd/omega_oracle.h"
 #include "fd/checkers.h"
@@ -52,11 +56,100 @@ TEST(Scale, KSetAgreementAt64Processes) {
   EXPECT_LE(r.distinct_decided, 3);
 }
 
-TEST(Scale, SixtyFiveProcessesRejected) {
+TEST(Scale, BeyondKMaxProcsRejected) {
   core::KSetRunConfig cfg;
-  cfg.n = 65;
+  cfg.n = kMaxProcs + 1;
   cfg.t = 2;
   EXPECT_THROW(core::run_kset_agreement(cfg), std::invalid_argument);
+}
+
+// n = 128 crosses the first word boundary of ProcSet: leader sets,
+// phase-1 majority counting and the decision reliable-broadcast all
+// manipulate ids >= 64. Checked against the full kset invariant list.
+TEST(Scale, KSetAgreementAt128Processes) {
+  core::KSetRunConfig cfg;
+  cfg.n = 128;
+  cfg.t = 10;
+  cfg.k = cfg.z = 3;
+  cfg.seed = 1281;
+  cfg.perfect_oracle = true;
+  cfg.batched_broadcasts = true;
+  cfg.crashes.crash_at(127, 0).crash_at(64, 25).crash_at(90, 60);
+  const auto r = core::run_kset_agreement(cfg);
+  EXPECT_TRUE(r.all_correct_decided);
+  const auto violations = core::kset_invariants(cfg, r);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
+}
+
+// The headline scaling smoke: a full kset run at the new kMaxProcs.
+// Aggregated broadcasts keep the schedule at O(n) events per all-to-all
+// step; a fixed delay keeps every phase a single wave. Still ~3M
+// deliveries, so the ctest TIMEOUT is sized for sanitizer builds.
+TEST(Scale, KSetAgreementAt1024Processes) {
+  core::KSetRunConfig cfg;
+  cfg.n = 1024;
+  cfg.t = 3;
+  cfg.k = cfg.z = 2;
+  cfg.seed = 10241;
+  cfg.perfect_oracle = true;
+  cfg.batched_broadcasts = true;
+  cfg.delay_min = cfg.delay_max = 2;
+  cfg.horizon = 10'000;
+  cfg.crashes.crash_at(1023, 0).crash_at(512, 30);
+  const auto r = core::run_kset_agreement(cfg);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_LE(r.distinct_decided, 2);
+  const auto violations = core::kset_invariants(cfg, r);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
+}
+
+// Two-wheels above the word boundary. x = 1, y = 1 keeps both rings
+// linear in n (singleton scan sets); the inquiry period is stretched so
+// the n² inquiry/response waves of the upper wheel stay affordable.
+TEST(Scale, TwoWheelsAt128Processes) {
+  core::TwoWheelsConfig cfg;
+  cfg.n = 128;
+  cfg.t = 2;
+  cfg.x = 1;
+  cfg.y = 1;
+  cfg.seed = 1282;
+  cfg.sx_stab = 100;
+  cfg.phi_stab = 100;
+  cfg.horizon = 800;
+  cfg.inquiry_period = 20;
+  cfg.batched_broadcasts = true;
+  cfg.crashes.crash_at(100, 30);
+  const auto r = core::run_two_wheels(cfg);
+  EXPECT_FALSE(r.timed_out);
+  const auto violations = core::two_wheels_invariants(cfg, r);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
+}
+
+TEST(Scale, TwoWheelsAt1024Processes) {
+  core::TwoWheelsConfig cfg;
+  cfg.n = 1024;
+  cfg.t = 1;
+  cfg.x = 1;
+  cfg.y = 1;
+  cfg.seed = 10242;
+  cfg.sx_stab = 50;
+  cfg.phi_stab = 50;
+  cfg.horizon = 240;
+  cfg.inquiry_period = 60;
+  cfg.batched_broadcasts = true;
+  cfg.crashes.crash_at(1023, 20);
+  const auto r = core::run_two_wheels(cfg);
+  EXPECT_FALSE(r.timed_out);
+  const auto violations = core::two_wheels_invariants(cfg, r);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
 }
 
 TEST(Export, CsvRoundTripShape) {
