@@ -1,0 +1,232 @@
+// Live-runtime throughput benchmark (docs/live_runtime.md).
+//
+// Measures *sustained* k-set decision throughput over the wire-v2
+// transport: each repetition forks one loopback cluster whose nodes run
+// `--rounds` consecutive agreement instances in keep-alive mode (one
+// long-lived UDP link + heartbeat monitor per node, a fresh protocol
+// instance per round), so the number measures the protocol and the
+// transport — not fork/exec or detector convergence. Reports sustained
+// decisions/sec, rounds/sec, and the client-observed p50/p99 decision
+// latency across every (node, round) sample, and writes the
+// BENCH_rt.json baseline checked in at the repo root.
+//
+// With --baseline FILE [--tolerance F] the run additionally gates
+// against a checked-in baseline via sweep::compare_benchmarks (every
+// "*_per_sec" metric must hold within the tolerance) — the CI perf job
+// runs exactly that.
+//
+// Like bench_rt_latency, this is deliberately not a google-benchmark
+// binary (it forks real socket-bound processes); CI skips bench_rt_*
+// in its --benchmark_list_tests sweep over build/bench.
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rt/cluster.h"
+#include "sweep/bench_json.h"
+
+namespace {
+
+using saf::rt::ClusterConfig;
+using saf::rt::ClusterResult;
+
+void print_usage(std::ostream& os) {
+  os << "usage: bench_rt_throughput [--rounds R] [--repeat REP] [--n N]\n"
+        "                           [--t T] [--k K] [--crash C]\n"
+        "                           [--base-port P] [--run-for-ms MS]\n"
+        "                           [--out FILE] [--baseline FILE]\n"
+        "                           [--tolerance F] [--help]\n";
+}
+
+int usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "bench_rt_throughput: " << err << "\n";
+  print_usage(std::cerr);
+  return 2;
+}
+
+template <typename Int>
+bool parse_int(const char* flag, const char* v, long long lo, Int* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long raw = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || raw < lo) {
+    std::cerr << "bench_rt_throughput: " << flag
+              << " expects an integer >= " << lo << "\n";
+    return false;
+  }
+  *out = static_cast<Int>(raw);
+  return true;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterConfig cfg;
+  cfg.protocol = "kset";
+  cfg.crash = 1;
+  cfg.rounds = 100;
+  cfg.run_for_ms = 10'000;
+  cfg.out_dir = "bench_rt_out";
+  int repeat = 3;
+  std::string out_path = "BENCH_rt.json";
+  std::string baseline_path;
+  double tolerance = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_rt_throughput: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--rounds") {
+      if ((v = value("--rounds")) == nullptr ||
+          !parse_int("--rounds", v, 1, &cfg.rounds)) {
+        return usage();
+      }
+    } else if (arg == "--repeat") {
+      if ((v = value("--repeat")) == nullptr ||
+          !parse_int("--repeat", v, 1, &repeat)) {
+        return usage();
+      }
+    } else if (arg == "--n") {
+      if ((v = value("--n")) == nullptr || !parse_int("--n", v, 2, &cfg.n))
+        return usage();
+    } else if (arg == "--t") {
+      if ((v = value("--t")) == nullptr || !parse_int("--t", v, 1, &cfg.t))
+        return usage();
+    } else if (arg == "--k") {
+      if ((v = value("--k")) == nullptr || !parse_int("--k", v, 1, &cfg.k))
+        return usage();
+    } else if (arg == "--crash") {
+      if ((v = value("--crash")) == nullptr ||
+          !parse_int("--crash", v, 0, &cfg.crash)) {
+        return usage();
+      }
+    } else if (arg == "--base-port") {
+      if ((v = value("--base-port")) == nullptr ||
+          !parse_int("--base-port", v, 1024, &cfg.base_port)) {
+        return usage();
+      }
+    } else if (arg == "--run-for-ms") {
+      if ((v = value("--run-for-ms")) == nullptr ||
+          !parse_int("--run-for-ms", v, 1, &cfg.run_for_ms)) {
+        return usage();
+      }
+    } else if (arg == "--out") {
+      if ((v = value("--out")) == nullptr) return usage();
+      out_path = v;
+    } else if (arg == "--baseline") {
+      if ((v = value("--baseline")) == nullptr) return usage();
+      baseline_path = v;
+    } else if (arg == "--tolerance") {
+      if ((v = value("--tolerance")) == nullptr) return usage();
+      char* end = nullptr;
+      tolerance = std::strtod(v, &end);
+      if (end == v || *end != '\0' || tolerance < 0) {
+        return usage("--tolerance expects a non-negative number");
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "bench_rt_throughput: unknown flag " << arg << "\n";
+      return usage();
+    }
+  }
+  if (cfg.t >= cfg.n) return usage("--t must be < --n");
+  if (cfg.crash > cfg.t) return usage("--crash must be <= --t");
+
+  std::vector<double> latencies_ms;
+  std::uint64_t decisions = 0;
+  std::uint64_t rounds_completed = 0;
+  int failed_repeats = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    const ClusterResult res = saf::rt::run_cluster(cfg);
+    if (!res.contract_ok()) {
+      ++failed_repeats;
+      std::cerr << "bench_rt_throughput: repeat " << (r + 1) << " failed";
+      if (!res.detail.empty()) std::cerr << " (" << res.detail << ")";
+      for (const std::string& viol : res.violations) {
+        std::cerr << "\n  violation: " << viol;
+      }
+      std::cerr << "\n";
+      continue;
+    }
+    rounds_completed += static_cast<std::uint64_t>(cfg.rounds);
+    for (const saf::rt::ClusterNodeOutcome& node : res.nodes) {
+      if (!node.launched) continue;
+      for (const saf::rt::RoundResult& rr : node.rounds) {
+        if (!rr.decided) continue;
+        latencies_ms.push_back(static_cast<double>(rr.decision_ms));
+        ++decisions;
+      }
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  saf::sweep::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("saf-bench-rt-v2");
+  w.key("protocol").value(cfg.protocol);
+  w.key("n").value(cfg.n);
+  w.key("t").value(cfg.t);
+  w.key("k").value(cfg.k);
+  w.key("crash").value(cfg.crash);
+  w.key("rounds").value(cfg.rounds);
+  w.key("repeat").value(repeat);
+  w.key("failed_repeats").value(failed_repeats);
+  w.key("decisions").value(decisions);
+  w.key("decision_p50_ms").value(percentile(latencies_ms, 0.50));
+  w.key("decision_p99_ms").value(percentile(latencies_ms, 0.99));
+  w.key("decisions_per_sec")
+      .value(wall_s > 0 ? static_cast<double>(decisions) / wall_s : 0.0);
+  w.key("rounds_per_sec")
+      .value(wall_s > 0 ? static_cast<double>(rounds_completed) / wall_s
+                        : 0.0);
+  w.end_object();
+  saf::sweep::write_file(out_path, w.str() + "\n");
+  std::cout << w.str() << "\n";
+  if (failed_repeats > 0) return 1;
+
+  if (!baseline_path.empty()) {
+    try {
+      const saf::sweep::FlatJson base =
+          saf::sweep::load_json_numbers(baseline_path);
+      const saf::sweep::FlatJson cur = saf::sweep::parse_json_numbers(w.str());
+      const saf::sweep::RegressionReport rep =
+          saf::sweep::compare_benchmarks(base, cur, tolerance);
+      for (const std::string& line : rep.regressions) {
+        std::cerr << "bench_rt_throughput: REGRESSION " << line << "\n";
+      }
+      for (const std::string& key : rep.missing) {
+        std::cerr << "bench_rt_throughput: MISSING " << key << "\n";
+      }
+      if (!rep.ok()) return 1;
+      std::cerr << "bench_rt_throughput: within " << tolerance
+                << " of baseline " << baseline_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "bench_rt_throughput: baseline check failed: " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -219,6 +219,51 @@ void BM_SimulatorPingPongTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorPingPongTraced)->Unit(benchmark::kMillisecond);
 
+// --- ProcSet word-array scans ------------------------------------------
+
+/// Population count over the multi-word membership bitmap at Arg()
+/// members spread across the full id space — the inner loop of every
+/// quorum-size check. Pins the 4-way unrolled independent-accumulator
+/// scan (vs the naive single-chain loop it replaced).
+void BM_ProcSetSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<ProcSet> sets;
+  util::Rng rng(7);
+  for (int s = 0; s < 64; ++s) {
+    ProcSet ps;
+    for (ProcessId id = 0; id < n; ++id) {
+      if (rng.uniform(0, 1) == 0) ps.insert(id);
+    }
+    ps.insert(n - 1);  // keep top_ at the full word count
+    sets.push_back(ps);
+  }
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    total += static_cast<std::uint64_t>(sets[i].size());
+    i = (i + 1) % sets.size();
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProcSetSize)->Arg(64)->Arg(1024);
+
+/// Find-first (lowest live id — the Ω leader projection) when the only
+/// member sits at the high end, forcing a scan over every empty word.
+void BM_ProcSetMin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ProcSet ps;
+  ps.insert(n - 1);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    total += static_cast<std::uint64_t>(ps.min());
+    benchmark::DoNotOptimize(ps);
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProcSetMin)->Arg(64)->Arg(1024);
+
 }  // namespace
 
 BENCHMARK_MAIN();

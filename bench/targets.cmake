@@ -25,10 +25,16 @@ saf_add_bench(bench_baseline_consensus)
 saf_add_bench(bench_repeated_kset)
 saf_add_bench(bench_kset_routes)
 
-# Live-runtime latency bench: forks real UDP clusters, so it is a plain
-# binary (no google-benchmark harness) and lives at the build root,
-# outside the build/bench --benchmark_list_tests sweep.
-add_executable(bench_rt_latency ${CMAKE_SOURCE_DIR}/bench/bench_rt_latency.cpp)
-target_link_libraries(bench_rt_latency PRIVATE saf_rt saf_sweep)
-set_target_properties(bench_rt_latency PROPERTIES
-  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR})
+# Live-runtime benches: fork real UDP clusters, so they are plain
+# binaries (no google-benchmark harness). They live in build/bench like
+# every other bench — CI's --benchmark_list_tests sweep skips the
+# bench_rt_* prefix instead of the old special-cased output dir.
+function(saf_add_rt_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE saf_rt saf_sweep)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+saf_add_rt_bench(bench_rt_latency)
+saf_add_rt_bench(bench_rt_throughput)

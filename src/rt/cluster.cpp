@@ -42,6 +42,7 @@ NodeConfig node_config(const ClusterConfig& cfg, ProcessId id) {
   nc.seed = cfg.seed + static_cast<std::uint64_t>(id);
   nc.run_for_ms = cfg.run_for_ms;
   nc.linger_ms = cfg.linger_ms;
+  nc.rounds = cfg.rounds;
   nc.hb = cfg.hb;
   nc.link = cfg.link;
   nc.result_path = node_result_path(cfg, id);
@@ -89,38 +90,47 @@ void merge_traces(const ClusterConfig& cfg, ClusterResult* res) {
 void check_kset_contract(const ClusterConfig& cfg, ClusterResult* res) {
   // Synthesize the KSetRunResult fields kset_invariants reads from the
   // per-node outcomes; the checker is then byte-for-byte the one the
-  // simulator harness uses.
+  // simulator harness uses. With keep-alive rounds, each round is an
+  // independent agreement instance and is checked separately.
   core::KSetRunConfig kcfg;
   kcfg.n = cfg.n;
   kcfg.t = cfg.t;
   kcfg.k = cfg.k;
-  core::KSetRunResult kres;
   std::set<std::int64_t> proposed;
   for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
     proposed.insert(100 + id);  // run_node's default proposal
   }
-  std::set<std::int64_t> decided_values;
-  kres.validity = true;
-  kres.all_correct_decided = true;
-  for (const ClusterNodeOutcome& node : res->nodes) {
-    if (!node.launched) continue;
-    if (!node.decided) {
-      kres.all_correct_decided = false;
-      continue;
+  for (int round = 0; round < cfg.rounds; ++round) {
+    core::KSetRunResult kres;
+    std::set<std::int64_t> decided_values;
+    kres.validity = true;
+    kres.all_correct_decided = true;
+    for (const ClusterNodeOutcome& node : res->nodes) {
+      if (!node.launched) continue;
+      const std::size_t r = static_cast<std::size_t>(round);
+      if (r >= node.rounds.size() || !node.rounds[r].decided) {
+        kres.all_correct_decided = false;
+        continue;
+      }
+      decided_values.insert(node.rounds[r].decision);
+      if (proposed.count(node.rounds[r].decision) == 0) {
+        kres.validity = false;
+      }
+      if (res->max_decision_ms == kNeverTime ||
+          node.rounds[r].decision_ms > res->max_decision_ms) {
+        res->max_decision_ms = node.rounds[r].decision_ms;
+      }
     }
-    decided_values.insert(node.decision);
-    if (proposed.count(node.decision) == 0) kres.validity = false;
-    if (res->max_decision_ms == kNeverTime ||
-        node.decision_ms > res->max_decision_ms) {
-      res->max_decision_ms = node.decision_ms;
+    const int distinct = static_cast<int>(decided_values.size());
+    res->distinct_decided = std::max(res->distinct_decided, distinct);
+    kres.distinct_decided = distinct;
+    kres.agreement_k = distinct <= cfg.k;
+    for (const core::InvariantViolation& v :
+         core::kset_invariants(kcfg, kres)) {
+      res->violations.push_back(
+          (cfg.rounds > 1 ? "round " + std::to_string(round) + ": " : "") +
+          v.invariant + ": " + v.detail);
     }
-  }
-  res->distinct_decided = static_cast<int>(decided_values.size());
-  kres.distinct_decided = res->distinct_decided;
-  kres.agreement_k = res->distinct_decided <= cfg.k;
-  for (const core::InvariantViolation& v :
-       core::kset_invariants(kcfg, kres)) {
-    res->violations.push_back(v.invariant + ": " + v.detail);
   }
 }
 
@@ -181,9 +191,11 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
     res.nodes[id].launched = true;
   }
 
-  // Reap with a wall deadline: per-node budget + slack for fork/teardown.
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(cfg.run_for_ms + 5000);
+  // Reap with a wall deadline: per-round budget x rounds + slack for
+  // fork/teardown.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(cfg.run_for_ms * cfg.rounds + 5000);
   bool all_ok = true;
   while (!children.empty()) {
     for (std::size_t i = 0; i < children.size();) {
@@ -232,6 +244,19 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
           static_cast<std::uint64_t>(get("final_trusted_mask"));
       node.final_suspected_mask =
           static_cast<std::uint64_t>(get("final_suspected_mask"));
+      // Keep-alive rounds flatten as "rounds.<i>.<field>".
+      for (int r = 0; r < cfg.rounds; ++r) {
+        const std::string p = "rounds." + std::to_string(r) + ".";
+        if (j.find(p + "elapsed_ms") == j.end()) break;  // budget cut short
+        RoundResult rr;
+        rr.decided = get((p + "decided").c_str()) != 0.0;
+        rr.decision = static_cast<std::int64_t>(get((p + "decision").c_str()));
+        rr.decision_ms = static_cast<Time>(get((p + "decision_ms").c_str()));
+        rr.decision_round =
+            static_cast<int>(get((p + "decision_round").c_str()));
+        rr.elapsed_ms = static_cast<Time>(get((p + "elapsed_ms").c_str()));
+        node.rounds.push_back(rr);
+      }
     } catch (const std::exception& e) {
       res.ok = false;
       if (res.detail.empty()) {
@@ -258,6 +283,7 @@ std::string cluster_result_json(const ClusterConfig& cfg,
   w.key("t").value(cfg.t);
   w.key("k").value(cfg.k);
   w.key("crash").value(cfg.crash);
+  w.key("rounds").value(cfg.rounds);
   w.key("ok").value(res.ok);
   w.key("contract_ok").value(res.contract_ok());
   w.key("distinct_decided").value(res.distinct_decided);
@@ -275,6 +301,11 @@ std::string cluster_result_json(const ClusterConfig& cfg,
     w.key("decided").value(node.decided);
     w.key("decision").value(node.decision);
     w.key("decision_ms").value(static_cast<std::int64_t>(node.decision_ms));
+    std::uint64_t rounds_decided = 0;
+    for (const RoundResult& rr : node.rounds) {
+      if (rr.decided) ++rounds_decided;
+    }
+    w.key("rounds_decided").value(rounds_decided);
     w.key("final_trusted_mask").value(node.final_trusted_mask);
     w.key("final_suspected_mask").value(node.final_suspected_mask);
     w.end_object();

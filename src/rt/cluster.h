@@ -33,8 +33,13 @@ struct ClusterConfig {
   int crash = 0;  ///< initial crashes: ids 0..crash-1 are never launched
   std::uint16_t base_port = 47400;
   std::uint64_t seed = 1;
-  Time run_for_ms = 15'000;  ///< per-node wall budget
+  Time run_for_ms = 15'000;  ///< per-node wall budget (per round)
   Time linger_ms = 750;
+  /// Keep-alive rounds per node process (NodeConfig::rounds): > 1 runs
+  /// that many consecutive protocol instances over one fork per node,
+  /// so repetition measures the protocol, not fork/exec + detector
+  /// convergence. The k-set contract is checked per round.
+  int rounds = 1;
   HeartbeatParams hb;
   UdpLinkParams link;
   /// Directory for per-node result/trace files (created if missing).
@@ -46,11 +51,13 @@ struct ClusterNodeOutcome {
   ProcessId id = -1;
   bool launched = false;
   bool exited_ok = false;  ///< exit status 0 within the wall budget
-  bool decided = false;
-  std::int64_t decision = INT64_MIN;
-  Time decision_ms = kNeverTime;
+  bool decided = false;    ///< every keep-alive round decided
+  std::int64_t decision = INT64_MIN;  ///< last round's
+  Time decision_ms = kNeverTime;      ///< last round's, round-relative
   std::uint64_t final_trusted_mask = 0;
   std::uint64_t final_suspected_mask = 0;
+  /// Per keep-alive round (parsed from the node's result JSON).
+  std::vector<RoundResult> rounds;
 };
 
 struct ClusterResult {

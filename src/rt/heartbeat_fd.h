@@ -68,6 +68,10 @@ class HeartbeatMonitor {
   ProcSet suspected_now() const { return suspected_; }
   Time timeout_of(ProcessId peer) const;
 
+  /// The deadline heartbeat_due() will fire at — the epoll node loop's
+  /// timer horizon for heartbeat emission.
+  Time next_heartbeat_at() const { return next_hb_; }
+
   /// Full suspicion history (step function of clock time) for the
   /// fd/checkers.h axiom checkers.
   const util::StepTrace<ProcSet>& history() const { return history_; }

@@ -1,5 +1,9 @@
 #include "rt/node.h"
 
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
 #include <fstream>
 #include <memory>
 
@@ -58,11 +62,93 @@ class RtBridge final : public sim::RemoteTransportHook {
   std::uint64_t encode_failures_ = 0;
 };
 
+/// epoll + timerfd wakeup: the loop sleeps until the socket is readable
+/// or the armed deadline passes — no fixed pump quantum. Degrades to a
+/// short blocking wait if the kernel objects cannot be created.
+class Waiter {
+ public:
+  explicit Waiter(int socket_fd) {
+    ep_ = ::epoll_create1(0);
+    tfd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK);
+    if (ep_ < 0 || tfd_ < 0) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = socket_fd;
+    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, socket_fd, &ev) != 0) {
+      close_all();
+      return;
+    }
+    ev.data.fd = tfd_;
+    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, tfd_, &ev) != 0) close_all();
+  }
+
+  ~Waiter() { close_all(); }
+
+  Waiter(const Waiter&) = delete;
+  Waiter& operator=(const Waiter&) = delete;
+
+  /// Sleeps until the socket is readable or `delay_ms` elapsed.
+  void wait(UdpLink& link, Time delay_ms) {
+    if (delay_ms <= 0) return;
+    if (ep_ < 0 || tfd_ < 0) {
+      link.wait_readable(static_cast<int>(delay_ms));
+      return;
+    }
+    itimerspec its{};
+    its.it_value.tv_sec = static_cast<time_t>(delay_ms / 1000);
+    its.it_value.tv_nsec = static_cast<long>((delay_ms % 1000) * 1'000'000);
+    ::timerfd_settime(tfd_, 0, &its, nullptr);
+    epoll_event evs[2];
+    const int nev = ::epoll_wait(ep_, evs, 2, static_cast<int>(delay_ms));
+    for (int i = 0; i < nev; ++i) {
+      if (evs[i].data.fd == tfd_) {
+        std::uint64_t expirations = 0;
+        (void)!::read(tfd_, &expirations, sizeof(expirations));
+      }
+    }
+  }
+
+ private:
+  void close_all() {
+    if (ep_ >= 0) ::close(ep_);
+    if (tfd_ >= 0) ::close(tfd_);
+    ep_ = tfd_ = -1;
+  }
+
+  int ep_ = -1;
+  int tfd_ = -1;
+};
+
+void publish_metrics(const NodeConfig& cfg, const NodeResult& res,
+                     trace::MetricsRegistry& metrics) {
+  const UdpLinkStats& s = res.link_stats;
+  metrics.counter("rt.datagrams_tx").add(s.datagrams_sent);
+  metrics.counter("rt.datagrams_rx").add(s.datagrams_received);
+  metrics.counter("rt.frames_tx").add(s.frames_sent);
+  metrics.counter("rt.frames_rx").add(s.frames_received);
+  metrics.counter("rt.syscalls_send").add(s.syscalls_send);
+  metrics.counter("rt.syscalls_recv").add(s.syscalls_recv);
+  metrics.counter("rt.window_stalls").add(s.window_stalls);
+  metrics.counter("rt.retransmits").add(s.retransmits);
+  metrics.counter("rt.stale_dropped").add(s.stale_dropped);
+  // Packing ratio, visible per datagram in the histogram (the
+  // before/after of wire v2: v1 was pinned at 1 frame per datagram).
+  if (s.datagrams_sent > 0) {
+    metrics.histogram("rt.frames_per_datagram")
+        .record(static_cast<std::int64_t>(s.frames_sent /
+                                          s.datagrams_sent));
+  }
+  if (!cfg.metrics_path.empty()) {
+    sweep::write_file(cfg.metrics_path, metrics.to_json());
+  }
+}
+
 }  // namespace
 
 NodeResult run_node(const NodeConfig& cfg) {
   SAF_CHECK(cfg.id >= 0 && cfg.id < cfg.n);
   SAF_CHECK(cfg.protocol == "kset" || cfg.protocol == "wheels");
+  SAF_CHECK(cfg.rounds >= 1);
   NodeResult res;
 
   WallClock wall;
@@ -74,108 +160,158 @@ NodeResult run_node(const NodeConfig& cfg) {
   HeartbeatOmega omega(monitor, cfg.k);
   HeartbeatPhi phi(monitor, cfg.t, cfg.y);
 
-  sim::SimConfig scfg;
-  scfg.seed = cfg.seed;
-  scfg.n = cfg.n;
-  scfg.t = cfg.t;
-  scfg.tick_period = cfg.tick_period;
-  scfg.horizon = cfg.run_for_ms + cfg.linger_ms + 1000;
-  sim::Simulator sim(scfg, sim::CrashPlan{},
-                     std::make_unique<sim::FixedDelay>(1));
-
   std::ofstream trace_out;
   std::unique_ptr<trace::JsonlSink> sink;
   trace::MetricsRegistry metrics;
   if (!cfg.trace_path.empty()) {
     trace_out.open(cfg.trace_path);
     sink = std::make_unique<trace::JsonlSink>(trace_out);
-    sim.set_trace(sink.get(), &metrics);
   }
 
-  // Wheels plumbing (constructed even for kset — cheap, and keeps the
-  // setup code straight-line).
-  const int wheels_z = cfg.t + 2 - cfg.x - cfg.y;
-  const int outer = cfg.t - cfg.y + 1;
-  util::MemberRing xring(cfg.n, cfg.x);
-  util::SubsetPairRing lring(cfg.n, outer,
-                             wheels_z >= 1 ? wheels_z : 1);
-  fd::EmulatedReprStore repr_store(cfg.n);
-  fd::EmulatedLeaderStore leader_store(cfg.n);
+  Waiter waiter(link.fd());
 
   const std::int64_t proposal =
       cfg.proposal == core::kNoValue ? 100 + cfg.id : cfg.proposal;
 
-  core::KSetProcess* kproc = nullptr;
-  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
-    if (pid != cfg.id) {
-      sim.add_process(std::make_unique<RemoteStub>(pid, cfg.n, cfg.t));
-    } else if (cfg.protocol == "kset") {
-      auto p = std::make_unique<core::KSetProcess>(pid, cfg.n, cfg.t, omega,
-                                                   proposal);
-      kproc = p.get();
-      sim.add_process(std::move(p));
-    } else {
-      sim.add_process(std::make_unique<core::TwoWheelsProcess>(
-          pid, cfg.n, cfg.t, xring, lring, sx, phi, repr_store,
-          leader_store));
-    }
-  }
-
-  RtBridge bridge(cfg.id, link);
-  sim.network().set_remote_hook(&bridge);
-
   std::uint64_t hb_seq = 0;
-  const UdpLink::DeliverFn deliver = [&](ProcessId from,
-                                         const std::uint8_t* data,
-                                         std::size_t len) {
-    std::uint64_t seq = 0;
-    if (decode_heartbeat(data, len, &seq)) {
-      monitor.on_heartbeat(from);
-      return;
-    }
-    const sim::Message* m = decode_message(data, len, sim.arena());
-    if (m != nullptr) sim.inject_deliver(cfg.id, m);
-  };
+  const Time start = wall.now_ms();
+  bool all_decided = true;
 
-  Time decided_at = kNeverTime;
-  for (;;) {
-    const Time now = wall.now_ms();
-    if (now >= cfg.run_for_ms) break;
-    if (monitor.heartbeat_due()) {
-      const std::vector<std::uint8_t> hb = encode_heartbeat(hb_seq++);
-      for (ProcessId pid = 0; pid < cfg.n; ++pid) {
-        if (pid != cfg.id) link.send_unreliable(pid, hb);
+  for (int round = 0; round < cfg.rounds; ++round) {
+    // Reliable sends from here on carry this round's epoch; peers still
+    // in an older round ignore them until they catch up (the frames sit
+    // in the window and retransmit), and this node acks-but-drops
+    // stragglers from rounds it already left.
+    link.set_epoch(static_cast<std::uint32_t>(round));
+
+    sim::SimConfig scfg;
+    scfg.seed = cfg.seed + static_cast<std::uint64_t>(round);
+    scfg.n = cfg.n;
+    scfg.t = cfg.t;
+    scfg.tick_period = cfg.tick_period;
+    scfg.horizon = cfg.run_for_ms + cfg.linger_ms + 1000;
+    sim::Simulator sim(scfg, sim::CrashPlan{},
+                       std::make_unique<sim::FixedDelay>(1));
+    if (sink != nullptr || !cfg.metrics_path.empty()) {
+      sim.set_trace(sink.get(), &metrics);
+    }
+
+    // Wheels plumbing (constructed even for kset — cheap, and keeps the
+    // setup code straight-line).
+    const int wheels_z = cfg.t + 2 - cfg.x - cfg.y;
+    const int outer = cfg.t - cfg.y + 1;
+    util::MemberRing xring(cfg.n, cfg.x);
+    util::SubsetPairRing lring(cfg.n, outer, wheels_z >= 1 ? wheels_z : 1);
+    fd::EmulatedReprStore repr_store(cfg.n);
+    fd::EmulatedLeaderStore leader_store(cfg.n);
+
+    core::KSetProcess* kproc = nullptr;
+    for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+      if (pid != cfg.id) {
+        sim.add_process(std::make_unique<RemoteStub>(pid, cfg.n, cfg.t));
+      } else if (cfg.protocol == "kset") {
+        auto p = std::make_unique<core::KSetProcess>(pid, cfg.n, cfg.t,
+                                                     omega, proposal);
+        kproc = p.get();
+        sim.add_process(std::move(p));
+      } else {
+        sim.add_process(std::make_unique<core::TwoWheelsProcess>(
+            pid, cfg.n, cfg.t, xring, lring, sx, phi, repr_store,
+            leader_store));
       }
-      ++res.heartbeats_sent;
     }
-    link.poll(deliver);
-    monitor.tick();
-    link.maintain();
-    sim.pump(now);
-    if (kproc != nullptr && decided_at == kNeverTime &&
-        kproc->core().decided()) {
-      decided_at = now;
+
+    RtBridge bridge(cfg.id, link);
+    sim.network().set_remote_hook(&bridge);
+
+    const UdpLink::DeliverFn deliver = [&](ProcessId from,
+                                           const std::uint8_t* data,
+                                           std::size_t len) {
+      std::uint64_t seq = 0;
+      if (decode_heartbeat(data, len, &seq)) {
+        monitor.on_heartbeat(from);
+        return;
+      }
+      const sim::Message* m = decode_message(data, len, sim.arena());
+      if (m != nullptr) sim.inject_deliver(cfg.id, m);
+    };
+
+    const Time round_start = wall.now_ms();
+    const bool last_round = round == cfg.rounds - 1;
+    Time decided_at = kNeverTime;
+    for (;;) {
+      const Time now = wall.now_ms();
+      const Time elapsed = now - round_start;
+      if (elapsed >= cfg.run_for_ms) break;
+      if (monitor.heartbeat_due()) {
+        const std::vector<std::uint8_t> hb = encode_heartbeat(hb_seq++);
+        for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+          if (pid != cfg.id) link.send_unreliable(pid, hb);
+        }
+        ++res.heartbeats_sent;
+      }
+      link.poll(deliver);
+      monitor.tick();
+      link.maintain();
+      sim.pump(elapsed);
+      if (kproc != nullptr && decided_at == kNeverTime &&
+          kproc->core().decided()) {
+        decided_at = now;
+      }
+      if (decided_at != kNeverTime &&
+          link.pending_excluding(monitor.suspected_now()) == 0) {
+        // Traffic owed to every unsuspected peer is acknowledged; the
+        // linger (serving acks for stragglers) is only needed before
+        // the process exits — between keep-alive rounds the persistent
+        // link provides it for free.
+        if (!last_round) break;
+        if (now - decided_at >= cfg.linger_ms) break;
+      }
+
+      // Single timer horizon for everything the v1 loop polled at a
+      // 1 ms quantum: heartbeat emission, retransmission deadlines, sim
+      // timers/ticks, the linger expiry and the round budget.
+      Time deadline = round_start + cfg.run_for_ms;
+      const auto consider = [&deadline](Time at) {
+        if (at != kNeverTime && at < deadline) deadline = at;
+      };
+      consider(monitor.next_heartbeat_at());
+      consider(link.next_due());
+      const Time sim_next = sim.next_event_time();
+      if (sim_next != kNeverTime) consider(round_start + sim_next);
+      if (decided_at != kNeverTime && last_round) {
+        consider(decided_at + cfg.linger_ms);
+      }
+      waiter.wait(link, deadline - wall.now_ms());
     }
-    if (decided_at != kNeverTime && now - decided_at >= cfg.linger_ms &&
-        link.pending() == 0) {
-      break;
+
+    RoundResult rr;
+    rr.elapsed_ms = wall.now_ms() - round_start;
+    if (kproc != nullptr) {
+      rr.decided = kproc->core().decided();
+      rr.decision = kproc->core().decision();
+      rr.decision_ms = kproc->core().decision_time();
+      rr.decision_round = kproc->core().decision_round();
+      all_decided = all_decided && rr.decided;
+      res.final_trusted = omega.trusted(cfg.id, wall.now_ms());
+    } else {
+      res.final_trusted = leader_store.trusted(cfg.id, wall.now_ms());
     }
-    link.wait_readable(1);
+    res.decided = kproc != nullptr && all_decided;
+    res.decision = rr.decision;
+    res.decision_ms = rr.decision_ms;
+    res.decision_round = rr.decision_round;
+    res.events_processed += sim.events_processed();
+    res.rounds.push_back(rr);
+
+    if (kproc != nullptr && !rr.decided) break;  // budget blown: stop
   }
 
   res.ok = true;
-  if (kproc != nullptr) {
-    res.decided = kproc->core().decided();
-    res.decision = kproc->core().decision();
-    res.decision_ms = kproc->core().decision_time();
-    res.decision_round = kproc->core().decision_round();
-    res.final_trusted = omega.trusted(cfg.id, wall.now_ms());
-  } else {
-    res.final_trusted = leader_store.trusted(cfg.id, wall.now_ms());
-  }
+  res.total_elapsed_ms = wall.now_ms() - start;
   res.final_suspected = monitor.suspected_now();
-  res.events_processed = sim.events_processed();
   res.link_stats = link.stats();
+  publish_metrics(cfg, res, metrics);
 
   if (!cfg.result_path.empty()) {
     sweep::write_file(cfg.result_path, node_result_json(cfg, res));
@@ -199,11 +335,30 @@ std::string node_result_json(const NodeConfig& cfg, const NodeResult& res) {
       .value(static_cast<std::uint64_t>(res.final_trusted.mask()));
   w.key("events_processed").value(res.events_processed);
   w.key("heartbeats_sent").value(res.heartbeats_sent);
+  w.key("total_elapsed_ms")
+      .value(static_cast<std::int64_t>(res.total_elapsed_ms));
+  w.key("rounds").begin_array();
+  for (const RoundResult& rr : res.rounds) {
+    w.begin_object();
+    w.key("decided").value(rr.decided);
+    w.key("decision").value(rr.decision);
+    w.key("decision_ms").value(static_cast<std::int64_t>(rr.decision_ms));
+    w.key("decision_round").value(rr.decision_round);
+    w.key("elapsed_ms").value(static_cast<std::int64_t>(rr.elapsed_ms));
+    w.end_object();
+  }
+  w.end_array();
   w.key("datagrams_sent").value(res.link_stats.datagrams_sent);
   w.key("datagrams_received").value(res.link_stats.datagrams_received);
+  w.key("frames_sent").value(res.link_stats.frames_sent);
+  w.key("frames_received").value(res.link_stats.frames_received);
+  w.key("syscalls_send").value(res.link_stats.syscalls_send);
+  w.key("syscalls_recv").value(res.link_stats.syscalls_recv);
   w.key("retransmits").value(res.link_stats.retransmits);
   w.key("dups_dropped").value(res.link_stats.dups_dropped);
+  w.key("stale_dropped").value(res.link_stats.stale_dropped);
   w.key("acks_sent").value(res.link_stats.acks_sent);
+  w.key("window_stalls").value(res.link_stats.window_stalls);
   w.key("abandoned").value(res.link_stats.abandoned);
   w.end_object();
   return w.str();

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "rt/heartbeat_fd.h"
 #include "rt/udp_link.h"
@@ -53,24 +54,45 @@ struct NodeConfig {
   /// would look crashed to everyone else).
   Time linger_ms = 750;
   Time tick_period = 5;
+  /// Keep-alive rounds: consecutive protocol instances run in this OS
+  /// process over one long-lived link + heartbeat monitor. Each round
+  /// gets a fresh embedded simulator; the link's epoch tag keeps stale
+  /// cross-round traffic out of the new instance. The linger wait
+  /// applies only after the final round — between rounds the persistent
+  /// link keeps serving acks and heartbeats, so a node advances as soon
+  /// as it decided and its outgoing traffic to unsuspected peers is
+  /// fully acknowledged.
+  int rounds = 1;
   HeartbeatParams hb;
   UdpLinkParams link;
-  std::string trace_path;   ///< jsonl trace file; empty = no trace
-  std::string result_path;  ///< result JSON file; empty = stdout
+  std::string trace_path;    ///< jsonl trace file; empty = no trace
+  std::string result_path;   ///< result JSON file; empty = stdout
+  std::string metrics_path;  ///< rt.* metrics JSON file; empty = none
+};
+
+/// Outcome of one keep-alive round.
+struct RoundResult {
+  bool decided = false;  ///< kset only
+  std::int64_t decision = INT64_MIN;
+  Time decision_ms = kNeverTime;  ///< round-relative (wall == sim time)
+  int decision_round = 0;         ///< protocol-internal round count
+  Time elapsed_ms = 0;            ///< round wall duration
 };
 
 struct NodeResult {
   bool ok = false;       ///< socket bound and the run completed
-  bool decided = false;  ///< kset only
-  std::int64_t decision = INT64_MIN;
-  Time decision_ms = kNeverTime;
+  bool decided = false;  ///< kset: every round decided in budget
+  std::int64_t decision = INT64_MIN;  ///< last round's decision
+  Time decision_ms = kNeverTime;      ///< last round's, round-relative
   int decision_round = 0;
   ProcSet final_suspected;  ///< monitor output at shutdown
   ProcSet final_trusted;    ///< Ω view at shutdown (kset: heartbeat-Ω;
                             ///< wheels: the emulated store's output)
-  std::uint64_t events_processed = 0;
+  std::uint64_t events_processed = 0;  ///< summed across rounds
   std::uint64_t heartbeats_sent = 0;
-  UdpLinkStats link_stats;
+  Time total_elapsed_ms = 0;  ///< wall time over all rounds
+  std::vector<RoundResult> rounds;
+  UdpLinkStats link_stats;  ///< cumulative over the link's lifetime
 };
 
 /// Runs one node to completion (decision + linger, or the wall budget).

@@ -26,7 +26,12 @@ void print_usage(std::ostream& os) {
         "                  [--x X] [--y Y] [--crash C] [--base-port P]\n"
         "                  [--seed S] [--run-for-ms MS] [--linger-ms MS]\n"
         "                  [--hb-period MS] [--hb-timeout MS]\n"
-        "                  [--out-dir DIR] [--trace] [--repeat R] [--help]\n";
+        "                  [--out-dir DIR] [--trace] [--repeat R]\n"
+        "                  [--keep-alive] [--help]\n"
+        "\n"
+        "--repeat R re-runs the whole cluster R times (fork/exec per run);\n"
+        "with --keep-alive the R repetitions run as keep-alive rounds\n"
+        "inside one set of node processes (one fork per node total).\n";
 }
 
 int usage(const std::string& err = "") {
@@ -49,7 +54,8 @@ bool parse_int(const char* flag, const char* v, long long lo, Int* out) {
   return true;
 }
 
-bool parse_args(int argc, char** argv, ClusterConfig* cfg, int* repeat) {
+bool parse_args(int argc, char** argv, ClusterConfig* cfg, int* repeat,
+                bool* keep_alive) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -123,6 +129,8 @@ bool parse_args(int argc, char** argv, ClusterConfig* cfg, int* repeat) {
           !parse_int("--repeat", v, 1, repeat)) {
         return false;
       }
+    } else if (arg == "--keep-alive") {
+      *keep_alive = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       std::exit(0);
@@ -139,11 +147,18 @@ bool parse_args(int argc, char** argv, ClusterConfig* cfg, int* repeat) {
 int main(int argc, char** argv) {
   ClusterConfig cfg;
   int repeat = 1;
-  if (!parse_args(argc, argv, &cfg, &repeat)) return usage();
+  bool keep_alive = false;
+  if (!parse_args(argc, argv, &cfg, &repeat, &keep_alive)) return usage();
   if (cfg.t >= cfg.n) return usage("--t must be < --n");
   if (cfg.crash > cfg.t) return usage("--crash must be <= --t");
   if (cfg.protocol != "kset" && cfg.protocol != "wheels") {
     return usage("--protocol must be kset or wheels");
+  }
+  if (keep_alive) {
+    // The repetitions become rounds within one long-lived node process
+    // per id; one cluster launch covers them all.
+    cfg.rounds = repeat;
+    repeat = 1;
   }
 
   bool failed = false;

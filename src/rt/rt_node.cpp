@@ -23,9 +23,10 @@ void print_usage(std::ostream& os) {
   os << "usage: rt_node --id I [--n N] [--t T] [--k K]\n"
         "               [--protocol kset|wheels] [--x X] [--y Y]\n"
         "               [--base-port P] [--proposal V] [--seed S]\n"
-        "               [--run-for-ms MS] [--linger-ms MS]\n"
+        "               [--run-for-ms MS] [--linger-ms MS] [--rounds R]\n"
         "               [--hb-period MS] [--hb-timeout MS]\n"
-        "               [--trace FILE] [--out FILE] [--help]\n";
+        "               [--trace FILE] [--out FILE] [--metrics FILE]\n"
+        "               [--help]\n";
 }
 
 int usage(const std::string& err = "") {
@@ -119,12 +120,20 @@ bool parse_args(int argc, char** argv, NodeConfig* cfg, bool* have_id) {
           !parse_int("--hb-timeout", v, 1, &cfg->hb.timeout_initial)) {
         return false;
       }
+    } else if (arg == "--rounds") {
+      if ((v = value("--rounds")) == nullptr ||
+          !parse_int("--rounds", v, 1, &cfg->rounds)) {
+        return false;
+      }
     } else if (arg == "--trace") {
       if ((v = value("--trace")) == nullptr) return false;
       cfg->trace_path = v;
     } else if (arg == "--out") {
       if ((v = value("--out")) == nullptr) return false;
       cfg->result_path = v;
+    } else if (arg == "--metrics") {
+      if ((v = value("--metrics")) == nullptr) return false;
+      cfg->metrics_path = v;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       std::exit(0);

@@ -15,40 +15,21 @@ namespace saf::rt {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x53414652;  // "SAFR"
-constexpr std::uint8_t kData = 0;
-constexpr std::uint8_t kAck = 1;
-constexpr std::uint8_t kUnreliable = 2;
-constexpr std::size_t kHeader = 4 + 1 + 4 + 8;  // magic, kind, from, seq
 constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
 
-void put_u32(std::uint8_t* p, std::uint32_t v) {
-  p[0] = static_cast<std::uint8_t>(v);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-  p[2] = static_cast<std::uint8_t>(v >> 16);
-  p[3] = static_cast<std::uint8_t>(v >> 24);
-}
+/// Ring depth for both syscall-batching directions: one sendmmsg /
+/// recvmmsg moves up to this many datagrams.
+constexpr std::size_t kRingDepth = 64;
+/// Receive slot size; comfortably above any datagram the builder emits.
+constexpr std::size_t kRecvSlot = 2048;
 
-std::uint32_t get_u32(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
+/// Per-peer cap on held future-epoch frames (bounds replay memory; a
+/// peer a full window ahead is covered by retransmission instead).
+constexpr std::size_t kMaxHeldFrames = 128;
 
-void put_u64(std::uint8_t* p, std::uint64_t v) {
-  put_u32(p, static_cast<std::uint32_t>(v));
-  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) {
-  return static_cast<std::uint64_t>(get_u32(p)) |
-         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
-}
-
-/// Stand-in payload handed to the LinkFaultHook for each transmission
-/// attempt: at this layer the content is opaque bytes, so the hook sees
-/// one fixed tag and nothing corruptible.
+/// Stand-in payload handed to the LinkFaultHook for each frame
+/// transmission attempt: at this layer the content is opaque bytes, so
+/// the hook sees one fixed tag and nothing corruptible.
 struct RawDatagram final : sim::Message {
   std::string_view tag() const override { return "udp"; }
 };
@@ -76,8 +57,51 @@ bool DedupWindow::fresh(std::uint64_t seq) {
   slot_seq_[slot] = seq;
   if (!any_ || seq > newest_) newest_ = seq;
   any_ = true;
+  // Advance the cumulative mark: a seq counts as received once accepted
+  // into its slot, or once it aged out of the window entirely (assumed
+  // seen — the same reject-biased assumption the overflow path makes).
+  for (;;) {
+    const std::uint64_t next = cum_ + 1;
+    if (slot_seq_[static_cast<std::size_t>(next % window_)] == next ||
+        next + window_ <= newest_) {
+      cum_ = next;
+      continue;
+    }
+    break;
+  }
   return true;
 }
+
+struct UdpLink::Rings {
+  // Send side: staged datagrams copied out of per-peer builders.
+  std::vector<std::uint8_t> send_buf;
+  std::vector<sockaddr_in> send_addr;
+  std::vector<iovec> send_iov;
+  std::vector<mmsghdr> send_msgs;
+  std::size_t staged = 0;
+  std::size_t slot_bytes = 0;
+
+  // Receive side: fixed buffers recvmmsg scatters into.
+  std::vector<std::uint8_t> recv_buf;
+  std::vector<iovec> recv_iov;
+  std::vector<mmsghdr> recv_msgs;
+
+  explicit Rings(std::size_t max_datagram) : slot_bytes(max_datagram) {
+    send_buf.resize(kRingDepth * max_datagram);
+    send_addr.resize(kRingDepth);
+    send_iov.resize(kRingDepth);
+    send_msgs.resize(kRingDepth);
+    recv_buf.resize(kRingDepth * kRecvSlot);
+    recv_iov.resize(kRingDepth);
+    recv_msgs.resize(kRingDepth);
+    for (std::size_t i = 0; i < kRingDepth; ++i) {
+      recv_iov[i] = {recv_buf.data() + i * kRecvSlot, kRecvSlot};
+      std::memset(&recv_msgs[i], 0, sizeof(mmsghdr));
+      recv_msgs[i].msg_hdr.msg_iov = &recv_iov[i];
+      recv_msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+  }
+};
 
 UdpLink::UdpLink(ProcessId self, int n, std::uint16_t base_port,
                  const Clock& clock, UdpLinkParams params)
@@ -85,13 +109,27 @@ UdpLink::UdpLink(ProcessId self, int n, std::uint16_t base_port,
       n_(n),
       base_port_(base_port),
       clock_(clock),
-      params_(params) {
+      params_(params),
+      rings_(std::make_unique<Rings>(params.max_datagram)) {
   SAF_CHECK(self >= 0 && self < n);
-  dedup_.assign(static_cast<std::size_t>(n), DedupWindow(params.dedup_window));
+  SAF_CHECK_MSG(params.max_datagram >=
+                    wire::kDatagramHeader + wire::kFrameHeader +
+                        params.max_payload,
+                "UdpLink: max_datagram cannot hold one max_payload frame");
+  peers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    peers_.emplace_back(params.max_datagram, params.dedup_window);
+    peers_.back().builder.begin(self_, epoch_);
+  }
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) return;
   const int flags = ::fcntl(fd_, F_GETFL, 0);
   ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  // Bursty rounds land a whole cluster's fan-out at once; widen the
+  // kernel buffers (best effort — EPERM/ENOBUFS just keep the default).
+  const int bufsz = 1 << 20;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bufsz, sizeof(bufsz));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bufsz, sizeof(bufsz));
   sockaddr_in addr = loopback_addr(port_of(self));
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
@@ -108,8 +146,40 @@ std::uint16_t UdpLink::port_of(ProcessId id) const {
   return static_cast<std::uint16_t>(base_port_ + id);
 }
 
-void UdpLink::transmit(ProcessId to, std::uint8_t kind, std::uint64_t seq,
-                       const std::uint8_t* payload, std::size_t len) {
+void UdpLink::flush_ring() {
+  Rings& r = *rings_;
+  if (r.staged == 0 || fd_ < 0) return;
+  // Errors (full buffers, dead peer ports) are indistinguishable from
+  // loss to the protocol; the retransmission layer absorbs them. A
+  // short sendmmsg return drops the tail the same way.
+  (void)::sendmmsg(fd_, r.send_msgs.data(), static_cast<unsigned>(r.staged),
+                   0);
+  ++stats_.syscalls_send;
+  stats_.datagrams_sent += r.staged;
+  r.staged = 0;
+}
+
+void UdpLink::enqueue_builder(ProcessId to) {
+  Peer& peer = peers_[static_cast<std::size_t>(to)];
+  if (peer.builder.empty()) return;
+  peer.builder.set_cum_ack(peer.dedup.cumulative());
+  Rings& r = *rings_;
+  if (r.staged == kRingDepth) flush_ring();
+  const std::size_t slot = r.staged++;
+  std::uint8_t* dst = r.send_buf.data() + slot * r.slot_bytes;
+  std::memcpy(dst, peer.builder.data(), peer.builder.size());
+  r.send_addr[slot] = loopback_addr(port_of(to));
+  r.send_iov[slot] = {dst, peer.builder.size()};
+  std::memset(&r.send_msgs[slot], 0, sizeof(mmsghdr));
+  r.send_msgs[slot].msg_hdr.msg_name = &r.send_addr[slot];
+  r.send_msgs[slot].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+  r.send_msgs[slot].msg_hdr.msg_iov = &r.send_iov[slot];
+  r.send_msgs[slot].msg_hdr.msg_iovlen = 1;
+}
+
+void UdpLink::append_frame(ProcessId to, wire::FrameKind kind,
+                           std::uint64_t seq, const std::uint8_t* payload,
+                           std::size_t len, std::uint32_t epoch) {
   if (fd_ < 0) return;
   int copies = 1;
   if (fault_hook_ != nullptr) {
@@ -121,122 +191,258 @@ void UdpLink::transmit(ProcessId to, std::uint8_t kind, std::uint64_t seq,
     }
     if (a.duplicate) copies = 2;
   }
-  std::uint8_t buf[kHeader];
-  put_u32(buf, kMagic);
-  buf[4] = kind;
-  put_u32(buf + 5, static_cast<std::uint32_t>(self_));
-  put_u64(buf + 9, seq);
-  iovec iov[2];
-  iov[0] = {buf, kHeader};
-  iov[1] = {const_cast<std::uint8_t*>(payload), len};
-  sockaddr_in addr = loopback_addr(port_of(to));
-  msghdr msg{};
-  msg.msg_name = &addr;
-  msg.msg_namelen = sizeof(addr);
-  msg.msg_iov = iov;
-  msg.msg_iovlen = len > 0 ? 2 : 1;
+  Peer& peer = peers_[static_cast<std::size_t>(to)];
   for (int c = 0; c < copies; ++c) {
-    // Errors (full buffers, dead peer ports) are indistinguishable from
-    // loss to the protocol; the retransmission layer absorbs them.
-    (void)::sendmsg(fd_, &msg, 0);
-    ++stats_.datagrams_sent;
+    if (peer.builder.epoch() != epoch || !peer.builder.fits(len)) {
+      enqueue_builder(to);
+      peer.builder.begin(self_, epoch);
+    }
+    peer.builder.add_frame(kind, seq, payload, len);
+    ++stats_.frames_sent;
   }
 }
 
-void UdpLink::send(ProcessId to, std::vector<std::uint8_t> payload) {
+void UdpLink::send(ProcessId to, const std::uint8_t* data, std::size_t len) {
   SAF_CHECK(to >= 0 && to < n_);
-  SAF_CHECK_MSG(payload.size() <= params_.max_payload,
+  SAF_CHECK_MSG(len <= params_.max_payload,
                 "UdpLink::send: payload exceeds max_payload");
-  const std::uint64_t seq = next_seq_++;
-  transmit(to, kData, seq, payload.data(), payload.size());
-  pending_.push_back(Pending{to, seq, std::move(payload),
-                             clock_.now_ms() + retry_backoff(params_.rto_base, 0),
-                             0});
+  Peer& peer = peers_[static_cast<std::size_t>(to)];
+  const std::uint64_t seq = peer.next_seq++;
+  Pending p;
+  p.seq = seq;
+  p.epoch = epoch_;
+  p.payload.assign(data, data + len);
+  if (peer.inflight.size() < params_.max_inflight) {
+    append_frame(to, wire::FrameKind::kData, seq, data, len, epoch_);
+    p.next_due = clock_.now_ms() + retry_backoff(params_.rto_base, 0);
+    peer.inflight.push_back(std::move(p));
+  } else {
+    ++stats_.window_stalls;
+    peer.backlog.push_back(std::move(p));
+  }
 }
 
 void UdpLink::send_unreliable(ProcessId to,
                               const std::vector<std::uint8_t>& payload) {
   SAF_CHECK(to >= 0 && to < n_);
-  transmit(to, kUnreliable, 0, payload.data(), payload.size());
+  SAF_CHECK_MSG(payload.size() <= params_.max_payload,
+                "UdpLink::send_unreliable: payload exceeds max_payload");
+  append_frame(to, wire::FrameKind::kUnreliable, 0, payload.data(),
+               payload.size(), epoch_);
 }
 
-void UdpLink::send_ack(ProcessId to, std::uint64_t seq) {
-  transmit(to, kAck, seq, nullptr, 0);
-  ++stats_.acks_sent;
-}
-
-int UdpLink::poll(const DeliverFn& deliver) {
-  if (fd_ < 0) return 0;
-  int read = 0;
-  std::uint8_t buf[2048];
-  for (;;) {
-    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
-    if (got < 0) break;  // EWOULDBLOCK or a transient error: drained
-    if (static_cast<std::size_t>(got) < kHeader || get_u32(buf) != kMagic) {
-      continue;  // no creation: stray datagrams are discarded
+void UdpLink::flush() {
+  if (fd_ < 0) return;
+  for (ProcessId to = 0; to < n_; ++to) {
+    Peer& peer = peers_[static_cast<std::size_t>(to)];
+    if (!peer.builder.empty()) {
+      const std::uint32_t e = peer.builder.epoch();
+      enqueue_builder(to);
+      peer.builder.begin(self_, e);
     }
-    const std::uint8_t kind = buf[4];
-    const auto from = static_cast<ProcessId>(get_u32(buf + 5));
-    if (from < 0 || from >= n_ || from == self_) continue;
-    const std::uint64_t seq = get_u64(buf + 9);
-    const std::uint8_t* payload = buf + kHeader;
-    const auto len = static_cast<std::size_t>(got) - kHeader;
-    ++stats_.datagrams_received;
-    ++read;
-    switch (kind) {
-      case kAck: {
-        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-          if (it->seq == seq && it->to == from) {
-            pending_.erase(it);
-            break;
-          }
-        }
+  }
+  flush_ring();
+}
+
+void UdpLink::set_epoch(std::uint32_t epoch) {
+  flush();  // never mix epochs inside one built datagram
+  epoch_ = epoch;
+}
+
+void UdpLink::promote(ProcessId to) {
+  Peer& peer = peers_[static_cast<std::size_t>(to)];
+  while (!peer.backlog.empty() &&
+         peer.inflight.size() < params_.max_inflight) {
+    Pending p = std::move(peer.backlog.front());
+    peer.backlog.pop_front();
+    append_frame(to, wire::FrameKind::kData, p.seq, p.payload.data(),
+                 p.payload.size(), p.epoch);
+    p.next_due = clock_.now_ms() + retry_backoff(params_.rto_base, 0);
+    peer.inflight.push_back(std::move(p));
+  }
+}
+
+void UdpLink::retire_upto(ProcessId from, std::uint64_t cum_ack) {
+  // in-flight entries are seq-sorted (assigned and promoted in order),
+  // so the cumulative ack retires a prefix.
+  Peer& peer = peers_[static_cast<std::size_t>(from)];
+  while (!peer.inflight.empty() && peer.inflight.front().seq <= cum_ack) {
+    peer.inflight.pop_front();
+  }
+}
+
+void UdpLink::retire_seq(ProcessId from, std::uint64_t seq) {
+  Peer& peer = peers_[static_cast<std::size_t>(from)];
+  for (auto it = peer.inflight.begin(); it != peer.inflight.end(); ++it) {
+    if (it->seq == seq) {
+      peer.inflight.erase(it);
+      return;
+    }
+  }
+}
+
+void UdpLink::process_datagram(const std::uint8_t* data, std::size_t len,
+                               const DeliverFn& deliver) {
+  wire::DatagramReader reader;
+  // no creation: stray or malformed datagrams are discarded whole (a
+  // truncated frame mid-batch rejects every frame around it too).
+  if (!reader.init(data, len)) return;
+  const ProcessId from = reader.from();
+  if (from < 0 || from >= n_ || from == self_) return;
+  ++stats_.datagrams_received;
+  Peer& peer = peers_[static_cast<std::size_t>(from)];
+  retire_upto(from, reader.cum_ack());
+  wire::FrameView f;
+  while (reader.next(&f)) {
+    ++stats_.frames_received;
+    switch (f.kind) {
+      case wire::FrameKind::kAck:
+        retire_seq(from, f.seq);
         break;
-      }
-      case kData: {
+      case wire::FrameKind::kData: {
+        if (reader.epoch() > epoch_) {
+          // A peer already in a future round. Hold the immediate next
+          // epoch's frames for replay when we advance (no ack yet — the
+          // replay acks); anything further ahead is left to the peer's
+          // retransmission.
+          if (reader.epoch() == epoch_ + 1 &&
+              peer.held.size() < kMaxHeldFrames) {
+            peer.held.push_back(
+                {reader.epoch(), f.seq,
+                 std::vector<std::uint8_t>(f.payload, f.payload + f.len)});
+            ++stats_.future_held;
+          }
+          break;
+        }
         // Ack every copy: the sender keeps retransmitting until one ack
-        // survives the link.
-        send_ack(from, seq);
-        if (dedup_[static_cast<std::size_t>(from)].fresh(seq)) {
-          deliver(from, payload, len);
+        // survives the link. Acks batch into the peer's next datagram.
+        append_frame(from, wire::FrameKind::kAck, f.seq, nullptr, 0, epoch_);
+        ++stats_.acks_sent;
+        const bool is_fresh = peer.dedup.fresh(f.seq);
+        if (reader.epoch() < epoch_) {
+          // Stale round: the payload's simulator is gone. Acking (and
+          // feeding the dedup window) silences the sender without
+          // delivering.
+          ++stats_.stale_dropped;
+          break;
+        }
+        if (is_fresh) {
+          deliver(from, f.payload, f.len);
         } else {
           ++stats_.dups_dropped;
         }
         break;
       }
-      case kUnreliable: {
-        deliver(from, payload, len);
-        break;
-      }
-      default:
+      case wire::FrameKind::kUnreliable:
+        deliver(from, f.payload, f.len);
         break;
     }
   }
+  promote(from);  // acks may have opened window space
+}
+
+int UdpLink::replay_held(const DeliverFn& deliver) {
+  int replayed = 0;
+  for (ProcessId from = 0; from < n_; ++from) {
+    Peer& peer = peers_[static_cast<std::size_t>(from)];
+    while (!peer.held.empty() && peer.held.front().epoch <= epoch_) {
+      const Held h = std::move(peer.held.front());
+      peer.held.pop_front();
+      if (h.epoch != epoch_) continue;  // skipped past it: retransmission
+      append_frame(from, wire::FrameKind::kAck, h.seq, nullptr, 0, epoch_);
+      ++stats_.acks_sent;
+      ++replayed;
+      if (peer.dedup.fresh(h.seq)) {
+        deliver(from, h.payload.data(), h.payload.size());
+      } else {
+        ++stats_.dups_dropped;
+      }
+    }
+  }
+  return replayed;
+}
+
+int UdpLink::poll(const DeliverFn& deliver) {
+  if (fd_ < 0) return 0;
+  const int replayed = replay_held(deliver);
+  Rings& r = *rings_;
+  int read = 0;
+  for (;;) {
+    const int got = ::recvmmsg(fd_, r.recv_msgs.data(),
+                               static_cast<unsigned>(kRingDepth),
+                               MSG_DONTWAIT, nullptr);
+    if (got <= 0) break;  // EWOULDBLOCK or a transient error: drained
+    ++stats_.syscalls_recv;
+    for (int i = 0; i < got; ++i) {
+      process_datagram(r.recv_buf.data() + static_cast<std::size_t>(i) *
+                                               kRecvSlot,
+                       r.recv_msgs[static_cast<std::size_t>(i)].msg_len,
+                       deliver);
+    }
+    read += got;
+    if (static_cast<std::size_t>(got) < kRingDepth) break;
+  }
+  // Push the drain's worth of batched acks (and anything else staged)
+  // back out in one sendmmsg.
+  if (read > 0 || replayed > 0) flush();
   return read;
 }
 
 void UdpLink::maintain() {
+  if (fd_ < 0) return;
   const Time now = clock_.now_ms();
-  for (std::size_t i = 0; i < pending_.size();) {
-    Pending& p = pending_[i];
-    if (now < p.next_due) {
-      ++i;
-      continue;
+  for (ProcessId to = 0; to < n_; ++to) {
+    if (to == self_) continue;
+    Peer& peer = peers_[static_cast<std::size_t>(to)];
+    promote(to);
+    for (auto it = peer.inflight.begin(); it != peer.inflight.end();) {
+      if (now < it->next_due) {
+        ++it;
+        continue;
+      }
+      if (it->attempts >= params_.max_retries) {
+        // The peer is unresponsive past every backoff: abandon, as the
+        // model allows for crashed destinations.
+        abandoned_peers_.insert(to);
+        ++stats_.abandoned;
+        it = peer.inflight.erase(it);
+        continue;
+      }
+      ++it->attempts;
+      ++stats_.retransmits;
+      append_frame(to, wire::FrameKind::kData, it->seq, it->payload.data(),
+                   it->payload.size(), it->epoch);
+      it->next_due = now + retry_backoff(params_.rto_base, it->attempts);
+      ++it;
     }
-    if (p.attempts >= params_.max_retries) {
-      // The peer is unresponsive past every backoff: abandon, as the
-      // model allows for crashed destinations.
-      abandoned_peers_.insert(p.to);
-      ++stats_.abandoned;
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-      continue;
-    }
-    ++p.attempts;
-    ++stats_.retransmits;
-    transmit(p.to, kData, p.seq, p.payload.data(), p.payload.size());
-    p.next_due = now + retry_backoff(params_.rto_base, p.attempts);
-    ++i;
   }
+  flush();
+}
+
+std::size_t UdpLink::pending() const {
+  std::size_t total = 0;
+  for (const Peer& p : peers_) total += p.inflight.size() + p.backlog.size();
+  return total;
+}
+
+std::size_t UdpLink::pending_excluding(const ProcSet& excluded) const {
+  std::size_t total = 0;
+  for (ProcessId id = 0; id < n_; ++id) {
+    if (excluded.contains(id)) continue;
+    const Peer& p = peers_[static_cast<std::size_t>(id)];
+    total += p.inflight.size() + p.backlog.size();
+  }
+  return total;
+}
+
+Time UdpLink::next_due() const {
+  Time due = kNeverTime;
+  for (const Peer& p : peers_) {
+    for (const Pending& pd : p.inflight) {
+      if (due == kNeverTime || pd.next_due < due) due = pd.next_due;
+    }
+  }
+  return due;
 }
 
 void UdpLink::wait_readable(int timeout_ms) {

@@ -1,10 +1,10 @@
 // UDP perfect links: exactly-once delivery over a fair-lossy datagram
-// socket.
+// socket, at wire-throughput.
 //
 // The sim substrate gets reliable channels by fiat; the live runtime
 // has to *implement* them (cf. the perfect-link layer every deployed
 // FD-based system sits on). Each reliable send is stamped with a
-// per-sender sequence number and retransmitted with exponential backoff
+// per-peer sequence number and retransmitted with exponential backoff
 // until acknowledged; the receiver acks every copy and suppresses
 // duplicates through a sliding per-sender window. The composition gives
 // the AS_{n,t} channel contract over loopback/LAN UDP:
@@ -14,7 +14,32 @@
 //                    model permits: channels to crashed processes owe
 //                    nothing);
 //   * no duplication — the DedupWindow delivers each (sender, seq) once;
-//   * no creation  — a magic header rejects stray datagrams.
+//   * no creation  — a magic header + all-or-nothing frame validation
+//                    reject stray or malformed datagrams.
+//
+// Wire format v2 (rt/wire.h) decouples messages from datagrams and
+// datagrams from syscalls:
+//
+//   * frames     — protocol messages, acks and heartbeats are *frames*
+//                  packed many-per-datagram; a round's whole fan-out to
+//                  one peer rides one datagram, and the acks it provokes
+//                  ride back batched (plus a cumulative ack in every
+//                  datagram header, so data-bearing replies retire
+//                  in-flight state for free);
+//   * windows    — at most max_inflight unacked data frames per peer;
+//                  further sends queue in a per-peer backlog (the
+//                  window_stalls stat counts how often) and are
+//                  promoted as acks arrive;
+//   * syscalls   — transmission and reception go through fixed
+//                  preallocated rings flushed with sendmmsg/recvmmsg,
+//                  so one syscall moves up to a ring's worth of
+//                  datagrams in each direction;
+//   * epochs     — keep-alive nodes (rt/node.h) run many protocol
+//                  rounds over one long-lived link; data frames are
+//                  tagged with the round epoch (stale-epoch data is
+//                  acked but not delivered, future-epoch data is left
+//                  for retransmission), while acks and heartbeats are
+//                  epoch-independent.
 //
 // Heartbeats go through send_unreliable(): retransmitting a stale "I am
 // alive" would be worse than losing it, and the heartbeat detectors are
@@ -22,7 +47,7 @@
 //
 // Fault injection plugs in at the REAL transport through the same
 // sim::LinkFaultHook seam the simulator's Network uses: the hook is
-// consulted once per datagram *transmission attempt* (first sends,
+// consulted once per *frame* transmission attempt (first sends,
 // retransmits, acks, heartbeats alike), so a fault::LinkFaultModel
 // configured for 30% loss exercises the retransmission machinery
 // itself — tests/test_rt_link.cpp pins exactly-once delivery under it.
@@ -31,9 +56,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "rt/clock.h"
+#include "rt/wire.h"
 #include "sim/message.h"
 #include "sim/network.h"
 #include "util/types.h"
@@ -63,9 +90,15 @@ class DedupWindow {
 
   std::uint64_t newest() const { return newest_; }
 
+  /// Highest seq S such that every seq <= S was accepted (or aged out
+  /// of the window and is therefore assumed seen). Piggybacked as the
+  /// cumulative ack in every outgoing datagram header.
+  std::uint64_t cumulative() const { return cum_; }
+
  private:
   std::size_t window_;
   std::uint64_t newest_ = 0;
+  std::uint64_t cum_ = 0;
   bool any_ = false;
   std::vector<std::uint64_t> slot_seq_;  ///< seq held by ring slot, or kEmpty
 };
@@ -74,16 +107,28 @@ struct UdpLinkParams {
   Time rto_base = 20;        ///< first retransmit after this many ms
   int max_retries = 10;      ///< retransmissions before abandoning a peer
   std::size_t dedup_window = 1024;
-  std::size_t max_payload = 1200;  ///< codec payload bound per datagram
+  std::size_t max_payload = 1200;  ///< codec payload bound per frame
+  /// Sender-side sliding window: unacked data frames allowed in flight
+  /// per peer before sends queue in the backlog.
+  std::size_t max_inflight = 64;
+  /// Datagram capacity (header + packed frames); under the MTU.
+  std::size_t max_datagram = wire::kMaxDatagram;
 };
 
 struct UdpLinkStats {
-  std::uint64_t datagrams_sent = 0;      ///< transmissions that hit the wire
+  std::uint64_t datagrams_sent = 0;      ///< datagrams that hit the wire
   std::uint64_t datagrams_received = 0;  ///< well-formed datagrams read
+  std::uint64_t frames_sent = 0;         ///< frames packed into them
+  std::uint64_t frames_received = 0;     ///< frames parsed out of them
+  std::uint64_t syscalls_send = 0;       ///< sendmmsg invocations
+  std::uint64_t syscalls_recv = 0;       ///< recvmmsg invocations
   std::uint64_t retransmits = 0;
   std::uint64_t dups_dropped = 0;   ///< receiver-side duplicate suppressions
-  std::uint64_t acks_sent = 0;
-  std::uint64_t faults_dropped = 0;  ///< transmissions eaten by the fault hook
+  std::uint64_t stale_dropped = 0;  ///< acked-but-not-delivered old-epoch data
+  std::uint64_t future_held = 0;    ///< next-epoch data buffered for replay
+  std::uint64_t acks_sent = 0;      ///< ack frames queued
+  std::uint64_t faults_dropped = 0;  ///< frame attempts eaten by the fault hook
+  std::uint64_t window_stalls = 0;   ///< sends deferred by a full window
   std::uint64_t abandoned = 0;       ///< reliable sends given up on
 };
 
@@ -91,7 +136,9 @@ struct UdpLinkStats {
 /// 127.0.0.1:(base_port + self); peers are addressed by id the same way.
 class UdpLink {
  public:
-  /// Payload delivery callback: `from` is the link-level sender.
+  /// Payload delivery callback: `from` is the link-level sender. `data`
+  /// points into the receive ring — valid for the duration of the call
+  /// (decode into an arena, as rt/node.cpp does).
   using DeliverFn =
       std::function<void(ProcessId from, const std::uint8_t* data,
                          std::size_t len)>;
@@ -107,31 +154,66 @@ class UdpLink {
   /// every other call is then a no-op.
   bool ok() const { return fd_ >= 0; }
 
-  /// Reliable exactly-once send (sequenced, acked, retransmitted).
-  void send(ProcessId to, std::vector<std::uint8_t> payload);
+  /// The socket descriptor (for epoll registration); -1 when !ok().
+  int fd() const { return fd_; }
 
-  /// Fire-and-forget datagram (heartbeats). No seq, no ack, no dedup.
+  /// Reliable exactly-once send (sequenced, acked, retransmitted).
+  /// Frames accumulate in per-peer datagrams until flush() — callers
+  /// batch a whole round's fan-out into one flush.
+  void send(ProcessId to, const std::uint8_t* data, std::size_t len);
+  void send(ProcessId to, const std::vector<std::uint8_t>& payload) {
+    send(to, payload.data(), payload.size());
+  }
+
+  /// Fire-and-forget frame (heartbeats). No seq, no ack, no dedup, no
+  /// epoch check on the far side.
   void send_unreliable(ProcessId to, const std::vector<std::uint8_t>& payload);
 
-  /// Drains every readable datagram: acks + dedups reliable traffic and
-  /// hands fresh payloads to `deliver`. Returns datagrams read.
+  /// Transmits every buffered datagram (packed frames, piggybacked
+  /// cumulative acks) with as few sendmmsg calls as possible.
+  void flush();
+
+  /// Drains every readable datagram (recvmmsg into the preallocated
+  /// ring): acks + dedups reliable traffic, hands fresh payloads to
+  /// `deliver`, then flushes the batched acks. Returns datagrams read.
   int poll(const DeliverFn& deliver);
 
-  /// Retransmits overdue unacked sends and abandons peers that
-  /// exhausted max_retries. Call once per loop iteration.
+  /// Retransmits overdue unacked sends, promotes backlogged sends into
+  /// freed window space, abandons peers that exhausted max_retries, and
+  /// flushes. Call once per loop wakeup.
   void maintain();
+
+  /// Processes one already-received datagram (the guts of poll();
+  /// public so framing behavior — packed duplicates, epoch skew,
+  /// malformed batches — is unit-testable without a second socket).
+  void process_datagram(const std::uint8_t* data, std::size_t len,
+                        const DeliverFn& deliver);
 
   /// Blocks until the socket is readable or `timeout_ms` elapsed.
   void wait_readable(int timeout_ms);
 
-  /// Installs (or clears) the per-datagram fault hook (not owned). The
-  /// hook's drop/duplicate decisions apply to every transmission
+  /// Installs (or clears) the per-frame fault hook (not owned). The
+  /// hook's drop/duplicate decisions apply to every frame transmission
   /// attempt; corruption replacements are ignored (payloads are opaque
   /// bytes here — corruption belongs to the codec-level tests).
   void set_fault_hook(sim::LinkFaultHook* hook) { fault_hook_ = hook; }
 
-  /// Reliable sends not yet acknowledged.
-  std::size_t pending() const { return pending_.size(); }
+  /// Keep-alive round tag stamped on subsequent reliable sends.
+  /// Receivers ack-but-drop data from older epochs and leave data from
+  /// newer epochs to retransmission. Flushes buffered frames first.
+  void set_epoch(std::uint32_t epoch);
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Reliable sends not yet acknowledged (in flight + backlogged).
+  std::size_t pending() const;
+  /// Same, ignoring peers in `excluded` (a decided node need not wait
+  /// on traffic owed to peers its detector already suspects).
+  std::size_t pending_excluding(const ProcSet& excluded) const;
+
+  /// Earliest retransmission deadline among in-flight sends, or
+  /// kNeverTime — the epoll loop's timer horizon.
+  Time next_due() const;
+
   /// Peers on which a reliable send was abandoned after max_retries.
   ProcSet abandoned_peers() const { return abandoned_peers_; }
 
@@ -140,17 +222,53 @@ class UdpLink {
 
  private:
   struct Pending {
-    ProcessId to = -1;
     std::uint64_t seq = 0;
+    std::uint32_t epoch = 0;
     std::vector<std::uint8_t> payload;
     Time next_due = 0;
     int attempts = 0;  ///< retransmissions already performed
   };
 
-  /// Writes one datagram to the wire (consulting the fault hook).
-  void transmit(ProcessId to, std::uint8_t kind, std::uint64_t seq,
-                const std::uint8_t* payload, std::size_t len);
-  void send_ack(ProcessId to, std::uint64_t seq);
+  /// A data frame from the epoch right after ours, held until we
+  /// advance (a peer one keep-alive round ahead would otherwise stall
+  /// on its retransmission backoff before we see its first frames).
+  struct Held {
+    std::uint32_t epoch = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Peer {
+    std::uint64_t next_seq = 1;     ///< per-peer reliable seq stream
+    std::deque<Pending> inflight;   ///< transmitted, unacked
+    std::deque<Pending> backlog;    ///< waiting for window space
+    std::deque<Held> held;          ///< future-epoch frames awaiting replay
+    wire::DatagramBuilder builder;  ///< datagram under construction
+    DedupWindow dedup;              ///< receive-side suppression
+
+    Peer(std::size_t datagram_capacity, std::size_t dedup_window)
+        : builder(datagram_capacity), dedup(dedup_window) {}
+  };
+
+  /// Appends one frame to `to`'s datagram under construction,
+  /// consulting the fault hook; transmits the datagram first when the
+  /// frame would not fit. `epoch` is the datagram epoch the frame
+  /// requires (builders never mix epochs).
+  void append_frame(ProcessId to, wire::FrameKind kind, std::uint64_t seq,
+                    const std::uint8_t* payload, std::size_t len,
+                    std::uint32_t epoch);
+  /// Moves `to`'s built datagram into the send ring (flushing the ring
+  /// via sendmmsg when full) and re-begins the builder.
+  void enqueue_builder(ProcessId to);
+  /// sendmmsg for everything staged in the send ring.
+  void flush_ring();
+  /// Promotes backlogged sends into freed window space.
+  void promote(ProcessId to);
+  /// Delivers held frames whose epoch caught up with ours; returns the
+  /// number replayed.
+  int replay_held(const DeliverFn& deliver);
+  void retire_upto(ProcessId from, std::uint64_t cum_ack);
+  void retire_seq(ProcessId from, std::uint64_t seq);
 
   ProcessId self_;
   int n_;
@@ -158,12 +276,16 @@ class UdpLink {
   const Clock& clock_;
   UdpLinkParams params_;
   int fd_ = -1;
-  std::uint64_t next_seq_ = 1;
-  std::deque<Pending> pending_;
-  std::vector<DedupWindow> dedup_;  ///< per sender id
+  std::uint32_t epoch_ = 0;
+  std::vector<Peer> peers_;
   sim::LinkFaultHook* fault_hook_ = nullptr;
   ProcSet abandoned_peers_;
   UdpLinkStats stats_;
+
+  // Fixed syscall-batching rings (sized at construction, reused
+  // forever; no allocation on the hot path).
+  struct Rings;
+  std::unique_ptr<Rings> rings_;
 };
 
 }  // namespace saf::rt

@@ -193,6 +193,11 @@ void Simulator::pump(Time upto) {
   now_ = upto;
 }
 
+Time Simulator::next_event_time() {
+  if (queue_.empty()) return kNeverTime;
+  return queue_.peek().time;
+}
+
 void Simulator::inject_deliver(ProcessId to, const Message* m) {
   SAF_CHECK(m != nullptr);
   SAF_CHECK(to >= 0 && to < cfg_.n);

@@ -102,6 +102,11 @@ class Simulator {
   /// simulator's processes).
   void inject_deliver(ProcessId to, const Message* m);
 
+  /// Live-runtime seam: the virtual time of the earliest pending event,
+  /// or kNeverTime when none — an epoll-driven pump loop sleeps until
+  /// this instant instead of polling on a fixed quantum.
+  Time next_event_time();
+
   Time now() const { return now_; }
   Time horizon() const { return cfg_.horizon; }
   int n() const { return cfg_.n; }

@@ -107,9 +107,20 @@ class ProcSet {
     w_[static_cast<unsigned>(id) / 64] &= ~(std::uint64_t{1} << (id % 64));
   }
   constexpr int size() const {
-    int c = 0;
-    for (int i = 0; i < top_; ++i) c += std::popcount(w_[i]);
-    return c;
+    // 4-way unrolled with independent accumulators: each popcnt chain
+    // is data-independent, so the four issue in parallel instead of
+    // serializing on one running sum (and the fixed trip count over a
+    // word block vectorizes cleanly). The scalar tail covers top_ % 4.
+    int c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    int i = 0;
+    for (; i + 4 <= top_; i += 4) {
+      c0 += std::popcount(w_[i]);
+      c1 += std::popcount(w_[i + 1]);
+      c2 += std::popcount(w_[i + 2]);
+      c3 += std::popcount(w_[i + 3]);
+    }
+    for (; i < top_; ++i) c0 += std::popcount(w_[i]);
+    return (c0 + c1) + (c2 + c3);
   }
   constexpr bool empty() const {
     for (int i = 0; i < top_; ++i) {
@@ -215,7 +226,14 @@ class ProcSet {
 
   /// Smallest id in the set; -1 if empty. (The paper's min{j | ...}.)
   constexpr ProcessId min() const {
-    for (int i = 0; i < top_; ++i) {
+    // Find the first non-empty word four at a time (one OR + compare
+    // per block instead of four branches), then resolve the bit inside
+    // the block; only the final countr_zero touches a specific word.
+    int i = 0;
+    for (; i + 4 <= top_; i += 4) {
+      if ((w_[i] | w_[i + 1] | w_[i + 2] | w_[i + 3]) != 0) break;
+    }
+    for (; i < top_; ++i) {
       if (w_[i] != 0) return 64 * i + std::countr_zero(w_[i]);
     }
     return -1;
