@@ -38,3 +38,13 @@ endfunction()
 
 saf_add_rt_bench(bench_rt_latency)
 saf_add_rt_bench(bench_rt_throughput)
+
+# Reduced-DFS state-space bench: one "iteration" is an entire
+# exhaustive search over the check layer, so like the rt benches it is
+# a plain binary (no google-benchmark harness); CI's
+# --benchmark_list_tests sweep skips it by name.
+add_executable(bench_dfs ${CMAKE_SOURCE_DIR}/bench/bench_dfs.cpp)
+target_link_libraries(bench_dfs PRIVATE
+  saf_check saf_core saf_fd saf_shm saf_sim saf_sweep saf_trace saf_util)
+set_target_properties(bench_dfs PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -31,6 +31,7 @@
 #include "check/replay.h"
 #include "check/shrinker.h"
 #include "fault/fault_spec.h"
+#include "sweep/bench_json.h"
 #include "sweep/thread_pool.h"
 #include "trace/trace.h"
 
@@ -47,6 +48,11 @@ struct Args {
   bool shrink = false;
   bool dfs = false;
   int dfs_depth = 10;
+  std::string dfs_mode = "menu";  // menu | race
+  bool dfs_hash = false;
+  bool dfs_symmetry = false;
+  bool dfs_por = false;
+  std::string dfs_stats_path;  // write per-protocol search stats as JSON
   std::string record_prefix;  // write a trace per violation when set
   std::string replay_path;
   std::string trace_prefix;   // write a structured JSONL trace per violation
@@ -61,7 +67,9 @@ void print_usage(std::ostream& os) {
   os <<
       "usage: check_runner [--protocol a,b,...] [--seeds N] [--first-seed S]\n"
       "                    [--jobs N] [--shrink] [--record PREFIX]\n"
-      "                    [--dfs] [--dfs-depth D]\n"
+      "                    [--dfs] [--dfs-depth D] [--dfs-mode menu|race]\n"
+      "                    [--dfs-hash] [--dfs-symmetry] [--dfs-por]\n"
+      "                    [--dfs-stats FILE]\n"
       "                    [--trace PREFIX] [--metrics FILE]\n"
       "                    [--faults PROFILE|SPEC] [--max-events N]\n"
       "                    [--wall-budget-ms N]\n"
@@ -139,6 +147,25 @@ bool parse_args(int argc, char** argv, Args* a) {
       if (v == nullptr || !parse_int("--dfs-depth", v, 1, &a->dfs_depth)) {
         return false;
       }
+    } else if (arg == "--dfs-mode") {
+      const char* v = value("--dfs-mode");
+      if (v == nullptr) return false;
+      a->dfs_mode = v;
+      if (a->dfs_mode != "menu" && a->dfs_mode != "race") {
+        std::cerr << "check_runner: --dfs-mode expects 'menu' or 'race', got '"
+                  << v << "'\n";
+        return false;
+      }
+    } else if (arg == "--dfs-hash") {
+      a->dfs_hash = true;
+    } else if (arg == "--dfs-symmetry") {
+      a->dfs_symmetry = true;
+    } else if (arg == "--dfs-por") {
+      a->dfs_por = true;
+    } else if (arg == "--dfs-stats") {
+      const char* v = value("--dfs-stats");
+      if (v == nullptr) return false;
+      a->dfs_stats_path = v;
     } else if (arg == "--record") {
       const char* v = value("--record");
       if (v == nullptr) return false;
@@ -252,6 +279,37 @@ void postprocess_violation(const Args& args, const Protocol& p,
   }
 }
 
+/// One protocol's search result in the --dfs-stats JSON
+/// (schema saf-dfs-stats-v1; see docs/exhaustive_checking.md).
+void dfs_stats_json(saf::sweep::JsonWriter& w, const Args& args,
+                    const DfsOptions& opt, const DfsReport& r) {
+  w.begin_object();
+  w.key("mode").value(args.dfs_mode);
+  w.key("depth").value(opt.depth);
+  w.key("hash").value(opt.state_hash);
+  w.key("symmetry").value(opt.symmetry);
+  w.key("por").value(opt.por);
+  w.key("runs").value(r.runs);
+  w.key("exhausted").value(r.exhausted);
+  w.key("violations").value(static_cast<std::uint64_t>(r.violations.size()));
+  w.key("distinct_delivery_orders").value(r.distinct_digests);
+  w.key("decision_sets")
+      .value(static_cast<std::uint64_t>(r.decision_sets.size()));
+  w.key("choice_points").value(r.stats.choice_points);
+  w.key("race_points").value(r.stats.race_points);
+  w.key("states_hashed").value(r.stats.states_hashed);
+  w.key("distinct_states").value(r.stats.distinct_states);
+  w.key("hash_prunes").value(r.stats.hash_prunes);
+  w.key("sym_canonical_hits").value(r.stats.sym_canonical_hits);
+  w.key("por_points").value(r.stats.por_points);
+  w.key("por_branches_saved").value(r.stats.por_branches_saved);
+  w.key("group_size").value(static_cast<std::uint64_t>(r.stats.group_size));
+  w.key("max_depth_used").value(r.stats.max_depth_used);
+  w.key("wall_ms").value(r.stats.wall_ms);
+  w.key("runs_per_sec").value(r.stats.runs_per_sec);
+  w.end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,6 +354,12 @@ int main(int argc, char** argv) {
   }
 
   bool any_violation = false;
+  saf::sweep::JsonWriter stats_json;
+  if (args.dfs && !args.dfs_stats_path.empty()) {
+    stats_json.begin_object();
+    stats_json.key("schema").value("saf-dfs-stats-v1");
+    stats_json.key("protocols").begin_object();
+  }
   for (const std::string& name : args.protocols) {
     const Protocol* p = find_protocol(name);
     if (p == nullptr) return usage("unknown protocol '" + name + "'");
@@ -303,12 +367,31 @@ int main(int argc, char** argv) {
     if (args.dfs) {
       DfsOptions opt;
       opt.depth = args.dfs_depth;
+      opt.mode = args.dfs_mode == "race" ? DfsMode::kDispatchOrder
+                                         : DfsMode::kDelayMenu;
+      opt.state_hash = args.dfs_hash;
+      opt.symmetry = args.dfs_symmetry;
+      opt.por = args.dfs_por;
+      opt.wall_budget_ms = args.wall_budget_ms;
       const DfsReport report = explore_interleavings(*p, ScheduleCase{}, opt);
       std::cout << "[" << name << "] dfs depth=" << args.dfs_depth << ": "
                 << report.runs << " runs"
                 << (report.exhausted ? " (exhausted)" : " (capped)") << ", "
                 << report.distinct_digests << " distinct delivery orders, "
                 << report.violations.size() << " violations\n";
+      if (args.dfs_hash || args.dfs_symmetry || args.dfs_por) {
+        std::cout << "  reductions: " << report.stats.distinct_states
+                  << " distinct states, " << report.stats.hash_prunes
+                  << " hash prunes, " << report.stats.sym_canonical_hits
+                  << " symmetry hits (group=" << report.stats.group_size
+                  << "), " << report.stats.por_branches_saved
+                  << " race branches deferred, " << report.stats.wall_ms
+                  << " ms\n";
+      }
+      if (!args.dfs_stats_path.empty()) {
+        stats_json.key(name);
+        dfs_stats_json(stats_json, args, opt, report);
+      }
       for (const Violation& v : report.violations) print_violation(*p, v);
       any_violation |= !report.clean();
       continue;
@@ -338,6 +421,13 @@ int main(int argc, char** argv) {
       }
     }
     any_violation |= !report.clean();
+  }
+
+  if (args.dfs && !args.dfs_stats_path.empty()) {
+    stats_json.end_object();  // protocols
+    stats_json.end_object();
+    saf::sweep::write_file(args.dfs_stats_path, stats_json.str());
+    std::cout << "dfs stats written to " << args.dfs_stats_path << "\n";
   }
 
   if (!args.metrics_path.empty()) {

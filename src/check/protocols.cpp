@@ -8,6 +8,7 @@
 #include "fault/harness.h"
 #include "fault/monitor.h"
 #include "fd/faulty.h"
+#include "fd/oracle.h"
 #include "fd/query_oracles.h"
 #include "sim/network.h"
 #include "sim/process.h"
@@ -58,19 +59,53 @@ void finish_verdict(RunOutcome& out, const RunContext& ctx, bool timed_out,
 
 // --- built-in protocol: k-set agreement (Fig 3) ------------------------
 
-RunOutcome run_kset_case(int n, int t, int k, Time horizon,
-                         const ScheduleCase& c, const RunContext& ctx) {
+/// The PR-1 injected-bug wrapper, now a first-class spec knob: an Ω
+/// oracle widened by one member — the classic bug of a transformation
+/// forgetting to trim its candidate set. The reduced DFS must keep
+/// catching the agreement violations it induces
+/// (tests/test_dfs_reduction.cpp).
+class WidenedLeaderOracle final : public fd::LeaderOracle {
+ public:
+  explicit WidenedLeaderOracle(const fd::LeaderOracle& inner)
+      : inner_(inner) {}
+  ProcSet trusted(ProcessId i, Time now) const override {
+    ProcSet s = inner_.trusted(i, now);
+    for (ProcessId extra = 0;; ++extra) {
+      if (!s.contains(extra)) {
+        s.insert(extra);
+        return s;
+      }
+    }
+  }
+
+ private:
+  const fd::LeaderOracle& inner_;
+};
+
+RunOutcome run_kset_case(const KSetProtocolSpec& spec, const ScheduleCase& c,
+                         const RunContext& ctx) {
   core::KSetRunConfig cfg;
-  cfg.n = n;
-  cfg.t = t;
-  cfg.k = k;
-  cfg.z = k;
+  cfg.n = spec.n;
+  cfg.t = spec.t;
+  cfg.k = spec.k;
+  cfg.z = spec.k;
   cfg.seed = c.seed;
   cfg.omega_stab = 200;
-  cfg.horizon = horizon;
+  cfg.perfect_oracle = spec.perfect_oracle;
+  cfg.forced_final_set = spec.forced_final_set;
+  cfg.horizon = spec.horizon;
   cfg.crashes = c.crashes;
+  if (spec.equal_proposals) {
+    cfg.proposals.assign(static_cast<std::size_t>(spec.n), 100);
+  }
+  if (spec.widen_oracle) {
+    cfg.oracle_wrapper = [](const fd::LeaderOracle& base) {
+      return std::make_unique<WidenedLeaderOracle>(base);
+    };
+  }
   DeliveryDigest digest;
   cfg.delivery_observer = tee(digest, ctx.observer);
+  cfg.on_simulator = ctx.on_simulator;
   cfg.trace_sink = ctx.trace_sink;
   cfg.metrics = ctx.metrics;
   cfg.trace_mask = ctx.trace_mask;
@@ -94,17 +129,22 @@ RunOutcome run_kset_case(int n, int t, int k, Time horizon,
 
 // --- built-in protocol: two wheels (§4) --------------------------------
 
-RunOutcome run_two_wheels_case(const ScheduleCase& c, const RunContext& ctx) {
+RunOutcome run_two_wheels_case(const TwoWheelsProtocolSpec& spec,
+                               const ScheduleCase& c, const RunContext& ctx) {
   core::TwoWheelsConfig cfg;
-  cfg.n = 7;
-  cfg.t = 3;
-  cfg.x = 2;
-  cfg.y = 1;  // z = t + 2 - x - y = 2
+  cfg.n = spec.n;
+  cfg.t = spec.t;
+  cfg.x = spec.x;
+  cfg.y = spec.y;  // z = t + 2 - x - y
   cfg.seed = c.seed;
-  cfg.horizon = 30'000;
+  cfg.horizon = spec.horizon;
+  cfg.sx_stab = spec.sx_stab;
+  cfg.phi_stab = spec.phi_stab;
+  cfg.inquiry_period = spec.inquiry_period;
   cfg.crashes = c.crashes;
   DeliveryDigest digest;
   cfg.delivery_observer = tee(digest, ctx.observer);
+  cfg.on_simulator = ctx.on_simulator;
   cfg.trace_sink = ctx.trace_sink;
   cfg.metrics = ctx.metrics;
   cfg.trace_mask = ctx.trace_mask;
@@ -176,6 +216,7 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
   for (ProcessId i = 0; i < n; ++i) {
     sim.add_process(std::make_unique<HeartbeatProcess>(i, n, t, 250));
   }
+  if (ctx.on_simulator) ctx.on_simulator(sim);
   fd::QueryOracleParams qp;
   qp.stab_time = 200;
   qp.detect_delay = 15;
@@ -232,29 +273,123 @@ RunOutcome run_phibar_case(const ScheduleCase& c, const RunContext& ctx) {
   return out;
 }
 
+// --- symmetry signatures -----------------------------------------------
+
+/// One word per process folding everything that distinguishes it under
+/// a pinned perfect oracle: its proposal, its forced-set membership and
+/// its crash-plan entries. The DFS overrides the delay adversary, so
+/// the case's adversary spec is deliberately excluded.
+std::vector<std::uint64_t> kset_sym_signatures(const KSetProtocolSpec& spec,
+                                               const ScheduleCase& c) {
+  std::vector<std::uint64_t> sig(static_cast<std::size_t>(spec.n));
+  for (int i = 0; i < spec.n; ++i) {
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xff;
+        h *= kFnvPrime;
+      }
+    };
+    mix(static_cast<std::uint64_t>(
+        spec.equal_proposals ? 100 : 100 + i));
+    mix(spec.forced_final_set->contains(i) ? 1 : 0);
+    for (const sim::CrashEntry& e : c.crashes.entries()) {
+      if (e.pid != i) continue;
+      if (e.send_trigger) {
+        mix(0x5354ull);  // "ST"
+        mix(*e.send_trigger);
+      } else {
+        mix(0x4154ull);  // "AT"
+        mix(static_cast<std::uint64_t>(e.at_time));
+      }
+    }
+    sig[static_cast<std::size_t>(i)] = h;
+  }
+  return sig;
+}
+
 // --- registry ----------------------------------------------------------
 
 std::vector<Protocol>& registry() {
   static std::vector<Protocol> protocols = [] {
     std::vector<Protocol> p;
-    p.push_back({"kset", 7, 3, 60'000,
-                 [](const ScheduleCase& c, const RunContext& ctx) {
-                   return run_kset_case(7, 3, 2, 60'000, c, ctx);
-                 }});
-    p.push_back({"two-wheels", 7, 3, 30'000, run_two_wheels_case});
-    p.push_back({"phibar", 8, 3, 20'000, run_phibar_case});
+    KSetProtocolSpec kset;
+    kset.name = "kset";
+    kset.n = 7;
+    kset.t = 3;
+    kset.k = 2;
+    kset.horizon = 60'000;
+    p.push_back(make_kset_protocol(kset));
+    TwoWheelsProtocolSpec tw;
+    tw.name = "two-wheels";
+    tw.n = 7;
+    tw.t = 3;
+    tw.x = 2;
+    tw.y = 1;  // z = t + 2 - x - y = 2
+    tw.horizon = 30'000;
+    tw.sx_stab = 300;
+    tw.phi_stab = 300;
+    p.push_back(make_two_wheels_protocol(tw));
+    p.push_back({"phibar", 8, 3, 20'000, run_phibar_case, nullptr});
     // Consensus-sized instance for the bounded-DFS interleaving mode
     // (small enough that the choice tree is exhaustible).
-    p.push_back({"kset-small", 4, 1, 8'000,
-                 [](const ScheduleCase& c, const RunContext& ctx) {
-                   return run_kset_case(4, 1, 1, 8'000, c, ctx);
-                 }});
+    KSetProtocolSpec small;
+    small.name = "kset-small";
+    p.push_back(make_kset_protocol(small));
+    // Symmetric consensus instance for the DFS symmetry reduction:
+    // equal proposals and a pinned perfect oracle make every
+    // relabeling of {1, 2, 3} a run symmetry (S_3, group order 6).
+    KSetProtocolSpec sym;
+    sym.name = "kset-sym";
+    sym.equal_proposals = true;
+    sym.perfect_oracle = true;
+    sym.forced_final_set = ProcSet{0};
+    p.push_back(make_kset_protocol(sym));
+    // Minimal two-wheels instance sized for dispatch-order DFS.
+    TwoWheelsProtocolSpec tws;
+    tws.name = "two-wheels-small";
+    p.push_back(make_two_wheels_protocol(tws));
     return p;
   }();
   return protocols;
 }
 
 }  // namespace
+
+Protocol make_kset_protocol(const KSetProtocolSpec& spec) {
+  util::require(!spec.name.empty(), "make_kset_protocol: need a name");
+  Protocol p;
+  p.name = spec.name;
+  p.n = spec.n;
+  p.t = spec.t;
+  p.horizon = spec.horizon;
+  p.run = [spec](const ScheduleCase& c, const RunContext& ctx) {
+    return run_kset_case(spec, c, ctx);
+  };
+  // Only a pinned constant oracle makes relabelings true symmetries:
+  // a stabilizing oracle's pre-stabilization output depends on raw ids.
+  if (spec.perfect_oracle && spec.forced_final_set.has_value()) {
+    p.sym_signatures = [spec](const ScheduleCase& c) {
+      return kset_sym_signatures(spec, c);
+    };
+  }
+  return p;
+}
+
+Protocol make_two_wheels_protocol(const TwoWheelsProtocolSpec& spec) {
+  util::require(!spec.name.empty(), "make_two_wheels_protocol: need a name");
+  Protocol p;
+  p.name = spec.name;
+  p.n = spec.n;
+  p.t = spec.t;
+  p.horizon = spec.horizon;
+  p.run = [spec](const ScheduleCase& c, const RunContext& ctx) {
+    return run_two_wheels_case(spec, c, ctx);
+  };
+  // No sym_signatures: the wheels' ring scans order positions by raw
+  // process id, so relabelings are not run symmetries (identity group).
+  return p;
+}
 
 void DeliveryDigest::mix(std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {

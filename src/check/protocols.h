@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +56,13 @@ struct RunContext {
   /// the wall-clock budget is a non-reproducible safety net.
   std::uint64_t max_events = 0;
   std::int64_t wall_budget_ms = 0;
+  /// Hands the run's Simulator to the caller after construction and
+  /// before the run starts — the DFS checker installs its race chooser
+  /// and state-digest sampling through this seam. May be null; a
+  /// protocol harness that cannot thread it simply never calls it (the
+  /// DFS menu mode degrades gracefully without it, the dispatch-order
+  /// mode requires it).
+  std::function<void(sim::Simulator&)> on_simulator;
 };
 
 struct RunOutcome {
@@ -87,7 +95,58 @@ struct Protocol {
   int t = 0;
   Time horizon = 0;
   std::function<RunOutcome(const ScheduleCase&, const RunContext&)> run;
+  /// Optional symmetry signatures for the DFS symmetry reduction: maps
+  /// a case to one word per process encoding everything that
+  /// distinguishes it from the outside (proposal, crash-plan entries,
+  /// oracle-scope membership). Process-id relabelings preserving the
+  /// signature vector are treated as run symmetries (the DFS overrides
+  /// the delay adversary, so it is excluded). Null — the default —
+  /// claims no nontrivial symmetry.
+  std::function<std::vector<std::uint64_t>(const ScheduleCase&)>
+      sym_signatures;
 };
+
+/// Spec for a registerable k-set agreement instance (Fig 3) — the
+/// built-in "kset"/"kset-small"/"kset-sym" entries and the DFS test
+/// fixtures all come from make_kset_protocol.
+struct KSetProtocolSpec {
+  std::string name;
+  int n = 4;
+  int t = 1;
+  int k = 1;
+  Time horizon = 8'000;
+  /// All processes propose 100 (instead of 100 + i) — required for the
+  /// decision multiset to be invariant under process relabeling.
+  bool equal_proposals = false;
+  /// Perfect Ω_k: output fixed from time 0 (§3.2).
+  bool perfect_oracle = false;
+  /// Pin the oracle's final leader set. Together with perfect_oracle
+  /// this makes the oracle a known constant, so relabelings fixing the
+  /// set (and the proposals / crash plan) are true run symmetries —
+  /// sym_signatures is populated exactly in that configuration.
+  std::optional<ProcSet> forced_final_set;
+  /// Interpose the widened-Ω bug (every output gains one extra leader,
+  /// the classic transformation bug from the injected-bug fixture):
+  /// with distinct proposals and k == 1 the right interleavings decide
+  /// two values. The reduced DFS must keep finding them.
+  bool widen_oracle = false;
+};
+Protocol make_kset_protocol(const KSetProtocolSpec& spec);
+
+/// Spec for a registerable two-wheels instance (§4); defaults are the
+/// DFS-sized "two-wheels-small" entry (z = t + 2 - x - y = 1).
+struct TwoWheelsProtocolSpec {
+  std::string name;
+  int n = 4;
+  int t = 1;
+  int x = 1;  ///< ◇S_x scope
+  int y = 1;  ///< ◇φ_y class index
+  Time horizon = 2'500;
+  Time sx_stab = 100;
+  Time phi_stab = 100;
+  Time inquiry_period = 8;
+};
+Protocol make_two_wheels_protocol(const TwoWheelsProtocolSpec& spec);
 
 /// Looks up a protocol by name; nullptr if unknown.
 const Protocol* find_protocol(std::string_view name);

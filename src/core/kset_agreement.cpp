@@ -90,6 +90,8 @@ sim::ProtocolTask KSetCore::main() {
     const int r = round_;
     // ----- Phase 1 (lines 3-8): anchor at most |L| estimates.
     const ProcSet leaders = omega_.trusted(host_.id(), host_.now());
+    cur_leaders_ = leaders;
+    phase_ = 1;
     host_.broadcast_msg(Phase1Msg{r, leaders, est_, instance_});
     co_await host_.until([this, r, leaders, n, t] {
       if (decided_) return true;
@@ -103,6 +105,7 @@ sim::ProtocolTask KSetCore::main() {
       if (auto v = estimate_from(r, *maj)) aux = *v;
     }
     // ----- Phase 2 (lines 9-14): commit / adopt.
+    phase_ = 2;
     host_.broadcast_msg(Phase2Msg{r, aux, instance_});
     co_await host_.until([this, r, n, t] {
       auto it = phase2_.find(r);
@@ -123,11 +126,38 @@ sim::ProtocolTask KSetCore::main() {
     if (adopt != kNoValue) est_ = adopt;
     if (!saw_bottom) {
       // Decide: task T2 completes the decision on R-delivery.
+      phase_ = 3;
       host_.rbroadcast_msg(DecisionMsg{est_, instance_});
       co_await host_.until([this] { return decided_; });
       break;
     }
+    phase_ = 0;
   }
+}
+
+void KSetCore::state_digest(sim::StateDigest& d) const {
+  d.mix_i64(est_);
+  d.mix_i64(instance_);
+  d.mix_i64(round_);
+  d.mix_i64(phase_);
+  d.mix_set(cur_leaders_);
+  d.mix_bool(decided_);
+  d.mix_i64(decision_);
+  d.mix_i64(decision_time_);
+  d.mix_i64(decision_round_);
+  const auto mix_rounds = [&d](const auto& by_round) {
+    d.mix_u64(by_round.size());
+    for (const auto& [r, msgs] : by_round) {
+      d.mix_i64(r);
+      d.mix_u64(msgs.size());
+      for (const auto& m : msgs) {
+        d.mix_id(m.sender);
+        m.digest_into(d);
+      }
+    }
+  };
+  mix_rounds(phase1_);
+  mix_rounds(phase2_);
 }
 
 bool KSetCore::on_message(const sim::Message& m) {
@@ -197,6 +227,7 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
   op.stab_time = cfg.perfect_oracle ? 0 : cfg.omega_stab;
   op.anarchy_before_stab = !cfg.perfect_oracle;
   op.seed = util::derive_seed(cfg.seed, "omega");
+  op.forced_final_set = cfg.forced_final_set;
   fd::OmegaZOracle omega(sim.pattern(), cfg.z, op);
 
   // Oracle stack: base Ω_z, optionally made spec-violating (fault
@@ -236,6 +267,7 @@ KSetRunResult run_kset_agreement(const KSetRunConfig& cfg) {
     procs.push_back(p.get());
     sim.add_process(std::move(p));
   }
+  if (cfg.on_simulator) cfg.on_simulator(sim);
 
   sim.run_until([&] {
     for (const KSetProcess* p : procs) {

@@ -42,6 +42,13 @@ struct Phase1Msg final : sim::Message {
   std::string_view tag() const override { return "phase1"; }
   const Message* corrupted(util::Arena& arena,
                            util::Rng& rng) const override;
+  void digest_into(sim::StateDigest& d) const override {
+    d.mix_tag("phase1");
+    d.mix_i64(round);
+    d.mix_set(leaders);
+    d.mix_i64(est);
+    d.mix_i64(instance);
+  }
   int round;
   ProcSet leaders;  ///< L_i — the sender's leader set this round
   std::int64_t est;
@@ -54,6 +61,12 @@ struct Phase2Msg final : sim::Message {
   std::string_view tag() const override { return "phase2"; }
   const Message* corrupted(util::Arena& arena,
                            util::Rng& rng) const override;
+  void digest_into(sim::StateDigest& d) const override {
+    d.mix_tag("phase2");
+    d.mix_i64(round);
+    d.mix_i64(aux);
+    d.mix_i64(instance);
+  }
   int round;
   std::int64_t aux;  ///< kNoValue encodes bottom
   int instance;
@@ -65,6 +78,11 @@ struct DecisionMsg final : sim::Message {
   std::string_view tag() const override { return "decision"; }
   const Message* corrupted(util::Arena& arena,
                            util::Rng& rng) const override;
+  void digest_into(sim::StateDigest& d) const override {
+    d.mix_tag("decision");
+    d.mix_i64(value);
+    d.mix_i64(instance);
+  }
   std::int64_t value;
   int instance;
 };
@@ -95,6 +113,16 @@ class KSetCore {
   int decision_round() const { return decision_round_; }
   int rounds_started() const { return round_; }
 
+  /// DFS state fingerprint: every member that shapes future behavior,
+  /// including the main coroutine's position (phase_) and its captured
+  /// leader set (cur_leaders_), which live in coroutine frames the
+  /// digest cannot inspect. Received phase-1/2 buffers fold in receipt
+  /// order — estimate_from takes the FIRST matching message and commit
+  /// adoption takes the LAST non-bottom aux, so receipt order is real
+  /// state (it is what the widened-oracle bug fixture's violations hang
+  /// on; see docs/exhaustive_checking.md).
+  void state_digest(sim::StateDigest& d) const;
+
  private:
   int count_phase1(int r) const;
   bool phase1_from(int r, ProcSet l) const;
@@ -106,6 +134,12 @@ class KSetCore {
   std::int64_t est_;
   int instance_;
   int round_ = 0;
+  /// Coroutine-position mirrors for state_digest(): which co_await of
+  /// main() is pending (0 = not in a round yet / between rounds, 1 =
+  /// phase-1 wait, 2 = phase-2 wait, 3 = decision wait) and the leader
+  /// set main() captured for the current round.
+  int phase_ = 0;
+  ProcSet cur_leaders_;
   std::map<int, std::vector<Phase1Msg>> phase1_;
   std::map<int, std::vector<Phase2Msg>> phase2_;
   bool decided_ = false;
@@ -124,6 +158,9 @@ class KSetProcess final : public sim::Process {
   void boot() override { spawn(core_.main()); }
   void on_message(const sim::Message& m) override { core_.on_message(m); }
   void on_rdeliver(const sim::Message& m) override { core_.on_rdeliver(m); }
+  void state_digest(sim::StateDigest& d) const override {
+    core_.state_digest(d);
+  }
 
   const KSetCore& core() const { return core_; }
 
@@ -143,6 +180,11 @@ struct KSetRunConfig {
   std::uint64_t seed = 1;
   Time omega_stab = 200;   ///< oracle stabilization time
   bool perfect_oracle = false;  ///< Ω output fixed from time 0 (§3.2)
+  /// Optional fixed final leader set for the Ω_z oracle (forwarded to
+  /// OmegaOracleParams::forced_final_set). The DFS symmetry instances
+  /// pin the oracle to a known scope so process-id relabelings that fix
+  /// it are true run symmetries.
+  std::optional<ProcSet> forced_final_set;
   Time horizon = 100'000;
   Time tick_period = 5;
   Time delay_min = 1;
@@ -158,6 +200,10 @@ struct KSetRunConfig {
       delay_factory;
   /// Optional observer of every message delivery (trace recording).
   sim::DeliveryObserver delivery_observer;
+  /// Optional hook handed the run's Simulator after construction and
+  /// before the run starts — the DFS checker installs its race chooser
+  /// and state-digest sampling through this seam.
+  std::function<void(sim::Simulator&)> on_simulator;
   /// Optional structured trace sink / metrics registry, installed on the
   /// run's Simulator. The Ω oracle is wrapped in a TracedLeaderOracle
   /// when a sink is present, so fd_query / fd_change events appear in

@@ -43,6 +43,18 @@ bool LowerWheelComponent::on_rdeliver(const sim::Message& m) {
   return true;
 }
 
+void LowerWheelComponent::state_digest(sim::StateDigest& d) const {
+  d.mix_u64(cursor_);
+  d.mix_id(repr_);
+  d.mix_u64(last_sent_cursor_);
+  d.mix_u64(pending_.size());
+  for (const auto& [pos, count] : pending_) {
+    d.mix_id(pos.first);
+    d.mix_set(pos.second);
+    d.mix_i64(count);
+  }
+}
+
 void LowerWheelComponent::drain() {
   while (true) {
     const auto& pos = ring_.at(cursor_);

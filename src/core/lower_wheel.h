@@ -31,6 +31,11 @@ namespace saf::core {
 struct XMoveMsg final : sim::Message {
   XMoveMsg(ProcessId l, ProcSet s) : leader(l), set(s) {}
   std::string_view tag() const override { return "x_move"; }
+  void digest_into(sim::StateDigest& d) const override {
+    d.mix_tag("x_move");
+    d.mix_id(leader);
+    d.mix_set(set);
+  }
   ProcessId leader;
   ProcSet set;
 };
@@ -51,6 +56,12 @@ class LowerWheelComponent {
 
   ProcessId repr() const { return repr_; }
   std::size_t cursor() const { return cursor_; }
+
+  /// DFS state fingerprint: cursor, representative and the pending
+  /// X_MOVE counters, folded in map-key order (deterministic; the
+  /// two-wheels instances run with the identity symmetry group, so no
+  /// canonical reordering is needed).
+  void state_digest(sim::StateDigest& d) const;
 
  private:
   using PositionKey = std::pair<ProcessId, ProcSet>;

@@ -119,6 +119,7 @@ TwoWheelsResult run_two_wheels(const TwoWheelsConfig& cfg) {
     if (faults.lossy()) p->enable_rb_acks();
     sim.add_process(std::move(p));
   }
+  if (cfg.on_simulator) cfg.on_simulator(sim);
   sim.run();
 
   TwoWheelsResult res;

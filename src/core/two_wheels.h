@@ -53,6 +53,10 @@ class TwoWheelsProcess : public sim::Process {
   void on_rdeliver(const sim::Message& m) override {
     if (!lower_.on_rdeliver(m)) upper_.on_rdeliver(m);
   }
+  void state_digest(sim::StateDigest& d) const override {
+    lower_.state_digest(d);
+    upper_.state_digest(d);
+  }
 
   const LowerWheelComponent& lower() const { return lower_; }
   const UpperWheelComponent& upper() const { return upper_; }
@@ -88,6 +92,10 @@ struct TwoWheelsConfig {
       delay_factory;
   /// Optional observer of every message delivery (trace recording).
   sim::DeliveryObserver delivery_observer;
+  /// Optional hook handed the run's Simulator after construction and
+  /// before the run starts — the DFS checker installs its race chooser
+  /// and state-digest sampling through this seam.
+  std::function<void(sim::Simulator&)> on_simulator;
   /// Optional structured trace sink / metrics registry, installed on the
   /// run's Simulator. With a sink present the ◇S_x and ◇φ_y oracles are
   /// wrapped in traced adapters and the emulated repr/trusted stores

@@ -123,4 +123,21 @@ void UpperWheelComponent::publish() {
   store_.set(host_.id(), host_.now(), trusted_now());
 }
 
+void UpperWheelComponent::state_digest(sim::StateDigest& d) const {
+  d.mix_u64(cursor_);
+  d.mix_u64(last_sent_cursor_);
+  d.mix_u64(attempt_);
+  d.mix_u64(responses_.size());
+  for (const auto& [from, repr] : responses_) {
+    d.mix_id(from);
+    d.mix_id(repr);
+  }
+  d.mix_u64(pending_.size());
+  for (const auto& [pos, count] : pending_) {
+    d.mix_set(pos.first);
+    d.mix_set(pos.second);
+    d.mix_i64(count);
+  }
+}
+
 }  // namespace saf::core

@@ -36,12 +36,21 @@ namespace saf::core {
 struct InquiryMsg final : sim::Message {
   explicit InquiryMsg(std::uint64_t a) : attempt(a) {}
   std::string_view tag() const override { return "inquiry"; }
+  void digest_into(sim::StateDigest& d) const override {
+    d.mix_tag("inquiry");
+    d.mix_u64(attempt);
+  }
   std::uint64_t attempt;
 };
 
 struct ResponseMsg final : sim::Message {
   ResponseMsg(std::uint64_t a, ProcessId r) : attempt(a), repr(r) {}
   std::string_view tag() const override { return "response"; }
+  void digest_into(sim::StateDigest& d) const override {
+    d.mix_tag("response");
+    d.mix_u64(attempt);
+    d.mix_id(repr);
+  }
   std::uint64_t attempt;
   ProcessId repr;
 };
@@ -49,6 +58,11 @@ struct ResponseMsg final : sim::Message {
 struct LMoveMsg final : sim::Message {
   LMoveMsg(ProcSet l, ProcSet y) : inner(l), outer(y) {}
   std::string_view tag() const override { return "l_move"; }
+  void digest_into(sim::StateDigest& d) const override {
+    d.mix_tag("l_move");
+    d.mix_set(inner);
+    d.mix_set(outer);
+  }
   ProcSet inner;  ///< L
   ProcSet outer;  ///< Y
 };
@@ -79,6 +93,12 @@ class UpperWheelComponent {
   ProcSet trusted_now() const;
 
   std::size_t cursor() const { return cursor_; }
+
+  /// DFS state fingerprint: cursor, attempt counter, recorded responses
+  /// (in receipt order) and pending L_MOVE counters. main()'s two
+  /// suspension points need no mirror — they are distinguished by the
+  /// host's waiter kinds (predicate wait vs sleep).
+  void state_digest(sim::StateDigest& d) const;
 
  private:
   using PositionKey = std::pair<ProcSet, ProcSet>;

@@ -38,6 +38,17 @@ struct Message;
 /// (see Network's batched-broadcast path).
 inline constexpr ProcessId kBroadcastRecipient = -2;
 
+/// What a closure event does — digest metadata for the DFS checker's
+/// state fingerprint (closures themselves are opaque, so the engine tags
+/// each one it schedules). kClosure covers untyped user schedule() calls.
+enum class EventKind : std::uint8_t {
+  kClosure = 0,
+  kTick,
+  kStart,
+  kCrash,
+  kWake,
+};
+
 /// One scheduled event. Message deliveries are first-class (`msg` set,
 /// POD payload, no closure allocation — the hot path); everything else
 /// (protocol starts, ticks, timers, crashes, user schedule() calls)
@@ -48,6 +59,8 @@ struct Event {
   ProcessId to = -1;             ///< recipient, or kBroadcastRecipient
   const Message* msg = nullptr;  ///< non-null => delivery event
   std::function<void()> fn;      ///< closure event otherwise
+  EventKind kind = EventKind::kClosure;  ///< closure digest tag
+  ProcessId owner = -1;  ///< closure's process, -1 for global (ticks)
 };
 
 class EventQueue {
@@ -65,6 +78,29 @@ class EventQueue {
 
   /// Removes and returns the minimum event. Requires !empty().
   Event pop();
+
+  /// Number of pending events at the minimum instant — the "ready run"
+  /// the DFS race chooser picks from. Requires !empty().
+  std::size_t ready_count();
+
+  /// The i-th ready event in seq order. Requires i < ready_count(). The
+  /// reference is invalidated by the next push/pop.
+  const Event& ready_at(std::size_t i);
+
+  /// Removes and returns the i-th ready event (out-of-order dispatch
+  /// within the instant — the race chooser's seam; events after i keep
+  /// their relative seq order). Requires i < ready_count().
+  Event pop_ready(std::size_t i);
+
+  /// Invokes fn(const Event&) on every pending event, in no particular
+  /// order (state-digest fold; the caller order-normalizes).
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    for (const Bucket& b : ring_) {
+      for (std::size_t i = b.head; i < b.events.size(); ++i) fn(b.events[i]);
+    }
+    for (const Event& e : overflow_) fn(e);
+  }
 
  private:
   // Power of two; covers tick periods, message delays and protocol

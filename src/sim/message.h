@@ -10,6 +10,7 @@
 
 #include <string_view>
 
+#include "sim/state_digest.h"
 #include "util/types.h"
 
 namespace saf::util {
@@ -36,6 +37,13 @@ struct Message {
     (void)rng;
     return nullptr;
   }
+
+  /// State-fingerprint seam (check/dfs): folds the payload into `d`.
+  /// The default mixes only the tag — exact for payload-free messages;
+  /// types carrying behavior-relevant payloads override it. Ids and id
+  /// sets must flow through d.mix_id / d.mix_set so symmetry relabeling
+  /// sees them; the sender is mixed by the caller.
+  virtual void digest_into(StateDigest& d) const { d.mix_tag(tag()); }
 
   /// Filled in at send time.
   ProcessId sender = -1;

@@ -126,9 +126,28 @@ void Process::SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
   Process* proc = p;
   const std::uint64_t token = proc->next_token_++;
   proc->waiters_.push_back(Waiter{h, nullptr, token});
-  proc->sim_->schedule(proc->now() + d, [proc, token] {
-    if (!proc->is_crashed()) proc->wake_token(token);
-  });
+  proc->sim_->schedule_tagged(
+      proc->now() + d, EventKind::kWake, proc->id_, [proc, token] {
+        if (!proc->is_crashed()) proc->wake_token(token);
+      });
+}
+
+void Process::digest_generic(StateDigest& d) const {
+  d.mix_bool(started_);
+  d.mix_u64(next_token_);
+  // Waiters pin the coroutines' suspension points. Predicates are
+  // opaque closures, so each waiter folds as sleep-vs-predicate plus
+  // its token; tokens are allocated deterministically along a shared
+  // choice prefix, so equal multisets mean equal suspension histories.
+  std::vector<std::uint64_t> ws;
+  ws.reserve(waiters_.size());
+  for (const Waiter& w : waiters_) {
+    ws.push_back((w.pred ? (std::uint64_t{1} << 63) : 0) | w.token);
+  }
+  std::sort(ws.begin(), ws.end());
+  d.mix_u64(ws.size());
+  for (const std::uint64_t v : ws) d.mix_u64(v);
+  rb_->digest(d);
 }
 
 void Process::send_raw(ProcessId to, const Message* m) {

@@ -64,6 +64,15 @@ class Process {
   /// Optional periodic hook, driven by the simulator's global tick.
   virtual void on_tick() {}
 
+  /// Protocol-state fingerprint seam for the DFS checker
+  /// (docs/exhaustive_checking.md): fold every protocol member that can
+  /// influence future behavior into `d` — values only, never addresses,
+  /// with ids and id sets flowing through d.mix_id / d.mix_set. The
+  /// engine folds its own per-process state (coroutine waiters, the
+  /// reliable-broadcast dedup set) separately; a protocol that leaves
+  /// this empty disables hash-based pruning soundness for itself.
+  virtual void state_digest(StateDigest& d) const { (void)d; }
+
   bool is_crashed() const;
   Time now() const;
 
@@ -156,6 +165,10 @@ class Process {
 
   void attach(Simulator* sim);
   void start();
+  /// Folds the engine-owned per-process state (started flag, waiter
+  /// multiset, RB dedup set) into `d`; the protocol's own members are
+  /// folded by the state_digest() virtual.
+  void digest_generic(StateDigest& d) const;
   void handle_delivery(const Message& m);
   void maybe_wake();
   void resume_handle(std::coroutine_handle<> h);

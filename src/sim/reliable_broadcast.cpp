@@ -76,6 +76,22 @@ void RbLayer::retry(std::uint64_t key) {
   schedule_retry(key);
 }
 
+void RbLayer::digest(StateDigest& d) const {
+  d.mix_u64(next_seq_);
+  d.mix_bool(acks_enabled_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(seen_.size());
+  for (const std::uint64_t k : seen_) {
+    StateDigest kd(d.perm());
+    kd.mix_id(static_cast<ProcessId>(k >> 40));
+    kd.mix_u64(k & ((std::uint64_t{1} << 40) - 1));
+    keys.push_back(kd.value());
+  }
+  std::sort(keys.begin(), keys.end());
+  d.mix_u64(keys.size());
+  for (const std::uint64_t v : keys) d.mix_u64(v);
+}
+
 bool RbLayer::intercept(const Message& m) {
   if (acks_enabled_) {
     if (const auto* ack = dynamic_cast<const RbAckMsg*>(&m)) {

@@ -42,6 +42,13 @@ struct RbEnvelope final : Message {
   /// exactly what in-flight corruption of a relayed message looks like.
   const Message* corrupted(util::Arena& arena, util::Rng& rng) const override;
 
+  void digest_into(StateDigest& d) const override {
+    d.mix_tag("rb_env");
+    d.mix_id(origin);
+    d.mix_u64(origin_seq);
+    inner->digest_into(d);
+  }
+
   ProcessId origin = -1;
   std::uint64_t origin_seq = 0;
   const Message* inner = nullptr;  ///< arena-owned, outlives the run
@@ -51,6 +58,12 @@ struct RbEnvelope final : Message {
 /// sender (origin or forwarder), naming the envelope by identity.
 struct RbAckMsg final : Message {
   std::string_view tag() const override { return "rb_ack"; }
+
+  void digest_into(StateDigest& d) const override {
+    d.mix_tag("rb_ack");
+    d.mix_id(origin);
+    d.mix_u64(origin_seq);
+  }
 
   ProcessId origin = -1;
   std::uint64_t origin_seq = 0;
@@ -80,6 +93,13 @@ class RbLayer {
   /// ack) and was consumed: deduplicated, acknowledged, or forwarded +
   /// delivered via on_rdeliver.
   bool intercept(const Message& m);
+
+  /// Folds the dedup state into the DFS state fingerprint. The seen_
+  /// keys are hashed as a multiset with origins relabeled, so the fold
+  /// is insensitive to receipt order and symmetry-aware. The ack-mode
+  /// retransmission ledger is NOT folded — the checker's protocols run
+  /// with acks off (asserted via acks_enabled_).
+  void digest(StateDigest& d) const;
 
  private:
   struct Pending {

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "sim/network.h"
 #include "sim/process.h"
 #include "util/check.h"
@@ -52,9 +54,14 @@ ProcSet Simulator::alive_set() const {
 }
 
 void Simulator::schedule(Time at, std::function<void()> fn) {
+  schedule_tagged(at, EventKind::kClosure, -1, std::move(fn));
+}
+
+void Simulator::schedule_tagged(Time at, EventKind kind, ProcessId owner,
+                                std::function<void()> fn) {
   SAF_CHECK_MSG(at >= now_, "cannot schedule into the past");
   tracer_.event_post(at, next_seq_);
-  queue_.push(Event{at, next_seq_++, -1, nullptr, std::move(fn)});
+  queue_.push(Event{at, next_seq_++, -1, nullptr, std::move(fn), kind, owner});
 }
 
 void Simulator::schedule_deliver(Time at, ProcessId to, const Message* m) {
@@ -92,7 +99,70 @@ void Simulator::set_delivery_observer(DeliveryObserver obs) {
 
 void Simulator::inject_crash_at(Time at, ProcessId pid) {
   SAF_CHECK(pid >= 0 && pid < cfg_.n);
-  schedule(at, [this, pid] { crash(pid); });
+  schedule_tagged(at, EventKind::kCrash, pid, [this, pid] { crash(pid); });
+}
+
+void Simulator::set_race_chooser(RaceChooser chooser) {
+  race_chooser_ = std::move(chooser);
+}
+
+bool Simulator::pending_send_trigger(ProcessId pid) const {
+  if (crashed_[static_cast<std::size_t>(pid)]) return false;
+  for (const CrashEntry& e : plan_.entries()) {
+    if (e.pid == pid && e.send_trigger &&
+        sends_by_[static_cast<std::size_t>(pid)] < *e.send_trigger) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Simulator::state_digest(StateDigest& d) const {
+  d.mix_i64(now_);
+  ProcSet crashed;
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (crashed_[static_cast<std::size_t>(p)]) crashed.insert(p);
+  }
+  d.mix_set(crashed);
+  // Send counters matter to the future only while an unfired
+  // send-triggered crash watches them; otherwise they are accounting.
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (pending_send_trigger(p)) {
+      d.mix_id(p);
+      d.mix_u64(sends_by_[static_cast<std::size_t>(p)]);
+    }
+  }
+  // Per-process state, folded in canonical (relabeled) id order so a
+  // permuted run visits its processes in the matching sequence.
+  for (ProcessId canon = 0; canon < cfg_.n; ++canon) {
+    const ProcessId i =
+        d.perm() != nullptr ? d.perm()->inverse(canon) : canon;
+    d.mix_u64(0x70726F63ULL);  // per-process separator
+    processes_[static_cast<std::size_t>(i)]->digest_generic(d);
+    processes_[static_cast<std::size_t>(i)]->state_digest(d);
+  }
+  // Pending events as a multiset of per-event sub-digests: the seq
+  // tie-break within an instant is exploration order, not state.
+  std::vector<std::uint64_t> evs;
+  evs.reserve(queue_.size());
+  queue_.for_each_pending([&](const Event& e) {
+    StateDigest ed(d.perm());
+    ed.mix_i64(e.time);
+    if (e.msg != nullptr) {
+      ed.mix_u64(1);
+      ed.mix_id(e.to);
+      ed.mix_id(e.msg->sender);
+      e.msg->digest_into(ed);
+    } else {
+      ed.mix_u64(2);
+      ed.mix_u64(static_cast<std::uint64_t>(e.kind));
+      ed.mix_id(e.owner);
+    }
+    evs.push_back(ed.value());
+  });
+  std::sort(evs.begin(), evs.end());
+  d.mix_u64(evs.size());
+  for (const std::uint64_t v : evs) d.mix_u64(v);
 }
 
 bool Simulator::over_budget() {
@@ -135,7 +205,7 @@ void Simulator::tick() {
   }
   const Time next = now_ + cfg_.tick_period;
   if (next <= cfg_.horizon) {
-    schedule(next, [this] { tick(); });
+    schedule_tagged(next, EventKind::kTick, -1, [this] { tick(); });
   }
 }
 
@@ -147,20 +217,21 @@ void Simulator::start_if_needed() {
   // Time-based crashes.
   for (const CrashEntry& e : plan_.entries()) {
     if (!e.send_trigger) {
-      schedule(e.at_time, [this, pid = e.pid] { crash(pid); });
+      schedule_tagged(e.at_time, EventKind::kCrash, e.pid,
+                      [this, pid = e.pid] { crash(pid); });
     }
   }
   // Start protocol coroutines at time 0. A process planned to crash at
   // time 0 must not take a step.
   for (auto& p : processes_) {
     ProcessId pid = p->id();
-    schedule(0, [this, pid] {
+    schedule_tagged(0, EventKind::kStart, pid, [this, pid] {
       if (!crashed_[static_cast<std::size_t>(pid)]) {
         processes_[static_cast<std::size_t>(pid)]->start();
       }
     });
   }
-  schedule(cfg_.tick_period, [this] { tick(); });
+  schedule_tagged(cfg_.tick_period, EventKind::kTick, -1, [this] { tick(); });
 }
 
 void Simulator::run() {
@@ -204,6 +275,26 @@ void Simulator::inject_deliver(ProcessId to, const Message* m) {
   schedule_deliver(now_, to, m);
 }
 
+Event Simulator::pop_next_event() {
+  if (!race_chooser_) return queue_.pop();
+  // The race set: the maximal seq-order prefix of the minimum instant's
+  // events consisting of unicast deliveries. A closure (start, tick,
+  // crash, wake) or an aggregated broadcast ends the prefix and acts as
+  // a barrier — everything behind it dispatches in seq order.
+  const std::size_t ready = queue_.ready_count();
+  race_scratch_.clear();
+  for (std::size_t i = 0; i < ready; ++i) {
+    const Event& ev = queue_.ready_at(i);
+    if (ev.msg == nullptr || ev.to < 0) break;
+    race_scratch_.push_back(&ev);
+  }
+  if (race_scratch_.size() < 2) return queue_.pop();
+  const std::size_t idx = race_chooser_(race_scratch_);
+  SAF_CHECK_MSG(idx < race_scratch_.size(),
+                "race chooser returned an out-of-range index");
+  return queue_.pop_ready(idx);
+}
+
 bool Simulator::run_until(const std::function<bool()>& stop) {
   start_if_needed();
   if (stop && stop()) return true;
@@ -221,7 +312,7 @@ bool Simulator::run_until(const std::function<bool()>& stop) {
       break;
     }
     // Move out before dispatch: the handler may push into the queue.
-    Event e = queue_.pop();
+    Event e = pop_next_event();
     now_ = e.time;
     ++events_processed_;
     if (tracer_.active()) {

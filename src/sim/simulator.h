@@ -16,6 +16,7 @@
 #include "sim/delay_policy.h"
 #include "sim/event_queue.h"
 #include "sim/failure_pattern.h"
+#include "sim/state_digest.h"
 #include "trace/tracer.h"
 #include "util/arena.h"
 #include "util/rng.h"
@@ -32,6 +33,14 @@ class Network;
 /// fingerprint and record the decided delivery order of a run.
 using DeliveryObserver =
     std::function<void(Time at, ProcessId to, const Message& m)>;
+
+/// Chooser for the DFS checker's dispatch-order exploration: given the
+/// maximal prefix of same-instant pending unicast deliveries (the "race
+/// set", in seq order), returns the index to dispatch next. Consulted
+/// only when the race set has at least two members; the events live in
+/// the queue, so the chooser must not schedule or pop.
+using RaceChooser =
+    std::function<std::size_t(const std::vector<const Event*>& race)>;
 
 struct SimConfig {
   std::uint64_t seed = 1;
@@ -158,6 +167,28 @@ class Simulator {
   /// wall_budget_ms) before reaching the horizon / its stop predicate.
   bool timed_out() const { return timed_out_; }
 
+  /// Installs (or clears, with nullptr) the DFS race chooser: pending
+  /// same-instant unicast deliveries dispatch in the order the chooser
+  /// picks instead of strict seq order. Closure events and aggregated
+  /// broadcasts are barriers — they always dispatch in seq order.
+  void set_race_chooser(RaceChooser chooser);
+
+  /// Folds the run's semantic state — clock, crash set, per-process
+  /// engine + protocol state, pending events — into `d`. Pure values
+  /// (never addresses), and order-insensitive within an instant, so the
+  /// digest is a sound visited-set key for the DFS checker (see
+  /// docs/exhaustive_checking.md). Excludes accounting that cannot
+  /// influence the future (network counters, RNG cursors, trace state);
+  /// send counters are folded only while a send-triggered crash is
+  /// still pending on them.
+  void state_digest(StateDigest& d) const;
+
+  /// True iff `pid` has an unfired send-triggered crash in the plan —
+  /// the one way dispatching a delivery can change the enabled-event
+  /// set mid-instant, which the DFS partial-order reduction must treat
+  /// as a dependency.
+  bool pending_send_trigger(ProcessId pid) const;
+
   /// Fault injection: schedules a crash of `pid` at absolute time `at`,
   /// bypassing the CrashPlan and its <= t bound. Used to push a run
   /// outside AS_{n,t}; the process stays "planned correct", so oracles
@@ -170,6 +201,14 @@ class Simulator {
   friend class Process;
 
   void start_if_needed();
+  /// schedule() plus digest metadata: every engine-scheduled closure
+  /// carries its kind and owning process so state_digest() can
+  /// fingerprint it without inspecting the std::function.
+  void schedule_tagged(Time at, EventKind kind, ProcessId owner,
+                       std::function<void()> fn);
+  /// Pops the next event to dispatch: queue minimum, or the race
+  /// chooser's pick among same-instant deliveries when one is installed.
+  Event pop_next_event();
   void crash(ProcessId pid);
   /// Counts completed sends; fires send-triggered crashes.
   void note_send(ProcessId sender) { note_sends(sender, 1); }
@@ -192,6 +231,8 @@ class Simulator {
   std::vector<bool> crashed_;
   std::vector<std::uint64_t> sends_by_;
   DeliveryObserver delivery_observer_;
+  RaceChooser race_chooser_;
+  std::vector<const Event*> race_scratch_;
   trace::Tracer tracer_;
   util::Arena arena_;
   EventQueue queue_;

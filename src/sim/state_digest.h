@@ -1,0 +1,78 @@
+// Canonical state fingerprints for the reduced DFS checker.
+//
+// A StateDigest is an FNV-1a accumulator that engine, protocol and
+// message code folds its state into (Simulator::state_digest is the
+// root). Two invariants make the result usable as a visited-set key:
+//
+//   * No pointers. Only values flow into the hash, so the digest is
+//     stable across arena reallocation and address-space layouts.
+//   * Relabel-aware. The digest optionally carries a process-id
+//     permutation; every id or id-set MUST be folded through mix_id /
+//     mix_set so symmetry reduction can hash "the same state with ids
+//     renamed" without materializing it.
+//
+// Containers whose internal order is not part of the semantic state
+// (event-queue entries within an instant, unordered dedup sets,
+// received-message buffers consumed order-insensitively) are folded as
+// multisets: digest each element into its own sub-StateDigest, sort the
+// sub-hash values, then mix them in. See docs/exhaustive_checking.md.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/permutation.h"
+#include "util/types.h"
+
+namespace saf::sim {
+
+class StateDigest {
+ public:
+  StateDigest() = default;
+  /// A digest that relabels every id through `perm` (not owned; may be
+  /// null for the identity). Sub-digests must be constructed with
+  /// perm() so the relabeling reaches nested folds.
+  explicit StateDigest(const util::Perm* perm) : perm_(perm) {}
+
+  void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= kFnvPrime;
+    }
+  }
+  void mix_i64(std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); }
+  void mix_bool(bool b) { mix_u64(b ? 1 : 0); }
+
+  /// Folds a process id, relabeled when a permutation is installed.
+  /// Sentinels (negative ids) pass through unmapped.
+  void mix_id(ProcessId p) {
+    mix_i64(perm_ != nullptr && p >= 0 && p < perm_->n() ? (*perm_)(p) : p);
+  }
+
+  /// Folds a process set, relabeled element-wise when a permutation is
+  /// installed.
+  void mix_set(const ProcSet& s) {
+    const ProcSet r = perm_ != nullptr ? perm_->apply(s) : s;
+    const int used = r.words_used();
+    mix_u64(static_cast<std::uint64_t>(used));
+    for (int i = 0; i < used; ++i) mix_u64(r.word(i));
+  }
+
+  void mix_tag(std::string_view s) {
+    for (const char c : s) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= kFnvPrime;
+    }
+    mix_u64(s.size());
+  }
+
+  std::uint64_t value() const { return h_; }
+  const util::Perm* perm() const { return perm_; }
+
+ private:
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+  std::uint64_t h_ = 14695981039346656037ULL;
+  const util::Perm* perm_ = nullptr;
+};
+
+}  // namespace saf::sim

@@ -1,0 +1,116 @@
+#include "util/permutation.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace saf::util {
+
+Perm::Perm(int n) : map_(static_cast<std::size_t>(n)), inv_(map_.size()) {
+  SAF_CHECK(n >= 0);
+  std::iota(map_.begin(), map_.end(), 0);
+  std::iota(inv_.begin(), inv_.end(), 0);
+}
+
+Perm::Perm(std::vector<ProcessId> map) : map_(std::move(map)) {
+  inv_.assign(map_.size(), -1);
+  for (std::size_t i = 0; i < map_.size(); ++i) {
+    const ProcessId j = map_[i];
+    SAF_CHECK_MSG(j >= 0 && j < n(), "Perm: image out of range");
+    SAF_CHECK_MSG(inv_[static_cast<std::size_t>(j)] == -1,
+                  "Perm: map is not a bijection");
+    inv_[static_cast<std::size_t>(j)] = static_cast<ProcessId>(i);
+  }
+}
+
+ProcSet Perm::apply(const ProcSet& s) const {
+  ProcSet out;
+  for (const ProcessId i : s) {
+    out.insert(i < n() ? (*this)(i) : i);
+  }
+  return out;
+}
+
+bool Perm::is_identity() const {
+  for (std::size_t i = 0; i < map_.size(); ++i) {
+    if (map_[i] != static_cast<ProcessId>(i)) return false;
+  }
+  return true;
+}
+
+std::vector<Perm> perms_fixing_signatures(
+    const std::vector<std::uint64_t>& sig, std::size_t max_size) {
+  const int n = static_cast<int>(sig.size());
+  // Group ids into equal-signature classes, each sorted ascending.
+  std::vector<std::vector<ProcessId>> classes;
+  {
+    std::vector<ProcessId> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&sig](ProcessId a, ProcessId b) {
+                       return sig[static_cast<std::size_t>(a)] <
+                              sig[static_cast<std::size_t>(b)];
+                     });
+    for (const ProcessId id : order) {
+      if (classes.empty() ||
+          sig[static_cast<std::size_t>(classes.back().front())] !=
+              sig[static_cast<std::size_t>(id)]) {
+        classes.emplace_back();
+      }
+      classes.back().push_back(id);
+    }
+  }
+  // Group order = product of class factorials; bound it before
+  // enumerating anything.
+  std::size_t order = 1;
+  for (const auto& cls : classes) {
+    for (std::size_t k = 2; k <= cls.size(); ++k) {
+      order *= k;
+      SAF_CHECK_MSG(order <= max_size,
+                    "perms_fixing_signatures: symmetry group too large");
+    }
+  }
+  // Enumerate the product group: for each class, every rearrangement of
+  // its members among the class's positions, composed across classes.
+  // Classes are enumerated with std::next_permutation from the sorted
+  // base, so the identity comes first.
+  std::vector<Perm> group;
+  group.reserve(order);
+  std::vector<std::vector<ProcessId>> images;
+  images.reserve(classes.size());
+  for (const auto& cls : classes) images.push_back(cls);
+  std::vector<ProcessId> map(static_cast<std::size_t>(n));
+  const std::function<void(std::size_t)> emit = [&](std::size_t ci) {
+    if (ci == classes.size()) {
+      group.emplace_back(map);
+      return;
+    }
+    std::vector<ProcessId>& img = images[ci];
+    std::sort(img.begin(), img.end());
+    do {
+      for (std::size_t k = 0; k < img.size(); ++k) {
+        map[static_cast<std::size_t>(classes[ci][k])] = img[k];
+      }
+      emit(ci + 1);
+    } while (std::next_permutation(img.begin(), img.end()));
+  };
+  emit(0);
+  SAF_CHECK(group.size() == order);
+  SAF_CHECK(group.front().is_identity());
+  return group;
+}
+
+ProcSet canonical_set(const std::vector<Perm>& group, const ProcSet& s) {
+  if (group.empty()) return s;
+  ProcSet best = s;
+  for (const Perm& pi : group) {
+    if (pi.is_identity()) continue;
+    const ProcSet img = pi.apply(s);
+    if (img < best) best = img;
+  }
+  return best;
+}
+
+}  // namespace saf::util

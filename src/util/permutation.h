@@ -1,0 +1,66 @@
+// Process-id permutations and the symmetry groups the DFS checker
+// quotients by (docs/exhaustive_checking.md).
+//
+// A run of the simulator is symmetric under a relabeling pi of process
+// ids whenever pi fixes everything that distinguishes processes from the
+// outside: the crash plan, the oracle scopes (forced leader sets), and
+// the per-process inputs (proposals). perms_fixing_signatures() builds
+// exactly that group — callers encode "what distinguishes process i"
+// into one signature word per process, and the group is the product of
+// the symmetric groups on each equal-signature class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::util {
+
+/// A permutation of {0, .., n-1}, stored with its inverse so both
+/// directions are O(1).
+class Perm {
+ public:
+  /// The identity on {0, .., n-1}.
+  explicit Perm(int n);
+  /// A permutation from its full image vector: map[i] is pi(i). Requires
+  /// `map` to be a bijection on {0, .., n-1}.
+  explicit Perm(std::vector<ProcessId> map);
+
+  int n() const { return static_cast<int>(map_.size()); }
+
+  /// pi(i). Requires 0 <= i < n().
+  ProcessId operator()(ProcessId i) const {
+    return map_[static_cast<std::size_t>(i)];
+  }
+  /// pi^{-1}(j). Requires 0 <= j < n().
+  ProcessId inverse(ProcessId j) const {
+    return inv_[static_cast<std::size_t>(j)];
+  }
+
+  /// The image set {pi(i) | i in s}. Ids >= n() map to themselves.
+  ProcSet apply(const ProcSet& s) const;
+
+  bool is_identity() const;
+
+ private:
+  std::vector<ProcessId> map_;
+  std::vector<ProcessId> inv_;
+};
+
+/// The group of permutations of {0, .., sig.size()-1} that preserve the
+/// signature vector (pi is in the group iff sig[pi(i)] == sig[i] for all
+/// i) — the product of the symmetric groups on each equal-signature
+/// class. The identity is always first. Requires the group order to be
+/// at most `max_size` (guards against enumerating huge groups; 8! covers
+/// every instance the checker targets).
+std::vector<Perm> perms_fixing_signatures(
+    const std::vector<std::uint64_t>& sig, std::size_t max_size = 40'320);
+
+/// The canonical representative of s's orbit under `group`: the minimum
+/// image set in ProcSet's total order. With an empty or identity-only
+/// group this is s itself. Idempotent, and invariant under replacing s
+/// by pi(s) for any pi in the group.
+ProcSet canonical_set(const std::vector<Perm>& group, const ProcSet& s);
+
+}  // namespace saf::util

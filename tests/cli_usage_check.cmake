@@ -34,3 +34,27 @@ endif()
 if(NOT out MATCHES "usage:")
   message(FATAL_ERROR "${TOOL} --help: no usage on stdout; got: ${out}")
 endif()
+
+# check_runner only: malformed --dfs-* values must exit 2 with usage,
+# not be silently clamped (a truncated depth would quietly weaken an
+# exhaustiveness claim).
+if(DFS_CHECKS)
+  foreach(bad_args
+      "--dfs;--dfs-depth;-3"
+      "--dfs;--dfs-depth;99999999999999999999"
+      "--dfs;--dfs-mode;banana")
+    execute_process(
+      COMMAND ${TOOL} --protocol kset-small ${bad_args}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+    if(NOT rc EQUAL 2)
+      message(FATAL_ERROR
+        "${TOOL} ${bad_args}: expected exit 2, got ${rc}")
+    endif()
+    if(NOT err MATCHES "usage:")
+      message(FATAL_ERROR
+        "${TOOL} ${bad_args}: no usage on stderr; got: ${err}")
+    endif()
+  endforeach()
+endif()

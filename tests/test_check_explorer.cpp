@@ -169,7 +169,7 @@ RunOutcome run_widened_omega_case(const ScheduleCase& c,
 const Protocol& buggy_protocol() {
   static const Protocol* p = [] {
     register_protocol({"buggy-omega", kFixtureN, kFixtureT, kFixtureHorizon,
-                       run_widened_omega_case});
+                       run_widened_omega_case, nullptr});
     return find_protocol("buggy-omega");
   }();
   return *p;
