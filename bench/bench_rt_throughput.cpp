@@ -10,6 +10,12 @@
 // latency across every (node, round) sample, and writes the
 // BENCH_rt.json baseline checked in at the repo root.
 //
+// A second pass re-measures under chaos — 30% datagram loss plus one
+// scheduled SIGKILL/restart per repetition (rt/chaos.h) — and reports
+// it as the nested "chaos" section, so the baseline also pins how much
+// throughput survives adversity ("chaos.rounds_per_sec" is a *_per_sec
+// key and gates like the rest). --chaos off skips that pass.
+//
 // With --baseline FILE [--tolerance F] the run additionally gates
 // against a checked-in baseline via sweep::compare_benchmarks (every
 // "*_per_sec" metric must hold within the tolerance) — the CI perf job
@@ -39,7 +45,8 @@ void print_usage(std::ostream& os) {
         "                           [--t T] [--k K] [--crash C]\n"
         "                           [--base-port P] [--run-for-ms MS]\n"
         "                           [--out FILE] [--baseline FILE]\n"
-        "                           [--tolerance F] [--help]\n";
+        "                           [--tolerance F] [--chaos on|off]\n"
+        "                           [--help]\n";
 }
 
 int usage(const std::string& err = "") {
@@ -70,6 +77,49 @@ double percentile(std::vector<double> v, double p) {
   return v[std::min(idx, v.size() - 1)];
 }
 
+struct Measured {
+  std::vector<double> latencies_ms;
+  std::uint64_t decisions = 0;
+  std::uint64_t rounds_completed = 0;
+  int failed_repeats = 0;
+  double wall_s = 0.0;
+};
+
+Measured measure(const ClusterConfig& cfg, int repeat, const char* label) {
+  Measured m;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    ClusterConfig run_cfg = cfg;
+    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(r);
+    run_cfg.chaos.seed = cfg.chaos.seed + static_cast<std::uint64_t>(r);
+    const ClusterResult res = saf::rt::run_cluster(run_cfg);
+    if (!res.contract_ok()) {
+      ++m.failed_repeats;
+      std::cerr << "bench_rt_throughput: " << label << " repeat " << (r + 1)
+                << " failed";
+      if (!res.detail.empty()) std::cerr << " (" << res.detail << ")";
+      for (const std::string& viol : res.violations) {
+        std::cerr << "\n  violation: " << viol;
+      }
+      std::cerr << "\n";
+      continue;
+    }
+    m.rounds_completed += static_cast<std::uint64_t>(cfg.rounds);
+    for (const saf::rt::ClusterNodeOutcome& node : res.nodes) {
+      if (!node.launched) continue;
+      for (const saf::rt::RoundResult& rr : node.rounds) {
+        if (!rr.decided) continue;
+        m.latencies_ms.push_back(static_cast<double>(rr.decision_ms));
+        ++m.decisions;
+      }
+    }
+  }
+  m.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +133,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_rt.json";
   std::string baseline_path;
   double tolerance = 0.25;
+  bool chaos_pass = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -140,6 +191,16 @@ int main(int argc, char** argv) {
       if (end == v || *end != '\0' || tolerance < 0) {
         return usage("--tolerance expects a non-negative number");
       }
+    } else if (arg == "--chaos") {
+      if ((v = value("--chaos")) == nullptr) return usage();
+      const std::string mode = v;
+      if (mode == "on") {
+        chaos_pass = true;
+      } else if (mode == "off") {
+        chaos_pass = false;
+      } else {
+        return usage("--chaos expects on|off");
+      }
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       return 0;
@@ -151,36 +212,23 @@ int main(int argc, char** argv) {
   if (cfg.t >= cfg.n) return usage("--t must be < --n");
   if (cfg.crash > cfg.t) return usage("--crash must be <= --t");
 
-  std::vector<double> latencies_ms;
-  std::uint64_t decisions = 0;
-  std::uint64_t rounds_completed = 0;
-  int failed_repeats = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < repeat; ++r) {
-    const ClusterResult res = saf::rt::run_cluster(cfg);
-    if (!res.contract_ok()) {
-      ++failed_repeats;
-      std::cerr << "bench_rt_throughput: repeat " << (r + 1) << " failed";
-      if (!res.detail.empty()) std::cerr << " (" << res.detail << ")";
-      for (const std::string& viol : res.violations) {
-        std::cerr << "\n  violation: " << viol;
-      }
-      std::cerr << "\n";
-      continue;
-    }
-    rounds_completed += static_cast<std::uint64_t>(cfg.rounds);
-    for (const saf::rt::ClusterNodeOutcome& node : res.nodes) {
-      if (!node.launched) continue;
-      for (const saf::rt::RoundResult& rr : node.rounds) {
-        if (!rr.decided) continue;
-        latencies_ms.push_back(static_cast<double>(rr.decision_ms));
-        ++decisions;
-      }
-    }
+  const Measured clean = measure(cfg, repeat, "clean");
+
+  Measured chaos;
+  if (chaos_pass) {
+    // Same workload under adversity: 30% datagram loss on every link
+    // plus one SIGKILL/restart per repetition, kills spread across the
+    // run so they land mid-round. crash=0 — the chaos kill *is* the
+    // crash, and recovery (not absence) is what's being measured.
+    ClusterConfig ccfg = cfg;
+    ccfg.crash = 0;
+    ccfg.chaos.kills = 1;
+    ccfg.chaos.faults = "lossy30";
+    ccfg.chaos.window_start_ms = 150;
+    ccfg.chaos.window_span_ms = 400;
+    ccfg.chaos.seed = 17;
+    chaos = measure(ccfg, repeat, "chaos");
   }
-  const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
 
   saf::sweep::JsonWriter w;
   w.begin_object();
@@ -192,19 +240,41 @@ int main(int argc, char** argv) {
   w.key("crash").value(cfg.crash);
   w.key("rounds").value(cfg.rounds);
   w.key("repeat").value(repeat);
-  w.key("failed_repeats").value(failed_repeats);
-  w.key("decisions").value(decisions);
-  w.key("decision_p50_ms").value(percentile(latencies_ms, 0.50));
-  w.key("decision_p99_ms").value(percentile(latencies_ms, 0.99));
+  w.key("failed_repeats").value(clean.failed_repeats);
+  w.key("decisions").value(clean.decisions);
+  w.key("decision_p50_ms").value(percentile(clean.latencies_ms, 0.50));
+  w.key("decision_p99_ms").value(percentile(clean.latencies_ms, 0.99));
   w.key("decisions_per_sec")
-      .value(wall_s > 0 ? static_cast<double>(decisions) / wall_s : 0.0);
+      .value(clean.wall_s > 0
+                 ? static_cast<double>(clean.decisions) / clean.wall_s
+                 : 0.0);
   w.key("rounds_per_sec")
-      .value(wall_s > 0 ? static_cast<double>(rounds_completed) / wall_s
-                        : 0.0);
+      .value(clean.wall_s > 0
+                 ? static_cast<double>(clean.rounds_completed) / clean.wall_s
+                 : 0.0);
+  if (chaos_pass) {
+    w.key("chaos").begin_object();
+    w.key("faults").value("lossy30");
+    w.key("kills_per_repeat").value(1);
+    w.key("failed_repeats").value(chaos.failed_repeats);
+    w.key("decisions").value(chaos.decisions);
+    w.key("decision_p50_ms").value(percentile(chaos.latencies_ms, 0.50));
+    w.key("decision_p99_ms").value(percentile(chaos.latencies_ms, 0.99));
+    w.key("decisions_per_sec")
+        .value(chaos.wall_s > 0
+                   ? static_cast<double>(chaos.decisions) / chaos.wall_s
+                   : 0.0);
+    w.key("rounds_per_sec")
+        .value(chaos.wall_s > 0
+                   ? static_cast<double>(chaos.rounds_completed) /
+                         chaos.wall_s
+                   : 0.0);
+    w.end_object();
+  }
   w.end_object();
-  saf::sweep::write_file(out_path, w.str() + "\n");
+  saf::sweep::write_file_atomic(out_path, w.str() + "\n");
   std::cout << w.str() << "\n";
-  if (failed_repeats > 0) return 1;
+  if (clean.failed_repeats > 0 || chaos.failed_repeats > 0) return 1;
 
   if (!baseline_path.empty()) {
     try {

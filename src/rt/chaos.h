@@ -1,0 +1,249 @@
+// Chaos harness for the live runtime: crash/restart injection, node
+// recovery state, and live fault sweeps.
+//
+// The simulator side has had adversarial machinery for a while — fault
+// profiles, contract monitors, six-way verdicts, checkpointed sweeps —
+// while the live rt cluster only ever saw *pre-declared* crashes (ids
+// that are simply never launched). This header closes that gap with
+// three pieces:
+//
+//   * a seeded, deterministic **kill schedule**: rt/cluster SIGKILLs
+//     live nodes at scheduled wall offsets (mid-round, not at launch)
+//     and re-forks them after a delay with a bumped incarnation;
+//   * a **write-ahead record** (NodeWal) each node keeps under
+//     tmp+rename: per-round decided values and delivery progress, so a
+//     restarted node restores its history, never re-runs a round whose
+//     messages already escaped (no double decide, no double RB seqs),
+//     and rejoins the keep-alive epoch stream via catch-up;
+//   * **round verdicts**: every keep-alive round of a cluster run is
+//     classified with the same six-way vocabulary the simulator sweeps
+//     use (fault/verdict.h) — a kill or a lossy profile explains a
+//     violation, a clean agreement break stays VIOLATION_IN_MODEL —
+//     and rt_sweep() drives grids of repeated cluster runs over
+//     (fault profiles x kill counts x heartbeat params) with the same
+//     checkpoint/resume discipline as check/fault_sweep.
+//
+// Safety argument for recovery, in one paragraph: a round is *tainted*
+// once the node externalized anything for it (first reliable send,
+// recorded in the WAL *before* the send leaves — see RtBridge's
+// on-first-send hook) — a restarted node skips tainted undecided
+// rounds instead of re-running them, so it can never produce a second,
+// different decision for a round the cluster may have already heard
+// from its previous life. Decided rounds are restored verbatim.
+// Untainted rounds re-run from scratch. The wire-level incarnation
+// field (rt/wire.h) keeps the two lives' seq streams apart.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/verdict.h"
+#include "rt/heartbeat_fd.h"
+#include "util/types.h"
+
+namespace saf::rt {
+
+struct ClusterConfig;  // rt/cluster.h
+struct ClusterResult;
+
+// ---------------------------------------------------------------------
+// Node write-ahead record.
+
+/// Per-round recovery record. `externalized` is the safety-bearing bit:
+/// it is persisted *before* the round's first reliable send, so "the
+/// cluster may have heard from this round" implies "the WAL says so".
+struct WalRound {
+  int round = -1;
+  bool externalized = false;  ///< a reliable send left for this round
+  bool decided = false;
+  std::int64_t decision = INT64_MIN;
+  Time decision_ms = kNeverTime;  ///< round-relative decision instant
+  int decision_round = 0;         ///< protocol-internal round count
+  Time elapsed_ms = 0;
+  std::uint64_t delivered_mask = 0;  ///< peers whose payloads we consumed
+  std::uint64_t delivered = 0;       ///< reliable payloads consumed
+};
+
+struct NodeWal {
+  std::uint32_t incarnation = 0;  ///< bumped on every recovery load
+  int last_started = -1;          ///< newest round this life entered
+  std::vector<WalRound> rounds;   ///< sparse, ordered by round
+
+  WalRound* find(int round);
+  const WalRound* find(int round) const;
+  /// Record for `round`, created in order if absent.
+  WalRound& at(int round);
+};
+
+/// Loads `path`; false when the file is absent or unreadable (a first
+/// boot). Never throws: a garbled file — unreachable under tmp+rename,
+/// but chaos is the business of this header — reads as absent.
+bool load_node_wal(const std::string& path, NodeWal* wal);
+
+/// Persists the record via write_file_atomic (tmp+rename): a reader or
+/// a SIGKILL mid-write never observes a torn record.
+void store_node_wal(const std::string& path, const NodeWal& wal);
+
+/// Flat JSON round-trip (exposed for tests).
+std::string node_wal_json(const NodeWal& wal);
+
+// ---------------------------------------------------------------------
+// Kill schedule.
+
+/// One scheduled SIGKILL: `victim` dies at `at_ms` (wall offset from
+/// cluster launch) and is re-forked `restart_after_ms` later.
+struct ChaosKill {
+  Time at_ms = 0;
+  ProcessId victim = -1;
+  Time restart_after_ms = 0;
+};
+
+struct ChaosConfig {
+  /// SIGKILL/restart cycles scheduled across the run (victims drawn
+  /// uniformly from the launched ids, offsets spread over the window).
+  int kills = 0;
+  /// Wall window [start, start + span) the kill offsets are spread
+  /// over. Keep the span inside the expected run duration so kills land
+  /// mid-round; a kill whose victim already exited is skipped.
+  Time window_start_ms = 150;
+  Time window_span_ms = 1000;
+  Time restart_delay_ms = 250;
+  /// fault::LinkFaultModel spec (profile name or inline grammar)
+  /// installed on every node's real UDP link — drop/dup/burst plus
+  /// timed one-way partitions, at frame-attempt granularity. Partition
+  /// windows are in node-lifetime milliseconds.
+  std::string faults;
+  std::uint64_t seed = 1;  ///< schedule + per-node fault streams
+
+  bool enabled() const { return kills > 0 || !faults.empty(); }
+};
+
+/// Deterministic schedule: same config + same (n, crash) => same kills,
+/// sorted by offset. Victims lie in [crash, n).
+std::vector<ChaosKill> make_kill_schedule(const ChaosConfig& cfg, int n,
+                                          int crash);
+
+/// One kill/restart as it actually happened (rt/cluster records these).
+struct ChaosEvent {
+  ProcessId victim = -1;
+  Time killed_at_ms = 0;
+  Time restarted_at_ms = kNeverTime;  ///< kNeverTime: never restarted
+};
+
+// ---------------------------------------------------------------------
+// Round verdicts.
+
+/// Verdict for one keep-alive round of a cluster run, using the sweep
+/// vocabulary (fault/verdict.h):
+///   * agreement/validity break, chaos active  => VIOLATION_EXPLAINED
+///   * agreement/validity break, clean run     => VIOLATION_IN_MODEL
+///   * termination miss, chaos active          => VIOLATION_EXPLAINED
+///     (a kill within the budget explains the missing decision); a
+///     killed node's own undecided rounds are excused entirely — the
+///     model owes nothing for crashed processes;
+///   * termination miss, clean run             => TIMED_OUT
+///   * all held, chaos active                  => SAFE_OUT_OF_MODEL
+///   * all held, clean run                     => SAFE_IN_MODEL
+/// Cluster-level failures map whole-run: wall-budget kill => TIMED_OUT,
+/// anything else (fork/parse errors) => WORKER_ERROR.
+struct RtRoundVerdict {
+  int round = -1;
+  fault::Verdict verdict = fault::Verdict::kSafeInModel;
+  std::string detail;  ///< first broken expectation, empty when safe
+};
+
+std::vector<RtRoundVerdict> classify_rt_rounds(const ClusterConfig& cfg,
+                                               const ClusterResult& res);
+
+// ---------------------------------------------------------------------
+// Live sweep driver (sweep_runner --rt).
+
+struct RtSweepOptions {
+  std::string protocol = "kset";
+  int n = 5;
+  int t = 2;
+  int k = 2;
+  std::uint16_t base_port = 47700;
+  int runs = 10;            ///< cluster invocations (grid points cycle)
+  int rounds_per_run = 20;  ///< keep-alive rounds per invocation
+  Time run_for_ms = 5000;
+  Time linger_ms = 250;
+  /// Grid axes: fault profiles ("" = clean) x kills per run x
+  /// heartbeat parameter sets. Run i uses point i % |grid|.
+  std::vector<std::string> fault_profiles{""};
+  std::vector<int> kills{0};
+  std::vector<HeartbeatParams> hb_grid{HeartbeatParams{}};
+  Time restart_delay_ms = 250;
+  Time kill_window_start_ms = 150;
+  Time kill_window_span_ms = 600;
+  std::uint64_t seed = 1;
+  std::string out_dir = "rt_sweep_out";
+  bool trace = false;  ///< per-run node traces + merged trace artifact
+  /// Checkpoint/resume, same discipline as check/fault_sweep: records
+  /// are index-addressed, the file is written atomically every
+  /// `checkpoint_every` runs, and --resume skips completed records
+  /// after a config-fingerprint match.
+  std::string checkpoint_path;
+  bool resume = false;
+  int checkpoint_every = 1;
+  /// Cooperative stop (SIGTERM/SIGINT): checked between runs; a set
+  /// flag checkpoints and returns with `interrupted`.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct RtSweepRunRecord {
+  bool done = false;
+  int run = -1;
+  std::string faults;  ///< grid point: fault profile ("" = clean)
+  int kills = 0;       ///< grid point: scheduled kill/restart cycles
+  Time hb_period = 0;  ///< grid point: heartbeat period
+  int verdict_counts[fault::kVerdictCount] = {};
+  int rounds = 0;
+  Time wall_ms = 0;
+  double rounds_per_sec = 0.0;
+  /// Cluster-level decision latency per decided round (max across
+  /// nodes) — the sweep's p50/p99 source.
+  std::vector<double> decision_ms;
+};
+
+struct RtSweepReport {
+  std::vector<RtSweepRunRecord> records;
+  int verdict_histogram[fault::kVerdictCount] = {};
+  int completed = 0;
+  bool interrupted = false;
+  double rounds_per_sec = 0.0;  ///< aggregate over completed runs
+  double decision_p50_ms = 0.0;
+  double decision_p99_ms = 0.0;
+  std::string merged_trace_path;  ///< last traced run's merged trace
+
+  int count(fault::Verdict v) const {
+    return verdict_histogram[static_cast<int>(v)];
+  }
+  /// True iff any round earned a failing verdict (VIOLATION_IN_MODEL /
+  /// WORKER_ERROR) — the CI gate.
+  bool failed() const {
+    return count(fault::Verdict::kViolationInModel) > 0 ||
+           count(fault::Verdict::kWorkerError) > 0;
+  }
+};
+
+/// Runs the grid; throws std::invalid_argument on a checkpoint that
+/// does not match the options fingerprint.
+RtSweepReport rt_sweep(const RtSweepOptions& opts);
+
+/// Flat JSON of a sweep report (sweep_runner --rt's --out-dir output).
+std::string rt_sweep_report_json(const RtSweepOptions& opts,
+                                 const RtSweepReport& rep);
+
+// ---------------------------------------------------------------------
+// Shared helpers.
+
+/// True iff `line` looks like one complete JSONL record ("{...}"). The
+/// cluster trace merge and trace_tool use this to skip — with a stderr
+/// warning — the torn line a SIGKILLed node leaves at the end (or,
+/// after an append-mode restart, the middle) of its trace file.
+bool jsonl_line_complete(const std::string& line);
+
+}  // namespace saf::rt

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -29,6 +30,10 @@ std::string node_trace_path(const ClusterConfig& cfg, ProcessId id) {
   return cfg.out_dir + "/node_" + std::to_string(id) + ".jsonl";
 }
 
+std::string node_wal_path(const ClusterConfig& cfg, ProcessId id) {
+  return cfg.out_dir + "/node_" + std::to_string(id) + ".wal";
+}
+
 NodeConfig node_config(const ClusterConfig& cfg, ProcessId id) {
   NodeConfig nc;
   nc.id = id;
@@ -47,6 +52,18 @@ NodeConfig node_config(const ClusterConfig& cfg, ProcessId id) {
   nc.link = cfg.link;
   nc.result_path = node_result_path(cfg, id);
   if (cfg.trace) nc.trace_path = node_trace_path(cfg, id);
+  if (cfg.chaos.enabled()) {
+    // WAL recovery is kset-only; a killed wheels node would restart as
+    // a fresh incarnation-0 process (and the schedule never targets it
+    // unless explicitly configured).
+    if (cfg.chaos.kills > 0 && cfg.protocol == "kset") {
+      nc.wal_path = node_wal_path(cfg, id);
+    }
+    nc.faults = cfg.chaos.faults;
+    nc.fault_seed =
+        cfg.chaos.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(id);
+    if (nc.fault_seed == 0) nc.fault_seed = 1;
+  }
   return nc;
 }
 
@@ -71,7 +88,17 @@ void merge_traces(const ClusterConfig& cfg, ClusterResult* res) {
     std::ifstream in(node_trace_path(cfg, id));
     std::string line;
     while (std::getline(in, line)) {
-      if (line.empty() || line.front() != '{') continue;
+      if (line.empty()) continue;
+      if (!jsonl_line_complete(line)) {
+        // A SIGKILLed node leaves a torn final line (or, after an
+        // append-mode restart, a torn middle line). Skip it: the merge
+        // must survive exactly the crashes the harness injects.
+        std::fprintf(stderr,
+                     "merge_traces: node %d: skipping truncated trace "
+                     "line (%zu bytes)\n",
+                     id, line.size());
+        continue;
+      }
       // {"t":...}  ->  {"node":<id>,"t":...}
       std::string tagged =
           "{\"node\":" + std::to_string(id) + "," + line.substr(1);
@@ -109,7 +136,11 @@ void check_kset_contract(const ClusterConfig& cfg, ClusterResult* res) {
       if (!node.launched) continue;
       const std::size_t r = static_cast<std::size_t>(round);
       if (r >= node.rounds.size() || !node.rounds[r].decided) {
-        kres.all_correct_decided = false;
+        // A SIGKILLed node is a crashed process in the model: its own
+        // missing decisions are excused (termination quantifies over
+        // correct processes only). Decisions it *did* make still count
+        // toward agreement and validity below.
+        if (node.kills == 0) kres.all_correct_decided = false;
         continue;
       }
       decided_values.insert(node.rounds[r].decision);
@@ -173,31 +204,106 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
   for (ProcessId id = 0; id < cfg.n; ++id) res.nodes[id].id = id;
 
   std::vector<std::pair<ProcessId, pid_t>> children;
-  for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
-    // Stale artifacts from a previous run must not be readable as this
-    // run's results.
-    ::unlink(node_result_path(cfg, id).c_str());
+  const auto spawn = [&](ProcessId id) -> bool {
     const pid_t pid = ::fork();
-    if (pid < 0) {
-      res.detail = "fork failed";
-      for (auto& [cid, cpid] : children) ::kill(cpid, SIGKILL);
-      return res;
-    }
+    if (pid < 0) return false;
     if (pid == 0) {
       const NodeResult nres = run_node(node_config(cfg, id));
       ::_exit(nres.ok ? 0 : 3);
     }
     children.emplace_back(id, pid);
+    return true;
+  };
+
+  for (ProcessId id = cfg.crash; id < cfg.n; ++id) {
+    // Stale artifacts from a previous run must not be readable as this
+    // run's results — including a previous run's recovery record, which
+    // would make a fresh node boot as a later incarnation. (Restarts
+    // below deliberately do NOT unlink: recovery depends on both.)
+    ::unlink(node_result_path(cfg, id).c_str());
+    ::unlink(node_wal_path(cfg, id).c_str());
+    if (!spawn(id)) {
+      res.detail = "fork failed";
+      for (auto& [cid, cpid] : children) ::kill(cpid, SIGKILL);
+      return res;
+    }
     res.nodes[id].launched = true;
   }
 
+  // Chaos schedule: kills fire at wall offsets from this instant (after
+  // the launch forks, so "150 ms in" means 150 ms into the actual run).
+  const auto launch = std::chrono::steady_clock::now();
+  std::vector<ChaosKill> kills = make_kill_schedule(cfg.chaos, cfg.n, cfg.crash);
+  struct PendingRestart {
+    ProcessId id;
+    Time at_ms;
+    std::size_t event;  ///< index into res.chaos_events
+  };
+  std::vector<PendingRestart> restarts;
+  std::size_t next_kill = 0;
+  const auto now_ms = [&]() -> Time {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - launch)
+        .count();
+  };
+
   // Reap with a wall deadline: per-round budget x rounds + slack for
-  // fork/teardown.
+  // fork/teardown, stretched for every scheduled restart cycle.
   const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(cfg.run_for_ms * cfg.rounds + 5000);
+      launch + std::chrono::milliseconds(
+                   cfg.run_for_ms * cfg.rounds + 5000 +
+                   static_cast<Time>(kills.size()) *
+                       (cfg.chaos.restart_delay_ms + 3000));
   bool all_ok = true;
-  while (!children.empty()) {
+  while (!children.empty() || !restarts.empty() ||
+         next_kill < kills.size()) {
+    if (cfg.stop != nullptr && cfg.stop->load()) {
+      for (auto& [cid, cpid] : children) {
+        ::kill(cpid, SIGKILL);
+        ::waitpid(cpid, nullptr, 0);
+      }
+      children.clear();
+      res.interrupted = true;
+      res.detail = "interrupted";
+      res.ok = false;
+      return res;
+    }
+
+    const Time now = now_ms();
+
+    // Fire due kills. A victim that already exited is skipped — the
+    // schedule is advisory, the protocol run is the ground truth.
+    while (next_kill < kills.size() && kills[next_kill].at_ms <= now) {
+      const ChaosKill& k = kills[next_kill++];
+      const auto it =
+          std::find_if(children.begin(), children.end(),
+                       [&](const auto& c) { return c.first == k.victim; });
+      if (it == children.end()) continue;
+      ::kill(it->second, SIGKILL);
+      ::waitpid(it->second, nullptr, 0);
+      children.erase(it);
+      ++res.nodes[k.victim].kills;
+      res.chaos_events.push_back({k.victim, now, kNeverTime});
+      restarts.push_back(
+          {k.victim, now + k.restart_after_ms, res.chaos_events.size() - 1});
+    }
+
+    // Fire due restarts: re-fork with result/WAL files intact, so the
+    // new incarnation recovers instead of starting fresh.
+    for (std::size_t i = 0; i < restarts.size();) {
+      if (restarts[i].at_ms <= now) {
+        if (spawn(restarts[i].id)) {
+          res.chaos_events[restarts[i].event].restarted_at_ms = now_ms();
+        } else {
+          res.detail = "restart fork failed";
+          all_ok = false;
+        }
+        restarts.erase(restarts.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
     for (std::size_t i = 0; i < children.size();) {
       int status = 0;
       const pid_t r = ::waitpid(children[i].second, &status, WNOHANG);
@@ -210,7 +316,10 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         ++i;
       }
     }
-    if (children.empty()) break;
+    if (children.empty() && restarts.empty()) {
+      // Remaining scheduled kills can never fire (all victims exited).
+      break;
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
       std::ostringstream os;
       os << "wall budget exceeded; killed nodes:";
@@ -244,6 +353,8 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
           static_cast<std::uint64_t>(get("final_trusted_mask"));
       node.final_suspected_mask =
           static_cast<std::uint64_t>(get("final_suspected_mask"));
+      node.incarnation = static_cast<std::uint32_t>(get("incarnation"));
+      node.gave_up = get("gave_up") != 0.0;
       // Keep-alive rounds flatten as "rounds.<i>.<field>".
       for (int r = 0; r < cfg.rounds; ++r) {
         const std::string p = "rounds." + std::to_string(r) + ".";
@@ -308,6 +419,20 @@ std::string cluster_result_json(const ClusterConfig& cfg,
     w.key("rounds_decided").value(rounds_decided);
     w.key("final_trusted_mask").value(node.final_trusted_mask);
     w.key("final_suspected_mask").value(node.final_suspected_mask);
+    w.key("kills").value(node.kills);
+    w.key("incarnation").value(static_cast<std::uint64_t>(node.incarnation));
+    w.key("gave_up").value(node.gave_up);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("interrupted").value(res.interrupted);
+  w.key("chaos_events").begin_array();
+  for (const ChaosEvent& e : res.chaos_events) {
+    w.begin_object();
+    w.key("victim").value(static_cast<std::int64_t>(e.victim));
+    w.key("killed_at_ms").value(static_cast<std::int64_t>(e.killed_at_ms));
+    w.key("restarted_at_ms")
+        .value(static_cast<std::int64_t>(e.restarted_at_ms));
     w.end_object();
   }
   w.end_array();

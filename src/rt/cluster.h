@@ -7,17 +7,22 @@
 // feeds a synthesized KSetRunResult through the same
 // core::kset_invariants checker the simulator harnesses use — so "the
 // live cluster reached k-set agreement" means exactly what it means
-// for a simulated run. Crashes are initial: the lowest `crash` ids are
-// simply never launched (the AS_{n,t} model's hardest-to-distinguish
-// crash is the one that happened before the first step), which forces
-// the survivors' heartbeat detectors — not any launcher-side ground
-// truth — to account for the missing processes.
+// for a simulated run. Crashes come in two flavors: *initial* — the
+// lowest `crash` ids are simply never launched (the AS_{n,t} model's
+// hardest-to-distinguish crash is the one that happened before the
+// first step) — and *chaos* (rt/chaos.h) — live nodes SIGKILLed at
+// scheduled mid-round wall offsets and re-forked with a bumped
+// incarnation, recovering through their write-ahead record. Either
+// way the survivors' heartbeat detectors, not any launcher-side
+// ground truth, account for the missing processes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "rt/chaos.h"
 #include "rt/node.h"
 #include "util/types.h"
 
@@ -45,6 +50,12 @@ struct ClusterConfig {
   /// Directory for per-node result/trace files (created if missing).
   std::string out_dir = "rt_cluster_out";
   bool trace = false;  ///< per-node jsonl traces + a merged trace
+  /// Chaos injection: scheduled SIGKILL/restart cycles and link fault
+  /// profiles on the live links (rt/chaos.h). Disabled by default.
+  ChaosConfig chaos;
+  /// Cooperative stop (the CLI's SIGTERM/SIGINT flag): when set, the
+  /// reap loop kills and reaps every child and returns `interrupted`.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct ClusterNodeOutcome {
@@ -58,6 +69,10 @@ struct ClusterNodeOutcome {
   std::uint64_t final_suspected_mask = 0;
   /// Per keep-alive round (parsed from the node's result JSON).
   std::vector<RoundResult> rounds;
+  // Chaos bookkeeping (zero without injection).
+  int kills = 0;                  ///< SIGKILLs this node absorbed
+  std::uint32_t incarnation = 0;  ///< final life's incarnation number
+  bool gave_up = false;           ///< rejoin abandoned (peers all gone)
 };
 
 struct ClusterResult {
@@ -71,6 +86,8 @@ struct ClusterResult {
   Time max_decision_ms = kNeverTime;  ///< slowest decider (kset)
   std::string merged_trace_path;      ///< set when cfg.trace
   std::string detail;                 ///< human-readable failure context
+  bool interrupted = false;  ///< cooperative stop fired mid-run
+  std::vector<ChaosEvent> chaos_events;  ///< kills as they happened
 
   bool contract_ok() const { return ok && violations.empty(); }
 };

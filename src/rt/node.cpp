@@ -4,11 +4,16 @@
 #include <sys/timerfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <fstream>
+#include <functional>
 #include <memory>
 
 #include "core/kset_agreement.h"
 #include "core/two_wheels.h"
+#include "fault/fault_spec.h"
+#include "fault/link_faults.h"
+#include "rt/chaos.h"
 #include "rt/clock.h"
 #include "rt/codec.h"
 #include "sim/delay_policy.h"
@@ -37,6 +42,13 @@ class RtBridge final : public sim::RemoteTransportHook {
  public:
   RtBridge(ProcessId self, UdpLink& link) : self_(self), link_(link) {}
 
+  /// Invoked once, synchronously, *before* this round's first reliable
+  /// send hits the link — the write-ahead point where the node's WAL
+  /// marks the round externalized (rt/chaos.h's taint bit).
+  void set_on_first_send(std::function<void()> fn) {
+    on_first_send_ = std::move(fn);
+  }
+
   bool forward(ProcessId from, ProcessId to, Time now,
                const sim::Message& m) override {
     (void)from;
@@ -49,6 +61,10 @@ class RtBridge final : public sim::RemoteTransportHook {
       ++encode_failures_;
       return true;
     }
+    if (on_first_send_) {
+      on_first_send_();
+      on_first_send_ = nullptr;
+    }
     link_.send(to, buf_);
     return true;
   }
@@ -60,6 +76,7 @@ class RtBridge final : public sim::RemoteTransportHook {
   UdpLink& link_;
   std::vector<std::uint8_t> buf_;
   std::uint64_t encode_failures_ = 0;
+  std::function<void()> on_first_send_;
 };
 
 /// epoll + timerfd wakeup: the loop sleeps until the socket is readable
@@ -139,7 +156,9 @@ void publish_metrics(const NodeConfig& cfg, const NodeResult& res,
                                           s.datagrams_sent));
   }
   if (!cfg.metrics_path.empty()) {
-    sweep::write_file(cfg.metrics_path, metrics.to_json());
+    // tmp+rename: a chaos SIGKILL mid-write must not leave a truncated
+    // file for the collector to trip over.
+    sweep::write_file_atomic(cfg.metrics_path, metrics.to_json());
   }
 }
 
@@ -151,9 +170,40 @@ NodeResult run_node(const NodeConfig& cfg) {
   SAF_CHECK(cfg.rounds >= 1);
   NodeResult res;
 
+  // Crash recovery: load + bump + persist the WAL before any socket or
+  // wire activity, so a restart that dies during recovery still comes
+  // back with a fresh incarnation next time.
+  NodeWal wal;
+  const bool wal_enabled = !cfg.wal_path.empty();
+  if (wal_enabled) {
+    SAF_CHECK_MSG(cfg.protocol == "kset",
+                  "run_node: WAL recovery is kset-only");
+    if (load_node_wal(cfg.wal_path, &wal)) wal.incarnation += 1;
+    store_node_wal(cfg.wal_path, wal);
+  }
+  res.incarnation = wal.incarnation;
+
   WallClock wall;
-  UdpLink link(cfg.id, cfg.n, cfg.base_port, wall, cfg.link);
+  UdpLinkParams link_params = cfg.link;
+  link_params.incarnation = wal.incarnation;
+  UdpLink link(cfg.id, cfg.n, cfg.base_port, wall, link_params);
   if (!link.ok()) return res;  // port collision: ok stays false
+
+  // Chaos link faults on the real transport, through the same
+  // sim::LinkFaultHook seam the simulator's Network uses. Partition
+  // windows in the spec are relative to this process's start.
+  std::unique_ptr<util::Arena> fault_arena;
+  std::unique_ptr<fault::LinkFaultModel> fault_model;
+  if (!cfg.faults.empty()) {
+    const fault::FaultSpec fspec = fault::parse_fault_spec(cfg.faults);
+    if (fspec.link.any()) {
+      fault_arena = std::make_unique<util::Arena>();
+      fault_model = std::make_unique<fault::LinkFaultModel>(
+          fspec.link, cfg.n,
+          cfg.fault_seed != 0 ? cfg.fault_seed : cfg.seed, *fault_arena);
+      link.set_fault_hook(fault_model.get());
+    }
+  }
 
   HeartbeatMonitor monitor(cfg.id, cfg.n, wall, cfg.hb);
   HeartbeatSuspect sx(monitor);
@@ -164,7 +214,15 @@ NodeResult run_node(const NodeConfig& cfg) {
   std::unique_ptr<trace::JsonlSink> sink;
   trace::MetricsRegistry metrics;
   if (!cfg.trace_path.empty()) {
-    trace_out.open(cfg.trace_path);
+    // A restarted incarnation appends (the kill must not erase the
+    // previous life's events) after a newline that terminates any line
+    // the SIGKILL tore mid-write; the merge skips the torn fragment.
+    if (wal.incarnation > 0) {
+      trace_out.open(cfg.trace_path, std::ios::app);
+      trace_out << "\n";
+    } else {
+      trace_out.open(cfg.trace_path);
+    }
     sink = std::make_unique<trace::JsonlSink>(trace_out);
   }
 
@@ -177,12 +235,73 @@ NodeResult run_node(const NodeConfig& cfg) {
   const Time start = wall.now_ms();
   bool all_decided = true;
 
-  for (int round = 0; round < cfg.rounds; ++round) {
+  res.rounds.assign(static_cast<std::size_t>(cfg.rounds), RoundResult{});
+
+  // Restore history: completed rounds come back verbatim; a round whose
+  // messages already escaped (externalized, or deliveries consumed and
+  // acked) is *tainted* — re-running it could decide a second time or
+  // replay RB seqs the cluster already absorbed, so it is skipped
+  // forever. The first untainted unexecuted round is where this life
+  // resumes.
+  int round = 0;
+  if (wal_enabled) {
+    while (round < cfg.rounds) {
+      const WalRound* wr = wal.find(round);
+      if (wr == nullptr) break;
+      if (wr->decided) {
+        RoundResult rr;
+        rr.decided = true;
+        rr.decision = wr->decision;
+        rr.decision_ms = wr->decision_ms;
+        rr.decision_round = wr->decision_round;
+        rr.elapsed_ms = wr->elapsed_ms;
+        res.rounds[static_cast<std::size_t>(round)] = rr;
+        res.decision = rr.decision;
+        res.decision_ms = rr.decision_ms;
+        res.decision_round = rr.decision_round;
+        ++res.restored_rounds;
+      } else if (wr->externalized || wr->delivered > 0) {
+        ++res.skipped_rounds;
+        all_decided = false;
+      } else {
+        break;  // untainted and unexecuted: safe to run from scratch
+      }
+      ++round;
+    }
+  }
+
+  // Rejoin barrier: a restarted node trusts the epoch tag in incoming
+  // datagram headers (acks and heartbeats carry the sender's current
+  // round) as the cluster's keep-alive frontier, and jumps forward to
+  // it until it manages one post-restart decision. After that first
+  // decision it is synchronized and the jump disarms — a slow but
+  // healthy node must not leapfrog rounds it could still decide.
+  bool catching_up = wal.incarnation > 0;
+  const Time rejoin_grace_ms =
+      std::max<Time>(1000, 4 * cfg.hb.timeout_initial);
+  bool gave_up = false;
+
+  while (round < cfg.rounds) {
+    if (catching_up) {
+      const int frontier = static_cast<int>(link.max_peer_epoch());
+      if (frontier > round) {
+        // Rounds leapfrogged here stay undecided (the cluster excuses
+        // them for a killed node); land on the frontier itself.
+        all_decided = false;
+        ++res.catchup_jumps;
+        round = frontier < cfg.rounds ? frontier : cfg.rounds - 1;
+      }
+    }
     // Reliable sends from here on carry this round's epoch; peers still
     // in an older round ignore them until they catch up (the frames sit
     // in the window and retransmit), and this node acks-but-drops
     // stragglers from rounds it already left.
     link.set_epoch(static_cast<std::uint32_t>(round));
+    if (wal_enabled) {
+      wal.last_started = round;
+      wal.at(round);
+      store_node_wal(cfg.wal_path, wal);
+    }
 
     sim::SimConfig scfg;
     scfg.seed = cfg.seed + static_cast<std::uint64_t>(round);
@@ -223,6 +342,16 @@ NodeResult run_node(const NodeConfig& cfg) {
 
     RtBridge bridge(cfg.id, link);
     sim.network().set_remote_hook(&bridge);
+    if (wal_enabled) {
+      // The taint bit is strictly write-ahead: persisted before the
+      // round's first reliable send can reach any peer.
+      bridge.set_on_first_send([&, round] {
+        WalRound& wr = wal.at(round);
+        if (wr.externalized) return;
+        wr.externalized = true;
+        store_node_wal(cfg.wal_path, wal);
+      });
+    }
 
     const UdpLink::DeliverFn deliver = [&](ProcessId from,
                                            const std::uint8_t* data,
@@ -233,16 +362,43 @@ NodeResult run_node(const NodeConfig& cfg) {
         return;
       }
       const sim::Message* m = decode_message(data, len, sim.arena());
-      if (m != nullptr) sim.inject_deliver(cfg.id, m);
+      if (m != nullptr) {
+        if (wal_enabled) {
+          // In-memory only (persisted with the next store): a consumed
+          // payload was acked and will never be resent, so the round is
+          // tainted for liveness purposes — it must not re-run and wait
+          // for messages that cannot come again.
+          WalRound& wr = wal.at(round);
+          ++wr.delivered;
+          if (from >= 0 && from < 64) wr.delivered_mask |= 1ULL << from;
+        }
+        sim.inject_deliver(cfg.id, m);
+      }
     };
 
     const Time round_start = wall.now_ms();
     const bool last_round = round == cfg.rounds - 1;
     Time decided_at = kNeverTime;
+    bool jumped = false;
     for (;;) {
       const Time now = wall.now_ms();
       const Time elapsed = now - round_start;
       if (elapsed >= cfg.run_for_ms) break;
+      if (catching_up && decided_at == kNeverTime) {
+        // Still rejoining: abandon this round the moment the cluster's
+        // observed frontier moves past it (the outer loop jumps there),
+        // and give up entirely if, after a grace period, every peer is
+        // suspected — they all decided and exited before we came back.
+        if (static_cast<int>(link.max_peer_epoch()) > round) {
+          jumped = true;
+          break;
+        }
+        if (now - start > rejoin_grace_ms &&
+            static_cast<int>(monitor.suspected_now().size()) >= cfg.n - 1) {
+          gave_up = true;
+          break;
+        }
+      }
       if (monitor.heartbeat_due()) {
         const std::vector<std::uint8_t> hb = encode_heartbeat(hb_seq++);
         for (ProcessId pid = 0; pid < cfg.n; ++pid) {
@@ -257,6 +413,19 @@ NodeResult run_node(const NodeConfig& cfg) {
       if (kproc != nullptr && decided_at == kNeverTime &&
           kproc->core().decided()) {
         decided_at = now;
+        if (wal_enabled) {
+          // Durable at the instant of decision, not at end-of-round: a
+          // SIGKILL landing in the linger window must not demote this
+          // round to tainted-undecided (skipped forever on recovery)
+          // when the decision already exists.
+          WalRound& wr = wal.at(round);
+          wr.decided = true;
+          wr.decision = kproc->core().decision();
+          wr.decision_ms = kproc->core().decision_time();
+          wr.decision_round = kproc->core().decision_round();
+          store_node_wal(cfg.wal_path, wal);
+        }
+        catching_up = false;
       }
       if (decided_at != kNeverTime &&
           link.pending_excluding(monitor.suspected_now()) == 0) {
@@ -302,9 +471,28 @@ NodeResult run_node(const NodeConfig& cfg) {
     res.decision_ms = rr.decision_ms;
     res.decision_round = rr.decision_round;
     res.events_processed += sim.events_processed();
-    res.rounds.push_back(rr);
+    res.rounds[static_cast<std::size_t>(round)] = rr;
 
+    if (wal_enabled && rr.decided) {
+      WalRound& wr = wal.at(round);
+      wr.decided = true;
+      wr.decision = rr.decision;
+      wr.decision_ms = rr.decision_ms;
+      wr.decision_round = rr.decision_round;
+      wr.elapsed_ms = rr.elapsed_ms;
+      store_node_wal(cfg.wal_path, wal);
+    }
+    if (rr.decided) catching_up = false;  // rejoined: jump disarms
+
+    if (gave_up) {
+      all_decided = false;
+      res.decided = false;
+      res.gave_up = true;
+      break;
+    }
+    if (jumped) continue;  // outer prologue lands on the frontier
     if (kproc != nullptr && !rr.decided) break;  // budget blown: stop
+    ++round;
   }
 
   res.ok = true;
@@ -314,7 +502,9 @@ NodeResult run_node(const NodeConfig& cfg) {
   publish_metrics(cfg, res, metrics);
 
   if (!cfg.result_path.empty()) {
-    sweep::write_file(cfg.result_path, node_result_json(cfg, res));
+    // tmp+rename: the cluster parses this file the moment the child
+    // exits; a kill racing the write must not leave a torn JSON.
+    sweep::write_file_atomic(cfg.result_path, node_result_json(cfg, res));
   }
   return res;
 }
@@ -333,6 +523,11 @@ std::string node_result_json(const NodeConfig& cfg, const NodeResult& res) {
       .value(static_cast<std::uint64_t>(res.final_suspected.mask()));
   w.key("final_trusted_mask")
       .value(static_cast<std::uint64_t>(res.final_trusted.mask()));
+  w.key("incarnation").value(static_cast<std::uint64_t>(res.incarnation));
+  w.key("restored_rounds").value(res.restored_rounds);
+  w.key("skipped_rounds").value(res.skipped_rounds);
+  w.key("catchup_jumps").value(res.catchup_jumps);
+  w.key("gave_up").value(res.gave_up);
   w.key("events_processed").value(res.events_processed);
   w.key("heartbeats_sent").value(res.heartbeats_sent);
   w.key("total_elapsed_ms")
@@ -360,6 +555,8 @@ std::string node_result_json(const NodeConfig& cfg, const NodeResult& res) {
   w.key("acks_sent").value(res.link_stats.acks_sent);
   w.key("window_stalls").value(res.link_stats.window_stalls);
   w.key("abandoned").value(res.link_stats.abandoned);
+  w.key("stale_inc_dropped").value(res.link_stats.stale_inc_dropped);
+  w.key("peer_restarts").value(res.link_stats.peer_restarts);
   w.end_object();
   return w.str();
 }

@@ -68,6 +68,17 @@ struct NodeConfig {
   std::string trace_path;    ///< jsonl trace file; empty = no trace
   std::string result_path;   ///< result JSON file; empty = stdout
   std::string metrics_path;  ///< rt.* metrics JSON file; empty = none
+  /// Crash-recovery write-ahead record (rt/chaos.h), enabling
+  /// kill/restart survival: on start the node loads it, bumps its
+  /// incarnation, restores decided rounds, skips rounds whose messages
+  /// already escaped, and rejoins the keep-alive stream via catch-up.
+  /// Empty = no recovery (a restart would be a fresh incarnation-0
+  /// node). kset only.
+  std::string wal_path;
+  /// fault::LinkFaultModel spec (profile name or inline grammar)
+  /// installed on the real UDP link; empty = no injected link faults.
+  std::string faults;
+  std::uint64_t fault_seed = 0;  ///< 0: derive from `seed`
 };
 
 /// Outcome of one keep-alive round.
@@ -91,8 +102,16 @@ struct NodeResult {
   std::uint64_t events_processed = 0;  ///< summed across rounds
   std::uint64_t heartbeats_sent = 0;
   Time total_elapsed_ms = 0;  ///< wall time over all rounds
+  /// Always cfg.rounds entries: restored, executed, skipped and
+  /// never-reached rounds alike (the latter stay undecided).
   std::vector<RoundResult> rounds;
   UdpLinkStats link_stats;  ///< cumulative over the link's lifetime
+  // Crash-recovery bookkeeping (all zero without a WAL).
+  std::uint32_t incarnation = 0;  ///< 0 first boot; +1 per restart
+  int restored_rounds = 0;  ///< decided rounds replayed from the WAL
+  int skipped_rounds = 0;   ///< tainted rounds never re-run (safety)
+  int catchup_jumps = 0;    ///< rejoin jumps to the observed frontier
+  bool gave_up = false;     ///< rejoin abandoned: every peer suspected
 };
 
 /// Runs one node to completion (decision + linger, or the wall budget).

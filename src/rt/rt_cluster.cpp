@@ -9,11 +9,15 @@
 // checker the simulator harnesses use. Prints a JSON summary. Exit
 // status: 0 contract held, 1 a node failed or an invariant was
 // violated, 2 usage error.
+#include <signal.h>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "fault/fault_spec.h"
 #include "rt/cluster.h"
 
 namespace {
@@ -21,17 +25,32 @@ namespace {
 using saf::rt::ClusterConfig;
 using saf::rt::ClusterResult;
 
+/// SIGTERM/SIGINT: cooperative stop. run_cluster's reap loop sees the
+/// flag, SIGKILLs and reaps every child, and returns `interrupted`;
+/// main exits 130 — no orphaned node processes, ever.
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
 void print_usage(std::ostream& os) {
   os << "usage: rt_cluster [--protocol kset|wheels] [--n N] [--t T] [--k K]\n"
         "                  [--x X] [--y Y] [--crash C] [--base-port P]\n"
         "                  [--seed S] [--run-for-ms MS] [--linger-ms MS]\n"
         "                  [--hb-period MS] [--hb-timeout MS]\n"
         "                  [--out-dir DIR] [--trace] [--repeat R]\n"
-        "                  [--keep-alive] [--help]\n"
+        "                  [--keep-alive] [--chaos-kills K]\n"
+        "                  [--chaos-restart-ms MS] [--chaos-window-ms MS]\n"
+        "                  [--chaos-seed S] [--faults SPEC] [--help]\n"
         "\n"
         "--repeat R re-runs the whole cluster R times (fork/exec per run);\n"
         "with --keep-alive the R repetitions run as keep-alive rounds\n"
-        "inside one set of node processes (one fork per node total).\n";
+        "inside one set of node processes (one fork per node total).\n"
+        "\n"
+        "--chaos-kills K schedules K SIGKILL/restart cycles at seeded\n"
+        "mid-round wall offsets (victims recover through their WAL);\n"
+        "--faults installs a fault::LinkFaultModel profile on every\n"
+        "node's live UDP link. SIGTERM/SIGINT reaps all children and\n"
+        "exits 130.\n";
 }
 
 int usage(const std::string& err = "") {
@@ -131,6 +150,30 @@ bool parse_args(int argc, char** argv, ClusterConfig* cfg, int* repeat,
       }
     } else if (arg == "--keep-alive") {
       *keep_alive = true;
+    } else if (arg == "--chaos-kills") {
+      if ((v = value("--chaos-kills")) == nullptr ||
+          !parse_int("--chaos-kills", v, 0, &cfg->chaos.kills)) {
+        return false;
+      }
+    } else if (arg == "--chaos-restart-ms") {
+      if ((v = value("--chaos-restart-ms")) == nullptr ||
+          !parse_int("--chaos-restart-ms", v, 0,
+                     &cfg->chaos.restart_delay_ms)) {
+        return false;
+      }
+    } else if (arg == "--chaos-window-ms") {
+      if ((v = value("--chaos-window-ms")) == nullptr ||
+          !parse_int("--chaos-window-ms", v, 1, &cfg->chaos.window_span_ms)) {
+        return false;
+      }
+    } else if (arg == "--chaos-seed") {
+      if ((v = value("--chaos-seed")) == nullptr ||
+          !parse_int("--chaos-seed", v, 0, &cfg->chaos.seed)) {
+        return false;
+      }
+    } else if (arg == "--faults") {
+      if ((v = value("--faults")) == nullptr) return false;
+      cfg->chaos.faults = v;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       std::exit(0);
@@ -160,10 +203,27 @@ int main(int argc, char** argv) {
     cfg.rounds = repeat;
     repeat = 1;
   }
+  if (!cfg.chaos.faults.empty()) {
+    try {
+      (void)saf::fault::parse_fault_spec(cfg.chaos.faults);
+    } catch (const std::exception& e) {
+      return usage(std::string("--faults: ") + e.what());
+    }
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  cfg.stop = &g_stop;
 
   bool failed = false;
   for (int r = 0; r < repeat; ++r) {
     const ClusterResult res = saf::rt::run_cluster(cfg);
+    if (res.interrupted) {
+      std::cerr << "rt_cluster: interrupted; children reaped\n";
+      return 130;
+    }
     std::cout << saf::rt::cluster_result_json(cfg, res) << "\n";
     if (!res.contract_ok()) {
       std::cerr << "rt_cluster: run " << (r + 1) << "/" << repeat

@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "fault/fault_spec.h"
 #include "rt/node.h"
 
 namespace {
@@ -26,7 +27,14 @@ void print_usage(std::ostream& os) {
         "               [--run-for-ms MS] [--linger-ms MS] [--rounds R]\n"
         "               [--hb-period MS] [--hb-timeout MS]\n"
         "               [--trace FILE] [--out FILE] [--metrics FILE]\n"
-        "               [--help]\n";
+        "               [--wal FILE] [--faults SPEC] [--fault-seed S]\n"
+        "               [--help]\n"
+        "\n"
+        "--wal FILE enables crash recovery (kset only): the node keeps a\n"
+        "tmp+rename write-ahead record there and, restarted after a kill,\n"
+        "bumps its incarnation, restores decided rounds and rejoins via\n"
+        "catch-up. --faults installs a fault::LinkFaultModel profile on\n"
+        "the live UDP link.\n";
 }
 
 int usage(const std::string& err = "") {
@@ -134,6 +142,17 @@ bool parse_args(int argc, char** argv, NodeConfig* cfg, bool* have_id) {
     } else if (arg == "--metrics") {
       if ((v = value("--metrics")) == nullptr) return false;
       cfg->metrics_path = v;
+    } else if (arg == "--wal") {
+      if ((v = value("--wal")) == nullptr) return false;
+      cfg->wal_path = v;
+    } else if (arg == "--faults") {
+      if ((v = value("--faults")) == nullptr) return false;
+      cfg->faults = v;
+    } else if (arg == "--fault-seed") {
+      if ((v = value("--fault-seed")) == nullptr ||
+          !parse_int("--fault-seed", v, 0, &cfg->fault_seed)) {
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       std::exit(0);
@@ -156,6 +175,16 @@ int main(int argc, char** argv) {
   if (cfg.t >= cfg.n) return usage("--t must be < --n");
   if (cfg.protocol != "kset" && cfg.protocol != "wheels") {
     return usage("--protocol must be kset or wheels");
+  }
+  if (!cfg.wal_path.empty() && cfg.protocol != "kset") {
+    return usage("--wal requires --protocol kset");
+  }
+  if (!cfg.faults.empty()) {
+    try {
+      (void)saf::fault::parse_fault_spec(cfg.faults);
+    } catch (const std::exception& e) {
+      return usage(std::string("--faults: ") + e.what());
+    }
   }
 
   const NodeResult res = saf::rt::run_node(cfg);

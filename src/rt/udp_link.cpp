@@ -119,7 +119,7 @@ UdpLink::UdpLink(ProcessId self, int n, std::uint16_t base_port,
   peers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     peers_.emplace_back(params.max_datagram, params.dedup_window);
-    peers_.back().builder.begin(self_, epoch_);
+    peers_.back().builder.begin(self_, epoch_, params_.incarnation);
   }
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) return;
@@ -163,6 +163,7 @@ void UdpLink::enqueue_builder(ProcessId to) {
   Peer& peer = peers_[static_cast<std::size_t>(to)];
   if (peer.builder.empty()) return;
   peer.builder.set_cum_ack(peer.dedup.cumulative());
+  peer.builder.set_dest_inc(peer.inc_known ? peer.inc : 0);
   Rings& r = *rings_;
   if (r.staged == kRingDepth) flush_ring();
   const std::size_t slot = r.staged++;
@@ -195,7 +196,7 @@ void UdpLink::append_frame(ProcessId to, wire::FrameKind kind,
   for (int c = 0; c < copies; ++c) {
     if (peer.builder.epoch() != epoch || !peer.builder.fits(len)) {
       enqueue_builder(to);
-      peer.builder.begin(self_, epoch);
+      peer.builder.begin(self_, epoch, params_.incarnation);
     }
     peer.builder.add_frame(kind, seq, payload, len);
     ++stats_.frames_sent;
@@ -238,7 +239,7 @@ void UdpLink::flush() {
     if (!peer.builder.empty()) {
       const std::uint32_t e = peer.builder.epoch();
       enqueue_builder(to);
-      peer.builder.begin(self_, e);
+      peer.builder.begin(self_, e, params_.incarnation);
     }
   }
   flush_ring();
@@ -289,15 +290,51 @@ void UdpLink::process_datagram(const std::uint8_t* data, std::size_t len,
   if (!reader.init(data, len)) return;
   const ProcessId from = reader.from();
   if (from < 0 || from >= n_ || from == self_) return;
-  ++stats_.datagrams_received;
   Peer& peer = peers_[static_cast<std::size_t>(from)];
-  retire_upto(from, reader.cum_ack());
+  // Incarnation fencing, before any state is touched: a datagram from a
+  // dead incarnation is late traffic from a process that no longer
+  // exists — its acks, cum_ack and data all refer to a conversation the
+  // restarted peer cannot continue, so the whole datagram is dropped.
+  // When the peer's incarnation *advances*, its fresh seq stream
+  // restarts at 1; the receive-side window its previous life filled
+  // would swallow it as duplicates, so dedup and held-frame state are
+  // discarded (our own inflight/backlog toward the peer is kept — the
+  // retransmission layer re-offers that data to the new incarnation,
+  // which acks it like any first delivery).
+  if (peer.inc_known && reader.incarnation() < peer.inc) {
+    ++stats_.stale_inc_dropped;
+    return;
+  }
+  if (!peer.inc_known || reader.incarnation() > peer.inc) {
+    if (peer.inc_known) {
+      ++stats_.peer_restarts;
+      peer.dedup = DedupWindow(params_.dedup_window);
+      peer.held.clear();
+      // The builder may hold staged ack frames for the dead
+      // incarnation's data; sent now they would carry the new
+      // incarnation echo and retire fresh seqs they never acknowledged.
+      // Discard it — first-attempt data frames lost with it are
+      // re-offered by the retransmission layer.
+      peer.builder.begin(self_, epoch_, params_.incarnation);
+    }
+    peer.inc = reader.incarnation();
+    peer.inc_known = true;
+  }
+  // Ack validity fence: acks and the cumulative mark account for the
+  // seq stream of the incarnation the sender last saw of *us*. After we
+  // restart, a peer that has not yet seen our new incarnation still
+  // acknowledges our previous life — applying that would retire fresh
+  // in-flight sends that were never delivered.
+  const bool acks_valid = reader.dest_inc() == params_.incarnation;
+  ++stats_.datagrams_received;
+  if (reader.epoch() > max_peer_epoch_) max_peer_epoch_ = reader.epoch();
+  if (acks_valid) retire_upto(from, reader.cum_ack());
   wire::FrameView f;
   while (reader.next(&f)) {
     ++stats_.frames_received;
     switch (f.kind) {
       case wire::FrameKind::kAck:
-        retire_seq(from, f.seq);
+        if (acks_valid) retire_seq(from, f.seq);
         break;
       case wire::FrameKind::kData: {
         if (reader.epoch() > epoch_) {

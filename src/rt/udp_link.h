@@ -17,7 +17,7 @@
 //   * no creation  — a magic header + all-or-nothing frame validation
 //                    reject stray or malformed datagrams.
 //
-// Wire format v2 (rt/wire.h) decouples messages from datagrams and
+// Wire format v3 (rt/wire.h) decouples messages from datagrams and
 // datagrams from syscalls:
 //
 //   * frames     — protocol messages, acks and heartbeats are *frames*
@@ -113,6 +113,12 @@ struct UdpLinkParams {
   std::size_t max_inflight = 64;
   /// Datagram capacity (header + packed frames); under the MTU.
   std::size_t max_datagram = wire::kMaxDatagram;
+  /// This process's incarnation, stamped into every datagram header: 0
+  /// on first boot, +1 per kill/restart cycle (recovered from the WAL —
+  /// rt/chaos.h). Receivers drop datagrams from incarnations older than
+  /// the newest they have seen for a peer, and reset that peer's dedup
+  /// and held-frame state when its incarnation advances.
+  std::uint32_t incarnation = 0;
 };
 
 struct UdpLinkStats {
@@ -130,6 +136,8 @@ struct UdpLinkStats {
   std::uint64_t faults_dropped = 0;  ///< frame attempts eaten by the fault hook
   std::uint64_t window_stalls = 0;   ///< sends deferred by a full window
   std::uint64_t abandoned = 0;       ///< reliable sends given up on
+  std::uint64_t stale_inc_dropped = 0;  ///< datagrams from dead incarnations
+  std::uint64_t peer_restarts = 0;      ///< observed peer incarnation bumps
 };
 
 /// One node's UDP endpoint: process id `self` is bound to
@@ -203,6 +211,14 @@ class UdpLink {
   /// newer epochs to retransmission. Flushes buffered frames first.
   void set_epoch(std::uint32_t epoch);
   std::uint32_t epoch() const { return epoch_; }
+  std::uint32_t incarnation() const { return params_.incarnation; }
+
+  /// Highest epoch seen in any valid datagram header (every header
+  /// carries its sender's *current* epoch, acks and heartbeats
+  /// included). A restarted node reads this as the cluster's keep-alive
+  /// frontier and jumps its own round forward to rejoin (rt/node.cpp's
+  /// catch-up barrier).
+  std::uint32_t max_peer_epoch() const { return max_peer_epoch_; }
 
   /// Reliable sends not yet acknowledged (in flight + backlogged).
   std::size_t pending() const;
@@ -245,6 +261,8 @@ class UdpLink {
     std::deque<Held> held;          ///< future-epoch frames awaiting replay
     wire::DatagramBuilder builder;  ///< datagram under construction
     DedupWindow dedup;              ///< receive-side suppression
+    std::uint32_t inc = 0;          ///< newest incarnation seen from this peer
+    bool inc_known = false;         ///< any datagram received from it yet?
 
     Peer(std::size_t datagram_capacity, std::size_t dedup_window)
         : builder(datagram_capacity), dedup(dedup_window) {}
@@ -277,6 +295,7 @@ class UdpLink {
   UdpLinkParams params_;
   int fd_ = -1;
   std::uint32_t epoch_ = 0;
+  std::uint32_t max_peer_epoch_ = 0;
   std::vector<Peer> peers_;
   sim::LinkFaultHook* fault_hook_ = nullptr;
   ProcSet abandoned_peers_;

@@ -37,9 +37,11 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 // Header field offsets.
 constexpr std::size_t kOffFrom = 4;
-constexpr std::size_t kOffEpoch = 8;
-constexpr std::size_t kOffCumAck = 12;
-constexpr std::size_t kOffNFrames = 20;
+constexpr std::size_t kOffInc = 8;
+constexpr std::size_t kOffDestInc = 12;
+constexpr std::size_t kOffEpoch = 16;
+constexpr std::size_t kOffCumAck = 20;
+constexpr std::size_t kOffNFrames = 28;
 
 }  // namespace
 
@@ -48,12 +50,15 @@ DatagramBuilder::DatagramBuilder(std::size_t capacity) : buf_(capacity) {
                 "DatagramBuilder: capacity below one header + frame");
 }
 
-void DatagramBuilder::begin(ProcessId from, std::uint32_t epoch) {
+void DatagramBuilder::begin(ProcessId from, std::uint32_t epoch,
+                            std::uint32_t incarnation) {
   size_ = kDatagramHeader;
   frames_ = 0;
   epoch_ = epoch;
   put_u32(buf_.data(), kMagic);
   put_u32(buf_.data() + kOffFrom, static_cast<std::uint32_t>(from));
+  put_u32(buf_.data() + kOffInc, incarnation);
+  put_u32(buf_.data() + kOffDestInc, 0);
   put_u32(buf_.data() + kOffEpoch, epoch);
   put_u64(buf_.data() + kOffCumAck, 0);
   put_u16(buf_.data() + kOffNFrames, 0);
@@ -83,12 +88,19 @@ void DatagramBuilder::set_cum_ack(std::uint64_t cum_ack) {
   put_u64(buf_.data() + kOffCumAck, cum_ack);
 }
 
+void DatagramBuilder::set_dest_inc(std::uint32_t dinc) {
+  SAF_CHECK_MSG(size_ >= kDatagramHeader, "DatagramBuilder: begin() first");
+  put_u32(buf_.data() + kOffDestInc, dinc);
+}
+
 bool DatagramReader::init(const std::uint8_t* data, std::size_t len) {
   emitted_ = 0;
   nframes_ = 0;
   p_ = end_ = nullptr;
   if (len < kDatagramHeader || get_u32(data) != kMagic) return false;
   from_ = static_cast<ProcessId>(get_u32(data + kOffFrom));
+  incarnation_ = get_u32(data + kOffInc);
+  dest_inc_ = get_u32(data + kOffDestInc);
   epoch_ = get_u32(data + kOffEpoch);
   cum_ack_ = get_u64(data + kOffCumAck);
   const std::size_t declared = get_u16(data + kOffNFrames);

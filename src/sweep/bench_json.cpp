@@ -289,6 +289,22 @@ void write_file(const std::string& path, const std::string& text) {
   if (!text.empty() && text.back() != '\n') out << '\n';
 }
 
+void write_file_atomic(const std::string& path, const std::string& text) {
+  // Same directory as the target so the rename cannot cross devices.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + tmp);
+    out << text;
+    if (!text.empty() && text.back() != '\n') out << '\n';
+    out.flush();
+    if (!out) throw std::runtime_error("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("cannot rename " + tmp + " -> " + path);
+  }
+}
+
 RegressionReport compare_benchmarks(const FlatJson& baseline,
                                     const FlatJson& current,
                                     double tolerance) {

@@ -55,6 +55,12 @@ FlatJson load_json_numbers(const std::string& path);
 /// Writes `text` to `path` (atomically enough for our purposes).
 void write_file(const std::string& path, const std::string& text);
 
+/// Writes `text` to `path` via a same-directory temp file + rename, so
+/// a reader (or a process killed mid-write — rt/chaos.h SIGKILLs nodes
+/// on purpose) never observes a truncated file: the old content stays
+/// until the new content is fully on disk.
+void write_file_atomic(const std::string& path, const std::string& text);
+
 struct RegressionReport {
   /// Human-readable "metric: baseline -> current (-37%)" lines.
   std::vector<std::string> regressions;

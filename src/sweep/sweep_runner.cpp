@@ -37,6 +37,8 @@
 // reports them missing). Exit status: 0 ok, 1 violations / determinism
 // mismatch / baseline regression, 2 usage error, 130 interrupted
 // (checkpointed).
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -58,6 +60,7 @@
 #include "core/kset_agreement.h"
 #include "core/two_wheels.h"
 #include "fault/fault_spec.h"
+#include "rt/chaos.h"
 #include "sweep/bench_json.h"
 #include "sweep/sweep.h"
 #include "sweep/thread_pool.h"
@@ -91,6 +94,22 @@ struct Args {
   std::uint64_t max_events = 0;     // per-run event watchdog (0 = off)
   std::int64_t wall_budget_ms = 0;  // per-run wall-clock watchdog (0 = off)
   std::string scale = "off";        // n-scaling grid: off|smoke|full
+  // Live-runtime chaos sweep mode (--rt): grids of rt_cluster runs with
+  // scheduled SIGKILL/restart cycles and link faults, classified per
+  // round with the six-way verdicts (rt/chaos.h). Reuses --faults (a
+  // comma list of profiles here), --checkpoint/--resume/
+  // --checkpoint-every, --seeds is ignored (use --rt-runs) and --out-dir.
+  bool rt = false;
+  int rt_runs = 10;
+  int rt_rounds = 20;
+  std::string rt_kills = "0";  // comma list of kills-per-run grid values
+  int rt_n = 5;
+  int rt_t = 2;
+  int rt_k = 2;
+  std::uint16_t rt_base_port = 47700;
+  std::int64_t rt_run_for_ms = 5000;
+  std::string rt_hb;       // comma list of PERIOD/TIMEOUT heartbeat pairs
+  bool rt_trace = false;   // per-node traces + merged trace artifact
 };
 
 void print_usage(std::ostream& os) {
@@ -103,7 +122,18 @@ void print_usage(std::ostream& os) {
       "                    [--faults PROFILE|SPEC] [--checkpoint FILE]\n"
       "                    [--resume] [--checkpoint-every N]\n"
       "                    [--max-events N] [--wall-budget-ms N]\n"
-      "                    [--scale off|smoke|full] [--help]\n"
+      "                    [--scale off|smoke|full]\n"
+      "                    [--rt] [--rt-runs N] [--rt-rounds N]\n"
+      "                    [--rt-kills K1,K2,...] [--rt-n N] [--rt-t T]\n"
+      "                    [--rt-k K] [--rt-base-port P]\n"
+      "                    [--rt-run-for-ms MS] [--rt-hb P/T,P/T,...]\n"
+      "                    [--rt-trace] [--help]\n"
+      "\n"
+      "--rt runs the live-runtime chaos sweep: grids of rt_cluster\n"
+      "invocations over (fault profiles x kills x heartbeat params),\n"
+      "SIGKILL/restart mid-round, six-way verdicts per keep-alive round,\n"
+      "checkpoint/resume via --checkpoint. --faults is then a comma list\n"
+      "of profiles ('' entries = clean).\n"
       "fault profiles:";
   for (const auto name : saf::fault::profile_names()) os << " " << name;
   os << "\n";
@@ -239,6 +269,51 @@ bool parse_args(int argc, char** argv, Args* a) {
         std::cerr << "sweep_runner: --scale expects off|smoke|full\n";
         return false;
       }
+    } else if (arg == "--rt") {
+      a->rt = true;
+    } else if (arg == "--rt-runs") {
+      const char* v = value("--rt-runs");
+      if (v == nullptr || !parse_int("--rt-runs", v, 1, &a->rt_runs)) {
+        return false;
+      }
+    } else if (arg == "--rt-rounds") {
+      const char* v = value("--rt-rounds");
+      if (v == nullptr || !parse_int("--rt-rounds", v, 1, &a->rt_rounds)) {
+        return false;
+      }
+    } else if (arg == "--rt-kills") {
+      const char* v = value("--rt-kills");
+      if (v == nullptr) return false;
+      a->rt_kills = v;
+    } else if (arg == "--rt-n") {
+      const char* v = value("--rt-n");
+      if (v == nullptr || !parse_int("--rt-n", v, 2, &a->rt_n)) return false;
+    } else if (arg == "--rt-t") {
+      const char* v = value("--rt-t");
+      if (v == nullptr || !parse_int("--rt-t", v, 1, &a->rt_t)) return false;
+    } else if (arg == "--rt-k") {
+      const char* v = value("--rt-k");
+      if (v == nullptr || !parse_int("--rt-k", v, 1, &a->rt_k)) return false;
+    } else if (arg == "--rt-base-port") {
+      const char* v = value("--rt-base-port");
+      if (v == nullptr ||
+          !parse_int("--rt-base-port", v, std::uint16_t{1024},
+                     &a->rt_base_port)) {
+        return false;
+      }
+    } else if (arg == "--rt-run-for-ms") {
+      const char* v = value("--rt-run-for-ms");
+      if (v == nullptr ||
+          !parse_int("--rt-run-for-ms", v, std::int64_t{1},
+                     &a->rt_run_for_ms)) {
+        return false;
+      }
+    } else if (arg == "--rt-hb") {
+      const char* v = value("--rt-hb");
+      if (v == nullptr) return false;
+      a->rt_hb = v;
+    } else if (arg == "--rt-trace") {
+      a->rt_trace = true;
     } else if (arg == "--verify-digest") {
       const char* v = value("--verify-digest");
       if (v == nullptr) return false;
@@ -540,6 +615,132 @@ int run_fault_mode(const Args& args,
   return failed ? 1 : 0;
 }
 
+// --- live-runtime chaos sweep mode (--rt) ------------------------------
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+int run_rt_mode(const Args& args) {
+  saf::rt::RtSweepOptions opts;
+  ::mkdir((args.out_dir == "." ? "rt_sweep_out" : args.out_dir).c_str(),
+          0755);  // EEXIST is fine
+  opts.n = args.rt_n;
+  opts.t = args.rt_t;
+  opts.k = args.rt_k;
+  opts.base_port = args.rt_base_port;
+  opts.runs = args.rt_runs;
+  opts.rounds_per_run = args.rt_rounds;
+  opts.run_for_ms = args.rt_run_for_ms;
+  opts.seed = args.master_seed;
+  opts.out_dir = args.out_dir == "." ? "rt_sweep_out" : args.out_dir;
+  opts.trace = args.rt_trace;
+  opts.checkpoint_path = args.checkpoint;
+  opts.resume = args.resume;
+  opts.checkpoint_every = args.checkpoint_every;
+  opts.stop = &g_stop;
+
+  if (!args.faults.empty()) {
+    opts.fault_profiles.clear();
+    for (const std::string& f : split_commas(args.faults)) {
+      if (!f.empty() && f != "none") {
+        try {
+          (void)saf::fault::parse_fault_spec(f);
+        } catch (const std::exception& e) {
+          return usage(std::string("--faults: ") + e.what());
+        }
+      }
+      opts.fault_profiles.push_back(f == "none" ? "" : f);
+    }
+  }
+  opts.kills.clear();
+  for (const std::string& k : split_commas(args.rt_kills)) {
+    if (k.empty()) continue;
+    int v = 0;
+    if (!parse_int("--rt-kills", k.c_str(), 0, &v)) return usage();
+    opts.kills.push_back(v);
+  }
+  if (opts.kills.empty()) opts.kills.push_back(0);
+  if (!args.rt_hb.empty()) {
+    opts.hb_grid.clear();
+    for (const std::string& pair : split_commas(args.rt_hb)) {
+      const auto slash = pair.find('/');
+      if (slash == std::string::npos) {
+        return usage("--rt-hb expects PERIOD/TIMEOUT pairs");
+      }
+      saf::rt::HeartbeatParams hb;
+      if (!parse_int("--rt-hb", pair.substr(0, slash).c_str(),
+                     std::int64_t{1}, &hb.hb_period) ||
+          !parse_int("--rt-hb", pair.substr(slash + 1).c_str(),
+                     std::int64_t{1}, &hb.timeout_initial)) {
+        return usage();
+      }
+      opts.hb_grid.push_back(hb);
+    }
+  }
+  if (args.resume && args.checkpoint.empty()) {
+    return usage("--resume needs --checkpoint FILE");
+  }
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  std::cout << "rt chaos sweep: n=" << opts.n << " runs=" << opts.runs
+            << " rounds/run=" << opts.rounds_per_run << " grid="
+            << opts.fault_profiles.size() * opts.kills.size() *
+                   opts.hb_grid.size()
+            << " points\n";
+  saf::rt::RtSweepReport rep;
+  try {
+    rep = saf::rt::rt_sweep(opts);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+
+  std::cout << "[rt] " << rep.completed << "/" << opts.runs << " runs";
+  if (rep.interrupted) std::cout << " INTERRUPTED";
+  std::cout << ", " << rep.rounds_per_sec << " rounds/sec, decision p50 "
+            << rep.decision_p50_ms << " ms / p99 " << rep.decision_p99_ms
+            << " ms\n  verdicts:";
+  for (int i = 0; i < saf::fault::kVerdictCount; ++i) {
+    const auto v = static_cast<saf::fault::Verdict>(i);
+    if (rep.count(v) == 0) continue;
+    std::cout << " " << saf::fault::verdict_name(v) << "=" << rep.count(v);
+  }
+  std::cout << "\n";
+  if (!rep.merged_trace_path.empty()) {
+    std::cout << "merged trace: " << rep.merged_trace_path << "\n";
+  }
+
+  const std::string report_path = opts.out_dir + "/rt_sweep.json";
+  try {
+    write_file_atomic(report_path, rt_sweep_report_json(opts, rep));
+    std::cout << "wrote " << report_path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_runner: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (rep.interrupted) {
+    std::cout << "interrupted; checkpoint "
+              << (args.checkpoint.empty() ? "not configured"
+                                          : "written to " + args.checkpoint)
+              << "\n";
+    return 130;
+  }
+  return rep.failed() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -555,6 +756,9 @@ int main(int argc, char** argv) {
     protocols.push_back(p);
   }
 
+  if (args.rt) {
+    return run_rt_mode(args);
+  }
   if (!args.faults.empty() || !args.checkpoint.empty() || args.resume) {
     return run_fault_mode(args, protocols);
   }

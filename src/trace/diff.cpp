@@ -1,6 +1,7 @@
 #include "trace/diff.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
@@ -95,6 +96,15 @@ std::vector<std::string> read_trace_lines(std::istream& is) {
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
+    if (line.front() != '{' || line.back() != '}') {
+      // A SIGKILLed writer (the chaos harness's bread and butter) tears
+      // the line it was emitting; skip it rather than feed a fragment
+      // to the diff — with a warning so the gap is visible.
+      std::fprintf(stderr,
+                   "trace: skipping truncated jsonl line (%zu bytes)\n",
+                   line.size());
+      continue;
+    }
     out.push_back(line);
   }
   return out;

@@ -1,0 +1,424 @@
+// Chaos harness tests (src/rt/chaos).
+//
+// The pure pieces — WAL round-trip, kill-schedule determinism, the
+// six-way round classifier, torn-line detection — are pinned without
+// sockets. The headline properties run live: a real loopback cluster
+// absorbs a mid-round SIGKILL, the victim restarts with a bumped
+// incarnation, recovers through its write-ahead record and decides the
+// remaining rounds with zero in-model violations; an rt sweep
+// checkpoint survives an interrupt and resumes to identical aggregates;
+// and a SIGTERM against a live rt_cluster subprocess exits 130 with
+// every child reaped.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/verdict.h"
+#include "rt/chaos.h"
+#include "rt/cluster.h"
+
+namespace saf::rt {
+namespace {
+
+using fault::Verdict;
+
+/// Self-deleting temp path (file or directory contents are the test's
+/// business; the name is unique per process).
+std::string temp_path(const char* stem) {
+  return "/tmp/saf_chaos_" + std::string(stem) + "_" +
+         std::to_string(::getpid());
+}
+
+// --- write-ahead record ------------------------------------------------
+
+TEST(NodeWal, JsonRoundTripRestoresEveryField) {
+  NodeWal wal;
+  wal.incarnation = 2;
+  wal.last_started = 7;
+  WalRound& r3 = wal.at(3);
+  r3.externalized = true;
+  r3.decided = true;
+  r3.decision = 104;
+  r3.decision_ms = 42;
+  r3.decision_round = 2;
+  r3.elapsed_ms = 55;
+  r3.delivered_mask = 0b1101;
+  r3.delivered = 9;
+  WalRound& r7 = wal.at(7);
+  r7.externalized = true;  // tainted, undecided: the skip-forever case
+
+  const std::string path = temp_path("wal");
+  store_node_wal(path, wal);
+
+  NodeWal back;
+  ASSERT_TRUE(load_node_wal(path, &back));
+  EXPECT_EQ(back.incarnation, 2u);
+  EXPECT_EQ(back.last_started, 7);
+  ASSERT_EQ(back.rounds.size(), 2u);
+  const WalRound* b3 = back.find(3);
+  ASSERT_NE(b3, nullptr);
+  EXPECT_TRUE(b3->externalized);
+  EXPECT_TRUE(b3->decided);
+  EXPECT_EQ(b3->decision, 104);
+  EXPECT_EQ(b3->decision_ms, 42);
+  EXPECT_EQ(b3->decision_round, 2);
+  EXPECT_EQ(b3->elapsed_ms, 55);
+  EXPECT_EQ(b3->delivered_mask, 0b1101u);
+  EXPECT_EQ(b3->delivered, 9u);
+  const WalRound* b7 = back.find(7);
+  ASSERT_NE(b7, nullptr);
+  EXPECT_TRUE(b7->externalized);
+  EXPECT_FALSE(b7->decided);
+  EXPECT_EQ(back.find(5), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(NodeWal, AbsentOrGarbledFileReadsAsFirstBoot) {
+  NodeWal wal;
+  wal.incarnation = 99;  // must be untouched on a failed load
+  EXPECT_FALSE(load_node_wal(temp_path("wal_absent"), &wal));
+
+  const std::string path = temp_path("wal_garbled");
+  {
+    std::ofstream os(path);
+    os << "{\"incarnation\": this is not json";
+  }
+  EXPECT_FALSE(load_node_wal(path, &wal));
+  std::remove(path.c_str());
+}
+
+// --- kill schedule -----------------------------------------------------
+
+TEST(KillSchedule, DeterministicSortedAndInBounds) {
+  ChaosConfig cfg;
+  cfg.kills = 4;
+  cfg.window_start_ms = 100;
+  cfg.window_span_ms = 800;
+  cfg.restart_delay_ms = 250;
+  cfg.seed = 7;
+
+  const std::vector<ChaosKill> a = make_kill_schedule(cfg, 5, 1);
+  const std::vector<ChaosKill> b = make_kill_schedule(cfg, 5, 1);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_ms, b[i].at_ms) << i;
+    EXPECT_EQ(a[i].victim, b[i].victim) << i;
+    EXPECT_EQ(a[i].restart_after_ms, b[i].restart_after_ms) << i;
+    // Victims are launched ids only: never an initial crash.
+    EXPECT_GE(a[i].victim, 1) << i;
+    EXPECT_LT(a[i].victim, 5) << i;
+    EXPECT_GE(a[i].at_ms, 100) << i;
+    EXPECT_LT(a[i].at_ms, 900) << i;
+    if (i > 0) {
+      EXPECT_GE(a[i].at_ms, a[i - 1].at_ms) << i;
+    }
+  }
+
+  cfg.seed = 8;
+  const std::vector<ChaosKill> c = make_kill_schedule(cfg, 5, 1);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    differs = differs || c[i].at_ms != a[i].at_ms || c[i].victim != a[i].victim;
+  }
+  EXPECT_TRUE(differs) << "seed must perturb the schedule";
+
+  cfg.kills = 0;
+  EXPECT_TRUE(make_kill_schedule(cfg, 5, 1).empty());
+}
+
+// --- round classifier --------------------------------------------------
+
+ClusterConfig classify_cfg(int rounds, bool chaos) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.t = 1;
+  cfg.k = 1;
+  cfg.crash = 0;
+  cfg.rounds = rounds;
+  if (chaos) cfg.chaos.kills = 1;
+  return cfg;
+}
+
+/// A launched node outcome deciding `decisions[r]` per round;
+/// INT64_MIN marks an undecided round.
+ClusterNodeOutcome make_node(ProcessId id,
+                             const std::vector<std::int64_t>& decisions,
+                             int kills = 0) {
+  ClusterNodeOutcome node;
+  node.id = id;
+  node.launched = true;
+  node.exited_ok = true;
+  node.kills = kills;
+  for (const std::int64_t d : decisions) {
+    RoundResult rr;
+    rr.decided = d != INT64_MIN;
+    rr.decision = d;
+    rr.decision_ms = rr.decided ? 10 : kNeverTime;
+    node.rounds.push_back(rr);
+  }
+  return node;
+}
+
+TEST(ClassifyRtRounds, CleanDecidedRoundsAreSafeInModel) {
+  const ClusterConfig cfg = classify_cfg(2, false);
+  ClusterResult res;
+  res.ok = true;
+  res.nodes = {make_node(0, {100, 100}), make_node(1, {100, 100}),
+               make_node(2, {100, 100})};
+  const std::vector<RtRoundVerdict> v = classify_rt_rounds(cfg, res);
+  ASSERT_EQ(v.size(), 2u);
+  for (const RtRoundVerdict& rv : v) {
+    EXPECT_EQ(rv.verdict, Verdict::kSafeInModel) << rv.detail;
+  }
+}
+
+TEST(ClassifyRtRounds, ChaosDemotesSafeToOutOfModel) {
+  const ClusterConfig cfg = classify_cfg(1, true);
+  ClusterResult res;
+  res.ok = true;
+  res.nodes = {make_node(0, {101}), make_node(1, {101}),
+               make_node(2, {101})};
+  const std::vector<RtRoundVerdict> v = classify_rt_rounds(cfg, res);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].verdict, Verdict::kSafeOutOfModel);
+}
+
+TEST(ClassifyRtRounds, AgreementBreakIsInModelOnlyWhenClean) {
+  // k = 1 but two distinct decided values: an agreement violation.
+  ClusterResult res;
+  res.ok = true;
+  res.nodes = {make_node(0, {100}), make_node(1, {101}),
+               make_node(2, {100})};
+
+  const std::vector<RtRoundVerdict> clean =
+      classify_rt_rounds(classify_cfg(1, false), res);
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_EQ(clean[0].verdict, Verdict::kViolationInModel);
+  EXPECT_NE(clean[0].detail.find("agreement"), std::string::npos);
+
+  const std::vector<RtRoundVerdict> chaos =
+      classify_rt_rounds(classify_cfg(1, true), res);
+  EXPECT_EQ(chaos[0].verdict, Verdict::kViolationExplained);
+}
+
+TEST(ClassifyRtRounds, NeverProposedValueIsAValidityBreak) {
+  ClusterResult res;
+  res.ok = true;
+  // 999 is outside run_node's 100+id proposal set.
+  res.nodes = {make_node(0, {999}), make_node(1, {999}),
+               make_node(2, {999})};
+  const std::vector<RtRoundVerdict> v =
+      classify_rt_rounds(classify_cfg(1, false), res);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].verdict, Verdict::kViolationInModel);
+  EXPECT_NE(v[0].detail.find("validity"), std::string::npos);
+}
+
+TEST(ClassifyRtRounds, TerminationMissTimesOutCleanExplainsUnderChaos) {
+  ClusterResult res;
+  res.ok = true;
+  res.nodes = {make_node(0, {100}), make_node(1, {INT64_MIN}),
+               make_node(2, {100})};
+
+  const std::vector<RtRoundVerdict> clean =
+      classify_rt_rounds(classify_cfg(1, false), res);
+  EXPECT_EQ(clean[0].verdict, Verdict::kTimedOut);
+
+  const std::vector<RtRoundVerdict> chaos =
+      classify_rt_rounds(classify_cfg(1, true), res);
+  EXPECT_EQ(chaos[0].verdict, Verdict::kViolationExplained);
+}
+
+TEST(ClassifyRtRounds, KilledNodesMissingRoundsAreExcused) {
+  // The undecided node absorbed a SIGKILL: its gap is the crash the
+  // model already prices in, not a termination miss — but the round is
+  // no longer an in-model sample either.
+  ClusterResult res;
+  res.ok = true;
+  res.nodes = {make_node(0, {100}), make_node(1, {INT64_MIN}, /*kills=*/1),
+               make_node(2, {100})};
+  const std::vector<RtRoundVerdict> v =
+      classify_rt_rounds(classify_cfg(1, true), res);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].verdict, Verdict::kSafeOutOfModel) << v[0].detail;
+}
+
+TEST(ClassifyRtRounds, ClusterFailureMapsWholeRun) {
+  ClusterResult res;
+  res.ok = false;
+  res.detail = "wall budget exhausted";
+  std::vector<RtRoundVerdict> v =
+      classify_rt_rounds(classify_cfg(3, false), res);
+  ASSERT_EQ(v.size(), 3u);
+  for (const RtRoundVerdict& rv : v) {
+    EXPECT_EQ(rv.verdict, Verdict::kTimedOut);
+  }
+
+  res.detail = "fork failed";
+  v = classify_rt_rounds(classify_cfg(3, false), res);
+  for (const RtRoundVerdict& rv : v) {
+    EXPECT_EQ(rv.verdict, Verdict::kWorkerError);
+  }
+}
+
+// --- torn-line detection -----------------------------------------------
+
+TEST(JsonlLineComplete, AcceptsRecordsRejectsFragments) {
+  EXPECT_TRUE(jsonl_line_complete("{}"));
+  EXPECT_TRUE(jsonl_line_complete("{\"t\":1,\"k\":\"decide\"}"));
+  EXPECT_FALSE(jsonl_line_complete(""));
+  EXPECT_FALSE(jsonl_line_complete("{"));
+  EXPECT_FALSE(jsonl_line_complete("{\"t\":1,\"k\":\"dec"));  // torn tail
+  EXPECT_FALSE(jsonl_line_complete("\"t\":1}"));
+  EXPECT_FALSE(jsonl_line_complete("# comment"));
+}
+
+// --- live cluster under chaos ------------------------------------------
+
+TEST(LiveChaos, KilledNodeRecoversRejoinsAndDecides) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.t = 2;
+  cfg.k = 2;
+  cfg.base_port = 48600;
+  cfg.rounds = 12;
+  cfg.seed = 11;
+  cfg.trace = true;
+  cfg.out_dir = temp_path("live");
+  cfg.chaos.kills = 1;
+  cfg.chaos.window_start_ms = 150;
+  cfg.chaos.window_span_ms = 120;  // tight: lands mid-round, not post-run
+  cfg.chaos.restart_delay_ms = 200;
+  cfg.chaos.seed = 5;
+
+  const ClusterResult res = run_cluster(cfg);
+  ASSERT_TRUE(res.ok) << res.detail;
+  EXPECT_TRUE(res.contract_ok()) << (res.violations.empty()
+                                         ? res.detail
+                                         : res.violations.front());
+
+  // The kill actually happened and the victim came back.
+  ASSERT_EQ(res.chaos_events.size(), 1u);
+  const ChaosEvent& ev = res.chaos_events.front();
+  ASSERT_GE(ev.victim, 0);
+  EXPECT_NE(ev.restarted_at_ms, kNeverTime);
+
+  const ClusterNodeOutcome& victim =
+      res.nodes[static_cast<std::size_t>(ev.victim)];
+  EXPECT_EQ(victim.kills, 1);
+  EXPECT_GE(victim.incarnation, 1u) << "restart must bump the incarnation";
+  EXPECT_FALSE(victim.gave_up);
+
+  // Rejoined and decided: the final keep-alive round — far past the
+  // restart — is decided by the recovered life, and the crash cost at
+  // most a few rounds (the tainted one plus catch-up jumps).
+  ASSERT_EQ(victim.rounds.size(), static_cast<std::size_t>(cfg.rounds));
+  EXPECT_TRUE(victim.rounds.back().decided);
+  int victim_decided = 0;
+  for (const RoundResult& rr : victim.rounds) victim_decided += rr.decided;
+  EXPECT_GE(victim_decided, cfg.rounds - 4);
+
+  // Zero in-model violations: every round is safe, or explained by the
+  // injected kill.
+  for (const RtRoundVerdict& rv : classify_rt_rounds(cfg, res)) {
+    EXPECT_NE(rv.verdict, Verdict::kViolationInModel)
+        << "round " << rv.round << ": " << rv.detail;
+    EXPECT_NE(rv.verdict, Verdict::kWorkerError)
+        << "round " << rv.round << ": " << rv.detail;
+  }
+
+  // The merged trace survived the SIGKILL's torn lines and carries the
+  // victim's decide events.
+  ASSERT_FALSE(res.merged_trace_path.empty());
+  std::ifstream in(res.merged_trace_path);
+  ASSERT_TRUE(in.good()) << res.merged_trace_path;
+  const std::string victim_tag =
+      "{\"node\":" + std::to_string(ev.victim) + ",";
+  int victim_decides = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(victim_tag, 0) == 0 &&
+        line.find("\"k\":\"decide\"") != std::string::npos) {
+      ++victim_decides;
+    }
+  }
+  EXPECT_GE(victim_decides, 1)
+      << "merged trace must show the victim deciding";
+}
+
+// --- sweep checkpoint/resume ------------------------------------------
+
+TEST(RtSweep, ResumeReproducesAggregatesAndRejectsMismatch) {
+  RtSweepOptions opts;
+  opts.n = 4;
+  opts.t = 1;
+  opts.k = 1;
+  opts.base_port = 48640;
+  opts.runs = 2;
+  opts.rounds_per_run = 3;
+  opts.seed = 21;
+  opts.out_dir = temp_path("sweep");
+  opts.checkpoint_path = temp_path("sweep_ckpt");
+  opts.checkpoint_every = 1;
+
+  const RtSweepReport first = rt_sweep(opts);
+  EXPECT_EQ(first.completed, 2);
+  EXPECT_FALSE(first.failed());
+  ASSERT_TRUE(std::ifstream(opts.checkpoint_path).good());
+
+  // Resume over a complete checkpoint: every record replays from disk,
+  // no cluster is re-run, aggregates match.
+  opts.resume = true;
+  const RtSweepReport second = rt_sweep(opts);
+  EXPECT_EQ(second.completed, 2);
+  for (int i = 0; i < fault::kVerdictCount; ++i) {
+    EXPECT_EQ(second.verdict_histogram[i], first.verdict_histogram[i]) << i;
+  }
+
+  // A fingerprint mismatch (different grid) must refuse the checkpoint
+  // rather than silently mix two sweeps.
+  RtSweepOptions other = opts;
+  other.rounds_per_run = 4;
+  EXPECT_THROW((void)rt_sweep(other), std::invalid_argument);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+// --- SIGTERM against a live rt_cluster ---------------------------------
+
+#ifdef SAF_RT_CLUSTER
+
+int run_shell(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(Sigterm, RtClusterReapsChildrenAndExits130) {
+  const std::string cluster = SAF_RT_CLUSTER;
+  // Enough keep-alive rounds that the run is still going when the
+  // signal lands; the race where it finishes first exits 0, which the
+  // assertion tolerates (same discipline as the sweep_runner pin).
+  const std::string base = cluster +
+      " --n 4 --t 1 --k 1 --keep-alive --repeat 500 --base-port 48680"
+      " --out-dir " + temp_path("sigterm");
+  const std::string cmd = "sh -c '" + base +
+      " >/dev/null 2>&1 & pid=$!; sleep 1; kill -TERM $pid 2>/dev/null; "
+      "wait $pid'";
+  const int rc = run_shell(cmd);
+  EXPECT_TRUE(rc == 130 || rc == 0) << "unexpected exit " << rc;
+}
+
+#endif  // SAF_RT_CLUSTER
+
+}  // namespace
+}  // namespace saf::rt

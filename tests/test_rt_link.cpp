@@ -73,7 +73,7 @@ TEST(DedupWindow, OverflowAssumesAgedSeqsSeen) {
   EXPECT_EQ(w.newest(), 101u);
 }
 
-// --- wire format v2: framed datagrams ----------------------------------
+// --- wire format v3: framed datagrams ----------------------------------
 
 TEST(Wire, MultiFrameRoundTrip) {
   wire::DatagramBuilder b;
@@ -145,17 +145,17 @@ TEST(Wire, RejectsMalformedDatagrams) {
 
   // Frame count disagreeing with the bytes: one more than present...
   bad = buf;
-  bad[20] = 4;  // nframes lives at offset 20, little-endian
+  bad[28] = 4;  // nframes lives at offset 28, little-endian
   EXPECT_FALSE(r.init(bad.data(), bad.size()));
   // ...or fewer, leaving trailing bytes.
   bad = buf;
-  bad[20] = 2;
+  bad[28] = 2;
   EXPECT_FALSE(r.init(bad.data(), bad.size()));
 
   // A declared count beyond kMaxFrames is rejected before any walk.
   bad = buf;
-  bad[20] = 0xFF;
-  bad[21] = 0xFF;
+  bad[28] = 0xFF;
+  bad[29] = 0xFF;
   EXPECT_FALSE(r.init(bad.data(), bad.size()));
 
   // Unknown frame kind byte.
@@ -296,6 +296,147 @@ TEST(UdpLinkFraming, EpochSkewAcksStaleHoldsFuture) {
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(link.stats().acks_sent, 2u);
   // The retransmitted copy that eventually arrives is a duplicate.
+  link.process_datagram(b.data(), b.size(), count);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(link.stats().dups_dropped, 1u);
+}
+
+// --- incarnations: kill/restart survival at the link layer -------------
+
+TEST(UdpLinkIncarnation, StaleIncarnationDatagramsDroppedWhole) {
+  TestClock clock;
+  UdpLink link(0, 2, 48560, clock);
+  ASSERT_TRUE(link.ok());
+
+  int delivered = 0;
+  const UdpLink::DeliverFn count = [&](ProcessId, const std::uint8_t*,
+                                       std::size_t) { ++delivered; };
+
+  // Peer 1's restarted life (inc 1) is seen first.
+  wire::DatagramBuilder b;
+  b.begin(1, 0, 1);
+  const std::uint8_t pay[] = {0x01};
+  b.add_frame(wire::FrameKind::kData, 1, pay, sizeof(pay));
+  link.process_datagram(b.data(), b.size(), count);
+  EXPECT_EQ(delivered, 1);
+
+  // A straggler from the dead incarnation (inc 0) — a datagram that sat
+  // in a kernel buffer across the SIGKILL — is dropped whole: not
+  // delivered, not acked, its cum_ack not believed.
+  b.begin(1, 0, 0);
+  b.set_cum_ack(99);
+  const std::uint8_t pay2[] = {0x02};
+  b.add_frame(wire::FrameKind::kData, 2, pay2, sizeof(pay2));
+  const std::uint64_t acks_before = link.stats().acks_sent;
+  link.process_datagram(b.data(), b.size(), count);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(link.stats().stale_inc_dropped, 1u);
+  EXPECT_EQ(link.stats().acks_sent, acks_before);
+}
+
+TEST(UdpLinkIncarnation, PeerRestartResetsDedupWindow) {
+  TestClock clock;
+  UdpLink link(0, 2, 48564, clock);
+  ASSERT_TRUE(link.ok());
+
+  std::vector<int> seen;
+  const UdpLink::DeliverFn collect = [&](ProcessId, const std::uint8_t* data,
+                                         std::size_t len) {
+    ASSERT_EQ(len, 1u);
+    seen.push_back(data[0]);
+  };
+
+  // First life: seq 1 delivered, its duplicate suppressed.
+  wire::DatagramBuilder b;
+  b.begin(1, 0, 0);
+  const std::uint8_t first[] = {0xA1};
+  b.add_frame(wire::FrameKind::kData, 1, first, sizeof(first));
+  link.process_datagram(b.data(), b.size(), collect);
+  link.process_datagram(b.data(), b.size(), collect);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(link.stats().dups_dropped, 1u);
+
+  // Restarted life re-uses seq 1 for *different* data. Without the
+  // dedup reset the old window would swallow the new stream.
+  b.begin(1, 0, 1);
+  const std::uint8_t second[] = {0xB2};
+  b.add_frame(wire::FrameKind::kData, 1, second, sizeof(second));
+  link.process_datagram(b.data(), b.size(), collect);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], 0xB2);
+  EXPECT_EQ(link.stats().peer_restarts, 1u);
+}
+
+TEST(UdpLinkIncarnation, AcksFencedOnDestIncarnationEcho) {
+  TestClock clock;
+  UdpLinkParams params;
+  params.incarnation = 1;  // this process restarted once
+  UdpLink link(0, 2, 48568, clock, params);
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(link.incarnation(), 1u);
+
+  link.send(1, {0x11});
+  link.send(1, {0x22});
+  EXPECT_EQ(link.pending(), 2u);
+
+  const UdpLink::DeliverFn none = [](ProcessId, const std::uint8_t*,
+                                     std::size_t) { FAIL(); };
+
+  // A peer that has not yet seen our restart echoes dinc 0: its acks
+  // account for the previous life's seq stream and must not retire the
+  // fresh sends — neither the cumulative mark nor an ack frame.
+  wire::DatagramBuilder b;
+  b.begin(1, 0, 0);
+  b.set_dest_inc(0);
+  b.set_cum_ack(1);
+  b.add_frame(wire::FrameKind::kAck, 2, nullptr, 0);
+  link.process_datagram(b.data(), b.size(), none);
+  EXPECT_EQ(link.pending(), 2u);
+
+  // Once the echo matches our incarnation the same acks retire.
+  b.begin(1, 0, 0);
+  b.set_dest_inc(1);
+  b.set_cum_ack(1);
+  b.add_frame(wire::FrameKind::kAck, 2, nullptr, 0);
+  link.process_datagram(b.data(), b.size(), none);
+  EXPECT_EQ(link.pending(), 0u);
+}
+
+TEST(UdpLinkIncarnation, RejoinSeesEpochFrontierAndReplaysNextRound) {
+  TestClock clock;
+  UdpLinkParams params;
+  params.incarnation = 1;  // a restarted node catching up
+  UdpLink link(0, 2, 48572, clock, params);
+  ASSERT_TRUE(link.ok());
+
+  int delivered = 0;
+  const UdpLink::DeliverFn count = [&](ProcessId, const std::uint8_t*,
+                                       std::size_t) { ++delivered; };
+
+  // The cluster moved on while we were dead: any valid datagram header
+  // carries its sender's current epoch, which feeds the rejoin barrier.
+  wire::DatagramBuilder b;
+  b.begin(1, 7, 0);
+  link.process_datagram(b.data(), b.size(), count);
+  EXPECT_EQ(link.max_peer_epoch(), 7u);
+  EXPECT_EQ(delivered, 0);
+
+  // Jump to the frontier (what rt/node's catch-up does). Data for the
+  // epoch right after ours is held, then replayed — exactly once — when
+  // we advance into it.
+  link.set_epoch(7);
+  b.begin(1, 8, 0);
+  const std::uint8_t pay[] = {0x77};
+  b.add_frame(wire::FrameKind::kData, 1, pay, sizeof(pay));
+  link.process_datagram(b.data(), b.size(), count);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.stats().future_held, 1u);
+  EXPECT_EQ(link.max_peer_epoch(), 8u);
+
+  link.set_epoch(8);
+  link.poll(count);
+  EXPECT_EQ(delivered, 1);
+  // The retransmitted copy that eventually lands is a duplicate.
   link.process_datagram(b.data(), b.size(), count);
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(link.stats().dups_dropped, 1u);
