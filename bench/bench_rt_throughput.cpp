@@ -278,8 +278,18 @@ int main(int argc, char** argv) {
 
   if (!baseline_path.empty()) {
     try {
-      const saf::sweep::FlatJson base =
+      saf::sweep::FlatJson base =
           saf::sweep::load_json_numbers(baseline_path);
+      // BENCH_rt.json's "service" section belongs to bench_rt_service
+      // (which splices it in and gates it separately); left in, its
+      // *_per_sec keys would read as MISSING here.
+      for (auto it = base.begin(); it != base.end();) {
+        if (it->first.rfind("service.", 0) == 0) {
+          it = base.erase(it);
+        } else {
+          ++it;
+        }
+      }
       const saf::sweep::FlatJson cur = saf::sweep::parse_json_numbers(w.str());
       const saf::sweep::RegressionReport rep =
           saf::sweep::compare_benchmarks(base, cur, tolerance);

@@ -248,6 +248,38 @@ void BM_ProcSetSize(benchmark::State& state) {
 }
 BENCHMARK(BM_ProcSetSize)->Arg(64)->Arg(1024);
 
+/// Intersection cardinality between query sets and per-instant alive
+/// sets — the phibar checker's per-probe loop. Pins the fused
+/// AND+popcnt scan (count_intersection) against materializing the
+/// intersection and counting it in a second pass.
+void BM_ProcSetIntersect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<ProcSet> queries;
+  std::vector<ProcSet> alive;
+  util::Rng rng(11);
+  for (int s = 0; s < 64; ++s) {
+    ProcSet q, a;
+    for (ProcessId id = 0; id < n; ++id) {
+      if (rng.uniform(0, 1) == 0) q.insert(id);
+      if (rng.uniform(0, 3) != 0) a.insert(id);
+    }
+    q.insert(n - 1);  // keep top_ at the full word count
+    a.insert(n - 1);
+    queries.push_back(q);
+    alive.push_back(a);
+  }
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    total += static_cast<std::uint64_t>(
+        queries[i].count_intersection(alive[(i + 17) % alive.size()]));
+    i = (i + 1) % queries.size();
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProcSetIntersect)->Arg(64)->Arg(1024);
+
 /// Find-first (lowest live id — the Ω leader projection) when the only
 /// member sits at the high end, forcing a scan over every empty word.
 void BM_ProcSetMin(benchmark::State& state) {

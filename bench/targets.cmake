@@ -38,6 +38,10 @@ endfunction()
 
 saf_add_rt_bench(bench_rt_latency)
 saf_add_rt_bench(bench_rt_throughput)
+saf_add_rt_bench(bench_rt_service)
+# The service bench embeds the client tier and installs the svc node
+# runner / contract checker into the cluster launcher.
+target_link_libraries(bench_rt_service PRIVATE saf_svc)
 
 # Reduced-DFS state-space bench: one "iteration" is an entire
 # exhaustive search over the check layer, so like the rt benches it is

@@ -14,15 +14,19 @@ namespace saf::core {
 RepeatedKSetProcess::RepeatedKSetProcess(ProcessId id, int n, int t,
                                          const fd::LeaderOracle& omega,
                                          int instances,
-                                         std::int64_t proposal_base)
+                                         std::int64_t proposal_base,
+                                         ProposalFn proposal_fn)
     : Process(id, n, t) {
   util::require(instances >= 1, "RepeatedKSet: need at least one instance");
   cores_.reserve(static_cast<std::size_t>(instances));
   for (int m = 0; m < instances; ++m) {
     // Distinct per-(instance, process) proposals make cross-instance
     // value leaks detectable by the validity check.
-    cores_.push_back(std::make_unique<KSetCore>(
-        *this, omega, proposal_base + m * 1000 + id, /*instance=*/m));
+    const std::int64_t proposal = proposal_fn
+                                      ? proposal_fn(m, id)
+                                      : proposal_base + m * 1000 + id;
+    cores_.push_back(
+        std::make_unique<KSetCore>(*this, omega, proposal, /*instance=*/m));
   }
 }
 
@@ -54,6 +58,15 @@ int RepeatedKSetProcess::decided_instances() const {
   return count;
 }
 
+int RepeatedKSetProcess::decided_prefix() const {
+  int p = 0;
+  while (p < static_cast<int>(cores_.size()) &&
+         cores_[static_cast<std::size_t>(p)]->decided()) {
+    ++p;
+  }
+  return p;
+}
+
 RepeatedKSetResult run_repeated_kset(const RepeatedKSetConfig& cfg) {
   util::require(cfg.n >= 2 && cfg.n <= kMaxProcs, "repeated: n range");
   util::require(cfg.t >= 1 && 2 * cfg.t < cfg.n, "repeated: requires t < n/2");
@@ -82,7 +95,8 @@ RepeatedKSetResult run_repeated_kset(const RepeatedKSetConfig& cfg) {
   std::vector<const RepeatedKSetProcess*> procs;
   for (ProcessId i = 0; i < cfg.n; ++i) {
     auto p = std::make_unique<RepeatedKSetProcess>(
-        i, cfg.n, cfg.t, omega, cfg.instances, /*proposal_base=*/100);
+        i, cfg.n, cfg.t, omega, cfg.instances, /*proposal_base=*/100,
+        cfg.proposal_fn);
     procs.push_back(p.get());
     sim.add_process(std::move(p));
   }
@@ -116,6 +130,8 @@ RepeatedKSetResult run_repeated_kset(const RepeatedKSetConfig& cfg) {
     }
     res.distinct[mi] = static_cast<int>(values.size());
   }
+  res.decided_prefix.reserve(procs.size());
+  for (const auto* p : procs) res.decided_prefix.push_back(p->decided_prefix());
   res.total_messages = sim.network().total_sent();
   return res;
 }

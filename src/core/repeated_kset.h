@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,9 +25,17 @@ namespace saf::core {
 
 class RepeatedKSetProcess final : public sim::Process {
  public:
+  /// Per-instance proposal supplier — the seam a long-lived decision
+  /// service (src/svc/) folds queued client submissions through: the
+  /// hook is consulted when instance `m`'s core is built, so a batch
+  /// that arrived while m-1 was running becomes m's proposal. Null =
+  /// the default proposal_base + m * 1000 + id.
+  using ProposalFn = std::function<std::int64_t(int instance, ProcessId id)>;
+
   RepeatedKSetProcess(ProcessId id, int n, int t,
                       const fd::LeaderOracle& omega, int instances,
-                      std::int64_t proposal_base);
+                      std::int64_t proposal_base,
+                      ProposalFn proposal_fn = nullptr);
 
   void boot() override { spawn(driver()); }
   void on_message(const sim::Message& m) override;
@@ -34,6 +43,13 @@ class RepeatedKSetProcess final : public sim::Process {
 
   /// Number of instances this process has decided so far.
   int decided_instances() const;
+  /// Length of the contiguous decided prefix: the largest p with
+  /// instances 0..p-1 all decided here. Pipelining starts instances in
+  /// order, but a decision *rbroadcast* for a later instance can land
+  /// before an earlier instance finishes locally, so decided_instances
+  /// can run ahead of the prefix — the prefix is what a service may
+  /// externalize (decisions are served in log order).
+  int decided_prefix() const;
   const KSetCore& core(int instance) const {
     return *cores_[static_cast<std::size_t>(instance)];
   }
@@ -58,6 +74,9 @@ struct RepeatedKSetConfig {
   Time delay_min = 1;
   Time delay_max = 10;
   sim::CrashPlan crashes;
+  /// Per-(instance, process) proposal override (see
+  /// RepeatedKSetProcess::ProposalFn); null = 100 + m * 1000 + id.
+  RepeatedKSetProcess::ProposalFn proposal_fn;
 };
 
 struct RepeatedKSetResult {
@@ -67,6 +86,9 @@ struct RepeatedKSetResult {
   std::vector<int> rounds;
   std::vector<int> distinct;
   std::vector<Time> finish_times;
+  /// Per process: contiguous decided prefix at the end of the run
+  /// (crashed processes keep whatever they reached before dying).
+  std::vector<int> decided_prefix;
   std::uint64_t total_messages = 0;
 };
 

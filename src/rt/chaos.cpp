@@ -70,6 +70,7 @@ std::string node_wal_json(const NodeWal& wal) {
   w.key("schema_v").value(1);
   w.key("incarnation").value(static_cast<std::uint64_t>(wal.incarnation));
   w.key("last_started").value(wal.last_started);
+  w.key("svc_frontier").value(wal.svc_frontier);
   w.key("rounds").begin_array();
   for (const WalRound& r : wal.rounds) {
     w.begin_object();
@@ -104,6 +105,8 @@ bool load_node_wal(const std::string& path, NodeWal* wal) {
   *wal = NodeWal{};
   wal->incarnation = static_cast<std::uint32_t>(flat_get(j, "incarnation"));
   wal->last_started = static_cast<int>(flat_get(j, "last_started", -1));
+  wal->svc_frontier =
+      static_cast<std::uint64_t>(flat_get(j, "svc_frontier", 0));
   for (int i = 0;; ++i) {
     const std::string p = "rounds." + std::to_string(i) + ".";
     if (j.find(p + "round") == j.end()) break;

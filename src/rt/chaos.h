@@ -69,6 +69,14 @@ struct WalRound {
 struct NodeWal {
   std::uint32_t incarnation = 0;  ///< bumped on every recovery load
   int last_started = -1;          ///< newest round this life entered
+  /// Decision-service mode (svc/server.h): number of contiguously
+  /// decided instances when last persisted. The service deliberately
+  /// does NOT journal per-instance records here — an unbounded pipeline
+  /// rewriting the whole record per decision would be O(m^2) bytes — so
+  /// a restarted server recovers its decided-prefix log from peers via
+  /// snapshot catch-up, and the frontier only witnesses how far this
+  /// life had advanced (proving the rejoin was a jump, not a replay).
+  std::uint64_t svc_frontier = 0;
   std::vector<WalRound> rounds;   ///< sparse, ordered by round
 
   WalRound* find(int round);

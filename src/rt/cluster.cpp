@@ -23,7 +23,7 @@ namespace saf::rt {
 namespace {
 
 std::string node_result_path(const ClusterConfig& cfg, ProcessId id) {
-  return cfg.out_dir + "/node_" + std::to_string(id) + ".json";
+  return cluster_node_result_path(cfg, id);
 }
 
 std::string node_trace_path(const ClusterConfig& cfg, ProcessId id) {
@@ -50,13 +50,18 @@ NodeConfig node_config(const ClusterConfig& cfg, ProcessId id) {
   nc.rounds = cfg.rounds;
   nc.hb = cfg.hb;
   nc.link = cfg.link;
+  nc.batched_broadcasts = cfg.batched_broadcasts;
+  nc.svc_client_slots = cfg.svc_client_slots;
+  nc.svc_jump_threshold = cfg.svc_jump_threshold;
   nc.result_path = node_result_path(cfg, id);
   if (cfg.trace) nc.trace_path = node_trace_path(cfg, id);
   if (cfg.chaos.enabled()) {
-    // WAL recovery is kset-only; a killed wheels node would restart as
-    // a fresh incarnation-0 process (and the schedule never targets it
-    // unless explicitly configured).
-    if (cfg.chaos.kills > 0 && cfg.protocol == "kset") {
+    // WAL recovery needs a decided log to restore: kset rounds or the
+    // service's frontier. A killed wheels node would restart as a fresh
+    // incarnation-0 process (and the schedule never targets it unless
+    // explicitly configured).
+    if (cfg.chaos.kills > 0 &&
+        (cfg.protocol == "kset" || cfg.protocol == "svc")) {
       nc.wal_path = node_wal_path(cfg, id);
     }
     nc.faults = cfg.chaos.faults;
@@ -208,7 +213,9 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
     const pid_t pid = ::fork();
     if (pid < 0) return false;
     if (pid == 0) {
-      const NodeResult nres = run_node(node_config(cfg, id));
+      const NodeConfig nc = node_config(cfg, id);
+      if (cfg.node_runner) ::_exit(cfg.node_runner(nc));
+      const NodeResult nres = run_node(nc);
       ::_exit(nres.ok ? 0 : 3);
     }
     children.emplace_back(id, pid);
@@ -365,6 +372,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         rr.decision_ms = static_cast<Time>(get((p + "decision_ms").c_str()));
         rr.decision_round =
             static_cast<int>(get((p + "decision_round").c_str()));
+        rr.start_ms = static_cast<Time>(get((p + "start_ms").c_str()));
         rr.elapsed_ms = static_cast<Time>(get((p + "elapsed_ms").c_str()));
         node.rounds.push_back(rr);
       }
@@ -376,13 +384,19 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
     }
   }
 
-  if (cfg.protocol == "kset") {
+  if (cfg.contract_checker) {
+    cfg.contract_checker(cfg, &res);
+  } else if (cfg.protocol == "kset") {
     check_kset_contract(cfg, &res);
   } else {
     check_wheels_contract(cfg, &res);
   }
   if (cfg.trace) merge_traces(cfg, &res);
   return res;
+}
+
+std::string cluster_node_result_path(const ClusterConfig& cfg, ProcessId id) {
+  return cfg.out_dir + "/node_" + std::to_string(id) + ".json";
 }
 
 std::string cluster_result_json(const ClusterConfig& cfg,
@@ -417,6 +431,15 @@ std::string cluster_result_json(const ClusterConfig& cfg,
       if (rr.decided) ++rounds_decided;
     }
     w.key("rounds_decided").value(rounds_decided);
+    // Wall-clock offsets of each keep-alive round's start within the
+    // node's life — lets a latency consumer attribute per-round spikes
+    // to kill/restart windows (chaos_events below) without re-reading
+    // the node files.
+    w.key("round_start_ms").begin_array();
+    for (const RoundResult& rr : node.rounds) {
+      w.value(static_cast<std::int64_t>(rr.start_ms));
+    }
+    w.end_array();
     w.key("final_trusted_mask").value(node.final_trusted_mask);
     w.key("final_suspected_mask").value(node.final_suspected_mask);
     w.key("kills").value(node.kills);

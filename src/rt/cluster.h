@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,11 +29,13 @@
 
 namespace saf::rt {
 
+struct ClusterResult;
+
 struct ClusterConfig {
   int n = 5;
   int t = 2;
   int k = 2;
-  std::string protocol = "kset";  ///< "kset" | "wheels"
+  std::string protocol = "kset";  ///< "kset" | "wheels" | "svc"
   int x = 2;                      ///< wheels: ◇S_x scope
   int y = 1;                      ///< wheels: ◇φ_y class index
   int crash = 0;  ///< initial crashes: ids 0..crash-1 are never launched
@@ -56,6 +59,22 @@ struct ClusterConfig {
   /// Cooperative stop (the CLI's SIGTERM/SIGINT flag): when set, the
   /// reap loop kills and reaps every child and returns `interrupted`.
   const std::atomic<bool>* stop = nullptr;
+  /// Aggregated broadcasts inside each node's embedded simulator
+  /// (NodeConfig::batched_broadcasts).
+  bool batched_broadcasts = false;
+  // --- decision-service plumbing (svc/, protocol == "svc") ---
+  int svc_client_slots = 256;   ///< NodeConfig::svc_client_slots
+  int svc_jump_threshold = 8;   ///< NodeConfig::svc_jump_threshold
+  /// What each forked child runs. Null = rt::run_node. The decision
+  /// service installs its own loop here (svc::run_server) so the
+  /// launcher's fork/kill/restart/reap machinery is reused unchanged;
+  /// returns the child's exit code (0 = ok).
+  std::function<int(const NodeConfig&)> node_runner;
+  /// Protocol-contract check over the collected outcomes. Null = the
+  /// built-in kset/wheels checkers; the decision service supplies a
+  /// per-instance agreement/validity/prefix checker that re-reads the
+  /// node result files (cluster_node_result_path).
+  std::function<void(const ClusterConfig&, ClusterResult*)> contract_checker;
 };
 
 struct ClusterNodeOutcome {
@@ -93,6 +112,11 @@ struct ClusterResult {
 };
 
 ClusterResult run_cluster(const ClusterConfig& cfg);
+
+/// Path of node `id`'s result JSON under cfg.out_dir — the same file
+/// run_cluster parses; exported for contract checkers that need fields
+/// beyond the common outcome (e.g. the service's per-instance logs).
+std::string cluster_node_result_path(const ClusterConfig& cfg, ProcessId id);
 
 /// Flat JSON summary of a cluster run (the rt_cluster CLI's output).
 std::string cluster_result_json(const ClusterConfig& cfg,

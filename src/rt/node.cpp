@@ -1,9 +1,5 @@
 #include "rt/node.h"
 
-#include <sys/epoll.h>
-#include <sys/timerfd.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <fstream>
 #include <functional>
@@ -16,6 +12,7 @@
 #include "rt/chaos.h"
 #include "rt/clock.h"
 #include "rt/codec.h"
+#include "rt/node_loop.h"
 #include "sim/delay_policy.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -26,115 +23,6 @@
 namespace saf::rt {
 
 namespace {
-
-/// Placeholder for a protocol process living in another OS process.
-/// Never runs a task; traffic addressed to it leaves via the transport
-/// hook before the local delivery path is reached.
-class RemoteStub final : public sim::Process {
- public:
-  using Process::Process;
-  void boot() override {}
-};
-
-/// The outbound seam: sends addressed to non-local ids are encoded and
-/// carried by the UdpLink.
-class RtBridge final : public sim::RemoteTransportHook {
- public:
-  RtBridge(ProcessId self, UdpLink& link) : self_(self), link_(link) {}
-
-  /// Invoked once, synchronously, *before* this round's first reliable
-  /// send hits the link — the write-ahead point where the node's WAL
-  /// marks the round externalized (rt/chaos.h's taint bit).
-  void set_on_first_send(std::function<void()> fn) {
-    on_first_send_ = std::move(fn);
-  }
-
-  bool forward(ProcessId from, ProcessId to, Time now,
-               const sim::Message& m) override {
-    (void)from;
-    (void)now;
-    if (to == self_) return false;  // local: the engine delivers it
-    buf_.clear();
-    if (!encode_message(m, &buf_)) {
-      // Outside the rt vocabulary — nothing a stub could do with it
-      // anyway; count and swallow.
-      ++encode_failures_;
-      return true;
-    }
-    if (on_first_send_) {
-      on_first_send_();
-      on_first_send_ = nullptr;
-    }
-    link_.send(to, buf_);
-    return true;
-  }
-
-  std::uint64_t encode_failures() const { return encode_failures_; }
-
- private:
-  ProcessId self_;
-  UdpLink& link_;
-  std::vector<std::uint8_t> buf_;
-  std::uint64_t encode_failures_ = 0;
-  std::function<void()> on_first_send_;
-};
-
-/// epoll + timerfd wakeup: the loop sleeps until the socket is readable
-/// or the armed deadline passes — no fixed pump quantum. Degrades to a
-/// short blocking wait if the kernel objects cannot be created.
-class Waiter {
- public:
-  explicit Waiter(int socket_fd) {
-    ep_ = ::epoll_create1(0);
-    tfd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK);
-    if (ep_ < 0 || tfd_ < 0) return;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = socket_fd;
-    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, socket_fd, &ev) != 0) {
-      close_all();
-      return;
-    }
-    ev.data.fd = tfd_;
-    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, tfd_, &ev) != 0) close_all();
-  }
-
-  ~Waiter() { close_all(); }
-
-  Waiter(const Waiter&) = delete;
-  Waiter& operator=(const Waiter&) = delete;
-
-  /// Sleeps until the socket is readable or `delay_ms` elapsed.
-  void wait(UdpLink& link, Time delay_ms) {
-    if (delay_ms <= 0) return;
-    if (ep_ < 0 || tfd_ < 0) {
-      link.wait_readable(static_cast<int>(delay_ms));
-      return;
-    }
-    itimerspec its{};
-    its.it_value.tv_sec = static_cast<time_t>(delay_ms / 1000);
-    its.it_value.tv_nsec = static_cast<long>((delay_ms % 1000) * 1'000'000);
-    ::timerfd_settime(tfd_, 0, &its, nullptr);
-    epoll_event evs[2];
-    const int nev = ::epoll_wait(ep_, evs, 2, static_cast<int>(delay_ms));
-    for (int i = 0; i < nev; ++i) {
-      if (evs[i].data.fd == tfd_) {
-        std::uint64_t expirations = 0;
-        (void)!::read(tfd_, &expirations, sizeof(expirations));
-      }
-    }
-  }
-
- private:
-  void close_all() {
-    if (ep_ >= 0) ::close(ep_);
-    if (tfd_ >= 0) ::close(tfd_);
-    ep_ = tfd_ = -1;
-  }
-
-  int ep_ = -1;
-  int tfd_ = -1;
-};
 
 void publish_metrics(const NodeConfig& cfg, const NodeResult& res,
                      trace::MetricsRegistry& metrics) {
@@ -309,6 +197,7 @@ NodeResult run_node(const NodeConfig& cfg) {
     scfg.t = cfg.t;
     scfg.tick_period = cfg.tick_period;
     scfg.horizon = cfg.run_for_ms + cfg.linger_ms + 1000;
+    scfg.batched_broadcasts = cfg.batched_broadcasts;
     sim::Simulator sim(scfg, sim::CrashPlan{},
                        std::make_unique<sim::FixedDelay>(1));
     if (sink != nullptr || !cfg.metrics_path.empty()) {
@@ -455,6 +344,7 @@ NodeResult run_node(const NodeConfig& cfg) {
     }
 
     RoundResult rr;
+    rr.start_ms = round_start - start;
     rr.elapsed_ms = wall.now_ms() - round_start;
     if (kproc != nullptr) {
       rr.decided = kproc->core().decided();
@@ -539,6 +429,7 @@ std::string node_result_json(const NodeConfig& cfg, const NodeResult& res) {
     w.key("decision").value(rr.decision);
     w.key("decision_ms").value(static_cast<std::int64_t>(rr.decision_ms));
     w.key("decision_round").value(rr.decision_round);
+    w.key("start_ms").value(static_cast<std::int64_t>(rr.start_ms));
     w.key("elapsed_ms").value(static_cast<std::int64_t>(rr.elapsed_ms));
     w.end_object();
   }

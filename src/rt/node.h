@@ -79,6 +79,21 @@ struct NodeConfig {
   /// installed on the real UDP link; empty = no injected link faults.
   std::string faults;
   std::uint64_t fault_seed = 0;  ///< 0: derive from `seed`
+  /// Aggregated broadcasts inside the embedded simulator (see
+  /// SimConfig::batched_broadcasts): the per-link seams still see every
+  /// (from, to) traversal, so the transport bridge works unchanged.
+  /// Changes the schedule — keep off when comparing against recorded
+  /// traces.
+  bool batched_broadcasts = false;
+  // --- decision-service mode (svc/server.h; protocol == "svc") ---
+  /// Link-id slots reserved for service clients above the n protocol
+  /// ids: clients address the node as ids n .. n+slots-1. Bounded so
+  /// n + slots <= kMaxProcs and ports stay within range.
+  int svc_client_slots = 256;
+  /// A node whose decided frontier trails the observed peer frontier by
+  /// more than this many instances requests a decided-prefix snapshot
+  /// instead of replaying instance by instance.
+  int svc_jump_threshold = 8;
 };
 
 /// Outcome of one keep-alive round.
@@ -87,6 +102,7 @@ struct RoundResult {
   std::int64_t decision = INT64_MIN;
   Time decision_ms = kNeverTime;  ///< round-relative (wall == sim time)
   int decision_round = 0;         ///< protocol-internal round count
+  Time start_ms = 0;  ///< wall offset of the round's start from node start
   Time elapsed_ms = 0;            ///< round wall duration
 };
 

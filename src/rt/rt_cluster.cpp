@@ -19,6 +19,7 @@
 
 #include "fault/fault_spec.h"
 #include "rt/cluster.h"
+#include "svc/server.h"
 
 namespace {
 
@@ -33,14 +34,23 @@ std::atomic<bool> g_stop{false};
 void on_signal(int) { g_stop.store(true); }
 
 void print_usage(std::ostream& os) {
-  os << "usage: rt_cluster [--protocol kset|wheels] [--n N] [--t T] [--k K]\n"
-        "                  [--x X] [--y Y] [--crash C] [--base-port P]\n"
-        "                  [--seed S] [--run-for-ms MS] [--linger-ms MS]\n"
-        "                  [--hb-period MS] [--hb-timeout MS]\n"
-        "                  [--out-dir DIR] [--trace] [--repeat R]\n"
-        "                  [--keep-alive] [--chaos-kills K]\n"
+  os << "usage: rt_cluster [--protocol kset|wheels|svc] [--n N] [--t T]\n"
+        "                  [--k K] [--x X] [--y Y] [--crash C]\n"
+        "                  [--base-port P] [--seed S] [--run-for-ms MS]\n"
+        "                  [--linger-ms MS] [--hb-period MS]\n"
+        "                  [--hb-timeout MS] [--out-dir DIR] [--trace]\n"
+        "                  [--repeat R] [--keep-alive]\n"
+        "                  [--batched-broadcasts] [--chaos-kills K]\n"
         "                  [--chaos-restart-ms MS] [--chaos-window-ms MS]\n"
-        "                  [--chaos-seed S] [--faults SPEC] [--help]\n"
+        "                  [--chaos-seed S] [--faults SPEC]\n"
+        "                  [--svc-client-slots N] [--svc-jump-threshold N]\n"
+        "                  [--help]\n"
+        "\n"
+        "--protocol svc runs the long-lived decision service (svc/):\n"
+        "each node pipelines k-set instances for the whole wall budget,\n"
+        "serves client submissions on link ids n..n+slots-1 (see\n"
+        "svc_client), and catches up over decided-prefix snapshots; the\n"
+        "contract check is per-instance agreement/validity/prefix.\n"
         "\n"
         "--repeat R re-runs the whole cluster R times (fork/exec per run);\n"
         "with --keep-alive the R repetitions run as keep-alive rounds\n"
@@ -150,6 +160,19 @@ bool parse_args(int argc, char** argv, ClusterConfig* cfg, int* repeat,
       }
     } else if (arg == "--keep-alive") {
       *keep_alive = true;
+    } else if (arg == "--batched-broadcasts") {
+      cfg->batched_broadcasts = true;
+    } else if (arg == "--svc-client-slots") {
+      if ((v = value("--svc-client-slots")) == nullptr ||
+          !parse_int("--svc-client-slots", v, 0, &cfg->svc_client_slots)) {
+        return false;
+      }
+    } else if (arg == "--svc-jump-threshold") {
+      if ((v = value("--svc-jump-threshold")) == nullptr ||
+          !parse_int("--svc-jump-threshold", v, 1,
+                     &cfg->svc_jump_threshold)) {
+        return false;
+      }
     } else if (arg == "--chaos-kills") {
       if ((v = value("--chaos-kills")) == nullptr ||
           !parse_int("--chaos-kills", v, 0, &cfg->chaos.kills)) {
@@ -194,8 +217,15 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, &cfg, &repeat, &keep_alive)) return usage();
   if (cfg.t >= cfg.n) return usage("--t must be < --n");
   if (cfg.crash > cfg.t) return usage("--crash must be <= --t");
-  if (cfg.protocol != "kset" && cfg.protocol != "wheels") {
-    return usage("--protocol must be kset or wheels");
+  if (cfg.protocol != "kset" && cfg.protocol != "wheels" &&
+      cfg.protocol != "svc") {
+    return usage("--protocol must be kset, wheels or svc");
+  }
+  if (cfg.protocol == "svc") {
+    // The launcher's fork/kill/restart/reap machinery is reused as-is;
+    // only the per-child loop and the contract check are swapped.
+    cfg.node_runner = saf::svc::run_server;
+    cfg.contract_checker = saf::svc::check_service_contract;
   }
   if (keep_alive) {
     // The repetitions become rounds within one long-lived node process

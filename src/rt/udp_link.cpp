@@ -107,20 +107,21 @@ UdpLink::UdpLink(ProcessId self, int n, std::uint16_t base_port,
                  const Clock& clock, UdpLinkParams params)
     : self_(self),
       n_(n),
+      endpoints_(params.endpoints > 0 ? params.endpoints : n),
       base_port_(base_port),
       clock_(clock),
       params_(params),
       rings_(std::make_unique<Rings>(params.max_datagram)) {
-  SAF_CHECK(self >= 0 && self < n);
+  SAF_CHECK(endpoints_ >= n);
+  SAF_CHECK_MSG(endpoints_ <= kMaxProcs,
+                "UdpLink: endpoints exceeds kMaxProcs (abandoned_peers is "
+                "a ProcSet)");
+  SAF_CHECK(self >= 0 && self < endpoints_);
   SAF_CHECK_MSG(params.max_datagram >=
                     wire::kDatagramHeader + wire::kFrameHeader +
                         params.max_payload,
                 "UdpLink: max_datagram cannot hold one max_payload frame");
-  peers_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    peers_.emplace_back(params.max_datagram, params.dedup_window);
-    peers_.back().builder.begin(self_, epoch_, params_.incarnation);
-  }
+  peers_.resize(static_cast<std::size_t>(endpoints_));
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) return;
   const int flags = ::fcntl(fd_, F_GETFL, 0);
@@ -146,6 +147,15 @@ std::uint16_t UdpLink::port_of(ProcessId id) const {
   return static_cast<std::uint16_t>(base_port_ + id);
 }
 
+UdpLink::Peer& UdpLink::peer_of(ProcessId id) {
+  auto& slot = peers_[static_cast<std::size_t>(id)];
+  if (!slot) {
+    slot = std::make_unique<Peer>(params_.max_datagram, params_.dedup_window);
+    slot->builder.begin(self_, epoch_, params_.incarnation);
+  }
+  return *slot;
+}
+
 void UdpLink::flush_ring() {
   Rings& r = *rings_;
   if (r.staged == 0 || fd_ < 0) return;
@@ -160,7 +170,7 @@ void UdpLink::flush_ring() {
 }
 
 void UdpLink::enqueue_builder(ProcessId to) {
-  Peer& peer = peers_[static_cast<std::size_t>(to)];
+  Peer& peer = peer_of(to);
   if (peer.builder.empty()) return;
   peer.builder.set_cum_ack(peer.dedup.cumulative());
   peer.builder.set_dest_inc(peer.inc_known ? peer.inc : 0);
@@ -192,7 +202,7 @@ void UdpLink::append_frame(ProcessId to, wire::FrameKind kind,
     }
     if (a.duplicate) copies = 2;
   }
-  Peer& peer = peers_[static_cast<std::size_t>(to)];
+  Peer& peer = peer_of(to);
   for (int c = 0; c < copies; ++c) {
     if (peer.builder.epoch() != epoch || !peer.builder.fits(len)) {
       enqueue_builder(to);
@@ -204,10 +214,10 @@ void UdpLink::append_frame(ProcessId to, wire::FrameKind kind,
 }
 
 void UdpLink::send(ProcessId to, const std::uint8_t* data, std::size_t len) {
-  SAF_CHECK(to >= 0 && to < n_);
+  SAF_CHECK(to >= 0 && to < endpoints_);
   SAF_CHECK_MSG(len <= params_.max_payload,
                 "UdpLink::send: payload exceeds max_payload");
-  Peer& peer = peers_[static_cast<std::size_t>(to)];
+  Peer& peer = peer_of(to);
   const std::uint64_t seq = peer.next_seq++;
   Pending p;
   p.seq = seq;
@@ -225,7 +235,7 @@ void UdpLink::send(ProcessId to, const std::uint8_t* data, std::size_t len) {
 
 void UdpLink::send_unreliable(ProcessId to,
                               const std::vector<std::uint8_t>& payload) {
-  SAF_CHECK(to >= 0 && to < n_);
+  SAF_CHECK(to >= 0 && to < endpoints_);
   SAF_CHECK_MSG(payload.size() <= params_.max_payload,
                 "UdpLink::send_unreliable: payload exceeds max_payload");
   append_frame(to, wire::FrameKind::kUnreliable, 0, payload.data(),
@@ -234,12 +244,12 @@ void UdpLink::send_unreliable(ProcessId to,
 
 void UdpLink::flush() {
   if (fd_ < 0) return;
-  for (ProcessId to = 0; to < n_; ++to) {
-    Peer& peer = peers_[static_cast<std::size_t>(to)];
-    if (!peer.builder.empty()) {
-      const std::uint32_t e = peer.builder.epoch();
+  for (ProcessId to = 0; to < endpoints_; ++to) {
+    Peer* peer = peers_[static_cast<std::size_t>(to)].get();
+    if (peer != nullptr && !peer->builder.empty()) {
+      const std::uint32_t e = peer->builder.epoch();
       enqueue_builder(to);
-      peer.builder.begin(self_, e, params_.incarnation);
+      peer->builder.begin(self_, e, params_.incarnation);
     }
   }
   flush_ring();
@@ -251,7 +261,7 @@ void UdpLink::set_epoch(std::uint32_t epoch) {
 }
 
 void UdpLink::promote(ProcessId to) {
-  Peer& peer = peers_[static_cast<std::size_t>(to)];
+  Peer& peer = peer_of(to);
   while (!peer.backlog.empty() &&
          peer.inflight.size() < params_.max_inflight) {
     Pending p = std::move(peer.backlog.front());
@@ -266,14 +276,14 @@ void UdpLink::promote(ProcessId to) {
 void UdpLink::retire_upto(ProcessId from, std::uint64_t cum_ack) {
   // in-flight entries are seq-sorted (assigned and promoted in order),
   // so the cumulative ack retires a prefix.
-  Peer& peer = peers_[static_cast<std::size_t>(from)];
+  Peer& peer = peer_of(from);
   while (!peer.inflight.empty() && peer.inflight.front().seq <= cum_ack) {
     peer.inflight.pop_front();
   }
 }
 
 void UdpLink::retire_seq(ProcessId from, std::uint64_t seq) {
-  Peer& peer = peers_[static_cast<std::size_t>(from)];
+  Peer& peer = peer_of(from);
   for (auto it = peer.inflight.begin(); it != peer.inflight.end(); ++it) {
     if (it->seq == seq) {
       peer.inflight.erase(it);
@@ -289,8 +299,8 @@ void UdpLink::process_datagram(const std::uint8_t* data, std::size_t len,
   // truncated frame mid-batch rejects every frame around it too).
   if (!reader.init(data, len)) return;
   const ProcessId from = reader.from();
-  if (from < 0 || from >= n_ || from == self_) return;
-  Peer& peer = peers_[static_cast<std::size_t>(from)];
+  if (from < 0 || from >= endpoints_ || from == self_) return;
+  Peer& peer = peer_of(from);
   // Incarnation fencing, before any state is touched: a datagram from a
   // dead incarnation is late traffic from a process that no longer
   // exists — its acks, cum_ack and data all refer to a conversation the
@@ -337,7 +347,7 @@ void UdpLink::process_datagram(const std::uint8_t* data, std::size_t len,
         if (acks_valid) retire_seq(from, f.seq);
         break;
       case wire::FrameKind::kData: {
-        if (reader.epoch() > epoch_) {
+        if (params_.epoch_gating && reader.epoch() > epoch_) {
           // A peer already in a future round. Hold the immediate next
           // epoch's frames for replay when we advance (no ack yet — the
           // replay acks); anything further ahead is left to the peer's
@@ -356,7 +366,7 @@ void UdpLink::process_datagram(const std::uint8_t* data, std::size_t len,
         append_frame(from, wire::FrameKind::kAck, f.seq, nullptr, 0, epoch_);
         ++stats_.acks_sent;
         const bool is_fresh = peer.dedup.fresh(f.seq);
-        if (reader.epoch() < epoch_) {
+        if (params_.epoch_gating && reader.epoch() < epoch_) {
           // Stale round: the payload's simulator is gone. Acking (and
           // feeding the dedup window) silences the sender without
           // delivering.
@@ -380,8 +390,10 @@ void UdpLink::process_datagram(const std::uint8_t* data, std::size_t len,
 
 int UdpLink::replay_held(const DeliverFn& deliver) {
   int replayed = 0;
-  for (ProcessId from = 0; from < n_; ++from) {
-    Peer& peer = peers_[static_cast<std::size_t>(from)];
+  for (ProcessId from = 0; from < endpoints_; ++from) {
+    Peer* pp = peers_[static_cast<std::size_t>(from)].get();
+    if (pp == nullptr) continue;
+    Peer& peer = *pp;
     while (!peer.held.empty() && peer.held.front().epoch <= epoch_) {
       const Held h = std::move(peer.held.front());
       peer.held.pop_front();
@@ -428,9 +440,11 @@ int UdpLink::poll(const DeliverFn& deliver) {
 void UdpLink::maintain() {
   if (fd_ < 0) return;
   const Time now = clock_.now_ms();
-  for (ProcessId to = 0; to < n_; ++to) {
+  for (ProcessId to = 0; to < endpoints_; ++to) {
     if (to == self_) continue;
-    Peer& peer = peers_[static_cast<std::size_t>(to)];
+    Peer* pp = peers_[static_cast<std::size_t>(to)].get();
+    if (pp == nullptr) continue;
+    Peer& peer = *pp;
     promote(to);
     for (auto it = peer.inflight.begin(); it != peer.inflight.end();) {
       if (now < it->next_due) {
@@ -458,24 +472,27 @@ void UdpLink::maintain() {
 
 std::size_t UdpLink::pending() const {
   std::size_t total = 0;
-  for (const Peer& p : peers_) total += p.inflight.size() + p.backlog.size();
+  for (const auto& p : peers_) {
+    if (p) total += p->inflight.size() + p->backlog.size();
+  }
   return total;
 }
 
 std::size_t UdpLink::pending_excluding(const ProcSet& excluded) const {
   std::size_t total = 0;
-  for (ProcessId id = 0; id < n_; ++id) {
+  for (ProcessId id = 0; id < endpoints_; ++id) {
     if (excluded.contains(id)) continue;
-    const Peer& p = peers_[static_cast<std::size_t>(id)];
-    total += p.inflight.size() + p.backlog.size();
+    const Peer* p = peers_[static_cast<std::size_t>(id)].get();
+    if (p != nullptr) total += p->inflight.size() + p->backlog.size();
   }
   return total;
 }
 
 Time UdpLink::next_due() const {
   Time due = kNeverTime;
-  for (const Peer& p : peers_) {
-    for (const Pending& pd : p.inflight) {
+  for (const auto& p : peers_) {
+    if (!p) continue;
+    for (const Pending& pd : p->inflight) {
       if (due == kNeverTime || pd.next_due < due) due = pd.next_due;
     }
   }

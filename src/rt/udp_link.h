@@ -119,6 +119,25 @@ struct UdpLinkParams {
   /// the newest they have seen for a peer, and reset that peer's dedup
   /// and held-frame state when its incarnation advances.
   std::uint32_t incarnation = 0;
+  /// Total addressable link ids, 0 = the protocol `n` passed to the
+  /// constructor. The decision service (svc/) sets this to n + client
+  /// slots: client endpoints bind as ids n..endpoints-1 (ports
+  /// base_port + id) and ride the same reliable-link machinery as
+  /// protocol peers. Bounded by kMaxProcs (abandoned_peers() is a
+  /// ProcSet). Per-peer state is allocated lazily on first traffic, so
+  /// unused slots cost one null pointer each.
+  int endpoints = 0;
+  /// Keep-alive epoch gating of received *data* frames. On (default):
+  /// stale-epoch data is acked but not delivered and future-epoch data
+  /// is held or left to retransmission — correct when each epoch is a
+  /// fresh protocol instance whose simulator is discarded between
+  /// rounds (rt/node.h). Off: data frames are delivered regardless of
+  /// header epoch (still acked + deduped); the epoch keeps stamping
+  /// outgoing datagrams and feeding max_peer_epoch(), degrading into a
+  /// pure frontier signal. The decision service runs with gating off:
+  /// its instances are pipelined inside one long-lived simulator and
+  /// tagged in-band, so cross-epoch traffic is never stale.
+  bool epoch_gating = true;
 };
 
 struct UdpLinkStats {
@@ -141,7 +160,9 @@ struct UdpLinkStats {
 };
 
 /// One node's UDP endpoint: process id `self` is bound to
-/// 127.0.0.1:(base_port + self); peers are addressed by id the same way.
+/// 127.0.0.1:(base_port + self); peers are addressed by id the same
+/// way. Ids beyond the protocol n (service clients) are addressable
+/// when UdpLinkParams::endpoints widens the table.
 class UdpLink {
  public:
   /// Payload delivery callback: `from` is the link-level sender. `data`
@@ -235,6 +256,8 @@ class UdpLink {
 
   const UdpLinkStats& stats() const { return stats_; }
   std::uint16_t port_of(ProcessId id) const;
+  /// Addressable link ids (protocol n, or UdpLinkParams::endpoints).
+  int endpoints() const { return endpoints_; }
 
  private:
   struct Pending {
@@ -282,6 +305,8 @@ class UdpLink {
   void flush_ring();
   /// Promotes backlogged sends into freed window space.
   void promote(ProcessId to);
+  /// Lazily-created per-peer state for `id` (bounds-checked).
+  Peer& peer_of(ProcessId id);
   /// Delivers held frames whose epoch caught up with ours; returns the
   /// number replayed.
   int replay_held(const DeliverFn& deliver);
@@ -290,13 +315,17 @@ class UdpLink {
 
   ProcessId self_;
   int n_;
+  int endpoints_;  ///< addressable ids; peers_ slot count (>= n_)
   std::uint16_t base_port_;
   const Clock& clock_;
   UdpLinkParams params_;
   int fd_ = -1;
   std::uint32_t epoch_ = 0;
   std::uint32_t max_peer_epoch_ = 0;
-  std::vector<Peer> peers_;
+  /// Lazily populated: a slot stays null until the first send to or
+  /// datagram from that id (a 1024-endpoint service link would
+  /// otherwise pay ~10 KB of builder+dedup per slot up front).
+  std::vector<std::unique_ptr<Peer>> peers_;
   sim::LinkFaultHook* fault_hook_ = nullptr;
   ProcSet abandoned_peers_;
   UdpLinkStats stats_;

@@ -79,16 +79,50 @@ void Network::send(ProcessId from, ProcessId to, const Message* m) {
 }
 
 void Network::broadcast(ProcessId from, const Message* m) {
-  // The aggregated path needs the whole fan-out to be one atomic step;
-  // the fault and remote seams act per (from, to) link, so either hook
-  // forces the per-recipient path.
-  if (batched_ && fault_hook_ == nullptr && remote_hook_ == nullptr) {
+  // The aggregated path keeps the whole fan-out ONE queue event even
+  // when the per-(from, to) seams are installed: the hooks are consulted
+  // recipient by recipient as the event unrolls (deliver_broadcast), so
+  // live nodes and fault sweeps get the same enqueue win.
+  if (batched_) {
     broadcast_batched(from, m);
     return;
   }
   for (ProcessId to = 0; to < sim_.n(); ++to) {
     if (sim_.is_crashed(from)) return;  // send-triggered crash mid-broadcast
     send(from, to, m);
+  }
+}
+
+void Network::deliver_broadcast(const Message& m) {
+  const ProcessId from = m.sender;
+  const Time now = sim_.now();
+  for (ProcessId to = 0; to < sim_.n(); ++to) {
+    const Message* cur = &m;
+    if (remote_hook_ != nullptr && remote_hook_->forward(from, to, now, *cur)) {
+      // Carried outside this simulator; delay 0 marks a remote send in
+      // the trace, as on the per-recipient path.
+      if (sim_.tracer().active()) {
+        sim_.tracer().send(now, from, to, cur->tag(), 0);
+      }
+      continue;
+    }
+    if (fault_hook_ != nullptr) {
+      const LinkFaultAction a = fault_hook_->on_send(from, to, now, *cur);
+      if (a.drop) {
+        if (sim_.tracer().active()) {
+          sim_.tracer().drop(now, from, to, cur->tag(), a.drop_site);
+        }
+        continue;
+      }
+      if (a.replacement != nullptr) cur = a.replacement;
+      if (a.duplicate) {
+        if (sim_.tracer().active()) {
+          sim_.tracer().dup(now, from, to, cur->tag(), a.dup_extra_delay);
+        }
+        sim_.schedule_deliver(now + a.dup_extra_delay, to, cur);
+      }
+    }
+    sim_.deliver(to, *cur);
   }
 }
 

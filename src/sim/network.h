@@ -74,10 +74,28 @@ class Network {
 
   /// Send to every process, including the sender itself. All recipients
   /// share the one arena object: a broadcast costs zero allocations
-  /// beyond the payload itself. With batched broadcasts enabled (and no
-  /// per-link hook installed), the whole fan-out is one queue event with
-  /// one shared delay sample — O(1) queue traffic instead of O(n).
+  /// beyond the payload itself. With batched broadcasts enabled, the
+  /// whole fan-out is one queue event with one shared delay sample —
+  /// O(1) queue traffic instead of O(n). Per-link hooks (fault, remote
+  /// transport) still see every (from, to) traversal: they are consulted
+  /// as the one event unrolls at delivery time (deliver_broadcast).
   void broadcast(ProcessId from, const Message* m);
+
+  /// True iff a per-link seam (fault or remote hook) is installed — the
+  /// batched-broadcast dispatch must then unroll through
+  /// deliver_broadcast instead of the plain all-recipients loop.
+  bool has_link_hooks() const {
+    return fault_hook_ != nullptr || remote_hook_ != nullptr;
+  }
+
+  /// Dispatch half of a batched broadcast when a per-link hook is
+  /// installed: unrolls the fan-out recipient by recipient at the
+  /// delivery instant, giving the remote hook first claim on each link
+  /// and the fault hook its drop/duplicate/replace decision, exactly as
+  /// the per-recipient send path would have at send time. Called by
+  /// Simulator::deliver_all; send-side accounting (total_sent_, tag
+  /// stats, note_sends) already happened when the event was enqueued.
+  void deliver_broadcast(const Message& m);
 
   /// Enables / disables the aggregated broadcast path (see
   /// SimConfig::batched_broadcasts for the semantics and caveats).

@@ -191,7 +191,13 @@ void Simulator::deliver(ProcessId to, const Message& m) {
 
 void Simulator::deliver_all(const Message& m) {
   // One popped event fans out to every process in id order; deliver()
-  // itself drops recipients that crashed before this instant.
+  // itself drops recipients that crashed before this instant. With a
+  // per-link seam installed the fan-out unrolls through the network so
+  // every (from, to) traversal is offered to the hooks.
+  if (network_->has_link_hooks()) {
+    network_->deliver_broadcast(m);
+    return;
+  }
   for (ProcessId to = 0; to < cfg_.n; ++to) deliver(to, m);
 }
 

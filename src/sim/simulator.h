@@ -66,9 +66,10 @@ struct SimConfig {
   /// independent delay. Cuts queue traffic from O(n²) to O(n) per
   /// all-to-all step (heartbeats, phase messages). Deterministic, but a
   /// DIFFERENT schedule than the per-recipient path — off by default so
-  /// recorded digests and golden traces are untouched. Ignored (falls
-  /// back to per-recipient sends) while a fault or remote hook is
-  /// installed, since those seams act per link.
+  /// recorded digests and golden traces are untouched. Fault and remote
+  /// hooks still see every (from, to) traversal: the one event unrolls
+  /// through Network::deliver_broadcast at the delivery instant, where
+  /// each link's hook decision is applied per recipient.
   bool batched_broadcasts = false;
 };
 

@@ -1,0 +1,232 @@
+#include "svc/client.h"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rt/clock.h"
+#include "svc/wire.h"
+#include "sweep/bench_json.h"
+#include "util/check.h"
+
+namespace saf::svc {
+
+namespace {
+
+/// Latency cap: a tier is a measurement tool, not a log sink.
+constexpr std::size_t kMaxLatencies = std::size_t{1} << 22;
+
+/// Monotonic milliseconds with sub-ms resolution (latencies need finer
+/// grain than WallClock's Time).
+double steady_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+struct Client {
+  int slot = 0;  ///< absolute slot index (link id = n + slot)
+  std::unique_ptr<rt::UdpLink> link;
+  std::uint32_t life = 0;  ///< link incarnation; bumped per churn cycle
+  Time churn_at = kNeverTime;
+  std::uint64_t req_seq = 0;  ///< monotone across lives (dedup key)
+  std::int64_t value = 0;
+  bool outstanding = false;
+  double first_submit_at = 0;  ///< latency anchor (first attempt)
+  double last_submit_at = 0;   ///< resubmit-timeout anchor
+  int attempts = 0;            ///< resubmits of the current request
+  ProcessId target = 0;
+};
+
+}  // namespace
+
+ClientRunResult run_client_tier(const ClientTierConfig& cfg) {
+  SAF_CHECK(cfg.n >= 1);
+  SAF_CHECK(cfg.clients >= 1);
+  SAF_CHECK(cfg.first_slot >= 0);
+  SAF_CHECK(cfg.first_slot + cfg.clients <= cfg.total_slots);
+  ClientRunResult res;
+
+  rt::WallClock wall;
+  rt::UdpLinkParams lp = cfg.link;
+  lp.endpoints = cfg.n + cfg.total_slots;
+  lp.epoch_gating = false;
+
+  const int ep = epoll_create1(0);
+  if (ep < 0) return res;
+
+  std::vector<Client> clients(static_cast<std::size_t>(cfg.clients));
+
+  const auto make_link = [&](Client& c, std::uint32_t idx) -> bool {
+    rt::UdpLinkParams p = lp;
+    p.incarnation = c.life;
+    c.link = std::make_unique<rt::UdpLink>(
+        static_cast<ProcessId>(cfg.n + c.slot), cfg.n, cfg.base_port, wall,
+        p);
+    if (!c.link->ok()) {
+      c.link.reset();
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = idx;
+    epoll_ctl(ep, EPOLL_CTL_ADD, c.link->fd(), &ev);
+    return true;
+  };
+
+  const auto send_current = [&](Client& c) {
+    Submit sm;
+    sm.req_seq = c.req_seq;
+    sm.value = c.value;
+    std::vector<std::uint8_t> buf;
+    encode_submit(sm, &buf);
+    c.link->send(c.target, buf);
+    c.last_submit_at = steady_ms();
+  };
+
+  const auto start_request = [&](Client& c) {
+    ++c.req_seq;
+    // Distinguishable per (slot, request) so decisions are traceable.
+    c.value = 1'000'000 + static_cast<std::int64_t>(c.slot) * 100'000 +
+              static_cast<std::int64_t>(c.req_seq % 100'000);
+    c.attempts = 0;
+    c.target = static_cast<ProcessId>(c.slot % cfg.n);
+    c.outstanding = true;
+    c.first_submit_at = steady_ms();
+    ++res.submitted;
+    send_current(c);
+  };
+
+  const Time start = wall.now_ms();
+  res.ok = true;
+  for (std::uint32_t i = 0; i < clients.size(); ++i) {
+    Client& c = clients[i];
+    c.slot = cfg.first_slot + static_cast<int>(i);
+    if (!make_link(c, i)) {
+      res.ok = false;  // port collision: report, keep the rest running
+      continue;
+    }
+    if (cfg.churn_lifetime_ms > 0) {
+      // Stagger first teardowns across the tier so churn is a steady
+      // trickle, not a synchronized wave.
+      c.churn_at = start + cfg.churn_lifetime_ms +
+                   (static_cast<Time>(c.slot) * cfg.churn_lifetime_ms) /
+                       static_cast<Time>(cfg.total_slots);
+    }
+    start_request(c);
+  }
+
+  const auto drain = [&](std::uint32_t idx) {
+    Client& c = clients[idx];
+    if (c.link == nullptr) return;
+    c.link->poll([&](ProcessId from, const std::uint8_t* data,
+                     std::size_t len) {
+      (void)from;
+      Reply rp;
+      if (!decode_reply(data, len, &rp)) return;
+      if (!c.outstanding || rp.req_seq != c.req_seq) return;
+      if (res.latencies_ms.size() < kMaxLatencies) {
+        res.latencies_ms.push_back(steady_ms() - c.first_submit_at);
+      }
+      ++res.replies;
+      c.outstanding = false;
+      start_request(c);  // closed loop: the next request rides at once
+    });
+  };
+
+  epoll_event evs[64];
+  for (;;) {
+    const Time now = wall.now_ms();
+    if (now - start >= cfg.run_for_ms) break;
+    const int ready = epoll_wait(ep, evs, 64, 1);
+    for (int i = 0; i < ready; ++i) drain(evs[i].data.u32);
+    const double now_ms = steady_ms();
+    for (std::uint32_t i = 0; i < clients.size(); ++i) {
+      Client& c = clients[i];
+      if (c.link == nullptr) {
+        if (make_link(c, i)) send_current(c);  // rebind after a failure
+        continue;
+      }
+      c.link->maintain();
+      if (cfg.churn_lifetime_ms > 0 && now >= c.churn_at) {
+        // Churn: drop the endpoint, come back as a new incarnation.
+        // req_seq stays monotone, so the server's per-slot dedup holds
+        // across the client's lives.
+        c.link.reset();  // closes the fd; epoll deregisters with it
+        ++c.life;
+        ++res.churns;
+        c.churn_at = now + cfg.churn_lifetime_ms;
+        if (!make_link(c, i)) continue;
+        if (c.outstanding) {
+          send_current(c);  // the reply may have died with the old link
+        }
+        continue;
+      }
+      if (c.outstanding &&
+          now_ms - c.last_submit_at >=
+              static_cast<double>(cfg.resubmit_ms)) {
+        // The target may have been killed with our batch queued: same
+        // req_seq, next server. Duplicate folds are deduped server-side
+        // per (slot, req_seq) and answered from cache.
+        ++c.attempts;
+        ++res.resubmits;
+        c.target = static_cast<ProcessId>((c.slot + c.attempts) % cfg.n);
+        send_current(c);
+      }
+    }
+  }
+
+  for (const Client& c : clients) {
+    if (c.outstanding) ++res.outstanding;
+  }
+  res.elapsed_ms = wall.now_ms() - start;
+  close(ep);
+  return res;
+}
+
+double latency_percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const auto idx = static_cast<std::size_t>(
+      std::max(0.0, rank - 1.0));
+  return values[std::min(idx, values.size() - 1)];
+}
+
+std::string client_result_json(const ClientTierConfig& cfg,
+                               const ClientRunResult& res) {
+  sweep::JsonWriter w;
+  w.begin_object();
+  w.key("ok").value(res.ok);
+  w.key("clients").value(cfg.clients);
+  w.key("first_slot").value(cfg.first_slot);
+  w.key("submitted").value(res.submitted);
+  w.key("replies").value(res.replies);
+  w.key("resubmits").value(res.resubmits);
+  w.key("churns").value(res.churns);
+  w.key("outstanding").value(res.outstanding);
+  w.key("elapsed_ms").value(static_cast<std::int64_t>(res.elapsed_ms));
+  const double secs =
+      res.elapsed_ms > 0 ? static_cast<double>(res.elapsed_ms) / 1e3 : 1.0;
+  w.key("replies_per_sec").value(static_cast<double>(res.replies) / secs);
+  w.key("latency_p50_ms").value(latency_percentile(res.latencies_ms, 50));
+  w.key("latency_p90_ms").value(latency_percentile(res.latencies_ms, 90));
+  w.key("latency_p99_ms").value(latency_percentile(res.latencies_ms, 99));
+  w.key("latency_max_ms")
+      .value(res.latencies_ms.empty()
+                 ? 0.0
+                 : *std::max_element(res.latencies_ms.begin(),
+                                     res.latencies_ms.end()));
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace saf::svc

@@ -1,0 +1,88 @@
+// Client tier of the decision service: hundreds of closed-loop clients
+// submitting proposal streams to the server nodes over UdpLink.
+//
+// Each client owns one link endpoint (id n + slot, port base_port +
+// n + slot) and runs a closed loop: submit one value, wait for the
+// Reply that carries the decided value of the instance its batch rode
+// in, record the submit->decide latency, submit the next. One OS
+// process multiplexes the whole tier over a single epoll set — the
+// client side is deliberately thin (no simulator, no coroutines), so a
+// tier of hundreds costs one thread.
+//
+// Failure handling mirrors what a real service client does:
+//   * the link retransmits the Submit frame itself, so a lost datagram
+//     needs no client logic;
+//   * a server that dies with the submission queued (batched but not
+//     yet decided) answers nothing — after resubmit_ms the client
+//     re-submits the SAME req_seq to the next server (rotating
+//     targets). Servers dedup on (slot, req_seq), so a request that
+//     ends up folded by two servers is decided-and-answered twice with
+//     the client taking the first reply — duplicate service, never
+//     duplicate state;
+//   * churn: a client whose life exceeds churn_lifetime_ms tears its
+//     link down and comes back with a bumped link incarnation (the
+//     wire-level fencing path real reconnects take), keeping its
+//     req_seq monotone across lives so the server's per-slot dedup
+//     stays sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/udp_link.h"
+#include "util/types.h"
+
+namespace saf::svc {
+
+struct ClientTierConfig {
+  int n = 5;  ///< server count; slot s submits to server (s + retries) % n
+  std::uint16_t base_port = 47400;
+  /// Slots this tier drives: absolute indices first_slot ..
+  /// first_slot+clients-1 within the servers' svc_client_slots space.
+  /// Several tier processes can split the space.
+  int first_slot = 0;
+  int clients = 100;
+  /// Servers' NodeConfig::svc_client_slots — must match so every link
+  /// sizes its peer table identically (endpoints = n + total_slots).
+  int total_slots = 256;
+  Time run_for_ms = 10'000;
+  /// Re-submit the outstanding request (to the next server) after this
+  /// long without a reply.
+  Time resubmit_ms = 1'000;
+  /// Tear down + re-create each client's link after this long (0 = no
+  /// churn). Lifetimes are staggered per slot so the tier never churns
+  /// in lockstep.
+  Time churn_lifetime_ms = 0;
+  std::uint64_t seed = 1;
+  rt::UdpLinkParams link;  ///< endpoints/epoch_gating are overridden
+};
+
+struct ClientRunResult {
+  bool ok = false;  ///< every client link bound
+  std::uint64_t submitted = 0;   ///< distinct requests started
+  std::uint64_t replies = 0;     ///< requests answered
+  std::uint64_t resubmits = 0;   ///< timeout-driven re-submissions
+  std::uint64_t churns = 0;      ///< link teardown/rebirth cycles
+  std::uint64_t outstanding = 0;  ///< unanswered at shutdown
+  Time elapsed_ms = 0;
+  /// One submit->reply latency per answered request, in milliseconds
+  /// (monotonic clock, sub-ms resolution), in completion order.
+  std::vector<double> latencies_ms;
+};
+
+/// Runs the tier for cfg.run_for_ms and returns the merged outcome.
+ClientRunResult run_client_tier(const ClientTierConfig& cfg);
+
+/// Aggregate JSON (counts, throughput, latency percentiles) — the
+/// svc_client CLI's output. Latency percentiles are computed here;
+/// the raw array is not emitted.
+std::string client_result_json(const ClientTierConfig& cfg,
+                               const ClientRunResult& res);
+
+/// p-th percentile (0..100) of `values` by nearest-rank; 0 when empty.
+/// Exposed for the service bench, which merges several tiers' latency
+/// arrays before ranking.
+double latency_percentile(std::vector<double> values, double p);
+
+}  // namespace saf::svc

@@ -1,0 +1,107 @@
+#include "svc/wire.h"
+
+namespace saf::svc {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(std::vector<std::uint8_t>* out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t get_i64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void encode_submit(const Submit& m, std::vector<std::uint8_t>* out) {
+  out->push_back(kSvcSubmit);
+  put_u64(out, m.req_seq);
+  put_i64(out, m.value);
+}
+
+bool decode_submit(const std::uint8_t* data, std::size_t len, Submit* out) {
+  if (len != 1 + 8 + 8 || data[0] != kSvcSubmit) return false;
+  out->req_seq = get_u64(data + 1);
+  out->value = get_i64(data + 9);
+  return true;
+}
+
+void encode_reply(const Reply& m, std::vector<std::uint8_t>* out) {
+  out->push_back(kSvcReply);
+  put_u64(out, m.req_seq);
+  put_u64(out, m.instance);
+  put_i64(out, m.decision);
+}
+
+bool decode_reply(const std::uint8_t* data, std::size_t len, Reply* out) {
+  if (len != 1 + 8 + 8 + 8 || data[0] != kSvcReply) return false;
+  out->req_seq = get_u64(data + 1);
+  out->instance = get_u64(data + 9);
+  out->decision = get_i64(data + 17);
+  return true;
+}
+
+void encode_snap_req(const SnapReq& m, std::vector<std::uint8_t>* out) {
+  out->push_back(kSvcSnapReq);
+  put_u64(out, m.from_instance);
+}
+
+bool decode_snap_req(const std::uint8_t* data, std::size_t len,
+                     SnapReq* out) {
+  if (len != 1 + 8 || data[0] != kSvcSnapReq) return false;
+  out->from_instance = get_u64(data + 1);
+  return true;
+}
+
+void encode_snap_resp(const SnapResp& m, std::vector<std::uint8_t>* out) {
+  out->push_back(kSvcSnapResp);
+  put_u64(out, m.start);
+  put_u64(out, m.frontier);
+  put_u32(out, static_cast<std::uint32_t>(m.decisions.size()));
+  for (std::int64_t v : m.decisions) put_i64(out, v);
+}
+
+bool decode_snap_resp(const std::uint8_t* data, std::size_t len,
+                      SnapResp* out) {
+  constexpr std::size_t kHeader = 1 + 8 + 8 + 4;
+  if (len < kHeader || data[0] != kSvcSnapResp) return false;
+  const std::uint32_t count = get_u32(data + 17);
+  // Exact length, and a count bound rejecting absurd headers before the
+  // multiply (kSnapChunk is the encoder's ceiling).
+  if (count > kSnapChunk || len != kHeader + 8 * count) return false;
+  out->start = get_u64(data + 1);
+  out->frontier = get_u64(data + 9);
+  out->decisions.clear();
+  out->decisions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out->decisions.push_back(get_i64(data + kHeader + 8 * i));
+  }
+  return true;
+}
+
+}  // namespace saf::svc

@@ -1,0 +1,87 @@
+// Client/catch-up wire vocabulary of the decision service.
+//
+// Four payload shapes ride the same UdpLink reliable frames as the
+// protocol traffic, in a type-id namespace disjoint from rt/codec's
+// (which owns ids 1..10; svc ids start at 32), so a receiving loop can
+// dispatch on the first byte:
+//
+//   * Submit   — client -> server: one proposal in the client's request
+//                stream. The server folds queued submissions into the
+//                next pipelined instance's proposal (batching) and
+//                remembers (client, req_seq) so a timeout-driven
+//                resubmission is answered, never re-proposed.
+//   * Reply    — server -> client: the decided value of the instance
+//                the submission's batch rode in, closing the client's
+//                submit->decide latency measurement.
+//   * SnapReq  — server -> server: a node whose decided frontier trails
+//                the observed peer frontier (or that restarted) asks a
+//                peer for the decided prefix from `from_instance` on.
+//   * SnapResp — the decided-prefix chunk: `count` decisions for
+//                instances [start, start+count), plus the responder's
+//                frontier so the requester knows whether more chunks
+//                are owed. Chunked to fit max_payload.
+//
+// Same discipline as rt/codec: fixed-width little-endian, bounds-checked
+// decode, a malformed buffer decodes to nothing and is dropped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace saf::svc {
+
+/// First-byte type ids. Disjoint from rt/codec (1..10) by a wide margin
+/// so future rt message types never collide.
+inline constexpr std::uint8_t kSvcSubmit = 32;
+inline constexpr std::uint8_t kSvcReply = 33;
+inline constexpr std::uint8_t kSvcSnapReq = 34;
+inline constexpr std::uint8_t kSvcSnapResp = 35;
+
+/// True iff the payload's leading byte is in the svc id range — the
+/// dispatch test a mixed receive loop applies before rt decode.
+inline bool is_svc_payload(const std::uint8_t* data, std::size_t len) {
+  return len >= 1 && data[0] >= kSvcSubmit && data[0] <= kSvcSnapResp;
+}
+
+struct Submit {
+  std::uint64_t req_seq = 0;  ///< client-local request counter (from 1)
+  std::int64_t value = 0;     ///< proposed value
+};
+
+struct Reply {
+  std::uint64_t req_seq = 0;   ///< echoes the submission it answers
+  std::uint64_t instance = 0;  ///< instance the batch rode in
+  std::int64_t decision = 0;   ///< that instance's decided value
+};
+
+struct SnapReq {
+  std::uint64_t from_instance = 0;  ///< requester's decided frontier
+};
+
+/// Decisions for instances [start, start + decisions.size()).
+struct SnapResp {
+  std::uint64_t start = 0;
+  std::uint64_t frontier = 0;  ///< responder's decided frontier
+  std::vector<std::int64_t> decisions;
+};
+
+/// Decisions per SnapResp chunk: 100 * 8 bytes of values + the fixed
+/// header stays well under UdpLinkParams::max_payload (1200).
+inline constexpr std::size_t kSnapChunk = 100;
+
+void encode_submit(const Submit& m, std::vector<std::uint8_t>* out);
+void encode_reply(const Reply& m, std::vector<std::uint8_t>* out);
+void encode_snap_req(const SnapReq& m, std::vector<std::uint8_t>* out);
+void encode_snap_resp(const SnapResp& m, std::vector<std::uint8_t>* out);
+
+/// Each returns true iff `data` is exactly one well-formed message of
+/// that type (leading byte + exact length + sane counts).
+bool decode_submit(const std::uint8_t* data, std::size_t len, Submit* out);
+bool decode_reply(const std::uint8_t* data, std::size_t len, Reply* out);
+bool decode_snap_req(const std::uint8_t* data, std::size_t len, SnapReq* out);
+bool decode_snap_resp(const std::uint8_t* data, std::size_t len,
+                      SnapResp* out);
+
+}  // namespace saf::svc

@@ -224,6 +224,24 @@ class ProcSet {
     return false;
   }
 
+  /// |*this & o| without materializing the intersection — the checker
+  /// hot loops (per-instant alive-set scans) only need the cardinality.
+  /// Same unroll shape as size(): four independent popcnt chains over
+  /// the AND of each word pair, scalar tail for the remainder.
+  constexpr int count_intersection(const ProcSet& o) const {
+    const int m = top_ < o.top_ ? top_ : o.top_;
+    int c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      c0 += std::popcount(w_[i] & o.w_[i]);
+      c1 += std::popcount(w_[i + 1] & o.w_[i + 1]);
+      c2 += std::popcount(w_[i + 2] & o.w_[i + 2]);
+      c3 += std::popcount(w_[i + 3] & o.w_[i + 3]);
+    }
+    for (; i < m; ++i) c0 += std::popcount(w_[i] & o.w_[i]);
+    return (c0 + c1) + (c2 + c3);
+  }
+
   /// Smallest id in the set; -1 if empty. (The paper's min{j | ...}.)
   constexpr ProcessId min() const {
     // Find the first non-empty word four at a time (one OR + compare

@@ -109,6 +109,7 @@ TEST(ProcSetDiff, RandomizedOpsAgreeWithSingleWordReference) {
     EXPECT_EQ(a.subset_of(b), ra.subset_of(rb));
     EXPECT_EQ((a & b).subset_of(a), true);
     EXPECT_EQ(a.intersects(b), ra.intersects(rb));
+    EXPECT_EQ(a.count_intersection(b), (a & b).size());
     EXPECT_EQ(a == b, ra == rb);
     EXPECT_EQ(a < b, ra < rb);
     EXPECT_EQ(a > b, ra > rb);
@@ -181,6 +182,15 @@ TEST(ProcSetSeam, SetAlgebraAcrossWords) {
   EXPECT_FALSE((a - b).intersects(b));
   EXPECT_FALSE(b.subset_of(a));
   EXPECT_TRUE(b.subset_of(a | b));
+  // Fused intersection cardinality agrees with the two-pass form across
+  // word boundaries and mismatched top_ bounds.
+  const ProcSet none;
+  EXPECT_EQ(a.count_intersection(b), 2);
+  EXPECT_EQ(b.count_intersection(a), 2);
+  EXPECT_EQ(a.count_intersection(a), a.size());
+  EXPECT_EQ(a.count_intersection(none), 0);
+  EXPECT_EQ(none.count_intersection(a), 0);
+  EXPECT_EQ(ProcSet::full(1024).count_intersection(a), a.size());
 }
 
 TEST(ProcSetFull, EdgeBehaviorAtAndBeyondWordBoundaries) {

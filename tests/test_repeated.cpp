@@ -7,6 +7,84 @@
 namespace saf::core {
 namespace {
 
+// --- instance routing: the pipelining edge cases -----------------------
+
+class InertHost final : public sim::Process {
+ public:
+  using sim::Process::Process;
+  void boot() override {}
+};
+
+class FixedLeaders final : public fd::LeaderOracle {
+ public:
+  explicit FixedLeaders(ProcSet s) : s_(s) {}
+  ProcSet trusted(ProcessId, Time) const override { return s_; }
+
+ private:
+  ProcSet s_;
+};
+
+// A process one instance ahead sends instance-(m+1) traffic before its
+// peers have finished m. The instance tag on every message must route it
+// to (and buffer it inside) the core that owns it, never the one that is
+// currently running.
+TEST(RepeatedKSet, EarlyNextInstanceTrafficRoutesToItsOwnCore) {
+  InertHost host(0, 3, 1);
+  FixedLeaders omega(ProcSet{0});
+  KSetCore c0(host, omega, 100, /*instance=*/0);
+  KSetCore c1(host, omega, 101, /*instance=*/1);
+
+  Phase1Msg p1{1, ProcSet{0}, 1101, /*instance=*/1};
+  p1.sender = 2;
+  EXPECT_FALSE(c0.on_message(p1)) << "instance 0 consumed instance-1 phase1";
+  EXPECT_TRUE(c1.on_message(p1)) << "the owning core must buffer it";
+
+  Phase2Msg p2{1, 1101, /*instance=*/1};
+  p2.sender = 2;
+  EXPECT_FALSE(c0.on_message(p2)) << "instance 0 consumed instance-1 phase2";
+  EXPECT_TRUE(c1.on_message(p2));
+
+  // And the current instance's traffic still lands where it belongs.
+  Phase1Msg cur{1, ProcSet{0}, 100, /*instance=*/0};
+  cur.sender = 1;
+  EXPECT_TRUE(c0.on_message(cur));
+  EXPECT_FALSE(c1.on_message(cur));
+
+  // A decision for a later instance is refused by earlier cores too
+  // (the dissemination path uses the same tag).
+  DecisionMsg d{1101, /*instance=*/1};
+  d.sender = 2;
+  EXPECT_FALSE(c0.on_rdeliver(d));
+}
+
+// Pipelining under heavy reordering: wide random delays make
+// instance-(m+1) messages overtake instance-m traffic routinely. The
+// contract must hold for every instance at every seed.
+TEST(RepeatedKSet, WideDelaysReorderAcrossInstancesWithoutViolations) {
+  for (std::uint64_t seed : {3u, 19u, 101u}) {
+    RepeatedKSetConfig cfg;
+    cfg.n = 7;
+    cfg.t = 3;
+    cfg.k = cfg.z = 2;
+    cfg.instances = 5;
+    cfg.seed = seed;
+    cfg.perfect_oracle = false;
+    cfg.omega_stab = 200;
+    cfg.delay_min = 1;
+    cfg.delay_max = 50;
+    auto r = run_repeated_kset(cfg);
+    EXPECT_TRUE(r.all_instances_decided) << "seed " << seed;
+    for (int m = 0; m < cfg.instances; ++m) {
+      EXPECT_LE(r.distinct[static_cast<std::size_t>(m)], cfg.k)
+          << "seed " << seed << " instance " << m;
+    }
+    for (int i = 0; i < cfg.n; ++i) {
+      EXPECT_EQ(r.decided_prefix[static_cast<std::size_t>(i)], cfg.instances)
+          << "seed " << seed << " process " << i;
+    }
+  }
+}
+
 TEST(RepeatedKSet, AllInstancesDecideWithBoundedDisagreement) {
   RepeatedKSetConfig cfg;
   cfg.n = 7;
@@ -86,6 +164,87 @@ TEST(RepeatedKSet, SingleInstanceMatchesOneShotShape) {
   auto r = run_repeated_kset(cfg);
   EXPECT_TRUE(r.all_instances_decided);
   EXPECT_LE(r.distinct[0], 2);
+}
+
+// Decided-instance monotonicity across crashes: survivors end with the
+// full contiguous prefix decided; a crashed process keeps a (possibly
+// shorter) prefix — never a hole filled after death.
+TEST(RepeatedKSet, DecidedPrefixIsMonotoneAcrossCrashes) {
+  RepeatedKSetConfig cfg;
+  cfg.n = 7;
+  cfg.t = 3;
+  cfg.k = cfg.z = 2;
+  cfg.instances = 6;
+  cfg.seed = 23;
+  cfg.perfect_oracle = false;
+  cfg.omega_stab = 300;
+  cfg.crashes.crash_at(1, 120).crash_at(4, 900);
+  auto r = run_repeated_kset(cfg);
+  ASSERT_TRUE(r.all_instances_decided);
+  ASSERT_EQ(r.decided_prefix.size(), static_cast<std::size_t>(cfg.n));
+  for (int i = 0; i < cfg.n; ++i) {
+    const int prefix = r.decided_prefix[static_cast<std::size_t>(i)];
+    if (i == 1 || i == 4) {
+      EXPECT_LE(prefix, cfg.instances) << "process " << i;
+      EXPECT_GE(prefix, 0) << "process " << i;
+    } else {
+      EXPECT_EQ(prefix, cfg.instances)
+          << "survivor " << i << " ended with a hole in its decided log";
+    }
+  }
+  // Instances still complete in order despite the mid-run crashes.
+  for (int m = 1; m < cfg.instances; ++m) {
+    EXPECT_GE(r.finish_times[static_cast<std::size_t>(m)],
+              r.finish_times[static_cast<std::size_t>(m - 1)]);
+  }
+}
+
+// The proposal-fold seam: when every process proposes the same folded
+// value for an instance (what the service does with a replicated client
+// batch), validity pins the decision to exactly that value.
+TEST(RepeatedKSet, ProposalFnFoldsPerInstanceProposals) {
+  RepeatedKSetConfig cfg;
+  cfg.n = 5;
+  cfg.t = 2;
+  cfg.k = cfg.z = 2;
+  cfg.instances = 4;
+  cfg.seed = 5;
+  cfg.perfect_oracle = true;
+  cfg.delay_min = cfg.delay_max = 5;
+  cfg.proposal_fn = [](int instance, ProcessId) {
+    return static_cast<std::int64_t>(5000 + instance);
+  };
+  auto r = run_repeated_kset(cfg);
+  ASSERT_TRUE(r.all_instances_decided);
+  for (int m = 0; m < cfg.instances; ++m) {
+    EXPECT_EQ(r.distinct[static_cast<std::size_t>(m)], 1) << "instance " << m;
+  }
+}
+
+// Zero-degradation, detector-perfect form: a crash of a non-leader at
+// t=50 (mid instance 0/1) never costs any later instance a round, and
+// every survivor still ends with the full decided prefix.
+TEST(RepeatedKSet, ZeroDegradationKeepsFullPrefixAfterMidRunCrash) {
+  RepeatedKSetConfig cfg;
+  cfg.n = 7;
+  cfg.t = 3;
+  cfg.k = cfg.z = 2;
+  cfg.instances = 6;
+  cfg.seed = 29;
+  cfg.perfect_oracle = true;
+  cfg.delay_min = cfg.delay_max = 5;
+  cfg.crashes.crash_at(6, 50);  // never a perfect-Ω leader (low ids win)
+  auto r = run_repeated_kset(cfg);
+  ASSERT_TRUE(r.all_instances_decided);
+  for (int m = 1; m < cfg.instances; ++m) {
+    EXPECT_EQ(r.rounds[static_cast<std::size_t>(m)], 1)
+        << "instance " << m << " degraded by the earlier crash";
+  }
+  for (int i = 0; i < cfg.n; ++i) {
+    if (i == 6) continue;
+    EXPECT_EQ(r.decided_prefix[static_cast<std::size_t>(i)], cfg.instances)
+        << "process " << i;
+  }
 }
 
 TEST(RepeatedKSet, RejectsBadConfig) {

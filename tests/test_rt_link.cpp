@@ -442,6 +442,122 @@ TEST(UdpLinkIncarnation, RejoinSeesEpochFrontierAndReplaysNextRound) {
   EXPECT_EQ(link.stats().dups_dropped, 1u);
 }
 
+// --- widened endpoint table: service clients beyond the protocol n -----
+
+TEST(UdpLinkEndpoints, ClientIdsBeyondProtocolNExchangeReliably) {
+  TestClock clock;
+  // A 2-node protocol whose link table is widened to 6 endpoints: ids
+  // 2..5 are service-client slots. The client binds as one of them and
+  // talks to node 0 over real loopback with the full reliable machinery.
+  UdpLinkParams params;
+  params.endpoints = 6;
+  UdpLink server(0, 2, 48580, clock, params);
+  UdpLink client(4, 2, 48580, clock, params);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(server.endpoints(), 6);
+
+  client.send(0, {0xC4});
+  client.flush();
+
+  std::vector<ProcessId> server_from;
+  const UdpLink::DeliverFn server_collect =
+      [&](ProcessId from, const std::uint8_t* data, std::size_t len) {
+        ASSERT_EQ(len, 1u);
+        EXPECT_EQ(data[0], 0xC4);
+        server_from.push_back(from);
+      };
+  int client_got = 0;
+  const UdpLink::DeliverFn client_collect =
+      [&](ProcessId from, const std::uint8_t* data, std::size_t len) {
+        EXPECT_EQ(from, 0);
+        ASSERT_EQ(len, 1u);
+        EXPECT_EQ(data[0], 0x5E);
+        ++client_got;
+      };
+  for (int step = 0; step < 100 && (server_from.empty() || client_got == 0 ||
+                                    client.pending() + server.pending() > 0);
+       ++step) {
+    clock.advance(2);
+    server.poll(server_collect);
+    if (!server_from.empty() && server.stats().frames_sent < 2) {
+      server.send(4, {0x5E});  // reply addressed to the client slot
+      server.flush();
+    }
+    server.maintain();
+    client.poll(client_collect);
+    client.maintain();
+  }
+  ASSERT_EQ(server_from.size(), 1u);
+  EXPECT_EQ(server_from[0], 4);
+  EXPECT_EQ(client_got, 1);
+  EXPECT_EQ(client.pending(), 0u);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(UdpLinkEndpoints, SendersBeyondTheTableAreDiscarded) {
+  TestClock clock;
+  UdpLink link(0, 2, 48588, clock);  // endpoints defaults to n = 2
+  ASSERT_TRUE(link.ok());
+
+  const UdpLink::DeliverFn none = [](ProcessId, const std::uint8_t*,
+                                     std::size_t) { FAIL(); };
+  wire::DatagramBuilder b;
+  b.begin(3, 0);  // a sender id outside the endpoint table
+  const std::uint8_t pay[] = {0x01};
+  b.add_frame(wire::FrameKind::kData, 1, pay, sizeof(pay));
+  link.process_datagram(b.data(), b.size(), none);
+  EXPECT_EQ(link.stats().datagrams_received, 0u);
+  EXPECT_EQ(link.stats().acks_sent, 0u);
+}
+
+// --- epoch gating off: epochs as a pure frontier signal ----------------
+
+TEST(UdpLinkEpochGating, GatingOffDeliversDataAcrossAnyEpochSkew) {
+  TestClock clock;
+  UdpLinkParams params;
+  params.epoch_gating = false;
+  UdpLink link(0, 2, 48592, clock, params);
+  ASSERT_TRUE(link.ok());
+  link.set_epoch(5);
+
+  std::vector<int> seen;
+  const UdpLink::DeliverFn collect = [&](ProcessId, const std::uint8_t* data,
+                                         std::size_t len) {
+    ASSERT_EQ(len, 1u);
+    seen.push_back(data[0]);
+  };
+
+  // Far-past epoch: delivered and acked — under pipelining the payload
+  // itself names its instance, so no link-level round is ever stale.
+  wire::DatagramBuilder b;
+  b.begin(1, 0);
+  const std::uint8_t old_pay[] = {0x0A};
+  b.add_frame(wire::FrameKind::kData, 1, old_pay, sizeof(old_pay));
+  link.process_datagram(b.data(), b.size(), collect);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 0x0A);
+  EXPECT_EQ(link.stats().stale_dropped, 0u);
+  EXPECT_EQ(link.stats().acks_sent, 1u);
+
+  // Far-future epoch (not just +1): delivered immediately, never held.
+  b.begin(1, 9);
+  const std::uint8_t new_pay[] = {0x0B};
+  b.add_frame(wire::FrameKind::kData, 2, new_pay, sizeof(new_pay));
+  link.process_datagram(b.data(), b.size(), collect);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], 0x0B);
+  EXPECT_EQ(link.stats().future_held, 0u);
+  EXPECT_EQ(link.stats().acks_sent, 2u);
+
+  // Dedup still applies, and the header epochs still feed the frontier
+  // signal a lagging service node uses to trigger snapshot catch-up.
+  link.process_datagram(b.data(), b.size(), collect);
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(link.stats().dups_dropped, 1u);
+  EXPECT_EQ(link.max_peer_epoch(), 9u);
+}
+
 // --- retransmission timing against a hand-advanced clock --------------
 
 TEST(UdpLinkTiming, RetransmitsFollowBackoffAndAbandon) {

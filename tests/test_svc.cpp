@@ -1,0 +1,180 @@
+// Decision-service suites (src/svc): the client/catch-up wire codec's
+// roundtrip + rejection contract, the tier-side percentile helper, and
+// an end-to-end smoke — a real forked svc cluster with a live client
+// tier, checked through the per-instance service contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "rt/cluster.h"
+#include "svc/client.h"
+#include "svc/server.h"
+#include "svc/wire.h"
+#include "sweep/bench_json.h"
+
+namespace {
+
+using namespace saf;
+using namespace saf::svc;
+
+TEST(SvcWire, SubmitRoundtrip) {
+  const Submit in{.req_seq = 712, .value = -123456789};
+  std::vector<std::uint8_t> buf;
+  encode_submit(in, &buf);
+  ASSERT_FALSE(buf.empty());
+  EXPECT_EQ(buf[0], kSvcSubmit);
+  Submit out;
+  ASSERT_TRUE(decode_submit(buf.data(), buf.size(), &out));
+  EXPECT_EQ(out.req_seq, in.req_seq);
+  EXPECT_EQ(out.value, in.value);
+}
+
+TEST(SvcWire, ReplyRoundtrip) {
+  const Reply in{.req_seq = 9, .instance = 41, .decision = INT64_MIN};
+  std::vector<std::uint8_t> buf;
+  encode_reply(in, &buf);
+  Reply out;
+  ASSERT_TRUE(decode_reply(buf.data(), buf.size(), &out));
+  EXPECT_EQ(out.req_seq, in.req_seq);
+  EXPECT_EQ(out.instance, in.instance);
+  EXPECT_EQ(out.decision, in.decision);
+}
+
+TEST(SvcWire, SnapReqRoundtrip) {
+  const SnapReq in{.from_instance = 5000};
+  std::vector<std::uint8_t> buf;
+  encode_snap_req(in, &buf);
+  SnapReq out;
+  ASSERT_TRUE(decode_snap_req(buf.data(), buf.size(), &out));
+  EXPECT_EQ(out.from_instance, in.from_instance);
+}
+
+TEST(SvcWire, SnapRespRoundtripFullChunk) {
+  SnapResp in;
+  in.start = 300;
+  in.frontier = 512;
+  for (std::size_t i = 0; i < kSnapChunk; ++i) {
+    in.decisions.push_back(static_cast<std::int64_t>(i) - 50);
+  }
+  std::vector<std::uint8_t> buf;
+  encode_snap_resp(in, &buf);
+  // The sizing contract behind kSnapChunk: a full chunk fits the
+  // default link payload budget.
+  EXPECT_LE(buf.size(), std::size_t{1200});
+  SnapResp out;
+  ASSERT_TRUE(decode_snap_resp(buf.data(), buf.size(), &out));
+  EXPECT_EQ(out.start, in.start);
+  EXPECT_EQ(out.frontier, in.frontier);
+  EXPECT_EQ(out.decisions, in.decisions);
+}
+
+TEST(SvcWire, SnapRespEmptyRoundtrip) {
+  const SnapResp in{.start = 7, .frontier = 7, .decisions = {}};
+  std::vector<std::uint8_t> buf;
+  encode_snap_resp(in, &buf);
+  SnapResp out;
+  ASSERT_TRUE(decode_snap_resp(buf.data(), buf.size(), &out));
+  EXPECT_EQ(out.start, 7u);
+  EXPECT_TRUE(out.decisions.empty());
+}
+
+TEST(SvcWire, MalformedBuffersRejected) {
+  std::vector<std::uint8_t> buf;
+  encode_submit(Submit{.req_seq = 1, .value = 2}, &buf);
+  Submit s;
+  // Truncated, extended, and retagged frames must all decode to nothing.
+  EXPECT_FALSE(decode_submit(buf.data(), buf.size() - 1, &s));
+  std::vector<std::uint8_t> longer = buf;
+  longer.push_back(0);
+  EXPECT_FALSE(decode_submit(longer.data(), longer.size(), &s));
+  std::vector<std::uint8_t> retag = buf;
+  retag[0] = kSvcReply;
+  EXPECT_FALSE(decode_submit(retag.data(), retag.size(), &s));
+  EXPECT_FALSE(decode_submit(nullptr, 0, &s));
+
+  // A SnapResp whose count field promises more values than the buffer
+  // carries is dropped, not over-read.
+  SnapResp r{.start = 0, .frontier = 4, .decisions = {1, 2, 3, 4}};
+  std::vector<std::uint8_t> rb;
+  encode_snap_resp(r, &rb);
+  SnapResp out;
+  EXPECT_TRUE(decode_snap_resp(rb.data(), rb.size(), &out));
+  EXPECT_FALSE(decode_snap_resp(rb.data(), rb.size() - 8, &out));
+}
+
+TEST(SvcWire, DispatchRange) {
+  const std::uint8_t below[] = {31};
+  const std::uint8_t lo[] = {kSvcSubmit};
+  const std::uint8_t hi[] = {kSvcSnapResp};
+  const std::uint8_t above[] = {36};
+  EXPECT_FALSE(is_svc_payload(below, 1));
+  EXPECT_TRUE(is_svc_payload(lo, 1));
+  EXPECT_TRUE(is_svc_payload(hi, 1));
+  EXPECT_FALSE(is_svc_payload(above, 1));
+  EXPECT_FALSE(is_svc_payload(lo, 0));
+}
+
+TEST(SvcClient, LatencyPercentileNearestRank) {
+  EXPECT_EQ(latency_percentile({}, 99), 0.0);
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(latency_percentile(v, 50), 3.0);
+  EXPECT_EQ(latency_percentile(v, 100), 5.0);
+  EXPECT_EQ(latency_percentile(v, 0), 1.0);
+  EXPECT_EQ(latency_percentile({7.5}, 99), 7.5);
+}
+
+// End-to-end: a five-node svc cluster pipelines instances for ~2s while
+// a small client tier submits through churned links; the run must hold
+// the per-instance service contract, advance the decided frontier on
+// every node, and answer the clients.
+TEST(SvcCluster, PipelinesAndServesClients) {
+  rt::ClusterConfig cfg;
+  cfg.protocol = "svc";
+  cfg.n = 5;
+  cfg.t = 2;
+  cfg.k = 2;
+  cfg.base_port = 48750;
+  cfg.run_for_ms = 2'500;
+  cfg.out_dir = "test_svc_out";
+  cfg.svc_client_slots = 16;
+  cfg.node_runner = svc::run_server;
+  cfg.contract_checker = svc::check_service_contract;
+
+  ClientTierConfig tier;
+  tier.n = cfg.n;
+  tier.base_port = cfg.base_port;
+  tier.clients = 8;
+  tier.total_slots = cfg.svc_client_slots;
+  tier.run_for_ms = 1'200;
+  tier.churn_lifetime_ms = 600;
+
+  ClientRunResult clients;
+  std::thread tier_thread([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    clients = run_client_tier(tier);
+  });
+  const rt::ClusterResult res = rt::run_cluster(cfg);
+  tier_thread.join();
+
+  ASSERT_TRUE(res.contract_ok()) << res.detail;
+  EXPECT_TRUE(clients.ok);
+  EXPECT_GT(clients.submitted, 0u);
+  EXPECT_GT(clients.replies, 0u);
+  EXPECT_GT(clients.churns, 0u);
+  EXPECT_EQ(clients.latencies_ms.size(), clients.replies);
+
+  // Every node's result file reports a non-trivial decided frontier —
+  // the pipeline ran on all of them, not just a quorum.
+  for (const rt::ClusterNodeOutcome& node : res.nodes) {
+    ASSERT_TRUE(node.launched);
+    const sweep::FlatJson nj =
+        sweep::load_json_numbers(rt::cluster_node_result_path(cfg, node.id));
+    const auto it = nj.find("svc_frontier");
+    ASSERT_NE(it, nj.end()) << "node " << node.id;
+    EXPECT_GT(it->second, 0.0) << "node " << node.id;
+  }
+}
+
+}  // namespace
